@@ -1,0 +1,171 @@
+//! Block certificates (§8.3).
+//!
+//! A certificate aggregates enough votes from the concluding step of
+//! BinaryBA⋆ to let any user — including one bootstrapping from the genesis
+//! block — re-derive the consensus outcome without having observed the
+//! round live. Validation re-runs ProcessMsg on every vote: sortition
+//! proofs are checked against the round's seed and weights, all votes must
+//! name the same round, step, and value, and the summed votes must exceed
+//! the step threshold.
+
+use crate::msg::{StepKind, Value, VoteMessage};
+use crate::params::BaParams;
+use crate::verify::{VoteContext, VoteVerifier};
+use crate::weights::RoundWeights;
+use algorand_crypto::codec::{DecodeError, Reader, WriteExt};
+use std::collections::HashSet;
+
+/// Why a certificate failed validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CertificateError {
+    /// A vote was for a different round, step, value, or previous block.
+    InconsistentVotes,
+    /// The same public key appears more than once.
+    DuplicateVoter,
+    /// A vote's signature or sortition proof is invalid.
+    InvalidVote,
+    /// The summed votes do not exceed the step threshold.
+    InsufficientVotes,
+    /// The certificate's step is not a valid certifying step.
+    BadStep,
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CertificateError::InconsistentVotes => "votes disagree on round/step/value/prev",
+            CertificateError::DuplicateVoter => "duplicate voter in certificate",
+            CertificateError::InvalidVote => "invalid signature or sortition proof",
+            CertificateError::InsufficientVotes => "votes do not exceed the step threshold",
+            CertificateError::BadStep => "not a certifying step",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// A certificate that BA⋆ concluded `value` in `round` (§8.3).
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The certified round.
+    pub round: u64,
+    /// The concluding BinaryBA⋆ step (or [`StepKind::Final`] for a
+    /// final-consensus certificate).
+    pub step: StepKind,
+    /// The certified block hash.
+    pub value: Value,
+    /// The aggregated votes.
+    pub votes: Vec<VoteMessage>,
+}
+
+impl Certificate {
+    /// Validates the certificate against a round context.
+    ///
+    /// `prev_hash` is the hash of the block preceding the certified one;
+    /// `seed` and `weights` are the sortition context of the certified
+    /// round — exactly what a bootstrapping user has after validating the
+    /// chain up to `round − 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CertificateError`] encountered; a certificate
+    /// from an adversary (§8.3's forged-certificate attack) fails either
+    /// [`CertificateError::InvalidVote`] or
+    /// [`CertificateError::InsufficientVotes`].
+    pub fn validate(
+        &self,
+        params: &BaParams,
+        seed: &[u8; 32],
+        prev_hash: &[u8; 32],
+        weights: &RoundWeights,
+        verifier: &dyn VoteVerifier,
+    ) -> Result<(), CertificateError> {
+        let is_final = self.step == StepKind::Final;
+        match self.step {
+            StepKind::Main(s) if s >= 1 && s <= params.max_steps => {}
+            StepKind::Final => {}
+            _ => return Err(CertificateError::BadStep),
+        }
+        let threshold = params.threshold_for(is_final);
+        let ctx = VoteContext {
+            round: self.round,
+            seed: *seed,
+            tau: params.tau_for(is_final),
+        };
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for vote in &self.votes {
+            if vote.round != self.round
+                || vote.step != self.step
+                || vote.value != self.value
+                || vote.prev_hash != *prev_hash
+            {
+                return Err(CertificateError::InconsistentVotes);
+            }
+            if !seen.insert(vote.sender.to_bytes()) {
+                return Err(CertificateError::DuplicateVoter);
+            }
+            let votes = verifier
+                .verify_vote(vote, &ctx, weights)
+                .ok_or(CertificateError::InvalidVote)?;
+            total += votes;
+        }
+        if (total as f64) > threshold {
+            Ok(())
+        } else {
+            Err(CertificateError::InsufficientVotes)
+        }
+    }
+
+    /// Serialized size in bytes (§10.3 reports ~300 KB per certificate at
+    /// paper scale: ~1000 votes of ~300 bytes).
+    pub fn wire_size(&self) -> usize {
+        48 + self.votes.len() * VoteMessage::WIRE_SIZE
+    }
+
+    /// Appends the canonical wire encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.round);
+        out.put_u32(self.step.code());
+        out.put_bytes(&self.value);
+        out.put_u32(self.votes.len() as u32);
+        for v in &self.votes {
+            v.encode(out);
+        }
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a certificate from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, an absurd vote count, or a
+    /// malformed vote. Semantic validity is checked by
+    /// [`Certificate::validate`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Certificate, DecodeError> {
+        let round = r.u64()?;
+        let step = StepKind::from_code(r.u32()?);
+        let value = r.bytes32()?;
+        let n = r.u32()? as usize;
+        if n > 100_000 {
+            return Err(DecodeError::Invalid);
+        }
+        let mut votes = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            votes.push(VoteMessage::decode(r)?);
+        }
+        Ok(Certificate {
+            round,
+            step,
+            value,
+            votes,
+        })
+    }
+}

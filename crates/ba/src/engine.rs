@@ -1,0 +1,527 @@
+//! The BA⋆ engine: Algorithms 3, 7 and 8 as a sans-io state machine.
+//!
+//! One [`BaStar`] instance runs one round of Byzantine agreement for one
+//! user. It is driven by a caller (a full node or the simulator) that
+//! delivers incoming votes ([`BaStar::on_vote`]) and clock ticks
+//! ([`BaStar::on_tick`]); it emits [`Output`]s: votes to gossip and,
+//! eventually, a decision. It keeps no secrets besides the user's private
+//! key (§7's participant-replacement property): all tallying state can be
+//! reconstructed by any passive observer of the message stream.
+//!
+//! Phase structure (Algorithm 3):
+//!
+//! ```text
+//! Reduction step 1 ─► Reduction step 2 ─► BinaryBA⋆ steps 1.. ─► final count
+//!       (λblock+λstep)      (λstep)           (λstep each)         (λstep)
+//! ```
+
+use crate::msg::{StepKind, Value, VoteMessage};
+use crate::params::{BaParams, Micros};
+use crate::tally::StepTally;
+use crate::verify::{VoteContext, VoteVerifier};
+use crate::weights::RoundWeights;
+use crate::Certificate;
+use algorand_crypto::Keypair;
+use algorand_sortition::{select, Role, SortitionParams};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Whether BA⋆ reached final or tentative consensus (§4, §7.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConsensusKind {
+    /// No other block can have reached consensus this round.
+    Final,
+    /// Safety could not be confirmed; another tentative block may exist.
+    Tentative,
+}
+
+/// The completed result of one BA⋆ round for this user.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Final or tentative.
+    pub kind: ConsensusKind,
+    /// The agreed block hash (possibly the empty block's hash).
+    pub value: Value,
+    /// The BinaryBA⋆ step at which agreement was reached (1 in the common
+    /// case of an honest highest-priority proposer).
+    pub binary_step: u32,
+    /// The certificate assembled from the concluding step's votes (§8.3).
+    pub certificate: Certificate,
+    /// For final consensus: the final-step vote aggregate — the
+    /// "certificate proving the safety of a block" of §8.3. Since final
+    /// blocks are totally ordered, a user need only check the most recent
+    /// one. `None` for tentative consensus.
+    pub final_certificate: Option<Certificate>,
+}
+
+/// An event emitted by the engine for its driver to act on.
+///
+/// Variant sizes differ widely (a vote is ~500 bytes); outputs are moved
+/// once and never stored in bulk, so boxing would only add indirection.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum Output {
+    /// Gossip this vote to the network.
+    Gossip(VoteMessage),
+    /// BinaryBA⋆ concluded on a value; the final count is still running.
+    /// (Figure 7 separates "BA⋆ w/o final step" from the final step using
+    /// this event.)
+    BinaryDecided {
+        /// The agreed hash.
+        value: Value,
+        /// The concluding BinaryBA⋆ step.
+        step: u32,
+    },
+    /// BA⋆ completed; this is the last output the engine produces.
+    Decided(Decision),
+    /// MaxSteps was exceeded: the engine hangs and relies on the recovery
+    /// protocol (§8.2) for liveness.
+    Hung,
+}
+
+enum Phase {
+    Reduction1,
+    Reduction2,
+    Binary { step: u32 },
+    FinalCount { value: Value, binary_step: u32 },
+    Done,
+    Hung,
+}
+
+/// Switches that disable individual protocol mechanisms, for ablation
+/// studies only (`bench/ablation_*`). Production paths never set these.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AblationFlags {
+    /// Replace the common coin (Algorithm 9) with the deterministic rule
+    /// "timeout → vote block_hash": re-enables the network-scheduler split
+    /// attack of §7.4.
+    pub disable_common_coin: bool,
+    /// Skip the three extra votes cast after reaching consensus: stragglers
+    /// may then starve below the threshold.
+    pub disable_extra_votes: bool,
+}
+
+/// The BA⋆ state machine for one user in one round.
+pub struct BaStar {
+    params: BaParams,
+    round: u64,
+    seed: [u8; 32],
+    prev_hash: [u8; 32],
+    empty_hash: Value,
+    /// The hash BinaryBA⋆ was invoked with (reduction output).
+    binary_input: Value,
+    keypair: Keypair,
+    weights: Arc<RoundWeights>,
+    verifier: Arc<dyn VoteVerifier>,
+    tallies: HashMap<u32, StepTally>,
+    ablation: AblationFlags,
+    phase: Phase,
+    /// When the current phase's CountVotes window opened.
+    phase_started: Micros,
+    /// Timestamps for metrics: when reduction / binary / final concluded.
+    reduction_done: Option<Micros>,
+    binary_done: Option<Micros>,
+    finished: Option<Micros>,
+    started: Micros,
+}
+
+impl BaStar {
+    /// Creates the engine and casts the first reduction vote.
+    ///
+    /// `block_hash` is the hash of the highest-priority proposed block the
+    /// user received (or the empty block's hash); `empty_hash` is
+    /// `H(Empty(round, prev_hash))`. Returned outputs must be acted on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        params: BaParams,
+        keypair: Keypair,
+        round: u64,
+        seed: [u8; 32],
+        prev_hash: [u8; 32],
+        block_hash: Value,
+        empty_hash: Value,
+        weights: Arc<RoundWeights>,
+        verifier: Arc<dyn VoteVerifier>,
+        now: Micros,
+    ) -> (BaStar, Vec<Output>) {
+        let mut engine = BaStar {
+            params,
+            round,
+            seed,
+            prev_hash,
+            empty_hash,
+            binary_input: empty_hash,
+            keypair,
+            weights,
+            verifier,
+            tallies: HashMap::new(),
+            ablation: AblationFlags::default(),
+            phase: Phase::Reduction1,
+            phase_started: now,
+            reduction_done: None,
+            binary_done: None,
+            finished: None,
+            started: now,
+        };
+        let mut out = Vec::new();
+        engine.committee_vote(StepKind::ReductionOne, block_hash, &mut out);
+        (engine, out)
+    }
+
+    /// Starts the engine directly at BinaryBA⋆ step 1, skipping reduction —
+    /// the `ablation_reduction` experiment. With multi-valued inputs and no
+    /// reduction, honest votes split and BA⋆ cannot make progress.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_without_reduction(
+        params: BaParams,
+        keypair: Keypair,
+        round: u64,
+        seed: [u8; 32],
+        prev_hash: [u8; 32],
+        block_hash: Value,
+        empty_hash: Value,
+        weights: Arc<RoundWeights>,
+        verifier: Arc<dyn VoteVerifier>,
+        now: Micros,
+    ) -> (BaStar, Vec<Output>) {
+        let (mut engine, mut out) = BaStar::start(
+            params, keypair, round, seed, prev_hash, block_hash, empty_hash, weights, verifier,
+            now,
+        );
+        // Discard the reduction-one vote and jump straight to binary.
+        out.clear();
+        engine.binary_input = block_hash;
+        engine.reduction_done = Some(now);
+        engine.enter_binary_step(1, block_hash, now, &mut out);
+        (engine, out)
+    }
+
+    /// Sets ablation switches (see [`AblationFlags`]); benches only.
+    pub fn set_ablation(&mut self, flags: AblationFlags) {
+        self.ablation = flags;
+    }
+
+    /// Delivers an incoming vote; returns any resulting outputs.
+    pub fn on_vote(&mut self, msg: &VoteMessage, now: Micros) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.ingest(msg);
+        self.advance(now, &mut out);
+        out
+    }
+
+    /// Records a vote in the tallies without advancing the clock-dependent
+    /// state (used when replaying buffered messages).
+    pub fn ingest(&mut self, msg: &VoteMessage) {
+        if matches!(self.phase, Phase::Done | Phase::Hung) {
+            return;
+        }
+        // Algorithm 6's cheap chain-context checks: round and prev-hash.
+        if msg.round != self.round || msg.prev_hash != self.prev_hash {
+            return;
+        }
+        let ctx = VoteContext {
+            round: self.round,
+            seed: self.seed,
+            tau: self.params.tau_for(msg.step == StepKind::Final),
+        };
+        let Some(votes) = self.verifier.verify_vote(msg, &ctx, &self.weights) else {
+            return;
+        };
+        self.tallies
+            .entry(msg.step.code())
+            .or_default()
+            .add(msg, votes);
+    }
+
+    /// Notifies the engine that time has passed; fires timeouts if due.
+    pub fn on_tick(&mut self, now: Micros) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.advance(now, &mut out);
+        out
+    }
+
+    /// The next instant at which [`BaStar::on_tick`] must be called, if any.
+    pub fn next_deadline(&self) -> Option<Micros> {
+        let lambda = match self.phase {
+            Phase::Reduction1 => self.params.lambda_block + self.params.lambda_step,
+            Phase::Reduction2 | Phase::Binary { .. } | Phase::FinalCount { .. } => {
+                self.params.lambda_step
+            }
+            Phase::Done | Phase::Hung => return None,
+        };
+        Some(self.phase_started + lambda)
+    }
+
+    /// True once a decision (or hang) has been emitted.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, Phase::Done | Phase::Hung)
+    }
+
+    /// The BinaryBA⋆ step currently being voted, if in the binary phase
+    /// (used by adversarial test harnesses to target deliveries).
+    pub fn current_binary_step(&self) -> Option<u32> {
+        match &self.phase {
+            Phase::Binary { step } => Some(*step),
+            _ => None,
+        }
+    }
+
+    /// When reduction concluded (for step-breakdown metrics).
+    pub fn reduction_done_at(&self) -> Option<Micros> {
+        self.reduction_done
+    }
+
+    /// When BinaryBA⋆ concluded.
+    pub fn binary_done_at(&self) -> Option<Micros> {
+        self.binary_done
+    }
+
+    /// When the whole of BA⋆ (including the final count) concluded.
+    pub fn finished_at(&self) -> Option<Micros> {
+        self.finished
+    }
+
+    /// When this engine started.
+    pub fn started_at(&self) -> Micros {
+        self.started
+    }
+
+    // --- Internals ---------------------------------------------------------
+
+    /// Runs sortition for `step`; if selected, signs, self-tallies, and
+    /// emits a vote (CommitteeVote, Algorithm 4).
+    fn committee_vote(&mut self, step: StepKind, value: Value, out: &mut Vec<Output>) {
+        let is_final = step == StepKind::Final;
+        let role = Role::Committee {
+            round: self.round,
+            step: step.code(),
+        };
+        let params = SortitionParams {
+            tau: self.params.tau_for(is_final),
+            total_weight: self.weights.total(),
+        };
+        let my_weight = self.weights.weight_of(&self.keypair.pk);
+        let Some(sel) = select(&self.keypair, &self.seed, role, &params, my_weight) else {
+            return; // Not on this step's committee.
+        };
+        let msg = VoteMessage::sign(
+            &self.keypair,
+            self.round,
+            step,
+            sel.vrf_output,
+            sel.proof,
+            self.prev_hash,
+            value,
+        );
+        // Count our own vote immediately; the gossip layer will not echo
+        // our own message back to us.
+        self.tallies
+            .entry(step.code())
+            .or_default()
+            .add(&msg, sel.j);
+        out.push(Output::Gossip(msg));
+    }
+
+    /// The CountVotes outcome for the current phase, if it can conclude.
+    fn current_outcome(&self, now: Micros) -> Option<Result<Value, ()>> {
+        let (step_code, lambda, threshold) = match &self.phase {
+            Phase::Reduction1 => (
+                StepKind::ReductionOne.code(),
+                self.params.lambda_block + self.params.lambda_step,
+                self.params.step_vote_threshold(),
+            ),
+            Phase::Reduction2 => (
+                StepKind::ReductionTwo.code(),
+                self.params.lambda_step,
+                self.params.step_vote_threshold(),
+            ),
+            Phase::Binary { step } => (
+                StepKind::Main(*step).code(),
+                self.params.lambda_step,
+                self.params.step_vote_threshold(),
+            ),
+            Phase::FinalCount { .. } => (
+                StepKind::Final.code(),
+                self.params.lambda_step,
+                self.params.final_vote_threshold(),
+            ),
+            Phase::Done | Phase::Hung => return None,
+        };
+        if let Some(tally) = self.tallies.get(&step_code) {
+            if let Some(v) = tally.over_threshold(threshold) {
+                return Some(Ok(v));
+            }
+        }
+        if now >= self.phase_started + lambda {
+            return Some(Err(())); // Timeout.
+        }
+        None
+    }
+
+    /// Advances phases as long as outcomes are available.
+    fn advance(&mut self, now: Micros, out: &mut Vec<Output>) {
+        while let Some(outcome) = self.current_outcome(now) {
+            match &self.phase {
+                Phase::Reduction1 => {
+                    // Algorithm 7 step 2: re-gossip the popular hash, or
+                    // the empty hash on timeout.
+                    let vote_value = outcome.unwrap_or(self.empty_hash);
+                    self.phase = Phase::Reduction2;
+                    self.phase_started = now;
+                    self.committee_vote(StepKind::ReductionTwo, vote_value, out);
+                }
+                Phase::Reduction2 => {
+                    let hblock2 = outcome.unwrap_or(self.empty_hash);
+                    self.reduction_done = Some(now);
+                    self.binary_input = hblock2;
+                    self.enter_binary_step(1, hblock2, now, out);
+                }
+                Phase::Binary { step } => {
+                    let step = *step;
+                    match step % 3 {
+                        1 => match outcome {
+                            Err(()) => {
+                                self.enter_binary_step(step + 1, self.binary_input, now, out)
+                            }
+                            Ok(v) if v != self.empty_hash => self.decide(v, step, now, out),
+                            Ok(v) => self.enter_binary_step(step + 1, v, now, out),
+                        },
+                        2 => match outcome {
+                            Err(()) => {
+                                self.enter_binary_step(step + 1, self.empty_hash, now, out)
+                            }
+                            Ok(v) if v == self.empty_hash => self.decide(v, step, now, out),
+                            Ok(v) => self.enter_binary_step(step + 1, v, now, out),
+                        },
+                        _ => {
+                            // The common-coin step (Algorithm 8's third
+                            // block): never decides; a timeout consults
+                            // the coin.
+                            let next = match outcome {
+                                Ok(v) => v,
+                                Err(()) if self.ablation.disable_common_coin => {
+                                    // Ablation: a predictable fallback the
+                                    // adversary can exploit indefinitely.
+                                    self.binary_input
+                                }
+                                Err(()) => {
+                                    let coin = self
+                                        .tallies
+                                        .get(&StepKind::Main(step).code())
+                                        .map(|t| t.common_coin())
+                                        .unwrap_or(0);
+                                    if coin == 0 {
+                                        self.binary_input
+                                    } else {
+                                        self.empty_hash
+                                    }
+                                }
+                            };
+                            self.enter_binary_step(step + 1, next, now, out);
+                        }
+                    }
+                }
+                Phase::FinalCount { value, binary_step } => {
+                    let (value, binary_step) = (*value, *binary_step);
+                    let kind = match outcome {
+                        Ok(v) if v == value => ConsensusKind::Final,
+                        _ => ConsensusKind::Tentative,
+                    };
+                    let certificate = self.build_certificate(binary_step, value);
+                    let final_certificate = (kind == ConsensusKind::Final)
+                        .then(|| self.build_final_certificate(value));
+                    self.phase = Phase::Done;
+                    self.finished = Some(now);
+                    out.push(Output::Decided(Decision {
+                        kind,
+                        value,
+                        binary_step,
+                        certificate,
+                        final_certificate,
+                    }));
+                }
+                Phase::Done | Phase::Hung => unreachable!("no outcomes when finished"),
+            }
+        }
+    }
+
+    /// Starts BinaryBA⋆ step `step`, voting `r` (the loop head of
+    /// Algorithm 8). Hangs if MaxSteps is exceeded.
+    fn enter_binary_step(&mut self, step: u32, r: Value, now: Micros, out: &mut Vec<Output>) {
+        if step > self.params.max_steps {
+            self.phase = Phase::Hung;
+            out.push(Output::Hung);
+            return;
+        }
+        self.phase = Phase::Binary { step };
+        self.phase_started = now;
+        self.committee_vote(StepKind::Main(step), r, out);
+    }
+
+    /// BinaryBA⋆ reached consensus on `v` at `step`: vote the next three
+    /// steps with `v` (so stragglers can cross their thresholds), vote the
+    /// special final step if this was step 1, and begin the final count.
+    fn decide(&mut self, v: Value, step: u32, now: Micros, out: &mut Vec<Output>) {
+        if !self.ablation.disable_extra_votes {
+            for s in step + 1..=step + 3 {
+                self.committee_vote(StepKind::Main(s), v, out);
+            }
+        }
+        if step == 1 {
+            self.committee_vote(StepKind::Final, v, out);
+        }
+        self.binary_done = Some(now);
+        out.push(Output::BinaryDecided { value: v, step });
+        self.phase = Phase::FinalCount {
+            value: v,
+            binary_step: step,
+        };
+        self.phase_started = now;
+        // Final-step votes may already be buffered; the advance loop will
+        // re-check immediately.
+    }
+
+    /// Assembles the §8.3 safety certificate from final-step votes.
+    fn build_final_certificate(&self, value: Value) -> Certificate {
+        let threshold = self.params.final_vote_threshold();
+        let mut votes = Vec::new();
+        let mut total = 0u64;
+        if let Some(tally) = self.tallies.get(&StepKind::Final.code()) {
+            for (msg, v) in tally.messages_for(value) {
+                votes.push(msg.clone());
+                total += v;
+                if (total as f64) > threshold {
+                    break;
+                }
+            }
+        }
+        Certificate {
+            round: self.round,
+            step: StepKind::Final,
+            value,
+            votes,
+        }
+    }
+
+    /// Assembles the §8.3 certificate from the concluding step's votes.
+    fn build_certificate(&self, binary_step: u32, value: Value) -> Certificate {
+        let threshold = self.params.step_vote_threshold();
+        let mut votes = Vec::new();
+        let mut total = 0u64;
+        if let Some(tally) = self.tallies.get(&StepKind::Main(binary_step).code()) {
+            for (msg, v) in tally.messages_for(value) {
+                votes.push(msg.clone());
+                total += v;
+                if (total as f64) > threshold {
+                    break;
+                }
+            }
+        }
+        Certificate {
+            round: self.round,
+            step: StepKind::Main(binary_step),
+            value,
+            votes,
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Vote messages and step identifiers for BA⋆ (§7.2, Algorithm 4).
+//!
+//! A committee member's vote carries: the sender's public key, the round
+//! and step, the sortition hash and proof (establishing committee
+//! membership and vote multiplicity), the hash of the previous block
+//! (binding the vote to a chain context), the value voted for, and a
+//! signature over all of it.
+
+use algorand_crypto::codec::{DecodeError, Reader, WriteExt};
+use algorand_crypto::sig::{self, Signature};
+use algorand_crypto::vrf::{VrfOutput, VrfProof, VRF_PROOF_LEN};
+use algorand_crypto::{sha256_concat, Keypair, PublicKey};
+
+/// A 32-byte block-hash value voted on by BA⋆.
+pub type Value = [u8; 32];
+
+/// Identifies a step within one round of BA⋆.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum StepKind {
+    /// First reduction step: vote for the hash of the proposed block.
+    ReductionOne,
+    /// Second reduction step: re-vote for the popular hash.
+    ReductionTwo,
+    /// A step of BinaryBA⋆, numbered from 1.
+    Main(u32),
+    /// The special final step that upgrades tentative to final consensus.
+    Final,
+}
+
+impl StepKind {
+    /// Reserved code for the final step.
+    const CODE_FINAL: u32 = 0;
+    /// Reserved code for the first reduction step.
+    const CODE_REDUCTION_ONE: u32 = 0xffff_fffe;
+    /// Reserved code for the second reduction step.
+    const CODE_REDUCTION_TWO: u32 = 0xffff_ffff;
+
+    /// Encodes the step as the `u32` used in sortition roles and on the
+    /// wire. Main steps map to their own number (1-based); the reduction
+    /// and final steps use reserved codes outside the main range.
+    pub fn code(self) -> u32 {
+        match self {
+            StepKind::Final => Self::CODE_FINAL,
+            StepKind::ReductionOne => Self::CODE_REDUCTION_ONE,
+            StepKind::ReductionTwo => Self::CODE_REDUCTION_TWO,
+            StepKind::Main(s) => {
+                debug_assert!((1..Self::CODE_REDUCTION_ONE).contains(&s));
+                s
+            }
+        }
+    }
+
+    /// Decodes a wire code back into a step.
+    pub fn from_code(code: u32) -> StepKind {
+        match code {
+            Self::CODE_FINAL => StepKind::Final,
+            Self::CODE_REDUCTION_ONE => StepKind::ReductionOne,
+            Self::CODE_REDUCTION_TWO => StepKind::ReductionTwo,
+            s => StepKind::Main(s),
+        }
+    }
+}
+
+/// A signed committee vote (the message gossiped by Algorithm 4).
+#[derive(Clone, Debug)]
+pub struct VoteMessage {
+    /// The voter's public key.
+    pub sender: PublicKey,
+    /// The Algorand round this vote belongs to.
+    pub round: u64,
+    /// The BA⋆ step this vote belongs to.
+    pub step: StepKind,
+    /// The voter's sortition VRF output (committee-membership hash).
+    pub sorthash: VrfOutput,
+    /// The sortition proof π.
+    pub sort_proof: VrfProof,
+    /// Hash of the previous block: votes only count on matching chains.
+    pub prev_hash: [u8; 32],
+    /// The value (block hash) voted for.
+    pub value: Value,
+    /// Signature over the digest of all fields above.
+    pub sig: Signature,
+}
+
+impl VoteMessage {
+    /// The digest that the sender signs.
+    fn signing_digest(
+        round: u64,
+        step: StepKind,
+        sorthash: &VrfOutput,
+        sort_proof: &VrfProof,
+        prev_hash: &[u8; 32],
+        value: &Value,
+    ) -> [u8; 32] {
+        sha256_concat(&[
+            b"algorand-repro/vote/v1",
+            &round.to_le_bytes(),
+            &step.code().to_le_bytes(),
+            &sorthash.0,
+            &sort_proof.to_bytes(),
+            prev_hash,
+            value,
+        ])
+    }
+
+    /// Constructs and signs a vote.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sign(
+        keypair: &Keypair,
+        round: u64,
+        step: StepKind,
+        sorthash: VrfOutput,
+        sort_proof: VrfProof,
+        prev_hash: [u8; 32],
+        value: Value,
+    ) -> VoteMessage {
+        let digest =
+            Self::signing_digest(round, step, &sorthash, &sort_proof, &prev_hash, &value);
+        let sig = sig::sign(keypair, &digest);
+        VoteMessage {
+            sender: keypair.pk,
+            round,
+            step,
+            sorthash,
+            sort_proof,
+            prev_hash,
+            value,
+            sig,
+        }
+    }
+
+    /// Verifies only the signature (not sortition membership).
+    pub fn signature_valid(&self) -> bool {
+        let digest = Self::signing_digest(
+            self.round,
+            self.step,
+            &self.sorthash,
+            &self.sort_proof,
+            &self.prev_hash,
+            &self.value,
+        );
+        sig::verify(&self.sender, &digest, &self.sig).is_ok()
+    }
+
+    /// A content hash identifying this message (used for dedup and for the
+    /// shared verification cache).
+    pub fn message_id(&self) -> [u8; 32] {
+        sha256_concat(&[
+            self.sender.as_bytes(),
+            &self.round.to_le_bytes(),
+            &self.step.code().to_le_bytes(),
+            &self.sorthash.0,
+            &self.sort_proof.to_bytes(),
+            &self.prev_hash,
+            &self.value,
+            &self.sig.to_bytes(),
+        ])
+    }
+
+    /// Serialized size in bytes, for bandwidth accounting in the simulator.
+    ///
+    /// pk(32) + round(8) + step(4) + sorthash(32) + proof(96) +
+    /// prev_hash(32) + value(32) + sig(64) = 300 bytes, close to the ~200
+    /// bytes the paper cites for priority/vote messages.
+    pub const WIRE_SIZE: usize = 300;
+
+    /// Appends the canonical wire encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_bytes(self.sender.as_bytes());
+        out.put_u64(self.round);
+        out.put_u32(self.step.code());
+        out.put_bytes(&self.sorthash.0);
+        out.put_bytes(&self.sort_proof.to_bytes());
+        out.put_bytes(&self.prev_hash);
+        out.put_bytes(&self.value);
+        out.put_bytes(&self.sig.to_bytes());
+    }
+
+    /// The canonical wire encoding as a fresh buffer.
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_SIZE);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a vote from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for truncated input or malformed keys,
+    /// proofs, or signatures. The result is structurally valid but not yet
+    /// *verified* — callers still run ProcessMsg (Algorithm 6).
+    pub fn decode(r: &mut Reader<'_>) -> Result<VoteMessage, DecodeError> {
+        let sender = PublicKey::from_bytes(&r.bytes32()?).map_err(|_| DecodeError::Invalid)?;
+        let round = r.u64()?;
+        let step = StepKind::from_code(r.u32()?);
+        if let StepKind::Main(s) = step {
+            if s == 0 {
+                return Err(DecodeError::Invalid);
+            }
+        }
+        let sorthash = VrfOutput(r.bytes32()?);
+        let mut proof_bytes = [0u8; VRF_PROOF_LEN];
+        proof_bytes.copy_from_slice(r.bytes(VRF_PROOF_LEN)?);
+        let sort_proof = VrfProof::from_bytes(&proof_bytes).map_err(|_| DecodeError::Invalid)?;
+        let prev_hash = r.bytes32()?;
+        let value = r.bytes32()?;
+        let mut sig_bytes = [0u8; 64];
+        sig_bytes.copy_from_slice(r.bytes(64)?);
+        let sig = Signature::from_bytes(&sig_bytes).map_err(|_| DecodeError::Invalid)?;
+        Ok(VoteMessage {
+            sender,
+            round,
+            step,
+            sorthash,
+            sort_proof,
+            prev_hash,
+            value,
+            sig,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorand_crypto::vrf;
+
+    fn sample_vote(seed: u8, round: u64, step: StepKind) -> VoteMessage {
+        let keypair = Keypair::from_seed([seed; 32]);
+        let (sorthash, proof) = vrf::prove(&keypair, b"sortition-input");
+        VoteMessage::sign(&keypair, round, step, sorthash, proof, [7u8; 32], [9u8; 32])
+    }
+
+    #[test]
+    fn step_codes_roundtrip() {
+        let steps = [
+            StepKind::Final,
+            StepKind::ReductionOne,
+            StepKind::ReductionTwo,
+            StepKind::Main(1),
+            StepKind::Main(150),
+        ];
+        for s in steps {
+            assert_eq!(StepKind::from_code(s.code()), s);
+        }
+    }
+
+    #[test]
+    fn step_codes_distinct() {
+        let codes = [
+            StepKind::Final.code(),
+            StepKind::ReductionOne.code(),
+            StepKind::ReductionTwo.code(),
+            StepKind::Main(1).code(),
+            StepKind::Main(2).code(),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_vote_verifies() {
+        let vote = sample_vote(1, 5, StepKind::Main(2));
+        assert!(vote.signature_valid());
+    }
+
+    #[test]
+    fn tampered_vote_fails_signature() {
+        let mut vote = sample_vote(2, 5, StepKind::Main(2));
+        vote.value[0] ^= 1;
+        assert!(!vote.signature_valid());
+        let mut vote2 = sample_vote(2, 5, StepKind::Main(2));
+        vote2.round += 1;
+        assert!(!vote2.signature_valid());
+        let mut vote3 = sample_vote(2, 5, StepKind::Main(2));
+        vote3.step = StepKind::Main(3);
+        assert!(!vote3.signature_valid());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        use algorand_crypto::codec::Reader;
+        for step in [StepKind::Final, StepKind::ReductionOne, StepKind::Main(7)] {
+            let vote = sample_vote(5, 42, step);
+            let bytes = vote.encoded();
+            assert_eq!(bytes.len(), VoteMessage::WIRE_SIZE);
+            let mut r = Reader::new(&bytes);
+            let back = VoteMessage::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.message_id(), vote.message_id());
+            assert!(back.signature_valid());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        use algorand_crypto::codec::Reader;
+        let vote = sample_vote(6, 1, StepKind::Main(1));
+        let bytes = vote.encoded();
+        for cut in [0usize, 10, 100, 299] {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(VoteMessage::decode(&mut r).is_err(), "cut at {cut}");
+        }
+        let mut corrupt = bytes.clone();
+        corrupt[0] ^= 0xff; // Sender key no longer decompresses (usually).
+        let mut r = Reader::new(&corrupt);
+        // Either the key fails to parse or the signature is now invalid.
+        match VoteMessage::decode(&mut r) {
+            Ok(v) => assert!(!v.signature_valid()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn message_ids_differ_by_content() {
+        let a = sample_vote(3, 1, StepKind::Main(1));
+        let b = sample_vote(3, 2, StepKind::Main(1));
+        let c = sample_vote(4, 1, StepKind::Main(1));
+        assert_ne!(a.message_id(), b.message_id());
+        assert_ne!(a.message_id(), c.message_id());
+        assert_eq!(a.message_id(), a.clone().message_id());
+    }
+}

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the §10.3 CPU cost drivers: signatures,
+//! VRFs, sortition, vote processing, and hashing. The paper attributes
+//! most per-user CPU (~6.5% of a core) to verifying signatures and VRFs.
+
+use algorand_ba::{RealVerifier, RoundWeights, StepKind, VoteContext, VoteMessage, VoteVerifier};
+use algorand_crypto::{sha256, sig, vrf, Keypair};
+use algorand_sortition::{select, Role, SortitionParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 1 << 20] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let keypair = Keypair::from_seed([1; 32]);
+    let msg = [0x5au8; 300];
+    let signature = sig::sign(&keypair, &msg);
+    c.bench_function("sig/sign", |b| {
+        b.iter(|| sig::sign(&keypair, std::hint::black_box(&msg)))
+    });
+    c.bench_function("sig/verify", |b| {
+        b.iter(|| sig::verify(&keypair.pk, &msg, std::hint::black_box(&signature)))
+    });
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    let keypair = Keypair::from_seed([2; 32]);
+    let alpha = b"seed||role";
+    let (_, proof) = vrf::prove(&keypair, alpha);
+    c.bench_function("vrf/prove", |b| {
+        b.iter(|| vrf::prove(&keypair, std::hint::black_box(alpha)))
+    });
+    c.bench_function("vrf/verify", |b| {
+        b.iter(|| vrf::verify(&keypair.pk, alpha, std::hint::black_box(&proof)))
+    });
+}
+
+fn bench_sortition(c: &mut Criterion) {
+    let keypair = Keypair::from_seed([3; 32]);
+    let seed = [7u8; 32];
+    let params = SortitionParams {
+        tau: 2000.0,
+        total_weight: 1_000_000,
+    };
+    let role = Role::Committee { round: 1, step: 1 };
+    c.bench_function("sortition/select", |b| {
+        b.iter(|| select(&keypair, &seed, role, &params, std::hint::black_box(5000)))
+    });
+    let sel = select(&keypair, &seed, role, &params, 1_000_000).expect("whale is selected");
+    c.bench_function("sortition/verify", |b| {
+        b.iter(|| {
+            algorand_sortition::verify(
+                &keypair.pk,
+                std::hint::black_box(&sel.proof),
+                &seed,
+                role,
+                &params,
+                1_000_000,
+            )
+        })
+    });
+}
+
+fn bench_vote_processing(c: &mut Criterion) {
+    // ProcessMsg (Algorithm 6): the dominant cost of observing BA⋆.
+    let keypairs: Vec<Keypair> = (0..4u8).map(|i| Keypair::from_seed([i + 1; 32])).collect();
+    let weights = RoundWeights::from_pairs(keypairs.iter().map(|k| (k.pk, 1000u64)));
+    let ctx = VoteContext {
+        round: 1,
+        seed: [9u8; 32],
+        tau: 4000.0,
+    };
+    let step = StepKind::Main(1);
+    let sel = select(
+        &keypairs[0],
+        &ctx.seed,
+        Role::Committee {
+            round: 1,
+            step: step.code(),
+        },
+        &SortitionParams {
+            tau: ctx.tau,
+            total_weight: weights.total(),
+        },
+        1000,
+    )
+    .expect("selected");
+    let vote = VoteMessage::sign(
+        &keypairs[0],
+        1,
+        step,
+        sel.vrf_output,
+        sel.proof,
+        [4u8; 32],
+        [5u8; 32],
+    );
+    c.bench_function("ba/process_vote", |b| {
+        b.iter(|| RealVerifier.verify_vote(std::hint::black_box(&vote), &ctx, &weights))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_signatures,
+    bench_vrf,
+    bench_sortition,
+    bench_vote_processing
+);
+criterion_main!(benches);

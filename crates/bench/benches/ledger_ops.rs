@@ -1,0 +1,123 @@
+//! Criterion benches for ledger-side costs: block validation (the §8.1
+//! checks every user runs on a received proposal) and certificate
+//! validation (what a bootstrapping user pays per round, §8.3).
+
+use algorand_ba::{BaParams, Certificate, RealVerifier, RoundWeights, StepKind, VoteMessage, SECOND};
+use algorand_crypto::Keypair;
+use algorand_ledger::seed::propose_seed;
+use algorand_ledger::{Accounts, Block, Transaction};
+use algorand_sortition::{select, Role, SortitionParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn make_chain_context(n_users: usize) -> (Vec<Keypair>, Accounts, Block) {
+    let keypairs: Vec<Keypair> = (0..n_users)
+        .map(|i| {
+            let mut s = [0u8; 32];
+            s[..8].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+            Keypair::from_seed(s)
+        })
+        .collect();
+    let accounts = Accounts::genesis(keypairs.iter().map(|k| (k.pk, 1000u64)));
+    let genesis = Block {
+        round: 0,
+        prev_hash: [0u8; 32],
+        seed: [7u8; 32],
+        seed_proof: None,
+        proposer: None,
+        timestamp: 0,
+        txs: Vec::new(),
+        payload: Vec::new(),
+    };
+    (keypairs, accounts, genesis)
+}
+
+fn bench_block_validation(c: &mut Criterion) {
+    let (keypairs, accounts, genesis) = make_chain_context(8);
+    let mut g = c.benchmark_group("ledger/validate_block");
+    g.sample_size(20);
+    for n_txs in [0usize, 10, 100] {
+        let txs: Vec<Transaction> = (0..n_txs)
+            .map(|i| {
+                Transaction::payment(&keypairs[0], keypairs[1].pk, 1, i as u64 + 1)
+            })
+            .collect();
+        let (seed, proof) = propose_seed(&keypairs[2], &genesis.seed, 1);
+        let block = Block {
+            round: 1,
+            prev_hash: genesis.hash(),
+            seed,
+            seed_proof: Some(proof),
+            proposer: Some(keypairs[2].pk),
+            timestamp: 1_000_000,
+            txs,
+            payload: Vec::new(),
+        };
+        g.throughput(Throughput::Elements(n_txs.max(1) as u64));
+        g.bench_function(format!("{n_txs}_txs"), |b| {
+            b.iter(|| {
+                std::hint::black_box(&block)
+                    .validate(&genesis, &accounts, 1_000_000, 3_600_000_000)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_certificate_validation(c: &mut Criterion) {
+    // A scaled certificate: 20 committee votes. Paper scale (~1400 votes)
+    // costs proportionally more; the per-vote cost is what matters.
+    let (keypairs, _, genesis) = make_chain_context(20);
+    let weights = RoundWeights::from_pairs(keypairs.iter().map(|k| (k.pk, 1000u64)));
+    let params = BaParams {
+        tau_step: 20_000.0, // τ = W: everyone selected.
+        t_step: 0.685,
+        tau_final: 20_000.0,
+        t_final: 0.74,
+        max_steps: 10,
+        lambda_step: SECOND,
+        lambda_block: SECOND,
+    };
+    let seed = [9u8; 32];
+    let prev = genesis.hash();
+    let value = [3u8; 32];
+    let step = StepKind::Main(1);
+    let votes: Vec<VoteMessage> = keypairs
+        .iter()
+        .map(|kp| {
+            let sel = select(
+                kp,
+                &seed,
+                Role::Committee {
+                    round: 1,
+                    step: step.code(),
+                },
+                &SortitionParams {
+                    tau: params.tau_step,
+                    total_weight: weights.total(),
+                },
+                1000,
+            )
+            .expect("selected");
+            VoteMessage::sign(kp, 1, step, sel.vrf_output, sel.proof, prev, value)
+        })
+        .collect();
+    let cert = Certificate {
+        round: 1,
+        step,
+        value,
+        votes,
+    };
+    let mut g = c.benchmark_group("ledger/validate_certificate");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(20));
+    g.bench_function("20_votes", |b| {
+        b.iter(|| {
+            std::hint::black_box(&cert)
+                .validate(&params, &seed, &prev, &weights, &RealVerifier)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_validation, bench_certificate_validation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 3: committee size τ sufficient for safety vs. the honest
+//! fraction h, at violation probability 5×10⁻⁹.
+//!
+//! The paper's curve runs from h = 76% (τ → thousands) to h = 90%
+//! (τ → hundreds) and marks (h = 80%, τ = 2000, T = 0.685) as the chosen
+//! operating point.
+
+use algorand_bench::header;
+use algorand_sortition::committee::{figure3_curve, violation_probability};
+
+fn main() {
+    header(
+        "Figure 3 — committee size vs honest fraction (violation ≤ 5e-9)",
+        "curve from ~4500 at h=76% down to <500 at h=90%; star at (80%, 2000)",
+    );
+    let hs: Vec<f64> = (76..=90).map(|pct| pct as f64 / 100.0).collect();
+    println!("{:>6} {:>10} {:>8}", "h (%)", "tau", "T");
+    for point in figure3_curve(&hs) {
+        println!(
+            "{:>6.0} {:>10} {:>8.3}",
+            point.honest_fraction * 100.0,
+            point.tau,
+            point.threshold
+        );
+    }
+    println!();
+    let p = violation_probability(2000.0, 0.685, 0.80);
+    println!("check at the paper's operating point (h=80%, tau=2000, T=0.685):");
+    println!("  violation probability = {p:.3e}  (paper target: 5e-9)");
+    assert!(p < 5e-9, "paper operating point must satisfy the target");
+}

@@ -1,0 +1,60 @@
+//! §10.2: throughput vs Bitcoin.
+//!
+//! The paper derives throughput from Figure 7's sweep: a 2 MB block
+//! commits in ~22 s (327 MB/hour) and a 10 MB block yields ~750 MB/hour —
+//! 125× Bitcoin's 6 MB/hour (1 MB block / 10 minutes, 1.3× safety factor
+//! not applied; the paper compares committed ledger bytes per hour).
+//!
+//! We run the scaled block-size sweep and compute committed bytes per
+//! simulated hour, then report the ratio to the Bitcoin constant. The
+//! absolute ratio depends on our scaled timeouts; the *shape* — throughput
+//! grows with block size because BA⋆ time is flat while payload grows —
+//! is the claim under reproduction.
+
+use algorand_bench::{header, run_experiment, BITCOIN_MB_PER_HOUR};
+use algorand_sim::SimConfig;
+
+fn main() {
+    header(
+        "§10.2 — throughput (committed MB/hour) vs Bitcoin",
+        "2MB block: ~22 s round -> 327 MB/h; 10MB -> 750 MB/h = 125x Bitcoin (6 MB/h)",
+    );
+    let n_users = 100;
+    let rounds = 3;
+    println!(
+        "{:>8} {:>12} {:>14} {:>16}",
+        "block", "round(s)", "MB/hour", "x Bitcoin(6MB/h)"
+    );
+    let mut best = 0.0f64;
+    for (bytes, label) in [
+        (256usize << 10, "256KB"),
+        (1 << 20, "1MB"),
+        (2 << 20, "2MB"),
+        (4 << 20, "4MB"),
+    ] {
+        let mut cfg = SimConfig::new(n_users);
+        // The paper's fixed 10 s proposal wait absorbs block transmission
+        // at its 1 MB default; keep the same proportion here so multi-MB
+        // blocks finish gossiping before votes contend for uplinks.
+        cfg.params.lambda_priority = 4_000_000;
+        cfg.params.lambda_stepvar = 4_000_000;
+        cfg.payload_bytes = bytes;
+        cfg.seed = 19;
+        let (_sim, stats) = run_experiment(cfg, rounds);
+        let round_s = stats
+            .iter()
+            .map(|s| s.completion.median)
+            .sum::<f64>()
+            / stats.len().max(1) as f64;
+        let mb = bytes as f64 / (1 << 20) as f64;
+        let mb_per_hour = mb * 3600.0 / round_s;
+        let ratio = mb_per_hour / BITCOIN_MB_PER_HOUR;
+        println!("{label:>8} {round_s:>12.2} {mb_per_hour:>14.0} {ratio:>16.1}");
+        best = best.max(ratio);
+    }
+    println!();
+    println!(
+        "shape check: throughput grows with block size (BA* time is flat); best here {best:.0}x Bitcoin"
+    );
+    println!("paper: 125x Bitcoin at 10 MB blocks on the EC2 testbed");
+}

@@ -1,0 +1,29 @@
+//! The Algorand node: the paper's primary contribution assembled.
+//!
+//! This crate wires the substrates together into a complete user
+//! implementation:
+//!
+//! * [`params`] — the Figure 4 parameter set, plus laptop-scale variants;
+//! * [`proposal`] — block proposal with VRF-derived priorities (§6);
+//! * [`node`] — the sans-io round loop: propose → wait → BA⋆ → append (§4,
+//!   §8);
+//! * [`recovery`] — the fork-recovery protocol (§8.2);
+//! * [`metrics`] — per-round records behind the evaluation figures.
+//!
+//! A [`Node`] talks to the world exclusively through [`WireMessage`]s and
+//! clock ticks, so the same code runs under the discrete-event simulator,
+//! the integration tests, and (in principle) a real gossip transport.
+
+pub mod metrics;
+pub mod node;
+pub mod params;
+pub mod proposal;
+pub mod recovery;
+pub mod wire;
+
+pub use metrics::RoundRecord;
+pub use node::Node;
+pub use params::AlgorandParams;
+pub use proposal::{BlockMessage, PriorityMessage};
+pub use recovery::ForkProposalMessage;
+pub use wire::WireMessage;

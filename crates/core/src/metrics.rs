@@ -1,0 +1,80 @@
+//! Per-round measurements recorded by each node.
+//!
+//! These are the raw samples behind the paper's evaluation figures: round
+//! completion time (Figures 5, 6, 8), the proposal/BA⋆/final-step breakdown
+//! (Figure 7), and step-count distributions (§7's efficiency claims).
+
+use algorand_ba::{ConsensusKind, Micros};
+
+/// One node's record of one completed round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRecord {
+    /// The round number.
+    pub round: u64,
+    /// When this node began the round (started waiting for proposals).
+    pub started: Micros,
+    /// When this node handed a block to BA⋆ (end of block proposal).
+    pub ba_started: Micros,
+    /// When BinaryBA⋆ concluded (before the final count).
+    pub binary_done: Micros,
+    /// When the round completed (block appended).
+    pub finished: Micros,
+    /// Final or tentative.
+    pub kind: ConsensusKind,
+    /// The BinaryBA⋆ step at which agreement was reached.
+    pub binary_step: u32,
+    /// True if the round agreed on the empty block.
+    pub empty: bool,
+    /// Serialized size of the agreed block.
+    pub block_bytes: usize,
+}
+
+impl RoundRecord {
+    /// Total round latency for this node.
+    pub fn total(&self) -> Micros {
+        self.finished - self.started
+    }
+
+    /// Time spent in block proposal (waiting for priorities and the block).
+    pub fn proposal_time(&self) -> Micros {
+        self.ba_started - self.started
+    }
+
+    /// Time spent in BA⋆ before the final step.
+    pub fn ba_without_final(&self) -> Micros {
+        self.binary_done.saturating_sub(self.ba_started)
+    }
+
+    /// Time spent in BA⋆'s final step.
+    pub fn final_step_time(&self) -> Micros {
+        self.finished.saturating_sub(self.binary_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let r = RoundRecord {
+            round: 1,
+            started: 100,
+            ba_started: 300,
+            binary_done: 900,
+            finished: 1000,
+            kind: ConsensusKind::Final,
+            binary_step: 1,
+            empty: false,
+            block_bytes: 1 << 20,
+        };
+        assert_eq!(r.total(), 900);
+        assert_eq!(r.proposal_time(), 200);
+        assert_eq!(r.ba_without_final(), 600);
+        assert_eq!(r.final_step_time(), 100);
+        assert_eq!(
+            r.proposal_time() + r.ba_without_final() + r.final_step_time(),
+            r.total()
+        );
+    }
+}

@@ -1,0 +1,1036 @@
+//! The full Algorand node: round loop, block proposal, BA⋆, recovery.
+//!
+//! A [`Node`] is sans-io, like the BA⋆ engine underneath it: the driver (a
+//! simulator or a real network runtime) delivers messages and clock ticks
+//! and transmits whatever the node returns. One node corresponds to one
+//! "user" of the paper.
+//!
+//! Round structure per §4–§8 (all waits from Figure 4):
+//!
+//! ```text
+//! start round r ──► propose (if selected) ──► wait λpriority+λstepvar for
+//! priorities ──► wait ≤ λblock for the best block ──► BA⋆ ──► append block,
+//! start round r+1
+//! ```
+
+use crate::metrics::RoundRecord;
+use crate::params::AlgorandParams;
+use crate::proposal::{proposer_sortition, BlockMessage, Priority, PriorityMessage};
+use crate::recovery::{
+    fork_proposer_sortition, recovery_seed, ForkProposalMessage,
+};
+use crate::wire::{CatchupBatch, WireMessage};
+use algorand_ba::{
+    BaStar, CachedVerifier, ConsensusKind, Decision, Micros, Output, RoundWeights, VoteMessage,
+};
+use algorand_crypto::Keypair;
+use algorand_ledger::seed::propose_seed;
+use algorand_ledger::{Block, Blockchain, Transaction};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// How far ahead of the local round incoming votes are buffered.
+const FUTURE_ROUND_WINDOW: u64 = 3;
+
+/// Per-round working state.
+struct RoundCtx {
+    round: u64,
+    seed: [u8; 32],
+    weights: Arc<RoundWeights>,
+    prev_hash: [u8; 32],
+    empty_block: Block,
+    empty_hash: [u8; 32],
+    /// Best (priority, proposer, block hash) seen so far.
+    best: Option<(Priority, [u8; 32], [u8; 32])>,
+    /// Proposers caught sending conflicting blocks this round (§10.4's
+    /// client-side optimization: discard both versions).
+    equivocators: HashSet<[u8; 32]>,
+    /// First block hash seen from each proposer.
+    proposer_blocks: HashMap<[u8; 32], [u8; 32]>,
+    /// Votes received before BA⋆ started.
+    vote_buffer: Vec<VoteMessage>,
+    started: Micros,
+    ba_started: Option<Micros>,
+}
+
+#[allow(clippy::large_enum_variant)] // One Phase per node; size is irrelevant.
+enum Phase {
+    /// Collecting priority messages (§6's λpriority + λstepvar wait).
+    WaitProposals { until: Micros },
+    /// Waiting (≤ λblock) for the body of the highest-priority block.
+    WaitBlock { until: Micros, expected: [u8; 32] },
+    /// Running BA⋆.
+    Ba { engine: Box<BaStar> },
+    /// Decided, but the agreed block's pre-image has not arrived yet
+    /// (BlockOfHash in Algorithm 3).
+    AwaitBlockContent { decision: Decision },
+    /// Fork recovery (§8.2).
+    Recovery(RecoveryState),
+}
+
+struct RecoveryState {
+    epoch: u64,
+    attempt: u32,
+    seed: [u8; 32],
+    weights: Arc<RoundWeights>,
+    /// Attempt sub-phase.
+    phase: RecoveryPhase,
+    /// End of the fork-proposal collection window.
+    window_until: Micros,
+    /// When this attempt gives up and retries with a re-hashed seed.
+    attempt_deadline: Micros,
+}
+
+#[allow(clippy::large_enum_variant)] // One per node during recovery only.
+enum RecoveryPhase {
+    WaitProposals {
+        until: Micros,
+        best: Option<(Priority, Block)>,
+    },
+    Ba { engine: Box<BaStar> },
+}
+
+/// A full Algorand user.
+pub struct Node {
+    keypair: Keypair,
+    params: AlgorandParams,
+    chain: Blockchain,
+    verifier: Arc<CachedVerifier>,
+    /// Transactions submitted locally or heard from gossip, pending
+    /// inclusion.
+    pending_txs: VecDeque<Transaction>,
+    /// Ids of transactions ever admitted to the pool (dedup).
+    seen_txs: HashSet<[u8; 32]>,
+    /// Synthetic payload bytes added to proposed blocks (throughput
+    /// experiments; 0 for a real deployment).
+    pub payload_bytes: usize,
+    /// All block bodies seen, by hash.
+    block_cache: HashMap<[u8; 32], Block>,
+    /// Votes for rounds we have not reached yet.
+    future_votes: HashMap<u64, Vec<VoteMessage>>,
+    ctx: RoundCtx,
+    phase: Phase,
+    records: Vec<RoundRecord>,
+    hung: bool,
+    last_progress: Micros,
+    last_recovery_epoch: u64,
+    /// Next wall-clock instant at which the recovery-epoch check runs.
+    next_epoch_check: Micros,
+    /// Earliest time another catch-up request may be sent (rate limit).
+    next_catchup_request: Micros,
+    recoveries_completed: usize,
+    catchups_applied: usize,
+}
+
+impl Node {
+    /// Creates a node over an existing chain view. Call
+    /// [`Node::start`] to begin participating.
+    pub fn new(
+        keypair: Keypair,
+        chain: Blockchain,
+        params: AlgorandParams,
+        verifier: Arc<CachedVerifier>,
+    ) -> Node {
+        let ctx = Self::make_ctx(&chain, 0);
+        Node {
+            keypair,
+            params,
+            chain,
+            verifier,
+            pending_txs: VecDeque::new(),
+            seen_txs: HashSet::new(),
+            payload_bytes: 0,
+            block_cache: HashMap::new(),
+            future_votes: HashMap::new(),
+            ctx,
+            phase: Phase::WaitProposals { until: 0 },
+            records: Vec::new(),
+            hung: false,
+            last_progress: 0,
+            last_recovery_epoch: 0,
+            next_epoch_check: params.recovery_interval.max(1),
+            next_catchup_request: 0,
+            recoveries_completed: 0,
+            catchups_applied: 0,
+        }
+    }
+
+    fn make_ctx(chain: &Blockchain, now: Micros) -> RoundCtx {
+        let round = chain.next_round();
+        let prev = chain.tip();
+        let prev_hash = prev.hash();
+        let empty_block = Block::empty(round, prev_hash, &prev.seed);
+        let empty_hash = empty_block.hash();
+        RoundCtx {
+            round,
+            seed: chain.selection_seed(round),
+            weights: Arc::new(chain.weights_for_round(round)),
+            prev_hash,
+            empty_block,
+            empty_hash,
+            best: None,
+            equivocators: HashSet::new(),
+            proposer_blocks: HashMap::new(),
+            vote_buffer: Vec::new(),
+            started: now,
+            ba_started: None,
+        }
+    }
+
+    // --- Public accessors ---------------------------------------------------
+
+    /// The node's public key.
+    pub fn public_key(&self) -> algorand_crypto::PublicKey {
+        self.keypair.pk
+    }
+
+    /// The node's view of the ledger.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The round currently being agreed on.
+    pub fn current_round(&self) -> u64 {
+        self.ctx.round
+    }
+
+    /// Completed-round records (the raw data behind the figures).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// True if BA⋆ hung (MaxSteps) and the node awaits recovery.
+    pub fn is_hung(&self) -> bool {
+        self.hung
+    }
+
+    /// How many fork recoveries this node has completed.
+    pub fn recoveries_completed(&self) -> usize {
+        self.recoveries_completed
+    }
+
+    /// How many rounds this node adopted via the catch-up protocol.
+    pub fn catchups_applied(&self) -> usize {
+        self.catchups_applied
+    }
+
+    /// Whether a just-processed block message is worth relaying (§6):
+    /// "Algorand users discard messages about blocks that do not have the
+    /// highest priority seen by that user so far."
+    ///
+    /// Blocks for other rounds are relayed (peers may be ahead or behind).
+    pub fn should_relay_block(&self, b: &crate::proposal::BlockMessage) -> bool {
+        if b.block.round != self.ctx.round {
+            return true;
+        }
+        match &self.ctx.best {
+            Some((_, _, best_hash)) => *best_hash == b.block.hash(),
+            None => true,
+        }
+    }
+
+    /// Queues a transaction for inclusion in a future proposal and returns
+    /// the gossip message that submits it to the network (§4).
+    pub fn submit_transaction(&mut self, tx: Transaction) -> Option<WireMessage> {
+        if !self.seen_txs.insert(tx.id()) {
+            return None;
+        }
+        self.pending_txs.push_back(tx.clone());
+        Some(WireMessage::Transaction(tx))
+    }
+
+    /// A one-line description of the node's phase (diagnostics only).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let phase = match &self.phase {
+            Phase::WaitProposals { until } => format!("WaitProposals(until={until})"),
+            Phase::WaitBlock { until, expected } => {
+                format!("WaitBlock(until={until}, expected={:02x}{:02x})", expected[0], expected[1])
+            }
+            Phase::Ba { engine } => format!(
+                "Ba(deadline={:?}, finished={})",
+                engine.next_deadline(),
+                engine.is_finished()
+            ),
+            Phase::AwaitBlockContent { decision } => format!(
+                "AwaitBlockContent({:02x}{:02x})",
+                decision.value[0], decision.value[1]
+            ),
+            Phase::Recovery(_) => "Recovery".to_string(),
+        };
+        let best = self
+            .ctx
+            .best
+            .as_ref()
+            .map(|(p, _, bh)| format!("best p={:02x}{:02x} bh={:02x}{:02x}", p[0], p[1], bh[0], bh[1]))
+            .unwrap_or_else(|| "best none".into());
+        format!(
+            "round={} {phase} {best} empty={:02x}{:02x} equivocators={}",
+            self.ctx.round,
+            self.ctx.empty_hash[0],
+            self.ctx.empty_hash[1],
+            self.ctx.equivocators.len()
+        )
+    }
+
+    // --- Driving ------------------------------------------------------------
+
+    /// Begins participation: starts the next round.
+    pub fn start(&mut self, now: Micros) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        self.start_round(now, &mut out);
+        out
+    }
+
+    /// Delivers a gossip message.
+    pub fn on_message(&mut self, msg: &WireMessage, now: Micros) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        match msg {
+            WireMessage::Priority(p) => self.on_priority(p, now, &mut out),
+            WireMessage::Block(b) => self.on_block(b, now, &mut out),
+            WireMessage::Vote(v) => self.on_vote(v, now, &mut out),
+            WireMessage::ForkProposal(f) => self.on_fork_proposal(f, now, &mut out),
+            WireMessage::Transaction(tx) => self.on_transaction(tx),
+            WireMessage::CatchupRequest { have } => self.on_catchup_request(*have, &mut out),
+            WireMessage::CatchupResponse(batch) => {
+                self.on_catchup_response(batch, now, &mut out)
+            }
+        }
+        out
+    }
+
+    /// Serves a catch-up request from canonical history (§8.3).
+    ///
+    /// Responses are bounded to a few rounds per message; a node far behind
+    /// iterates. Identical responses from different peers deduplicate by
+    /// content in the gossip layer.
+    fn on_catchup_request(&mut self, have: u64, out: &mut Vec<WireMessage>) {
+        const MAX_ROUNDS_PER_RESPONSE: u64 = 4;
+        let tip = self.chain.tip().round;
+        if have >= tip {
+            return;
+        }
+        let upto = (have + MAX_ROUNDS_PER_RESPONSE).min(tip);
+        let mut entries = Vec::new();
+        for r in have + 1..=upto {
+            let (Some(block), Some(cert)) =
+                (self.chain.block_at(r), self.chain.certificate_at(r))
+            else {
+                break; // History incomplete (should not happen on canon).
+            };
+            entries.push((block.clone(), cert.clone()));
+        }
+        if !entries.is_empty() {
+            out.push(WireMessage::CatchupResponse(CatchupBatch { entries }));
+        }
+    }
+
+    /// Applies a catch-up batch: validate each certificate against our own
+    /// chain context, append, and restart the round loop at the new tip.
+    fn on_catchup_response(
+        &mut self,
+        batch: &CatchupBatch,
+        now: Micros,
+        out: &mut Vec<WireMessage>,
+    ) {
+        let mut advanced = false;
+        for (block, cert) in &batch.entries {
+            let next = self.chain.next_round();
+            if block.round != next || cert.round != next || cert.value != block.hash() {
+                continue;
+            }
+            let seed = self.chain.selection_seed(next);
+            let weights = self.chain.weights_for_round(next);
+            let prev_hash = self.chain.tip_hash();
+            if cert
+                .validate(
+                    &self.params.ba,
+                    &seed,
+                    &prev_hash,
+                    &weights,
+                    self.verifier.as_ref(),
+                )
+                .is_err()
+            {
+                return; // Forged or stale batch; ignore the rest.
+            }
+            if self
+                .chain
+                .append(block.clone(), Some(cert.clone()), false, now)
+                .is_err()
+            {
+                return;
+            }
+            self.catchups_applied += 1;
+            advanced = true;
+        }
+        if advanced {
+            self.hung = false;
+            self.last_progress = now;
+            self.start_round(now, out);
+        }
+    }
+
+    /// Emits a rate-limited catch-up request when the network's votes show
+    /// we are behind.
+    fn maybe_request_catchup(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+        if now < self.next_catchup_request {
+            return;
+        }
+        self.next_catchup_request = now + self.params.ba.lambda_step;
+        out.push(WireMessage::CatchupRequest {
+            have: self.chain.tip().round,
+        });
+    }
+
+    /// Admits a gossiped payment into the pending pool (§4: each user
+    /// collects a block of pending transactions in case they are chosen to
+    /// propose).
+    fn on_transaction(&mut self, tx: &Transaction) {
+        // Signature screening keeps garbage out of the pool; balance and
+        // nonce are checked against the live state at proposal time.
+        if self.seen_txs.contains(&tx.id()) || !tx.signature_valid() {
+            return;
+        }
+        self.seen_txs.insert(tx.id());
+        self.pending_txs.push_back(tx.clone());
+    }
+
+    /// Advances clocks; fires any due timeouts.
+    pub fn on_tick(&mut self, now: Micros) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        self.maybe_enter_recovery(now, &mut out);
+        match &mut self.phase {
+            Phase::WaitProposals { until } => {
+                if now >= *until {
+                    self.adopt_best_proposal(now, &mut out);
+                }
+            }
+            Phase::WaitBlock { until, .. } => {
+                if now >= *until {
+                    // λblock expired: fall back to the empty block.
+                    self.begin_ba(None, now, &mut out);
+                }
+            }
+            Phase::Ba { engine } => {
+                let outputs = engine.on_tick(now);
+                self.handle_engine_outputs(outputs, now, &mut out);
+            }
+            Phase::AwaitBlockContent { .. } => {}
+            Phase::Recovery(_) => self.recovery_tick(now, &mut out),
+        }
+        out
+    }
+
+    /// The next instant at which [`Node::on_tick`] must run, if any.
+    pub fn next_deadline(&self) -> Option<Micros> {
+        let phase_deadline = match &self.phase {
+            Phase::WaitProposals { until } => Some(*until),
+            Phase::WaitBlock { until, .. } => Some(*until),
+            Phase::Ba { engine } => engine.next_deadline(),
+            Phase::AwaitBlockContent { .. } => None,
+            Phase::Recovery(r) => {
+                let sub = match &r.phase {
+                    RecoveryPhase::WaitProposals { until, .. } => Some(*until),
+                    RecoveryPhase::Ba { engine, .. } => engine.next_deadline(),
+                };
+                Some(sub.unwrap_or(r.attempt_deadline).min(r.attempt_deadline))
+            }
+        };
+        // Also wake at the next recovery-epoch boundary check.
+        let epoch_deadline = if self.params.recovery_interval > 0 {
+            Some(self.next_epoch_check)
+        } else {
+            None
+        };
+        match (phase_deadline, epoch_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    // --- Round lifecycle ------------------------------------------------------
+
+    fn start_round(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+        self.ctx = Self::make_ctx(&self.chain, now);
+        self.block_cache
+            .insert(self.ctx.empty_hash, self.ctx.empty_block.clone());
+        self.phase = Phase::WaitProposals {
+            until: now + self.params.proposal_wait(),
+        };
+        // Proposer sortition (§6).
+        if let Some((sorthash, sort_proof, priority)) = proposer_sortition(
+            &self.keypair,
+            &self.ctx.seed,
+            self.ctx.round,
+            &self.ctx.weights,
+            self.params.tau_proposer,
+        ) {
+            let block = self.assemble_block(now);
+            let block_hash = block.hash();
+            self.block_cache.insert(block_hash, block.clone());
+            self.chain.observe_block(block.clone());
+            self.ctx
+                .proposer_blocks
+                .insert(self.keypair.pk.to_bytes(), block_hash);
+            self.ctx.best = Some((priority, self.keypair.pk.to_bytes(), block_hash));
+            out.push(WireMessage::Priority(PriorityMessage::sign(
+                &self.keypair,
+                self.ctx.round,
+                sorthash,
+                sort_proof,
+                block_hash,
+            )));
+            out.push(WireMessage::Block(BlockMessage {
+                block,
+                sorthash,
+                sort_proof,
+            }));
+        }
+        // Replay any early-arrived votes for this round once BA⋆ starts.
+        if let Some(votes) = self.future_votes.remove(&self.ctx.round) {
+            self.ctx.vote_buffer = votes;
+        }
+    }
+
+    /// Builds this proposer's block from pending transactions.
+    fn assemble_block(&mut self, now: Micros) -> Block {
+        let round = self.ctx.round;
+        let prev = self.chain.tip();
+        let (seed, seed_proof) = propose_seed(&self.keypair, &prev.seed, round);
+        let mut state = self.chain.accounts().clone();
+        let mut txs = Vec::new();
+        let mut rejected = VecDeque::new();
+        while let Some(tx) = self.pending_txs.pop_front() {
+            match state.apply(&tx) {
+                Ok(()) => txs.push(tx),
+                // Keep not-yet-applicable transactions (future nonces) for
+                // later rounds; drop stale replays and permanently invalid
+                // ones.
+                Err(algorand_ledger::TxError::BadNonce)
+                    if tx.nonce > state.nonce(&tx.from) =>
+                {
+                    rejected.push_back(tx)
+                }
+                Err(_) => {}
+            }
+        }
+        self.pending_txs = rejected;
+        Block {
+            round,
+            prev_hash: self.ctx.prev_hash,
+            seed,
+            seed_proof: Some(seed_proof),
+            proposer: Some(self.keypair.pk),
+            timestamp: now.max(prev.timestamp + 1),
+            txs,
+            payload: vec![0u8; self.payload_bytes],
+        }
+    }
+
+    fn on_priority(&mut self, p: &PriorityMessage, _now: Micros, _out: &mut Vec<WireMessage>) {
+        if p.round != self.ctx.round || !matches!(self.phase, Phase::WaitProposals { .. }) {
+            return;
+        }
+        let Some(priority) = p.verify(&self.ctx.seed, &self.ctx.weights, self.params.tau_proposer)
+        else {
+            return;
+        };
+        let sender = p.sender.to_bytes();
+        // Two different block hashes from one proposer = equivocation.
+        match self.ctx.proposer_blocks.get(&sender) {
+            Some(prev) if *prev != p.block_hash => {
+                self.ctx.equivocators.insert(sender);
+            }
+            None => {
+                self.ctx.proposer_blocks.insert(sender, p.block_hash);
+            }
+            _ => {}
+        }
+        if self
+            .ctx
+            .best
+            .as_ref()
+            .map(|(best, _, _)| priority > *best)
+            .unwrap_or(true)
+        {
+            self.ctx.best = Some((priority, sender, p.block_hash));
+        }
+    }
+
+    fn on_block(&mut self, b: &BlockMessage, now: Micros, out: &mut Vec<WireMessage>) {
+        let hash = b.block.hash();
+        self.block_cache.insert(hash, b.block.clone());
+        self.chain.observe_block(b.block.clone());
+        if b.block.round != self.ctx.round {
+            return;
+        }
+        // Equivocation detection for the current round.
+        if let Some(proposer) = &b.block.proposer {
+            let sender = proposer.to_bytes();
+            match self.ctx.proposer_blocks.get(&sender) {
+                Some(prev) if *prev != hash => {
+                    self.ctx.equivocators.insert(sender);
+                }
+                None => {
+                    // Also folds the block's priority into `best`, in case
+                    // its priority message was lost.
+                    if let Some(priority) =
+                        b.verify(&self.ctx.seed, &self.ctx.weights, self.params.tau_proposer)
+                    {
+                        self.ctx.proposer_blocks.insert(sender, hash);
+                        if matches!(self.phase, Phase::WaitProposals { .. })
+                            && self
+                                .ctx
+                                .best
+                                .as_ref()
+                                .map(|(best, _, _)| priority > *best)
+                                .unwrap_or(true)
+                        {
+                            self.ctx.best = Some((priority, sender, hash));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // If we were waiting for exactly this block, move on to BA⋆.
+        if let Phase::WaitBlock { expected, .. } = &self.phase {
+            if *expected == hash {
+                let expected = *expected;
+                self.begin_ba(Some(expected), now, out);
+                return;
+            }
+        }
+        // If a decision was blocked on this block body, complete now.
+        if let Phase::AwaitBlockContent { decision } = &self.phase {
+            if decision.value == hash {
+                let decision = decision.clone();
+                self.complete_round(decision, now, out);
+            }
+        }
+    }
+
+    fn on_vote(&mut self, v: &VoteMessage, now: Micros, out: &mut Vec<WireMessage>) {
+        match &mut self.phase {
+            Phase::Recovery(r) => {
+                if let RecoveryPhase::Ba { engine, .. } = &mut r.phase {
+                    // The engine checks the round (and prev-hash) itself.
+                    let outputs = engine.on_vote(v, now);
+                    self.handle_recovery_engine_outputs(outputs, now, out);
+                }
+                return;
+            }
+            Phase::Ba { engine } => {
+                if v.round == self.ctx.round {
+                    let outputs = engine.on_vote(v, now);
+                    self.handle_engine_outputs(outputs, now, out);
+                    return;
+                }
+            }
+            _ => {
+                if v.round == self.ctx.round {
+                    self.ctx.vote_buffer.push(v.clone());
+                    return;
+                }
+            }
+        }
+        // Buffer near-future rounds; request catch-up when the network is
+        // clearly far ahead of us.
+        if v.round > self.ctx.round && v.round <= self.ctx.round + FUTURE_ROUND_WINDOW {
+            self.future_votes.entry(v.round).or_default().push(v.clone());
+        } else if v.round > self.ctx.round + FUTURE_ROUND_WINDOW {
+            self.maybe_request_catchup(now, out);
+        }
+    }
+
+    /// End of the proposal wait: pick the highest-priority proposal.
+    fn adopt_best_proposal(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+        match &self.ctx.best {
+            Some((_, proposer, block_hash)) if !self.ctx.equivocators.contains(proposer) => {
+                let block_hash = *block_hash;
+                if self.block_cache.contains_key(&block_hash) {
+                    self.begin_ba(Some(block_hash), now, out);
+                } else {
+                    self.phase = Phase::WaitBlock {
+                        until: now + self.params.ba.lambda_block,
+                        expected: block_hash,
+                    };
+                }
+            }
+            _ => self.begin_ba(None, now, out),
+        }
+    }
+
+    /// Starts BA⋆ with the candidate block (validated) or the empty block.
+    fn begin_ba(&mut self, candidate: Option<[u8; 32]>, now: Micros, out: &mut Vec<WireMessage>) {
+        let initial = match candidate {
+            Some(hash) => {
+                let valid = self
+                    .block_cache
+                    .get(&hash)
+                    .map(|b| {
+                        b.validate(
+                            self.chain.tip(),
+                            self.chain.accounts(),
+                            now,
+                            self.params.chain.max_timestamp_skew,
+                        )
+                        .is_ok()
+                    })
+                    .unwrap_or(false);
+                if valid {
+                    hash
+                } else {
+                    self.ctx.empty_hash
+                }
+            }
+            None => self.ctx.empty_hash,
+        };
+        self.ctx.ba_started = Some(now);
+        let (mut engine, outputs) = BaStar::start(
+            self.params.ba,
+            self.keypair.clone(),
+            self.ctx.round,
+            self.ctx.seed,
+            self.ctx.prev_hash,
+            initial,
+            self.ctx.empty_hash,
+            self.ctx.weights.clone(),
+            self.verifier.clone(),
+            now,
+        );
+        for msg in outputs {
+            if let Output::Gossip(v) = msg {
+                out.push(WireMessage::Vote(v));
+            }
+        }
+        // Replay votes that arrived before BA⋆ existed.
+        for v in std::mem::take(&mut self.ctx.vote_buffer) {
+            engine.ingest(&v);
+        }
+        let outputs = engine.on_tick(now);
+        self.phase = Phase::Ba {
+            engine: Box::new(engine),
+        };
+        self.handle_engine_outputs(outputs, now, out);
+    }
+
+    fn handle_engine_outputs(
+        &mut self,
+        outputs: Vec<Output>,
+        now: Micros,
+        out: &mut Vec<WireMessage>,
+    ) {
+        // Flush all gossip first so the decision-time votes (the
+        // three-extra-steps rule and the final vote) are not lost.
+        let mut decided = None;
+        for o in outputs {
+            match o {
+                Output::Gossip(v) => out.push(WireMessage::Vote(v)),
+                Output::BinaryDecided { .. } => {}
+                Output::Decided(d) => decided = Some(d),
+                Output::Hung => {
+                    self.hung = true;
+                    return;
+                }
+            }
+        }
+        if let Some(d) = decided {
+            if self.block_cache.contains_key(&d.value) {
+                self.complete_round(d, now, out);
+            } else {
+                self.phase = Phase::AwaitBlockContent { decision: d };
+            }
+        }
+    }
+
+    fn complete_round(&mut self, decision: Decision, now: Micros, out: &mut Vec<WireMessage>) {
+        let block = self
+            .block_cache
+            .get(&decision.value)
+            .expect("caller checked the cache")
+            .clone();
+        let finalized = decision.kind == ConsensusKind::Final;
+        let (binary_done, ba_started) = match &self.phase {
+            Phase::Ba { engine } => (
+                engine.binary_done_at().unwrap_or(now),
+                self.ctx.ba_started.unwrap_or(self.ctx.started),
+            ),
+            _ => (now, self.ctx.ba_started.unwrap_or(self.ctx.started)),
+        };
+        match self
+            .chain
+            .append(block.clone(), Some(decision.certificate.clone()), finalized, now)
+        {
+            Ok(()) => {}
+            Err(_) => {
+                // Consensus picked a block we cannot validate: freeze and
+                // wait for recovery rather than diverge.
+                self.hung = true;
+                return;
+            }
+        }
+        if finalized {
+            self.chain.finalize(block.round);
+            self.chain.prune_side_blocks(block.round);
+        }
+        // Proposal bodies from completed rounds can no longer be decided
+        // on; keep only blocks that future rounds might still reference.
+        let completed = block.round;
+        self.block_cache.retain(|_, b| b.round > completed);
+        self.records.push(RoundRecord {
+            round: self.ctx.round,
+            started: self.ctx.started,
+            ba_started,
+            binary_done,
+            finished: now,
+            kind: decision.kind,
+            binary_step: decision.binary_step,
+            empty: decision.value == self.ctx.empty_hash,
+            block_bytes: block.wire_size(),
+        });
+        self.last_progress = now;
+        self.hung = false;
+        self.start_round(now, out);
+    }
+
+    // --- Recovery (§8.2) -----------------------------------------------------
+
+    fn maybe_enter_recovery(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+        if self.params.recovery_interval == 0 || now < self.next_epoch_check {
+            return;
+        }
+        // Advance the check cursor first so a node that stays healthy (or
+        // is already recovering) does not spin on a past boundary.
+        self.next_epoch_check =
+            (now / self.params.recovery_interval + 1) * self.params.recovery_interval;
+        if matches!(self.phase, Phase::Recovery(_)) {
+            return;
+        }
+        let epoch = now / self.params.recovery_interval;
+        let stalled =
+            self.hung || now.saturating_sub(self.last_progress) > self.params.recovery_interval;
+        if epoch > self.last_recovery_epoch && stalled {
+            self.last_recovery_epoch = epoch;
+            self.enter_recovery(epoch, 0, now, out);
+        }
+    }
+
+    fn recovery_context(&self, epoch: u64, attempt: u32) -> ([u8; 32], Arc<RoundWeights>) {
+        // The shared reference point: the newest proposed block at least
+        // one full interval old (next-to-last period, §8.2).
+        let cutoff = (epoch.saturating_sub(1)) * self.params.recovery_interval;
+        let (base_round, base_seed) = self.chain.recovery_base(cutoff);
+        let seed = recovery_seed(&base_seed, epoch, attempt);
+        let weight_round = base_round.saturating_sub(self.params.chain.weight_lookback);
+        let weights = Arc::new(self.chain.weights_at_round(weight_round));
+        (seed, weights)
+    }
+
+    fn enter_recovery(&mut self, epoch: u64, attempt: u32, now: Micros, out: &mut Vec<WireMessage>) {
+        let (seed, weights) = self.recovery_context(epoch, attempt);
+        let mut best: Option<(Priority, Block)> = None;
+        // Fork-proposer sortition: propose an empty block extending the
+        // longest fork we have seen.
+        if let Some((sorthash, sort_proof, priority)) = fork_proposer_sortition(
+            &self.keypair,
+            &seed,
+            epoch,
+            attempt,
+            &weights,
+            self.params.tau_proposer,
+        ) {
+            let (tip_hash, _) = self.chain.longest_fork();
+            let tip = self
+                .chain
+                .block_by_hash(&tip_hash)
+                .expect("longest fork tip is stored")
+                .clone();
+            let block = Block::empty(tip.round + 1, tip_hash, &tip.seed);
+            self.block_cache.insert(block.hash(), block.clone());
+            best = Some((priority, block.clone()));
+            out.push(WireMessage::ForkProposal(ForkProposalMessage::sign(
+                &self.keypair,
+                epoch,
+                attempt,
+                sorthash,
+                sort_proof,
+                block,
+            )));
+        }
+        self.phase = Phase::Recovery(RecoveryState {
+            epoch,
+            attempt,
+            seed,
+            weights,
+            phase: RecoveryPhase::WaitProposals {
+                until: now + self.params.proposal_wait(),
+                best,
+            },
+            window_until: now + self.params.proposal_wait(),
+            attempt_deadline: now
+                + self.params.proposal_wait()
+                + self.params.ba.lambda_block
+                + 6 * self.params.ba.lambda_step,
+        });
+    }
+
+    fn on_fork_proposal(&mut self, f: &ForkProposalMessage, now: Micros, out: &mut Vec<WireMessage>) {
+        // Cache the proposed block regardless of phase, so a decision can
+        // complete even if the proposal arrives late.
+        self.block_cache.insert(f.block.hash(), f.block.clone());
+        let Phase::Recovery(r) = &mut self.phase else {
+            return;
+        };
+        if f.epoch != r.epoch || f.attempt != r.attempt {
+            return;
+        }
+        let RecoveryPhase::WaitProposals { best, .. } = &mut r.phase else {
+            return;
+        };
+        let Some(priority) = f.verify(&r.seed, &r.weights, self.params.tau_proposer) else {
+            return;
+        };
+        // The proposed fork must be at least as long as our longest (§8.2).
+        let our_len = self.chain.longest_fork().1;
+        match self.chain.fork_length(&f.block.prev_hash) {
+            Some(len) if len + 1 >= our_len => {}
+            _ => return,
+        }
+        let had_best = best.is_some();
+        if best.as_ref().map(|(b, _)| priority > *b).unwrap_or(true) {
+            *best = Some((priority, f.block.clone()));
+        }
+        // If the collection window already closed while we had no proposal,
+        // this late arrival should start BA promptly rather than waiting
+        // for the attempt deadline.
+        if !had_best && now >= r.window_until {
+            if let RecoveryPhase::WaitProposals { until, .. } = &mut r.phase {
+                *until = now;
+            }
+            self.recovery_tick(now, out);
+        }
+    }
+
+    fn recovery_tick(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+        let Phase::Recovery(r) = &mut self.phase else {
+            return;
+        };
+        // Attempt expired without a decision: retry with a re-hashed seed.
+        if now >= r.attempt_deadline {
+            let (epoch, attempt) = (r.epoch, r.attempt + 1);
+            self.enter_recovery(epoch, attempt, now, out);
+            return;
+        }
+        match &mut r.phase {
+            RecoveryPhase::WaitProposals { until, best } => {
+                if now < *until {
+                    return;
+                }
+                let Some((_, block)) = best.clone() else {
+                    // No proposal heard; sleep until the attempt deadline
+                    // (a late proposal can still move us to BA before it).
+                    *until = r.attempt_deadline;
+                    return;
+                };
+                let prev_seed_block = self
+                    .chain
+                    .block_by_hash(&block.prev_hash)
+                    .expect("fork ancestry was validated");
+                let empty = Block::empty(block.round, block.prev_hash, &prev_seed_block.seed);
+                debug_assert_eq!(empty.hash(), block.hash());
+                let (mut engine, outputs) = BaStar::start(
+                    self.params.ba,
+                    self.keypair.clone(),
+                    block.round,
+                    r.seed,
+                    block.prev_hash,
+                    block.hash(),
+                    block.hash(),
+                    r.weights.clone(),
+                    self.verifier.clone(),
+                    now,
+                );
+                for o in outputs {
+                    if let Output::Gossip(v) = o {
+                        out.push(WireMessage::Vote(v));
+                    }
+                }
+                let more = engine.on_tick(now);
+                r.phase = RecoveryPhase::Ba {
+                    engine: Box::new(engine),
+                };
+                self.handle_recovery_engine_outputs(more, now, out);
+            }
+            RecoveryPhase::Ba { engine, .. } => {
+                let outputs = engine.on_tick(now);
+                self.handle_recovery_engine_outputs(outputs, now, out);
+            }
+        }
+    }
+
+    fn handle_recovery_engine_outputs(
+        &mut self,
+        outputs: Vec<Output>,
+        now: Micros,
+        out: &mut Vec<WireMessage>,
+    ) {
+        let mut decided = None;
+        let mut hung = false;
+        for o in outputs {
+            match o {
+                Output::Gossip(v) => out.push(WireMessage::Vote(v)),
+                Output::BinaryDecided { .. } => {}
+                Output::Decided(d) => decided = Some(d),
+                Output::Hung => hung = true,
+            }
+        }
+        if let Some(d) = decided {
+            self.complete_recovery(d, now, out);
+        } else if hung {
+            // Retry with the next attempt immediately.
+            if let Phase::Recovery(r) = &self.phase {
+                let (epoch, attempt) = (r.epoch, r.attempt + 1);
+                self.enter_recovery(epoch, attempt, now, out);
+            }
+        }
+    }
+
+    fn complete_recovery(&mut self, decision: Decision, now: Micros, out: &mut Vec<WireMessage>) {
+        let Some(block) = self.block_cache.get(&decision.value).cloned() else {
+            // We decided on a fork block we never saw; retry next attempt.
+            if let Phase::Recovery(r) = &self.phase {
+                let (epoch, attempt) = (r.epoch, r.attempt + 1);
+                self.enter_recovery(epoch, attempt, now, out);
+            }
+            return;
+        };
+        // Adopt the agreed fork, then append the agreed empty block.
+        if block.prev_hash != self.chain.tip_hash()
+            && self.chain.switch_to_fork(block.prev_hash, now).is_err()
+        {
+            if let Phase::Recovery(r) = &self.phase {
+                let (epoch, attempt) = (r.epoch, r.attempt + 1);
+                self.enter_recovery(epoch, attempt, now, out);
+            }
+            return;
+        }
+        if self
+            .chain
+            .append(block, Some(decision.certificate), false, now)
+            .is_err()
+        {
+            if let Phase::Recovery(r) = &self.phase {
+                let (epoch, attempt) = (r.epoch, r.attempt + 1);
+                self.enter_recovery(epoch, attempt, now, out);
+            }
+            return;
+        }
+        self.hung = false;
+        self.last_progress = now;
+        self.recoveries_completed += 1;
+        self.start_round(now, out);
+    }
+}
+

@@ -1,0 +1,132 @@
+//! The full Algorand parameter set (Figure 4), plus simulation scaling.
+
+use algorand_ba::{BaParams, Micros, SECOND};
+use algorand_ledger::ChainParams;
+
+/// All implementation parameters of Figure 4, plus the chain-level ones.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgorandParams {
+    /// Assumed fraction of honest weighted users (h; paper: 80%).
+    pub honest_fraction: f64,
+    /// Expected number of block proposers (τ_proposer; paper: 26).
+    pub tau_proposer: f64,
+    /// BA⋆ committee and timing parameters.
+    pub ba: BaParams,
+    /// Seed refresh interval, look-back, timestamp skew.
+    pub chain: ChainParams,
+    /// Time to gossip sortition proofs (λ_priority; paper: 5 s).
+    pub lambda_priority: Micros,
+    /// Estimate of BA⋆ completion-time variance (λ_stepvar; paper: 5 s).
+    pub lambda_stepvar: Micros,
+    /// Interval of the loosely-synchronized-clock recovery trigger (§8.2;
+    /// "every hour" in the paper).
+    pub recovery_interval: Micros,
+}
+
+impl AlgorandParams {
+    /// The paper's production parameters (Figure 4).
+    pub fn paper() -> AlgorandParams {
+        AlgorandParams {
+            honest_fraction: 0.80,
+            tau_proposer: 26.0,
+            ba: BaParams::paper(),
+            chain: ChainParams::paper(),
+            lambda_priority: 5 * SECOND,
+            lambda_stepvar: 5 * SECOND,
+            recovery_interval: 3600 * SECOND,
+        }
+    }
+
+    /// Parameters scaled for laptop-sized simulations.
+    ///
+    /// The paper's committees (τ_step = 2000, τ_final = 10000) assume tens
+    /// of thousands of users. Simulations with `n` users keep the protocol
+    /// *shape* — thresholds, step structure, timeout ratios — while scaling
+    /// committee sizes down so that a committee is a minority of users but
+    /// large enough that honest-majority thresholds are crossed reliably.
+    /// The violation probability is correspondingly higher than 5×10⁻⁹;
+    /// that affects how often a simulated round retries a step, not the
+    /// protocol logic under test.
+    pub fn scaled(n_users: usize) -> AlgorandParams {
+        Self::scaled_with_stake(n_users, 10)
+    }
+
+    /// Like [`AlgorandParams::scaled`], with an explicit per-user stake.
+    ///
+    /// Committee sizes must be set against *sub-users* (currency units),
+    /// not users: the threshold margin in standard deviations is
+    /// `(1 − T)·√τ`, so τ must be large enough that honest committees
+    /// cross `T·τ` reliably. τ = W/2 (capped at 250 to bound per-step
+    /// message counts at large n) gives a ≥ 4.5σ margin everywhere.
+    pub fn scaled_with_stake(n_users: usize, stake_per_user: u64) -> AlgorandParams {
+        let mut p = AlgorandParams::paper();
+        let total = (n_users as u64 * stake_per_user) as f64;
+        let tau_step = (total * 0.5).clamp(10.0, 250.0);
+        let tau_final = (total * 0.6).clamp(12.0, 300.0);
+        p.tau_proposer = ((n_users as f64) * 0.3).clamp(5.0, 26.0);
+        p.ba.tau_step = tau_step;
+        p.ba.tau_final = tau_final;
+        // Timeouts shrink to keep simulated rounds short; ratios match the
+        // paper (λ_block : λ_step : λ_priority = 12 : 4 : 1).
+        p.ba.lambda_step = 4 * SECOND;
+        p.ba.lambda_block = 12 * SECOND;
+        p.lambda_priority = SECOND;
+        p.lambda_stepvar = SECOND;
+        p.chain = ChainParams {
+            seed_refresh_interval: 10,
+            weight_lookback: 2,
+            max_timestamp_skew: 3600 * SECOND,
+            min_balance_weights: false,
+        };
+        p.recovery_interval = 120 * SECOND;
+        p
+    }
+
+    /// The proposal wait before adopting a highest-priority block (§6):
+    /// λ_priority + λ_stepvar.
+    pub fn proposal_wait(&self) -> Micros {
+        self.lambda_priority + self.lambda_stepvar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_figure4() {
+        let p = AlgorandParams::paper();
+        assert_eq!(p.honest_fraction, 0.80);
+        assert_eq!(p.tau_proposer, 26.0);
+        assert_eq!(p.chain.seed_refresh_interval, 1000);
+        assert_eq!(p.lambda_priority, 5 * SECOND);
+        assert_eq!(p.lambda_stepvar, 5 * SECOND);
+        assert_eq!(p.proposal_wait(), 10 * SECOND);
+    }
+
+    #[test]
+    fn scaled_committees_are_bounded_by_stake() {
+        for n in [10usize, 50, 100, 1000] {
+            let p = AlgorandParams::scaled(n);
+            let total_stake = (n * 10) as f64;
+            assert!(p.ba.tau_step <= total_stake, "n={n}");
+            assert!(p.ba.tau_step >= 10.0, "n={n}");
+            assert!(p.ba.tau_final >= p.ba.tau_step);
+            assert!(p.tau_proposer >= 1.0);
+            // The threshold margin must be at least ~3σ so simulated steps
+            // conclude on votes, not timeouts: votes ~ Binomial(W, τ/W)
+            // with variance τ(1−τ/W).
+            let sel_p = p.ba.tau_step / total_stake;
+            let sigma = (p.ba.tau_step * (1.0 - sel_p)).sqrt();
+            let margin = (1.0 - p.ba.t_step) * p.ba.tau_step / sigma;
+            assert!(margin > 3.0, "n={n} margin={margin}");
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_timeout_ordering() {
+        let p = AlgorandParams::scaled(100);
+        assert!(p.ba.lambda_block > p.ba.lambda_step);
+        assert!(p.ba.lambda_step > p.lambda_priority);
+    }
+}

@@ -1,0 +1,406 @@
+//! The Curve25519 group in twisted Edwards form.
+//!
+//! The curve is −x² + y² = 1 + d·x²·y² over GF(2^255 − 19) with
+//! d = −121665/121666, i.e. edwards25519. Points are held in extended
+//! coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z, which
+//! admit complete (exception-free) addition formulas for a = −1.
+//!
+//! The curve constants (d and the basepoint) are *derived in code* from
+//! their defining equations — d from −121665/121666 and the basepoint from
+//! y = 4/5 — rather than transcribed, so they cannot be mistyped; tests pin
+//! the well-known compressed basepoint encoding.
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+
+/// A point on edwards25519 in extended twisted Edwards coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+/// The curve constant d = −121665/121666 mod p.
+pub fn d() -> FieldElement {
+    static D: std::sync::OnceLock<FieldElement> = std::sync::OnceLock::new();
+    *D.get_or_init(|| {
+        FieldElement::from_u64(121665)
+            .neg()
+            .mul(&FieldElement::from_u64(121666).invert())
+    })
+}
+
+/// The curve constant 2d, used by the addition formulas.
+fn d2() -> FieldElement {
+    static D2: std::sync::OnceLock<FieldElement> = std::sync::OnceLock::new();
+    *D2.get_or_init(|| d().add(&d()))
+}
+
+impl EdwardsPoint {
+    /// The identity element (0, 1).
+    pub fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard basepoint, with y = 4/5 and x even.
+    pub fn basepoint() -> EdwardsPoint {
+        static B: std::sync::OnceLock<EdwardsPoint> = std::sync::OnceLock::new();
+        *B.get_or_init(|| {
+            let y = FieldElement::from_u64(4).mul(&FieldElement::from_u64(5).invert());
+            let yy = y.square();
+            let u = yy.sub(&FieldElement::ONE);
+            let v = d().mul(&yy).add(&FieldElement::ONE);
+            let x = FieldElement::sqrt_ratio(&u, &v).expect("basepoint x exists");
+            // `sqrt_ratio` returns the even root, which is the standard
+            // basepoint x-coordinate.
+            EdwardsPoint::from_affine(x, y)
+        })
+    }
+
+    /// Builds an extended point from affine coordinates without validation.
+    fn from_affine(x: FieldElement, y: FieldElement) -> EdwardsPoint {
+        EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        }
+    }
+
+    /// Adds two points (complete formula; valid for any pair of inputs).
+    pub fn add(&self, rhs: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(&self.x).mul(&rhs.y.sub(&rhs.x));
+        let b = self.y.add(&self.x).mul(&rhs.y.add(&rhs.x));
+        let c = self.t.mul(&d2()).mul(&rhs.t);
+        let dd = self.z.mul(&rhs.z).mul_u64(2);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Doubles the point.
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_u64(2);
+        let dd = a.neg();
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = dd.add(&b);
+        let f = g.sub(&c);
+        let h = dd.sub(&b);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Negates the point.
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Subtracts `rhs` from `self`.
+    pub fn sub(&self, rhs: &EdwardsPoint) -> EdwardsPoint {
+        self.add(&rhs.neg())
+    }
+
+    /// Multiplies the point by a scalar (4-bit fixed-window method).
+    pub fn scalar_mul(&self, k: &Scalar) -> EdwardsPoint {
+        // Precompute 0P..15P.
+        let mut table = [EdwardsPoint::identity(); 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = table[i - 1].add(self);
+        }
+        let bytes = k.to_bytes();
+        let mut acc = EdwardsPoint::identity();
+        let mut started = false;
+        for byte_idx in (0..32).rev() {
+            for nibble_idx in [1u32, 0] {
+                if started {
+                    acc = acc.double().double().double().double();
+                }
+                let nib = ((bytes[byte_idx] >> (4 * nibble_idx)) & 0x0f) as usize;
+                if nib != 0 {
+                    acc = acc.add(&table[nib]);
+                    started = true;
+                } else if started {
+                    // Nothing to add this window.
+                }
+            }
+        }
+        acc
+    }
+
+    /// Multiplies the basepoint by a scalar using a precomputed table.
+    ///
+    /// Signing, VRF proving, and every verification perform a basepoint
+    /// multiplication; a radix-16 fixed-base table (64 windows × 15
+    /// multiples, built once per process) replaces the 256 doublings of
+    /// the generic ladder with 63 additions.
+    pub fn basepoint_mul(k: &Scalar) -> EdwardsPoint {
+        static TABLE: std::sync::OnceLock<Vec<[EdwardsPoint; 15]>> = std::sync::OnceLock::new();
+        let table = TABLE.get_or_init(|| {
+            // window[i][j-1] = j · 16^i · B for j in 1..=15.
+            let mut windows = Vec::with_capacity(64);
+            let mut base = EdwardsPoint::basepoint();
+            for _ in 0..64 {
+                let mut row = [EdwardsPoint::identity(); 15];
+                row[0] = base;
+                for j in 1..15 {
+                    row[j] = row[j - 1].add(&base);
+                }
+                // Next window's base: 16 · current base.
+                base = row[14].add(&base);
+                windows.push(row);
+            }
+            windows
+        });
+        let bytes = k.to_bytes();
+        let mut acc = EdwardsPoint::identity();
+        for (i, window) in table.iter().enumerate() {
+            let byte = bytes[i / 2];
+            let nib = if i % 2 == 0 { byte & 0x0f } else { byte >> 4 } as usize;
+            if nib != 0 {
+                acc = acc.add(&window[nib - 1]);
+            }
+        }
+        acc
+    }
+
+    /// Computes `a·A + b·B` where B is the basepoint.
+    ///
+    /// This is the verification workhorse: signature verification computes
+    /// `s·B − c·PK` and VRF verification computes `s·B − c·Y` and
+    /// `s·H − c·Γ`.
+    pub fn double_scalar_mul_basepoint(a: &Scalar, point_a: &EdwardsPoint, b: &Scalar) -> EdwardsPoint {
+        point_a.scalar_mul(a).add(&EdwardsPoint::basepoint_mul(b))
+    }
+
+    /// Multiplies by the cofactor 8.
+    pub fn mul_by_cofactor(&self) -> EdwardsPoint {
+        self.double().double().double()
+    }
+
+    /// Returns true if this is the identity element.
+    pub fn is_identity(&self) -> bool {
+        // Identity iff x = 0 and y = z (projectively).
+        self.x.is_zero() && self.y.ct_eq(&self.z)
+    }
+
+    /// Returns true if the point lies in the prime-order subgroup.
+    pub fn is_torsion_free(&self) -> bool {
+        use crate::scalar::Scalar;
+        // ℓ·P = identity iff P has order dividing ℓ.
+        let l_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        self.scalar_mul(&l_minus_1).add(self).is_identity()
+    }
+
+    /// Checks the curve equation −x² + y² = 1 + d·x²·y² in affine form.
+    pub fn is_on_curve(&self) -> bool {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let x2 = x.square();
+        let y2 = y.square();
+        let lhs = y2.sub(&x2);
+        let rhs = FieldElement::ONE.add(&d().mul(&x2).mul(&y2));
+        lhs.ct_eq(&rhs)
+    }
+
+    /// Compresses to the 32-byte encoding: y with the sign of x in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut bytes = y.to_bytes();
+        bytes[31] |= (x.is_negative() as u8) << 7;
+        bytes
+    }
+
+    /// Decompresses a 32-byte encoding, validating that it names a curve
+    /// point.
+    ///
+    /// Returns `None` for encodings whose y is not on the curve or whose
+    /// sign bit is inconsistent (x = 0 with the sign bit set).
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let sign = bytes[31] >> 7 == 1;
+        let y = FieldElement::from_bytes(bytes);
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = d().mul(&yy).add(&FieldElement::ONE);
+        let mut x = FieldElement::sqrt_ratio(&u, &v)?;
+        if x.is_zero() && sign {
+            return None;
+        }
+        if sign {
+            x = x.neg();
+        }
+        Some(EdwardsPoint::from_affine(x, y))
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // Cross-multiplied projective equality.
+        self.x.mul(&other.z).ct_eq(&other.x.mul(&self.z))
+            && self.y.mul(&other.z).ct_eq(&other.y.mul(&self.z))
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        assert!(EdwardsPoint::basepoint().is_on_curve());
+    }
+
+    #[test]
+    fn basepoint_compressed_encoding_is_standard() {
+        // The well-known edwards25519 basepoint encoding: 0x58 followed by
+        // thirty-one 0x66 bytes (y = 4/5, x even).
+        let mut expected = [0x66u8; 32];
+        expected[0] = 0x58;
+        assert_eq!(EdwardsPoint::basepoint().compress(), expected);
+    }
+
+    #[test]
+    fn basepoint_has_order_l() {
+        // ℓ·B = identity, and B itself is not the identity.
+        let b = EdwardsPoint::basepoint();
+        assert!(!b.is_identity());
+        assert!(b.is_torsion_free());
+    }
+
+    #[test]
+    fn add_identity_is_noop() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.add(&EdwardsPoint::identity()), b);
+        assert_eq!(EdwardsPoint::identity().add(&b), b);
+    }
+
+    #[test]
+    fn double_matches_add_self() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.double(), b.add(&b));
+        let b4 = b.double().double();
+        assert_eq!(b4, b.add(&b).add(&b).add(&b));
+        assert!(b4.is_on_curve());
+    }
+
+    #[test]
+    fn neg_cancels() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.add(&b.neg()).is_identity());
+        assert!(b.sub(&b).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.scalar_mul(&Scalar::ZERO).is_identity());
+        assert_eq!(b.scalar_mul(&Scalar::ONE), b);
+        assert_eq!(b.scalar_mul(&Scalar::from_u64(2)), b.double());
+        let mut acc = EdwardsPoint::identity();
+        for _ in 0..100 {
+            acc = acc.add(&b);
+        }
+        assert_eq!(b.scalar_mul(&Scalar::from_u64(100)), acc);
+    }
+
+    #[test]
+    fn scalar_mul_is_homomorphic() {
+        let b = EdwardsPoint::basepoint();
+        let k1 = Scalar::from_u64(0x1234_5678_9abc_def0);
+        let k2 = Scalar::from_u64(0xfeed_face_cafe_beef);
+        let lhs = b.scalar_mul(&k1.add(&k2));
+        let rhs = b.scalar_mul(&k1).add(&b.scalar_mul(&k2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let b = EdwardsPoint::basepoint();
+        for k in [1u64, 2, 3, 0xdeadbeef, 0xffff_ffff_ffff_ffff] {
+            let p = b.scalar_mul(&Scalar::from_u64(k));
+            let c = p.compress();
+            let q = EdwardsPoint::decompress(&c).expect("valid encoding");
+            assert_eq!(p, q, "k = {k}");
+            assert_eq!(q.compress(), c);
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_invalid() {
+        // y = 2 does not correspond to a curve point for edwards25519.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 2;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+        // Identity with the sign bit set is a non-canonical/invalid encoding.
+        let mut id = EdwardsPoint::identity().compress();
+        id[31] |= 0x80;
+        assert!(EdwardsPoint::decompress(&id).is_none());
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_separate() {
+        let b = EdwardsPoint::basepoint();
+        let p = b.scalar_mul(&Scalar::from_u64(7777));
+        let a = Scalar::from_u64(31337);
+        let c = Scalar::from_u64(271828);
+        let combined = EdwardsPoint::double_scalar_mul_basepoint(&a, &p, &c);
+        assert_eq!(combined, p.scalar_mul(&a).add(&b.scalar_mul(&c)));
+    }
+
+    #[test]
+    fn basepoint_table_matches_generic_mul() {
+        let b = EdwardsPoint::basepoint();
+        for k in [0u64, 1, 2, 15, 16, 255, 0xdead_beef, u64::MAX] {
+            let s = Scalar::from_u64(k);
+            assert_eq!(EdwardsPoint::basepoint_mul(&s), b.scalar_mul(&s), "k = {k}");
+        }
+        // A full-width scalar exercises every window.
+        let wide = Scalar::from_bytes_mod_order(&[0xa7u8; 32]);
+        assert_eq!(EdwardsPoint::basepoint_mul(&wide), b.scalar_mul(&wide));
+    }
+
+    #[test]
+    fn cofactor_mul_is_three_doublings() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.mul_by_cofactor(), b.scalar_mul(&Scalar::from_u64(8)));
+    }
+
+    #[test]
+    fn order_of_curve_points_after_cofactor_clearing() {
+        // Any decompressed point times the cofactor lands in the prime-order
+        // subgroup.
+        let b = EdwardsPoint::basepoint();
+        let p = b.scalar_mul(&Scalar::from_u64(12345)).mul_by_cofactor();
+        assert!(p.is_torsion_free());
+    }
+}

@@ -1,0 +1,29 @@
+//! Error types for cryptographic operations.
+
+/// An error from parsing or verifying cryptographic material.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CryptoError {
+    /// Bytes did not decode to a valid curve point in the prime-order
+    /// subgroup.
+    InvalidPoint,
+    /// A signature failed to parse or verify.
+    InvalidSignature,
+    /// A VRF proof failed to parse or verify.
+    InvalidProof,
+    /// A scalar encoding was non-canonical.
+    InvalidScalar,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CryptoError::InvalidPoint => "invalid curve point",
+            CryptoError::InvalidSignature => "invalid signature",
+            CryptoError::InvalidProof => "invalid VRF proof",
+            CryptoError::InvalidScalar => "non-canonical scalar",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for CryptoError {}

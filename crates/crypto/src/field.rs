@@ -1,0 +1,405 @@
+//! Arithmetic in GF(2^255 − 19), the base field of Curve25519.
+//!
+//! Elements are held in a radix-2^51 representation: five 64-bit limbs, each
+//! nominally below 2^52. This is the standard unsaturated representation; it
+//! lets products be accumulated in `u128` without overflow and keeps carry
+//! propagation cheap. All public operations accept and return *weakly
+//! reduced* elements (limbs < 2^52); [`FieldElement::to_bytes`] performs the
+//! full canonical reduction.
+
+/// Mask selecting the low 51 bits of a limb.
+const LOW_51: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 − 19).
+#[derive(Clone, Copy, Debug)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Constructs the element representing the small integer `x`.
+    pub fn from_u64(x: u64) -> FieldElement {
+        FieldElement([x & LOW_51, x >> 51, 0, 0, 0])
+    }
+
+    /// Parses 32 little-endian bytes as a field element.
+    ///
+    /// The top bit (bit 255) is ignored, matching the Curve25519 convention
+    /// where that bit carries the sign of the x-coordinate in compressed
+    /// points. Values in [p, 2^255) are accepted and reduced.
+    pub fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
+        let load8 = |b: &[u8]| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(b);
+            u64::from_le_bytes(v)
+        };
+        FieldElement([
+            load8(&bytes[0..8]) & LOW_51,
+            (load8(&bytes[6..14]) >> 3) & LOW_51,
+            (load8(&bytes[12..20]) >> 6) & LOW_51,
+            (load8(&bytes[19..27]) >> 1) & LOW_51,
+            (load8(&bytes[24..32]) >> 12) & LOW_51,
+        ])
+    }
+
+    /// Serializes to 32 little-endian bytes in fully reduced (canonical) form.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.0;
+        // Propagate carries until every limb is below 2^51. Two passes
+        // suffice for weakly reduced inputs; loop defensively anyway.
+        for _ in 0..4 {
+            let mut carry = 0u64;
+            for limb in l.iter_mut() {
+                let v = *limb + carry;
+                *limb = v & LOW_51;
+                carry = v >> 51;
+            }
+            l[0] += 19 * carry;
+            if l.iter().all(|&x| x <= LOW_51) && l[0] <= LOW_51 {
+                break;
+            }
+        }
+        // Final conditional subtraction of p = 2^255 - 19.
+        let p = [LOW_51 - 18, LOW_51, LOW_51, LOW_51, LOW_51];
+        let ge_p = {
+            let mut ge = true;
+            for i in (0..5).rev() {
+                if l[i] > p[i] {
+                    break;
+                }
+                if l[i] < p[i] {
+                    ge = false;
+                    break;
+                }
+            }
+            ge
+        };
+        if ge_p {
+            let mut borrow = 0i128;
+            for i in 0..5 {
+                let v = l[i] as i128 - p[i] as i128 + borrow;
+                if v < 0 {
+                    l[i] = (v + (1i128 << 51)) as u64;
+                    borrow = -1;
+                } else {
+                    l[i] = v as u64;
+                    borrow = 0;
+                }
+            }
+            debug_assert_eq!(borrow, 0);
+        }
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in l {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        while idx < 32 {
+            out[idx] = acc as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Adds two elements.
+    #[allow(clippy::needless_range_loop)] // Lockstep carry chains read clearer indexed.
+    pub fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut r = [0u64; 5];
+        for i in 0..5 {
+            r[i] = self.0[i] + rhs.0[i];
+        }
+        FieldElement(r).weak_reduce()
+    }
+
+    /// Subtracts `rhs` from `self`.
+    #[allow(clippy::needless_range_loop)] // Lockstep carry chains read clearer indexed.
+    pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        // Add 16p limb-wise before subtracting so no limb underflows even
+        // for inputs with limbs up to 2^52.
+        const BIAS0: u64 = (LOW_51 - 18) << 4;
+        const BIAS: u64 = LOW_51 << 4;
+        let mut r = [0u64; 5];
+        r[0] = self.0[0] + BIAS0 - rhs.0[0];
+        for i in 1..5 {
+            r[i] = self.0[i] + BIAS - rhs.0[i];
+        }
+        FieldElement(r).weak_reduce()
+    }
+
+    /// Negates the element.
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Multiplies two elements.
+    #[allow(clippy::needless_range_loop)] // Lockstep carry chains read clearer indexed.
+    pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| (x as u128) * (y as u128);
+        // 19-fold the limbs of b that wrap past 2^255.
+        let b1_19 = 19 * b[1];
+        let b2_19 = 19 * b[2];
+        let b3_19 = 19 * b[3];
+        let b4_19 = 19 * b[4];
+        let r0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let r1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        FieldElement::carry_wide([r0, r1, r2, r3, r4])
+    }
+
+    /// Squares the element.
+    pub fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Multiplies by the small constant `k`.
+    #[allow(clippy::needless_range_loop)] // Lockstep carry chains read clearer indexed.
+    pub fn mul_u64(&self, k: u64) -> FieldElement {
+        debug_assert!(k < (1 << 51));
+        let mut r = [0u128; 5];
+        for i in 0..5 {
+            r[i] = (self.0[i] as u128) * (k as u128);
+        }
+        FieldElement::carry_wide(r)
+    }
+
+    fn carry_wide(mut r: [u128; 5]) -> FieldElement {
+        // Two carry passes bring every limb below 2^52.
+        for _ in 0..2 {
+            let mut carry: u128 = 0;
+            for limb in r.iter_mut() {
+                let v = *limb + carry;
+                *limb = v & (LOW_51 as u128);
+                carry = v >> 51;
+            }
+            r[0] += 19 * carry;
+        }
+        FieldElement([r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64])
+    }
+
+    fn weak_reduce(self) -> FieldElement {
+        let mut l = self.0;
+        let mut carry = 0u64;
+        for limb in l.iter_mut() {
+            let v = *limb + carry;
+            *limb = v & LOW_51;
+            carry = v >> 51;
+        }
+        l[0] += 19 * carry;
+        FieldElement(l)
+    }
+
+    /// Raises the element to the power given by 32 little-endian exponent
+    /// bytes, by square-and-multiply.
+    pub fn pow(&self, exp_le: &[u8; 32]) -> FieldElement {
+        let mut acc = FieldElement::ONE;
+        for byte in exp_le.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = acc.square();
+                if (byte >> bit) & 1 == 1 {
+                    acc = acc.mul(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Computes the multiplicative inverse via Fermat's little theorem.
+    ///
+    /// Returns zero for a zero input (there is no inverse; callers that care
+    /// must check [`FieldElement::is_zero`] first).
+    pub fn invert(&self) -> FieldElement {
+        // Exponent p - 2 = 2^255 - 21, little-endian bytes.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// Returns true if the element is canonically zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Returns true if the canonical encoding has its lowest bit set.
+    ///
+    /// This is the "negative" convention used for point compression.
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Compares for equality after canonical reduction.
+    pub fn ct_eq(&self, other: &FieldElement) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// The square root of −1 modulo p (one of the two roots).
+    pub fn sqrt_m1() -> FieldElement {
+        static SQRT_M1: std::sync::OnceLock<FieldElement> = std::sync::OnceLock::new();
+        *SQRT_M1.get_or_init(|| {
+            // 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfb;
+            exp[31] = 0x1f;
+            FieldElement::from_u64(2).pow(&exp)
+        })
+    }
+
+    /// Computes `sqrt(u/v)` if it exists.
+    ///
+    /// Returns `Some(x)` with `v·x² = u` and `x` non-negative (lowest bit of
+    /// the canonical encoding clear), or `None` when `u/v` is a
+    /// non-residue. Used by Edwards point decompression.
+    pub fn sqrt_ratio(u: &FieldElement, v: &FieldElement) -> Option<FieldElement> {
+        // Candidate x = u * v^3 * (u * v^7)^((p-5)/8).
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        // Exponent (p-5)/8 = 2^252 - 3.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow(&exp));
+        let vx2 = v.mul(&x.square());
+        if !vx2.ct_eq(u) {
+            if vx2.ct_eq(&u.neg()) {
+                x = x.mul(&FieldElement::sqrt_m1());
+            } else {
+                return None;
+            }
+        }
+        if x.is_negative() {
+            x = x.neg();
+        }
+        Some(x)
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_eq(other)
+    }
+}
+
+impl Eq for FieldElement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(x: u64) -> FieldElement {
+        FieldElement::from_u64(x)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(fe(2).add(&fe(3)), fe(5));
+        assert_eq!(fe(7).sub(&fe(3)), fe(4));
+        assert_eq!(fe(6).mul(&fe(7)), fe(42));
+        assert_eq!(fe(5).square(), fe(25));
+        assert_eq!(fe(9).mul_u64(9), fe(81));
+    }
+
+    #[test]
+    fn subtraction_wraps_mod_p() {
+        // 0 - 1 = p - 1 = 2^255 - 20.
+        let m1 = fe(0).sub(&fe(1));
+        let bytes = m1.to_bytes();
+        assert_eq!(bytes[0], 0xec);
+        assert_eq!(bytes[31], 0x7f);
+        for &b in &bytes[1..31] {
+            assert_eq!(b, 0xff);
+        }
+        assert_eq!(m1.add(&fe(1)), fe(0));
+    }
+
+    #[test]
+    fn noncanonical_bytes_reduce() {
+        // 2^255 - 19 encodes the same element as 0 (after masking bit 255,
+        // p itself is representable and must reduce to zero).
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let z = FieldElement::from_bytes(&p_bytes);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        bytes[31] &= 0x7f;
+        let x = FieldElement::from_bytes(&bytes);
+        // Roundtrip holds when the value is below p (true here with byte 31
+        // far below 0x7f after the multiply pattern; enforce it anyway).
+        let back = x.to_bytes();
+        assert_eq!(FieldElement::from_bytes(&back), x);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        for v in [1u64, 2, 3, 121665, 121666, 0xdeadbeef] {
+            let x = fe(v);
+            assert_eq!(x.mul(&x.invert()), FieldElement::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert!(FieldElement::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(i.square(), FieldElement::ZERO.sub(&FieldElement::ONE));
+    }
+
+    #[test]
+    fn sqrt_ratio_of_squares() {
+        for v in [2u64, 3, 5, 9, 1234567] {
+            let x = fe(v);
+            let x2 = x.square();
+            let r = FieldElement::sqrt_ratio(&x2, &FieldElement::ONE).expect("square has a root");
+            assert!(r == x || r == x.neg(), "v = {v}");
+            assert!(!r.is_negative());
+        }
+    }
+
+    #[test]
+    fn sqrt_ratio_nonresidue_fails() {
+        // 2 is a non-residue mod p (p ≡ 5 mod 8).
+        assert!(FieldElement::sqrt_ratio(&fe(2), &FieldElement::ONE).is_none());
+    }
+
+    #[test]
+    fn pow_small_exponent() {
+        let mut exp = [0u8; 32];
+        exp[0] = 10;
+        assert_eq!(fe(2).pow(&exp), fe(1024));
+    }
+
+    #[test]
+    fn distributive_law_spot_check() {
+        let a = fe(0x1234_5678_9abc);
+        let b = fe(0xfeed_f00d);
+        let c = fe(0x1111_2222_3333);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}

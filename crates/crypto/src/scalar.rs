@@ -1,0 +1,330 @@
+//! Arithmetic modulo ℓ, the prime order of the Curve25519 group.
+//!
+//! ℓ = 2^252 + 27742317777372353535851937790883648493. Scalars are held as
+//! four 64-bit little-endian limbs in canonical (fully reduced) form.
+//! Reduction of wide (up to 512-bit) values uses binary long division —
+//! simple and easy to audit; scalar arithmetic is a negligible cost next to
+//! the point multiplications it feeds.
+
+/// The group order ℓ as four little-endian 64-bit limbs.
+const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// An integer modulo the group order ℓ, always canonically reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+impl Scalar {
+    /// The scalar 0.
+    pub const ZERO: Scalar = Scalar([0; 4]);
+    /// The scalar 1.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Constructs a scalar from a small integer.
+    pub fn from_u64(x: u64) -> Scalar {
+        Scalar([x, 0, 0, 0])
+    }
+
+    /// Reduces 32 little-endian bytes modulo ℓ.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Reduces 64 little-endian bytes modulo ℓ.
+    ///
+    /// A 512-bit input makes the result statistically uniform, which is how
+    /// secret scalars and deterministic nonces are derived from hashes.
+    pub fn from_bytes_mod_order_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut v = [0u64; 8];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            v[i] = u64::from_le_bytes(b);
+        }
+        Scalar(reduce_wide(v))
+    }
+
+    /// Parses 32 little-endian bytes, requiring canonical form.
+    ///
+    /// Returns `None` if the value is ≥ ℓ. Used when deserializing
+    /// signatures and proofs, where accepting non-canonical scalars would
+    /// make encodings malleable.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut v = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            v[i] = u64::from_le_bytes(b);
+        }
+        if ge4(&v, &L) {
+            None
+        } else {
+            Some(Scalar(v))
+        }
+    }
+
+    /// Serializes to 32 little-endian bytes (canonical).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Adds two scalars modulo ℓ.
+    #[allow(clippy::needless_range_loop)] // Carry chain reads clearer indexed.
+    pub fn add(&self, rhs: &Scalar) -> Scalar {
+        let mut r = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            r[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Inputs are < ℓ < 2^253, so the sum fits in 4 limbs (no carry out).
+        debug_assert_eq!(carry, 0);
+        if ge4(&r, &L) {
+            sub4_assign(&mut r, &L);
+        }
+        Scalar(r)
+    }
+
+    /// Subtracts `rhs` from `self` modulo ℓ.
+    pub fn sub(&self, rhs: &Scalar) -> Scalar {
+        let mut r = self.0;
+        if ge4(&r, &rhs.0) {
+            sub4_assign(&mut r, &rhs.0);
+        } else {
+            // r + ℓ - rhs; r + ℓ may carry into a fifth limb conceptually,
+            // but since rhs > r and rhs < ℓ, the result is < ℓ, so computing
+            // (ℓ - rhs) + r is safe in 4 limbs.
+            let mut t = L;
+            sub4_assign(&mut t, &rhs.0);
+            let mut carry = 0u64;
+            for i in 0..4 {
+                let (s1, c1) = t[i].overflowing_add(r[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                t[i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+            debug_assert_eq!(carry, 0);
+            r = t;
+        }
+        Scalar(r)
+    }
+
+    /// Negates the scalar modulo ℓ.
+    pub fn neg(&self) -> Scalar {
+        Scalar::ZERO.sub(self)
+    }
+
+    /// Multiplies two scalars modulo ℓ.
+    #[allow(clippy::needless_range_loop)] // Schoolbook product indexes i+j.
+    pub fn mul(&self, rhs: &Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let acc =
+                    wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                wide[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        Scalar(reduce_wide(wide))
+    }
+
+    /// Returns true if the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Iterates over the 256 bits of the scalar, most significant first.
+    pub fn bits_msb_first(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..256).rev().map(move |i| (self.0[i / 64] >> (i % 64)) & 1 == 1)
+    }
+}
+
+/// Returns true if `a >= b` (4-limb little-endian compare).
+fn ge4(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes `a -= b`, assuming `a >= b`.
+fn sub4_assign(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Reduces a 512-bit little-endian value modulo ℓ by binary long division.
+fn reduce_wide(mut v: [u64; 8]) -> [u64; 4] {
+    // ℓ has 253 bits; shifting it by up to 512 − 253 = 259 bits covers every
+    // quotient bit of a 512-bit dividend.
+    for shift in (0..=259).rev() {
+        let shifted = shl_l(shift);
+        if ge8(&v, &shifted) {
+            sub8_assign(&mut v, &shifted);
+        }
+    }
+    debug_assert_eq!(&v[4..], &[0u64; 4]);
+    [v[0], v[1], v[2], v[3]]
+}
+
+/// Computes ℓ << shift as an 8-limb value.
+#[allow(clippy::needless_range_loop)] // Limb shifts index two offsets of one array.
+fn shl_l(shift: u32) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    let limb_shift = (shift / 64) as usize;
+    let bit_shift = shift % 64;
+    for i in 0..4 {
+        let idx = i + limb_shift;
+        if idx < 8 {
+            out[idx] |= L[i] << bit_shift;
+        }
+        if bit_shift > 0 && idx + 1 < 8 {
+            out[idx + 1] |= L[i] >> (64 - bit_shift);
+        }
+    }
+    out
+}
+
+fn ge8(a: &[u64; 8], b: &[u64; 8]) -> bool {
+    for i in (0..8).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+fn sub8_assign(a: &mut [u64; 8], b: &[u64; 8]) {
+    let mut borrow = 0u64;
+    for i in 0..8 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> Scalar {
+        Scalar::from_u64(x)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(s(2).add(&s(3)), s(5));
+        assert_eq!(s(7).sub(&s(3)), s(4));
+        assert_eq!(s(6).mul(&s(7)), s(42));
+    }
+
+    #[test]
+    fn order_reduces_to_zero() {
+        let l_bytes = Scalar(L).to_bytes();
+        assert!(Scalar::from_bytes_mod_order(&l_bytes).is_zero());
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_none());
+    }
+
+    #[test]
+    fn order_minus_one_is_canonical() {
+        let lm1 = Scalar(L).0;
+        let mut v = lm1;
+        sub4_assign(&mut v, &[1, 0, 0, 0]);
+        let sc = Scalar::from_canonical_bytes(&Scalar(v).to_bytes()).unwrap();
+        assert_eq!(sc.add(&Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn neg_roundtrip() {
+        let x = s(0x1234_5678);
+        assert_eq!(x.add(&x.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wide_reduction_of_known_multiple() {
+        // q·ℓ + r must reduce to r for a handful of small q.
+        for q in 1u64..5 {
+            for r in [0u64, 1, 12345] {
+                let mut wide = [0u64; 8];
+                // wide = q * L + r.
+                let mut carry: u128 = r as u128;
+                for i in 0..4 {
+                    let acc = (L[i] as u128) * (q as u128) + carry;
+                    wide[i] = acc as u64;
+                    carry = acc >> 64;
+                }
+                wide[4] = carry as u64;
+                assert_eq!(reduce_wide(wide), Scalar::from_u64(r).0, "q={q} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_reduction_max_value() {
+        // 2^512 - 1 mod ℓ must be < ℓ and consistent under re-reduction.
+        let v = [u64::MAX; 8];
+        let r = reduce_wide(v);
+        assert!(ge4(&L, &r) && r != L);
+        let again = Scalar(r).add(&Scalar::ZERO);
+        assert_eq!(again.0, r);
+    }
+
+    #[test]
+    fn mul_matches_repeated_add() {
+        let x = s(0xabcdef);
+        let mut acc = Scalar::ZERO;
+        for _ in 0..37 {
+            acc = acc.add(&x);
+        }
+        assert_eq!(x.mul(&s(37)), acc);
+    }
+
+    #[test]
+    fn bits_iterator_msb_first() {
+        let x = s(0b1011);
+        let bits: Vec<bool> = x.bits_msb_first().collect();
+        assert_eq!(bits.len(), 256);
+        assert_eq!(&bits[252..], &[true, false, true, true]);
+        assert!(bits[..252].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let r = Scalar::ZERO.sub(&Scalar::ONE);
+        assert_eq!(r.add(&Scalar::ONE), Scalar::ZERO);
+        // ℓ - 1 is even? ℓ is odd (low limb ends in 0xed), so ℓ-1 ends 0xec.
+        assert_eq!(r.to_bytes()[0], 0xec);
+    }
+}

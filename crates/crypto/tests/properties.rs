@@ -1,0 +1,210 @@
+//! Property-based tests for the cryptographic substrate.
+//!
+//! These check algebraic laws (field and scalar rings, group structure) and
+//! end-to-end roundtrips (sign/verify, VRF prove/verify) over arbitrary
+//! inputs, complementing the fixed-vector unit tests in each module.
+
+use algorand_crypto::edwards::EdwardsPoint;
+use algorand_crypto::field::FieldElement;
+use algorand_crypto::scalar::Scalar;
+use algorand_crypto::sha256::sha256;
+use algorand_crypto::{sig, vrf, Keypair};
+use proptest::prelude::*;
+
+fn arb_field_element() -> impl Strategy<Value = FieldElement> {
+    any::<[u8; 32]>().prop_map(|mut b| {
+        b[31] &= 0x7f;
+        FieldElement::from_bytes(&b)
+    })
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_bytes_mod_order(&b))
+}
+
+fn arb_keypair() -> impl Strategy<Value = Keypair> {
+    any::<[u8; 32]>().prop_map(Keypair::from_seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // --- Field ring laws -------------------------------------------------
+
+    #[test]
+    fn field_add_commutes(a in arb_field_element(), b in arb_field_element()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn field_mul_commutes(a in arb_field_element(), b in arb_field_element()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn field_mul_associates(
+        a in arb_field_element(),
+        b in arb_field_element(),
+        c in arb_field_element(),
+    ) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn field_distributes(
+        a in arb_field_element(),
+        b in arb_field_element(),
+        c in arb_field_element(),
+    ) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn field_additive_inverse(a in arb_field_element()) {
+        prop_assert!(a.add(&a.neg()).is_zero());
+    }
+
+    #[test]
+    fn field_multiplicative_inverse(a in arb_field_element()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+    }
+
+    #[test]
+    fn field_bytes_roundtrip(a in arb_field_element()) {
+        let bytes = a.to_bytes();
+        prop_assert_eq!(FieldElement::from_bytes(&bytes), a);
+        // Canonical encodings keep bit 255 clear.
+        prop_assert_eq!(bytes[31] & 0x80, 0);
+    }
+
+    #[test]
+    fn field_square_matches_mul(a in arb_field_element()) {
+        prop_assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn field_sqrt_of_square_recovers(a in arb_field_element()) {
+        prop_assume!(!a.is_zero());
+        let sq = a.square();
+        let r = FieldElement::sqrt_ratio(&sq, &FieldElement::ONE).expect("is a square");
+        prop_assert!(r == a || r == a.neg());
+    }
+
+    // --- Scalar ring laws -------------------------------------------------
+
+    #[test]
+    fn scalar_add_commutes(a in arb_scalar(), b in arb_scalar()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn scalar_mul_associates(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn scalar_distributes(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn scalar_sub_is_add_neg(a in arb_scalar(), b in arb_scalar()) {
+        prop_assert_eq!(a.sub(&b), a.add(&b.neg()));
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip(a in arb_scalar()) {
+        let parsed = Scalar::from_canonical_bytes(&a.to_bytes()).expect("canonical");
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn scalar_wide_reduction_consistent(bytes in any::<[u8; 64]>()) {
+        // Reducing twice must be a fixed point.
+        let once = Scalar::from_bytes_mod_order_wide(&bytes);
+        let twice = Scalar::from_bytes_mod_order(&once.to_bytes());
+        prop_assert_eq!(once, twice);
+    }
+
+    // --- Group laws --------------------------------------------------------
+
+    #[test]
+    fn group_scalar_mul_distributes_over_scalar_add(a in arb_scalar(), b in arb_scalar()) {
+        let base = EdwardsPoint::basepoint();
+        prop_assert_eq!(
+            base.scalar_mul(&a.add(&b)),
+            base.scalar_mul(&a).add(&base.scalar_mul(&b))
+        );
+    }
+
+    #[test]
+    fn group_point_compression_roundtrip(k in arb_scalar()) {
+        let p = EdwardsPoint::basepoint().scalar_mul(&k);
+        let c = p.compress();
+        let q = EdwardsPoint::decompress(&c).expect("valid");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn group_points_satisfy_curve_equation(k in arb_scalar()) {
+        prop_assume!(!k.is_zero());
+        let p = EdwardsPoint::basepoint().scalar_mul(&k);
+        prop_assert!(p.is_on_curve());
+        prop_assert!(p.is_torsion_free());
+    }
+
+    // --- Signatures ---------------------------------------------------------
+
+    #[test]
+    fn signatures_verify(keypair in arb_keypair(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let s = sig::sign(&keypair, &msg);
+        prop_assert!(sig::verify(&keypair.pk, &msg, &s).is_ok());
+        // Roundtrip through bytes.
+        let parsed = sig::Signature::from_bytes(&s.to_bytes()).unwrap();
+        prop_assert!(sig::verify(&keypair.pk, &msg, &parsed).is_ok());
+    }
+
+    #[test]
+    fn signatures_bind_message(keypair in arb_keypair(), msg in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let s = sig::sign(&keypair, &msg);
+        let mut other = msg.clone();
+        other[0] ^= 1;
+        prop_assert!(sig::verify(&keypair.pk, &other, &s).is_err());
+    }
+
+    // --- VRF ------------------------------------------------------------------
+
+    #[test]
+    fn vrf_prove_verify(keypair in arb_keypair(), alpha in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let (out, proof) = vrf::prove(&keypair, &alpha);
+        let verified = vrf::verify(&keypair.pk, &alpha, &proof).unwrap();
+        prop_assert_eq!(out, verified);
+        let frac = out.as_unit_fraction();
+        prop_assert!((0.0..1.0).contains(&frac));
+    }
+
+    #[test]
+    fn vrf_proof_does_not_transfer(
+        seed_a in any::<[u8; 32]>(),
+        seed_b in any::<[u8; 32]>(),
+        alpha in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let a = Keypair::from_seed(seed_a);
+        let b = Keypair::from_seed(seed_b);
+        let (_, proof) = vrf::prove(&a, &alpha);
+        prop_assert!(vrf::verify(&b.pk, &alpha, &proof).is_err());
+    }
+
+    // --- SHA-256 -----------------------------------------------------------
+
+    #[test]
+    fn sha256_streaming_equivalence(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = algorand_crypto::sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+}

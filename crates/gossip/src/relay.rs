@@ -1,0 +1,145 @@
+//! Per-node relay policy (§4, §8.4).
+//!
+//! Before relaying, a node (1) never forwards the same message twice, and
+//! (2) forwards at most one message per public key per ⟨round, step⟩ — the
+//! anti-equivocation and anti-spam rules that keep the gossip network from
+//! being overwhelmed by an adversary. Cryptographic validation happens
+//! before this policy is consulted (invalid messages are dropped outright).
+
+use std::collections::HashSet;
+
+/// What to do with an incoming, already-validated message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelayDecision {
+    /// First sighting: process and forward to peers.
+    Relay,
+    /// Seen before (by content): ignore.
+    Duplicate,
+    /// A *different* message from the same key for the same ⟨round, step⟩:
+    /// process locally if desired, but do not forward (§8.4's
+    /// one-message-per-key rule; blunts equivocation).
+    Equivocation,
+}
+
+/// Relay bookkeeping for one node.
+#[derive(Default)]
+pub struct RelayState {
+    seen_ids: HashSet<[u8; 32]>,
+    sender_slots: HashSet<([u8; 32], u64, u32)>,
+}
+
+impl RelayState {
+    /// Creates empty relay state.
+    pub fn new() -> RelayState {
+        RelayState::default()
+    }
+
+    /// Classifies a message by content id and optional per-sender slot.
+    ///
+    /// `slot` is `(sender_pk, round, step)` for vote-like messages; pass
+    /// `None` for messages without per-step semantics (e.g. block bodies,
+    /// which are deduplicated by content only).
+    pub fn classify(
+        &mut self,
+        message_id: [u8; 32],
+        slot: Option<([u8; 32], u64, u32)>,
+    ) -> RelayDecision {
+        if !self.seen_ids.insert(message_id) {
+            return RelayDecision::Duplicate;
+        }
+        if let Some(slot) = slot {
+            if !self.sender_slots.insert(slot) {
+                return RelayDecision::Equivocation;
+            }
+        }
+        RelayDecision::Relay
+    }
+
+    /// Whether a message id has been seen (without recording it).
+    ///
+    /// The simulator uses this to model pull-based body transfer: a relay
+    /// that knows its peer already holds a block sends only the
+    /// announcement, not the body.
+    pub fn has_seen(&self, message_id: &[u8; 32]) -> bool {
+        self.seen_ids.contains(message_id)
+    }
+
+    /// Number of distinct messages seen (for metrics).
+    pub fn seen_count(&self) -> usize {
+        self.seen_ids.len()
+    }
+
+    /// Clears state (e.g. between rounds, to bound memory).
+    pub fn clear(&mut self) {
+        self.seen_ids.clear();
+        self.sender_slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_relays() {
+        let mut r = RelayState::new();
+        assert_eq!(
+            r.classify([1u8; 32], Some(([9u8; 32], 1, 1))),
+            RelayDecision::Relay
+        );
+        assert_eq!(r.seen_count(), 1);
+    }
+
+    #[test]
+    fn same_content_is_duplicate() {
+        let mut r = RelayState::new();
+        r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
+        assert_eq!(
+            r.classify([1u8; 32], Some(([9u8; 32], 1, 1))),
+            RelayDecision::Duplicate
+        );
+    }
+
+    #[test]
+    fn different_content_same_slot_is_equivocation() {
+        let mut r = RelayState::new();
+        r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
+        assert_eq!(
+            r.classify([2u8; 32], Some(([9u8; 32], 1, 1))),
+            RelayDecision::Equivocation
+        );
+    }
+
+    #[test]
+    fn same_key_different_step_relays() {
+        let mut r = RelayState::new();
+        r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
+        assert_eq!(
+            r.classify([2u8; 32], Some(([9u8; 32], 1, 2))),
+            RelayDecision::Relay
+        );
+        assert_eq!(
+            r.classify([3u8; 32], Some(([9u8; 32], 2, 1))),
+            RelayDecision::Relay
+        );
+    }
+
+    #[test]
+    fn slotless_messages_dedup_by_content_only() {
+        let mut r = RelayState::new();
+        assert_eq!(r.classify([1u8; 32], None), RelayDecision::Relay);
+        assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
+        assert_eq!(r.classify([2u8; 32], None), RelayDecision::Relay);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = RelayState::new();
+        r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
+        r.clear();
+        assert_eq!(
+            r.classify([1u8; 32], Some(([9u8; 32], 1, 1))),
+            RelayDecision::Relay
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Gossip network topology (§4, §8.4, §9).
+//!
+//! Each user connects to a small number of random peers (4 in the paper's
+//! prototype) and accepts incoming connections, giving ~8 neighbours on
+//! average; messages are gossiped to all neighbours. Peer selection is
+//! weighted by money to mitigate pollution attacks (§4). The resulting
+//! random graph is connected with high probability and has logarithmic
+//! diameter (§8.4), which is what makes dissemination time grow only
+//! logarithmically in the number of users.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A node index within one simulation.
+pub type NodeId = usize;
+
+/// An undirected gossip graph: out-edges chosen by each node, plus the
+/// incoming edges it accepted.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds a uniform random topology: each node dials `out_degree`
+    /// distinct random peers.
+    pub fn random<R: Rng>(n: usize, out_degree: usize, rng: &mut R) -> Topology {
+        Self::weighted(n, out_degree, &vec![1u64; n], rng)
+    }
+
+    /// Builds a money-weighted topology: each node dials `out_degree`
+    /// distinct peers sampled proportionally to their weight (§4).
+    pub fn weighted<R: Rng>(
+        n: usize,
+        out_degree: usize,
+        weights: &[u64],
+        rng: &mut R,
+    ) -> Topology {
+        assert_eq!(weights.len(), n);
+        let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        if n <= 1 {
+            return Topology { neighbors };
+        }
+        let total: u64 = weights.iter().sum();
+        for u in 0..n {
+            let mut dialed: Vec<NodeId> = Vec::new();
+            let want = out_degree.min(n - 1);
+            let mut guard = 0;
+            while dialed.len() < want && guard < 50 * want {
+                guard += 1;
+                let v = if total == 0 {
+                    rng.gen_range(0..n)
+                } else {
+                    // Weighted sample by cumulative walk.
+                    let mut target = rng.gen_range(0..total);
+                    let mut pick = n - 1;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if target < w {
+                            pick = i;
+                            break;
+                        }
+                        target -= w;
+                    }
+                    pick
+                };
+                if v != u && !dialed.contains(&v) {
+                    dialed.push(v);
+                }
+            }
+            // Fall back to uniform fill if weighted sampling kept colliding
+            // (e.g. one node holds nearly all weight).
+            if dialed.len() < want {
+                let mut rest: Vec<NodeId> = (0..n).filter(|&v| v != u).collect();
+                rest.shuffle(rng);
+                for v in rest {
+                    if dialed.len() >= want {
+                        break;
+                    }
+                    if !dialed.contains(&v) {
+                        dialed.push(v);
+                    }
+                }
+            }
+            for v in dialed {
+                if !neighbors[u].contains(&v) {
+                    neighbors[u].push(v);
+                }
+                if !neighbors[v].contains(&u) {
+                    neighbors[v].push(u);
+                }
+            }
+        }
+        Topology { neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The neighbours a node gossips to.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node]
+    }
+
+    /// Average neighbour count (the paper reports ~8 for out-degree 4).
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(|v| v.len()).sum();
+        total as f64 / self.neighbors.len() as f64
+    }
+
+    /// Size of the largest connected component.
+    pub fn largest_component(&self) -> usize {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut best = 0;
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut size = 0;
+            let mut queue = VecDeque::from([start]);
+            visited[start] = true;
+            while let Some(u) = queue.pop_front() {
+                size += 1;
+                for &v in &self.neighbors[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best
+    }
+
+    /// True when every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.largest_component() == self.len()
+    }
+
+    /// Eccentricity of `start`: BFS distance to the farthest reachable node.
+    pub fn eccentricity(&self, start: NodeId) -> usize {
+        let n = self.len();
+        let mut dist = vec![usize::MAX; n];
+        dist[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        let mut far = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.neighbors[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    far = far.max(dist[v]);
+                    queue.push_back(v);
+                }
+            }
+        }
+        far
+    }
+
+    /// An estimate of the graph diameter: the maximum eccentricity over a
+    /// deterministic sample of nodes (exact on small graphs).
+    pub fn diameter_estimate(&self) -> usize {
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        let samples = if n <= 64 {
+            (0..n).collect::<Vec<_>>()
+        } else {
+            (0..64).map(|i| i * n / 64).collect()
+        };
+        samples
+            .into_iter()
+            .map(|s| self.eccentricity(s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_graph_with_degree_4_is_connected() {
+        // §8.4: almost all users end up in one connected component.
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [10, 100, 500] {
+            let t = Topology::random(n, 4, &mut rng);
+            assert_eq!(t.len(), n);
+            assert!(
+                t.largest_component() >= n * 99 / 100,
+                "n = {n}: component {} of {n}",
+                t.largest_component()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_degree_is_about_twice_out_degree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = Topology::random(500, 4, &mut rng);
+        let d = t.mean_degree();
+        assert!((6.0..10.5).contains(&d), "mean degree {d}");
+    }
+
+    #[test]
+    fn diameter_grows_slowly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d100 = Topology::random(100, 4, &mut rng).diameter_estimate();
+        let d1000 = Topology::random(1000, 4, &mut rng).diameter_estimate();
+        // Logarithmic growth: 10× the nodes should not even double the
+        // diameter of a degree-8 random graph.
+        assert!(d1000 <= d100 * 2 + 2, "d100={d100} d1000={d1000}");
+        assert!(d1000 >= d100, "d100={d100} d1000={d1000}");
+    }
+
+    #[test]
+    fn weighted_selection_favours_heavy_nodes() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 200;
+        let mut weights = vec![1u64; n];
+        weights[0] = 1000; // One node holds most of the money.
+        let t = Topology::weighted(n, 4, &weights, &mut rng);
+        let heavy_degree = t.neighbors(0).len();
+        let mean = t.mean_degree();
+        assert!(
+            (heavy_degree as f64) > mean * 3.0,
+            "heavy node degree {heavy_degree} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_edges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Topology::random(100, 4, &mut rng);
+        for u in 0..t.len() {
+            let neigh = t.neighbors(u);
+            assert!(!neigh.contains(&u), "self loop at {u}");
+            let mut sorted = neigh.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), neigh.len(), "duplicate edge at {u}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let t0 = Topology::random(0, 4, &mut rng);
+        assert!(t0.is_empty());
+        let t1 = Topology::random(1, 4, &mut rng);
+        assert_eq!(t1.largest_component(), 1);
+        assert!(t1.is_connected());
+        let t2 = Topology::random(2, 4, &mut rng);
+        assert!(t2.is_connected());
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = Topology::random(50, 4, &mut rng);
+        for u in 0..t.len() {
+            for &v in t.neighbors(u) {
+                assert!(t.neighbors(v).contains(&u), "asymmetric edge {u}->{v}");
+            }
+        }
+    }
+}

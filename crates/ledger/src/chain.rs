@@ -1,0 +1,489 @@
+//! The blockchain store: canonical chain, forks, finality, and bootstrap.
+//!
+//! Each node keeps every block it learns about (§8.2 has users passively
+//! track *all* forks via BA⋆ votes), an adopted canonical chain with its
+//! account states, finality marks, and certificates (§8.3). Recovery
+//! switches the canonical chain to the longest observed fork; bootstrap
+//! rebuilds a chain from scratch by validating blocks and certificates in
+//! order from genesis.
+
+use crate::account::Accounts;
+use crate::block::{Block, BlockError, Micros};
+use crate::seed::selection_seed_round;
+use algorand_ba::{BaParams, Certificate, RoundWeights, VoteVerifier};
+use algorand_crypto::PublicKey;
+use std::collections::HashMap;
+
+/// Chain-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainParams {
+    /// Seed refresh interval R (§5.2; paper: 1000 rounds).
+    pub seed_refresh_interval: u64,
+    /// Weight look-back in rounds, standing in for the b-time look-back of
+    /// §5.3 (weights are taken from the state this many rounds before the
+    /// selection-seed round).
+    pub weight_lookback: u64,
+    /// Maximum accepted divergence between a block timestamp and the
+    /// validator's clock (§8.1: "say, within an hour").
+    pub max_timestamp_skew: Micros,
+    /// §5.3's "nothing at stake" mitigation: weigh users by the *minimum*
+    /// of their look-back and current balances, so divested money cannot
+    /// vote. The paper names this option but does not deploy it; off by
+    /// default here too.
+    pub min_balance_weights: bool,
+}
+
+impl ChainParams {
+    /// Paper-equivalent defaults: R = 1000, 1-hour skew; the weight
+    /// look-back defaults to R as well (the paper ties it to b-time).
+    pub fn paper() -> ChainParams {
+        ChainParams {
+            seed_refresh_interval: 1000,
+            weight_lookback: 1000,
+            max_timestamp_skew: 3_600_000_000,
+            min_balance_weights: false,
+        }
+    }
+}
+
+/// Why a block could not be appended or a chain could not be adopted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChainError {
+    /// Block-level validation failed.
+    Block(BlockError),
+    /// The block's parent is not the current tip (append) or is unknown
+    /// (observe/switch).
+    UnknownParent,
+    /// A certificate did not validate.
+    BadCertificate,
+    /// The requested fork tip is not a stored block.
+    UnknownFork,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Block(e) => write!(f, "invalid block: {e}"),
+            ChainError::UnknownParent => f.write_str("unknown or non-tip parent"),
+            ChainError::BadCertificate => f.write_str("invalid certificate"),
+            ChainError::UnknownFork => f.write_str("unknown fork tip"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<BlockError> for ChainError {
+    fn from(e: BlockError) -> ChainError {
+        ChainError::Block(e)
+    }
+}
+
+struct Stored {
+    block: Block,
+    certificate: Option<Certificate>,
+    finalized: bool,
+}
+
+/// One node's view of the ledger.
+pub struct Blockchain {
+    params: ChainParams,
+    /// Every block this node knows of, canonical or not, by hash.
+    all_blocks: HashMap<[u8; 32], Stored>,
+    /// The adopted chain: `canonical[r]` is the hash of the round-r block.
+    canonical: Vec<[u8; 32]>,
+    /// `states[r]` is the account state after applying `canonical[r]`.
+    states: Vec<Accounts>,
+    /// Transaction id → confirming round, over the canonical chain.
+    tx_index: HashMap<[u8; 32], u64>,
+}
+
+impl std::fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("rounds", &(self.canonical.len() - 1))
+            .field("known_blocks", &self.all_blocks.len())
+            .field("tip", &self.tip_hash()[..4].to_vec())
+            .finish()
+    }
+}
+
+impl Blockchain {
+    /// Creates a chain holding only the genesis block.
+    ///
+    /// The genesis block fixes the initial allocations and the bootstrap
+    /// seed `seed_0` (§8.3: chosen by distributed random generation once
+    /// the initial keys are public — here it is simply an input).
+    pub fn new(
+        params: ChainParams,
+        alloc: impl IntoIterator<Item = (PublicKey, u64)>,
+        genesis_seed: [u8; 32],
+    ) -> Blockchain {
+        let accounts = Accounts::genesis(alloc);
+        let genesis = Block {
+            round: 0,
+            prev_hash: [0u8; 32],
+            seed: genesis_seed,
+            seed_proof: None,
+            proposer: None,
+            timestamp: 0,
+            txs: Vec::new(),
+            payload: Vec::new(),
+        };
+        let ghash = genesis.hash();
+        let mut all_blocks = HashMap::new();
+        all_blocks.insert(
+            ghash,
+            Stored {
+                block: genesis,
+                certificate: None,
+                finalized: true,
+            },
+        );
+        Blockchain {
+            params,
+            all_blocks,
+            canonical: vec![ghash],
+            states: vec![accounts],
+            tx_index: HashMap::new(),
+        }
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// The current tip block.
+    pub fn tip(&self) -> &Block {
+        let h = self.canonical.last().expect("genesis always present");
+        &self.all_blocks[h].block
+    }
+
+    /// The hash of the tip block.
+    pub fn tip_hash(&self) -> [u8; 32] {
+        *self.canonical.last().expect("genesis always present")
+    }
+
+    /// The round the chain is currently trying to agree on (tip + 1).
+    pub fn next_round(&self) -> u64 {
+        self.tip().round + 1
+    }
+
+    /// Account state at the tip.
+    pub fn accounts(&self) -> &Accounts {
+        self.states.last().expect("genesis always present")
+    }
+
+    /// The canonical block for a round, if adopted.
+    pub fn block_at(&self, round: u64) -> Option<&Block> {
+        self.canonical
+            .get(round as usize)
+            .map(|h| &self.all_blocks[h].block)
+    }
+
+    /// The certificate stored for a canonical round.
+    pub fn certificate_at(&self, round: u64) -> Option<&Certificate> {
+        self.canonical
+            .get(round as usize)
+            .and_then(|h| self.all_blocks[h].certificate.as_ref())
+    }
+
+    /// Whether the canonical block at `round` is finalized.
+    pub fn is_finalized(&self, round: u64) -> bool {
+        self.canonical
+            .get(round as usize)
+            .map(|h| self.all_blocks[h].finalized)
+            .unwrap_or(false)
+    }
+
+    /// The sortition seed to use for `round` (§5.2's refresh rule).
+    pub fn selection_seed(&self, round: u64) -> [u8; 32] {
+        let seed_round = selection_seed_round(round, self.params.seed_refresh_interval);
+        self.block_at(seed_round.min(self.tip().round))
+            .expect("seed round is on the canonical chain")
+            .seed
+    }
+
+    /// The weight snapshot to use for `round` (§5.3's look-back rule).
+    ///
+    /// With [`ChainParams::min_balance_weights`] set, the look-back weights
+    /// are clamped by current balances (§5.3's "nothing at stake"
+    /// mitigation).
+    pub fn weights_for_round(&self, round: u64) -> RoundWeights {
+        let seed_round = selection_seed_round(round, self.params.seed_refresh_interval);
+        let weight_round = seed_round
+            .saturating_sub(self.params.weight_lookback)
+            .min(self.tip().round);
+        let lookback = self.states[weight_round as usize].weights();
+        if self.params.min_balance_weights {
+            lookback.min_with(&self.accounts().weights())
+        } else {
+            lookback
+        }
+    }
+
+    /// Appends a block to the canonical chain after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownParent`] if the block does not extend
+    /// the tip, or the underlying [`BlockError`].
+    pub fn append(
+        &mut self,
+        block: Block,
+        certificate: Option<Certificate>,
+        finalized: bool,
+        now: Micros,
+    ) -> Result<(), ChainError> {
+        if block.prev_hash != self.tip_hash() {
+            return Err(ChainError::UnknownParent);
+        }
+        block.validate(self.tip(), self.accounts(), now, self.params.max_timestamp_skew)?;
+        let mut state = self.accounts().clone();
+        for tx in &block.txs {
+            state
+                .apply(tx)
+                .expect("validate() already checked every transaction");
+            self.tx_index.insert(tx.id(), block.round);
+        }
+        let hash = block.hash();
+        self.all_blocks.insert(
+            hash,
+            Stored {
+                block,
+                certificate,
+                finalized,
+            },
+        );
+        self.canonical.push(hash);
+        self.states.push(state);
+        Ok(())
+    }
+
+    /// Marks the canonical block at `round` (and, transitively, all its
+    /// predecessors) as finalized. Algorand confirms a transaction when it
+    /// is in a final block *or a predecessor of one* (§8.2).
+    pub fn finalize(&mut self, round: u64) {
+        for r in 0..=round.min(self.tip().round) {
+            let h = self.canonical[r as usize];
+            self.all_blocks.get_mut(&h).expect("canonical").finalized = true;
+        }
+    }
+
+    /// Drops non-canonical blocks at or below `round` from the fork store.
+    ///
+    /// Finalized rounds can never fork (§8.2), so side blocks there are
+    /// dead weight; nodes prune them as finality advances to keep memory
+    /// proportional to the unfinalized suffix.
+    pub fn prune_side_blocks(&mut self, round: u64) {
+        let canonical: std::collections::HashSet<[u8; 32]> =
+            self.canonical.iter().copied().collect();
+        self.all_blocks
+            .retain(|h, s| s.block.round > round || canonical.contains(h));
+    }
+
+    /// Stores a block that is *not* (yet) on the canonical chain — fork
+    /// tracking for recovery (§8.2).
+    pub fn observe_block(&mut self, block: Block) {
+        let hash = block.hash();
+        self.all_blocks.entry(hash).or_insert(Stored {
+            block,
+            certificate: None,
+            finalized: false,
+        });
+    }
+
+    /// The round a transaction was confirmed in, if on the canonical chain.
+    pub fn confirmed_round(&self, tx_id: &[u8; 32]) -> Option<u64> {
+        self.tx_index.get(tx_id).copied()
+    }
+
+    /// A confirmed transaction is *safely* confirmed once its block or any
+    /// successor is final.
+    pub fn is_safely_confirmed(&self, tx_id: &[u8; 32]) -> bool {
+        match self.confirmed_round(tx_id) {
+            Some(round) => (round..=self.tip().round).any(|r| self.is_finalized(r)),
+            None => false,
+        }
+    }
+
+    /// The tip of the longest chain among all stored blocks whose ancestry
+    /// reaches genesis — the fork proposed during recovery (§8.2).
+    pub fn longest_fork(&self) -> ([u8; 32], u64) {
+        let mut best = (self.canonical[0], 0u64);
+        for hash in self.all_blocks.keys() {
+            if let Some(len) = self.depth_of(hash) {
+                if len > best.1 || (len == best.1 && *hash > best.0) {
+                    best = (*hash, len);
+                }
+            }
+        }
+        best
+    }
+
+    /// A stored block (canonical or not) by hash.
+    pub fn block_by_hash(&self, hash: &[u8; 32]) -> Option<&Block> {
+        self.all_blocks.get(hash).map(|s| &s.block)
+    }
+
+    /// The chain length (number of non-genesis ancestors) of a stored
+    /// block, or `None` if its ancestry is incomplete.
+    pub fn fork_length(&self, hash: &[u8; 32]) -> Option<u64> {
+        self.depth_of(hash)
+    }
+
+    /// The weight snapshot at a specific canonical round (clamped to the
+    /// tip). Used by recovery, which fixes its own look-back round.
+    pub fn weights_at_round(&self, round: u64) -> RoundWeights {
+        let r = round.min(self.tip().round) as usize;
+        self.states[r].weights()
+    }
+
+    /// The newest canonical *proposed* block whose timestamp is at most
+    /// `cutoff`, falling back to genesis: the shared reference point from
+    /// which recovery derives its seed and weights (§8.2 quantizes time by
+    /// block timestamps so nodes on different forks agree on it as long as
+    /// the fork is younger than the look-back window).
+    pub fn recovery_base(&self, cutoff: Micros) -> (u64, [u8; 32]) {
+        let mut base = (0u64, self.all_blocks[&self.canonical[0]].block.seed);
+        for (r, h) in self.canonical.iter().enumerate() {
+            let b = &self.all_blocks[h].block;
+            if b.timestamp > 0 && b.timestamp <= cutoff {
+                base = (r as u64, b.seed);
+            }
+        }
+        base
+    }
+
+    /// The number of ancestors of `hash` down to genesis, or `None` if the
+    /// ancestry is incomplete (missing blocks).
+    fn depth_of(&self, hash: &[u8; 32]) -> Option<u64> {
+        let mut depth = 0u64;
+        let mut cur = *hash;
+        loop {
+            let stored = self.all_blocks.get(&cur)?;
+            if stored.block.round == 0 {
+                return Some(depth);
+            }
+            cur = stored.block.prev_hash;
+            depth += 1;
+            if depth > self.all_blocks.len() as u64 {
+                return None; // Cycle guard; cannot happen with real hashes.
+            }
+        }
+    }
+
+    /// Re-roots the canonical chain at the fork ending in `tip`.
+    ///
+    /// Used by recovery once BA⋆ agrees which fork to adopt. Account
+    /// states and the transaction index are rebuilt by replaying the fork
+    /// from genesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownFork`] if any ancestor is missing, or a
+    /// validation error if the fork contains an invalid block (an honest
+    /// node never proposes such a fork).
+    pub fn switch_to_fork(&mut self, tip: [u8; 32], now: Micros) -> Result<(), ChainError> {
+        // Collect the fork from tip to genesis.
+        let mut path = Vec::new();
+        let mut cur = tip;
+        loop {
+            let stored = self.all_blocks.get(&cur).ok_or(ChainError::UnknownFork)?;
+            path.push(cur);
+            if stored.block.round == 0 {
+                break;
+            }
+            cur = stored.block.prev_hash;
+        }
+        path.reverse();
+        if path[0] != self.canonical[0] {
+            return Err(ChainError::UnknownFork);
+        }
+        // Replay states along the fork.
+        let mut states = vec![self.states[0].clone()];
+        let mut tx_index = HashMap::new();
+        for pair in path.windows(2) {
+            let prev = &self.all_blocks[&pair[0]].block;
+            let block = &self.all_blocks[&pair[1]].block;
+            let state = states.last().expect("nonempty");
+            block.validate(prev, state, now, self.params.max_timestamp_skew)?;
+            let mut next = state.clone();
+            for tx in &block.txs {
+                next.apply(tx).expect("validated");
+                tx_index.insert(tx.id(), block.round);
+            }
+            states.push(next);
+        }
+        self.canonical = path;
+        self.states = states;
+        self.tx_index = tx_index;
+        Ok(())
+    }
+
+    /// Bootstraps a chain by validating `(block, certificate)` pairs in
+    /// order from genesis (§8.3's catch-up).
+    ///
+    /// Every certificate is checked with the seed and weights that were in
+    /// effect for its round, exactly as a live participant would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::BadCertificate`] on any forged or insufficient
+    /// certificate, or the block validation error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bootstrap(
+        params: ChainParams,
+        alloc: impl IntoIterator<Item = (PublicKey, u64)>,
+        genesis_seed: [u8; 32],
+        history: &[(Block, Certificate)],
+        ba_params: &BaParams,
+        verifier: &dyn VoteVerifier,
+        now: Micros,
+    ) -> Result<Blockchain, ChainError> {
+        let mut chain = Blockchain::new(params, alloc, genesis_seed);
+        for (block, cert) in history {
+            if cert.round != block.round || cert.value != block.hash() {
+                return Err(ChainError::BadCertificate);
+            }
+            let seed = chain.selection_seed(block.round);
+            let weights = chain.weights_for_round(block.round);
+            let prev_hash = chain.tip_hash();
+            cert.validate(ba_params, &seed, &prev_hash, &weights, verifier)
+                .map_err(|_| ChainError::BadCertificate)?;
+            chain.append(block.clone(), Some(cert.clone()), false, now)?;
+        }
+        Ok(chain)
+    }
+
+    /// Total bytes this node stores for blocks and certificates when the
+    /// store is sharded `n_shards` ways (§8.3): a user with key `pk` keeps
+    /// rounds where `round ≡ pk mod n_shards`.
+    pub fn sharded_storage_bytes(&self, pk: &PublicKey, n_shards: u64) -> usize {
+        let shard = shard_of(pk, n_shards);
+        self.canonical
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| n_shards <= 1 || (*r as u64) % n_shards == shard)
+            .map(|(_, h)| {
+                let stored = &self.all_blocks[h];
+                stored.block.wire_size()
+                    + stored.certificate.as_ref().map_or(0, |c| c.wire_size())
+            })
+            .sum()
+    }
+}
+
+/// The storage shard a public key is responsible for (§8.3: "users store
+/// blocks/certificates whose round number equals their public key modulo
+/// N").
+pub fn shard_of(pk: &PublicKey, n_shards: u64) -> u64 {
+    if n_shards <= 1 {
+        return 0;
+    }
+    let bytes = pk.as_bytes();
+    let mut x = [0u8; 8];
+    x.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(x) % n_shards
+}

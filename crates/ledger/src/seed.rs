@@ -1,0 +1,127 @@
+//! The sortition seed chain (§5.2–§5.3).
+//!
+//! Every round publishes a new seed. A block proposer computes
+//! `⟨seed_r, π⟩ ← VRF_sk(seed_{r−1} ‖ r)`, which is pseudorandom even for a
+//! malicious proposer because the key was fixed before the prior seed was
+//! known. If a round's block is empty or carries an invalid seed, everyone
+//! falls back to `seed_r = H(seed_{r−1} ‖ r)`. Sortition at round `r` uses
+//! the seed published at round `r − 1 − (r mod R)` — the refresh interval R
+//! limits how often an adversary can grind on seed selection.
+
+use algorand_crypto::vrf::{self, VrfProof};
+use algorand_crypto::{sha256_concat, Keypair, PublicKey};
+
+const DOM_SEED: &[u8] = b"algorand-repro/seed/v1";
+
+/// Builds the VRF input `seed_{r-1} || r`.
+fn seed_alpha(prev_seed: &[u8; 32], round: u64) -> Vec<u8> {
+    let mut alpha = Vec::with_capacity(DOM_SEED.len() + 40);
+    alpha.extend_from_slice(DOM_SEED);
+    alpha.extend_from_slice(prev_seed);
+    alpha.extend_from_slice(&round.to_le_bytes());
+    alpha
+}
+
+/// Computes the proposer's seed for `round` from the previous round's seed.
+///
+/// Returns the new seed and the proof that goes into the proposed block.
+pub fn propose_seed(keypair: &Keypair, prev_seed: &[u8; 32], round: u64) -> ([u8; 32], VrfProof) {
+    let (output, proof) = vrf::prove(keypair, &seed_alpha(prev_seed, round));
+    (output.0, proof)
+}
+
+/// Verifies a proposed seed; returns the certified seed on success.
+///
+/// A block whose seed fails this check is treated as empty (§5.2).
+pub fn verify_seed_proposal(
+    pk: &PublicKey,
+    proof: &VrfProof,
+    prev_seed: &[u8; 32],
+    round: u64,
+) -> Option<[u8; 32]> {
+    vrf::verify(pk, &seed_alpha(prev_seed, round), proof)
+        .ok()
+        .map(|o| o.0)
+}
+
+/// The hash-chain fallback seed `H(seed_{r−1} ‖ r)` used for empty blocks.
+pub fn fallback_seed(prev_seed: &[u8; 32], round: u64) -> [u8; 32] {
+    sha256_concat(&[DOM_SEED, b"/fallback", prev_seed, &round.to_le_bytes()])
+}
+
+/// The round whose published seed drives sortition at `round`:
+/// `r − 1 − (r mod R)` (§5.2), saturating at the genesis seed.
+pub fn selection_seed_round(round: u64, refresh_interval: u64) -> u64 {
+    debug_assert!(refresh_interval > 0);
+    round.saturating_sub(1 + round % refresh_interval.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_seed_verifies_and_is_deterministic() {
+        let kp = Keypair::from_seed([1; 32]);
+        let prev = [7u8; 32];
+        let (s1, p1) = propose_seed(&kp, &prev, 10);
+        let (s2, _) = propose_seed(&kp, &prev, 10);
+        assert_eq!(s1, s2);
+        assert_eq!(verify_seed_proposal(&kp.pk, &p1, &prev, 10), Some(s1));
+    }
+
+    #[test]
+    fn seed_proposal_bound_to_round_and_prev() {
+        let kp = Keypair::from_seed([2; 32]);
+        let prev = [7u8; 32];
+        let (_, proof) = propose_seed(&kp, &prev, 10);
+        assert!(verify_seed_proposal(&kp.pk, &proof, &prev, 11).is_none());
+        assert!(verify_seed_proposal(&kp.pk, &proof, &[8u8; 32], 10).is_none());
+        let other = Keypair::from_seed([3; 32]);
+        assert!(verify_seed_proposal(&other.pk, &proof, &prev, 10).is_none());
+    }
+
+    #[test]
+    fn proposer_cannot_choose_their_seed() {
+        // The VRF is deterministic per key: a proposer gets exactly one
+        // candidate seed per round, not a menu. Different keys give
+        // different seeds (grinding requires buying stake, not hashing).
+        let prev = [9u8; 32];
+        let s_a = propose_seed(&Keypair::from_seed([4; 32]), &prev, 5).0;
+        let s_b = propose_seed(&Keypair::from_seed([5; 32]), &prev, 5).0;
+        assert_ne!(s_a, s_b);
+    }
+
+    #[test]
+    fn fallback_seed_chains() {
+        let prev = [1u8; 32];
+        let s10 = fallback_seed(&prev, 10);
+        let s11 = fallback_seed(&s10, 11);
+        assert_ne!(s10, s11);
+        assert_ne!(s10, prev);
+        // Deterministic.
+        assert_eq!(fallback_seed(&prev, 10), s10);
+    }
+
+    #[test]
+    fn fallback_differs_from_vrf_seed() {
+        let kp = Keypair::from_seed([6; 32]);
+        let prev = [2u8; 32];
+        assert_ne!(propose_seed(&kp, &prev, 3).0, fallback_seed(&prev, 3));
+    }
+
+    #[test]
+    fn selection_round_follows_refresh_interval() {
+        // R = 10: rounds 11..=20 all use the seed from round 10... wait:
+        // r=11 → 11-1-(11%10)=9; r=19 → 19-1-9=9; r=20 → 20-1-0=19.
+        assert_eq!(selection_seed_round(11, 10), 9);
+        assert_eq!(selection_seed_round(19, 10), 9);
+        assert_eq!(selection_seed_round(20, 10), 19);
+        assert_eq!(selection_seed_round(29, 10), 19);
+        // R = 1: always the previous round's seed.
+        assert_eq!(selection_seed_round(5, 1), 4);
+        // Early rounds saturate at the genesis seed.
+        assert_eq!(selection_seed_round(1, 10), 0);
+        assert_eq!(selection_seed_round(0, 10), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Inter-city network latency model (§10).
+//!
+//! The paper assigns each EC2 VM to one of 20 major cities and models
+//! pairwise latency from inter-city ping measurements \[53\]. We derive
+//! one-way latencies from great-circle distances between the same kind of
+//! city set: distance over an effective propagation speed of 200,000 km/s
+//! (light in fibre, with routing slack) plus a fixed per-hop overhead.
+//! This produces the familiar 1–150 ms range of WonderNetwork's tables
+//! without transcribing them.
+
+use crate::event::Micros;
+
+/// (name, latitude°, longitude°) for the 20 modelled cities.
+pub const CITIES: [(&str, f64, f64); 20] = [
+    ("New York", 40.7, -74.0),
+    ("London", 51.5, -0.1),
+    ("Tokyo", 35.7, 139.7),
+    ("Sydney", -33.9, 151.2),
+    ("Singapore", 1.4, 103.8),
+    ("Frankfurt", 50.1, 8.7),
+    ("San Francisco", 37.8, -122.4),
+    ("Sao Paulo", -23.6, -46.6),
+    ("Mumbai", 19.1, 72.9),
+    ("Seoul", 37.6, 127.0),
+    ("Moscow", 55.8, 37.6),
+    ("Dubai", 25.2, 55.3),
+    ("Johannesburg", -26.2, 28.0),
+    ("Toronto", 43.7, -79.4),
+    ("Paris", 48.9, 2.4),
+    ("Amsterdam", 52.4, 4.9),
+    ("Hong Kong", 22.3, 114.2),
+    ("Los Angeles", 34.1, -118.2),
+    ("Chicago", 41.9, -87.6),
+    ("Stockholm", 59.3, 18.1),
+];
+
+/// Effective one-way propagation speed in km/s.
+const PROPAGATION_KM_PER_S: f64 = 200_000.0;
+/// Fixed overhead per message (routing, last mile), one way.
+const BASE_OVERHEAD_US: f64 = 2_500.0;
+/// Latency between two users in the same city.
+const SAME_CITY_US: f64 = 1_000.0;
+
+/// Great-circle distance between two cities in kilometres.
+fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * 6371.0 * h.sqrt().asin()
+}
+
+/// A precomputed one-way latency matrix between the modelled cities.
+#[derive(Clone, Debug)]
+pub struct LatencyMatrix {
+    micros: Vec<Vec<Micros>>,
+}
+
+impl Default for LatencyMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyMatrix {
+    /// Builds the matrix from the city table.
+    pub fn new() -> LatencyMatrix {
+        let n = CITIES.len();
+        let mut micros = vec![vec![0u64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                micros[i][j] = if i == j {
+                    SAME_CITY_US as u64
+                } else {
+                    let km = haversine_km(
+                        (CITIES[i].1, CITIES[i].2),
+                        (CITIES[j].1, CITIES[j].2),
+                    );
+                    (km / PROPAGATION_KM_PER_S * 1e6 + BASE_OVERHEAD_US) as u64
+                };
+            }
+        }
+        LatencyMatrix { micros }
+    }
+
+    /// Number of cities.
+    pub fn n_cities(&self) -> usize {
+        self.micros.len()
+    }
+
+    /// One-way latency between two cities, in microseconds.
+    pub fn one_way(&self, from_city: usize, to_city: usize) -> Micros {
+        self.micros[from_city][to_city]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city_index(name: &str) -> usize {
+        CITIES.iter().position(|c| c.0 == name).unwrap()
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_positive() {
+        let m = LatencyMatrix::new();
+        for i in 0..m.n_cities() {
+            for j in 0..m.n_cities() {
+                assert_eq!(m.one_way(i, j), m.one_way(j, i));
+                assert!(m.one_way(i, j) >= 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn same_city_is_fast() {
+        let m = LatencyMatrix::new();
+        assert_eq!(m.one_way(3, 3), 1_000);
+    }
+
+    #[test]
+    fn plausible_known_distances() {
+        let m = LatencyMatrix::new();
+        let ny = city_index("New York");
+        let london = city_index("London");
+        let sydney = city_index("Sydney");
+        // New York ↔ London: ~5,570 km → ~30 ms one way.
+        let nl = m.one_way(ny, london);
+        assert!((20_000..45_000).contains(&nl), "NY-London {nl}µs");
+        // London ↔ Sydney: ~17,000 km → ~85-95 ms one way.
+        let ls = m.one_way(london, sydney);
+        assert!((70_000..120_000).contains(&ls), "London-Sydney {ls}µs");
+        // Far pairs are slower than near pairs.
+        assert!(ls > 2 * nl);
+    }
+}

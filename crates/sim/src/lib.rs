@@ -1,0 +1,25 @@
+//! Discrete-event simulation of an Algorand deployment.
+//!
+//! The paper evaluates Algorand on 1,000 EC2 VMs (§10); this crate is that
+//! testbed's stand-in. It drives [`algorand_core::Node`] instances over a
+//! gossip topology in virtual time, modelling the two resources that
+//! determine the paper's results: per-process uplink bandwidth (20 Mbit/s,
+//! serializing transmissions) and inter-city propagation latency with
+//! jitter. Fault injection (partitions, targeted DoS) and the §10.4
+//! equivocation adversary are built in; for 500,000-user scales an
+//! analytic epidemic model mirrors the paper's own shortcuts.
+
+pub mod adversary;
+pub mod epidemic;
+pub mod event;
+pub mod latency;
+pub mod metrics;
+pub mod network;
+pub mod runner;
+
+pub use adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
+pub use epidemic::EpidemicConfig;
+pub use event::{Event, EventQueue, Micros};
+pub use metrics::{round_stats, Percentiles, RoundStats};
+pub use network::{NetConfig, Network};
+pub use runner::{SimConfig, Simulation};

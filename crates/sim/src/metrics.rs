@@ -1,0 +1,157 @@
+//! Aggregation of per-node round records into the paper's plot series.
+//!
+//! The figures plot, per configuration, the minimum, 25th percentile,
+//! median, 75th percentile, and maximum round-completion time across all
+//! users (§10: "include the minimum, median, maximum, 25th, and 75th
+//! percentile times across all users").
+
+use algorand_core::RoundRecord;
+
+/// The five-number summary the paper's error bars show.
+#[derive(Clone, Copy, Debug)]
+pub struct Percentiles {
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes the summary of a non-empty sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Percentiles {
+        assert!(!values.is_empty(), "no samples");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Percentiles {
+            min: v[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: *v.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Aggregated timing for one round across all honest users, in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundStats {
+    /// The round number.
+    pub round: u64,
+    /// Round completion time.
+    pub completion: Percentiles,
+    /// Block-proposal portion (Figure 7's bottom band), median.
+    pub proposal_median: f64,
+    /// BA⋆ without the final step (Figure 7's middle band), median.
+    pub ba_median: f64,
+    /// Final-step portion (Figure 7's top band), median.
+    pub final_median: f64,
+    /// Fraction of users that saw final (vs tentative) consensus.
+    pub final_fraction: f64,
+    /// Fraction of users that agreed on the empty block.
+    pub empty_fraction: f64,
+}
+
+/// Summarizes one round from every node's records.
+///
+/// Returns `None` if no node completed the round.
+pub fn round_stats(per_node_records: &[&[RoundRecord]], round: u64) -> Option<RoundStats> {
+    let recs: Vec<&RoundRecord> = per_node_records
+        .iter()
+        .flat_map(|r| r.iter())
+        .filter(|r| r.round == round)
+        .collect();
+    if recs.is_empty() {
+        return None;
+    }
+    let secs = |us: u64| us as f64 / 1e6;
+    let completion: Vec<f64> = recs.iter().map(|r| secs(r.total())).collect();
+    let mut proposal: Vec<f64> = recs.iter().map(|r| secs(r.proposal_time())).collect();
+    let mut ba: Vec<f64> = recs.iter().map(|r| secs(r.ba_without_final())).collect();
+    let mut fin: Vec<f64> = recs.iter().map(|r| secs(r.final_step_time())).collect();
+    let median = |v: &mut Vec<f64>| Percentiles::of(v).median;
+    let final_count = recs
+        .iter()
+        .filter(|r| r.kind == algorand_ba::ConsensusKind::Final)
+        .count();
+    let empty_count = recs.iter().filter(|r| r.empty).count();
+    Some(RoundStats {
+        round,
+        completion: Percentiles::of(&completion),
+        proposal_median: median(&mut proposal),
+        ba_median: median(&mut ba),
+        final_median: median(&mut fin),
+        final_fraction: final_count as f64 / recs.len() as f64,
+        empty_fraction: empty_count as f64 / recs.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorand_ba::ConsensusKind;
+
+    fn rec(round: u64, start: u64, fin: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            started: start,
+            ba_started: start + 1_000_000,
+            binary_done: fin - 500_000,
+            finished: fin,
+            kind: ConsensusKind::Final,
+            binary_step: 1,
+            empty: false,
+            block_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let p = Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p25, 2.0);
+        assert_eq!(p.median, 3.0);
+        assert_eq!(p.p75, 4.0);
+        assert_eq!(p.max, 5.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let p = Percentiles::of(&[0.0, 10.0]);
+        assert_eq!(p.median, 5.0);
+        assert_eq!(p.p25, 2.5);
+    }
+
+    #[test]
+    fn round_stats_aggregates_across_nodes() {
+        let a = vec![rec(1, 0, 4_000_000)];
+        let b = vec![rec(1, 0, 6_000_000)];
+        let c = vec![rec(2, 0, 9_000_000)];
+        let views: Vec<&[RoundRecord]> = vec![&a, &b, &c];
+        let s = round_stats(&views, 1).unwrap();
+        assert_eq!(s.round, 1);
+        assert_eq!(s.completion.min, 4.0);
+        assert_eq!(s.completion.max, 6.0);
+        assert_eq!(s.final_fraction, 1.0);
+        assert!(round_stats(&views, 3).is_none());
+    }
+}

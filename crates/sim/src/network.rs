@@ -1,0 +1,182 @@
+//! The transport model: per-process bandwidth caps, inter-city latency,
+//! jitter, and fault injection (§10's testbed conditions).
+//!
+//! Every simulated process has a 20 Mbit/s uplink (the paper's cap on each
+//! Algorand process). A message of S bytes occupies the sender's uplink for
+//! `8·S / bandwidth` seconds — transmissions serialize, which is exactly
+//! what makes large blocks dominate round latency in Figure 7 — then takes
+//! one inter-city one-way latency (±jitter) to arrive.
+
+use crate::event::Micros;
+use crate::latency::LatencyMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Transport configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Per-process uplink bandwidth in bits per second (paper: 20 Mbit/s).
+    pub bandwidth_bps: u64,
+    /// Multiplicative jitter applied to latency (0.1 = ±10%).
+    pub jitter_frac: f64,
+    /// RNG seed for jitter and city assignment.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            bandwidth_bps: 20_000_000,
+            jitter_frac: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// A drop filter: returns true if the message may pass.
+pub type Filter = Box<dyn FnMut(Micros, usize, usize) -> bool>;
+
+/// The simulated transport.
+pub struct Network {
+    cfg: NetConfig,
+    latency: LatencyMatrix,
+    city_of: Vec<usize>,
+    uplink_free: Vec<Micros>,
+    rng: StdRng,
+    bytes_sent: Vec<u64>,
+    bytes_received: Vec<u64>,
+    filter: Option<Filter>,
+}
+
+impl Network {
+    /// Creates a transport for `n` nodes, assigned round-robin to the 20
+    /// modelled cities.
+    pub fn new(n: usize, cfg: NetConfig) -> Network {
+        let latency = LatencyMatrix::new();
+        let cities = latency.n_cities();
+        Network {
+            city_of: (0..n).map(|i| i % cities).collect(),
+            uplink_free: vec![0; n],
+            rng: StdRng::seed_from_u64(cfg.seed),
+            bytes_sent: vec![0; n],
+            bytes_received: vec![0; n],
+            filter: None,
+            latency,
+            cfg,
+        }
+    }
+
+    /// Installs a drop filter (partitions, targeted DoS). Passing `None`
+    /// removes it.
+    pub fn set_filter(&mut self, filter: Option<Filter>) {
+        self.filter = filter;
+    }
+
+    /// Transmits `size` bytes from `from` to `to` starting at `now`.
+    ///
+    /// Returns the arrival time, or `None` when the filter drops the
+    /// message. Either way the sender's uplink is consumed: a sender
+    /// cannot tell that the adversary discarded its packets.
+    pub fn transmit(&mut self, from: usize, to: usize, size: usize, now: Micros) -> Option<Micros> {
+        let tx_time = (size as u128 * 8 * 1_000_000 / self.cfg.bandwidth_bps as u128) as Micros;
+        let start = self.uplink_free[from].max(now);
+        self.uplink_free[from] = start + tx_time;
+        self.bytes_sent[from] += size as u64;
+        if let Some(filter) = &mut self.filter {
+            if !filter(now, from, to) {
+                return None;
+            }
+        }
+        self.bytes_received[to] += size as u64;
+        let base = self.latency.one_way(self.city_of[from], self.city_of[to]);
+        let jitter = 1.0 + self.cfg.jitter_frac * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        let lat = (base as f64 * jitter) as Micros;
+        Some(self.uplink_free[from] + lat)
+    }
+
+    /// Total bytes sent by a node.
+    pub fn bytes_sent(&self, node: usize) -> u64 {
+        self.bytes_sent[node]
+    }
+
+    /// Total bytes received by a node.
+    pub fn bytes_received(&self, node: usize) -> u64 {
+        self.bytes_received[node]
+    }
+
+    /// Sum of bytes sent across all nodes.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+
+    /// The city index a node lives in.
+    pub fn city_of(&self, node: usize) -> usize {
+        self.city_of[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_serializes_transmissions() {
+        let mut net = Network::new(
+            2,
+            NetConfig {
+                bandwidth_bps: 8_000_000, // 1 MB/s.
+                jitter_frac: 0.0,
+                seed: 1,
+            },
+        );
+        // Two 1 MB messages back to back: the second arrives ~1 s later.
+        let a1 = net.transmit(0, 1, 1_000_000, 0).unwrap();
+        let a2 = net.transmit(0, 1, 1_000_000, 0).unwrap();
+        assert!(a2 >= a1 + 1_000_000 - 1, "a1={a1} a2={a2}");
+        assert_eq!(net.bytes_sent(0), 2_000_000);
+        assert_eq!(net.bytes_received(1), 2_000_000);
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let mut net = Network::new(2, NetConfig::default());
+        let arrival = net.transmit(0, 1, 300, 0).unwrap();
+        // 300 bytes at 20 Mbit/s is 120 µs of serialization; the rest is
+        // propagation (≥ 1 ms even within a city).
+        assert!(arrival >= 1_000, "arrival {arrival}");
+        assert!(arrival < 200_000, "arrival {arrival}");
+    }
+
+    #[test]
+    fn filter_drops_but_consumes_uplink() {
+        let mut net = Network::new(
+            2,
+            NetConfig {
+                bandwidth_bps: 8_000_000,
+                jitter_frac: 0.0,
+                seed: 1,
+            },
+        );
+        net.set_filter(Some(Box::new(|_, from, _| from != 0)));
+        assert!(net.transmit(0, 1, 1_000_000, 0).is_none());
+        assert_eq!(net.bytes_sent(0), 1_000_000);
+        assert_eq!(net.bytes_received(1), 0);
+        // The uplink was still occupied for the dropped send.
+        let next = net.transmit(1, 0, 100, 0).unwrap();
+        assert!(next > 0);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut net = Network::new(20, NetConfig::default());
+        let base = LatencyMatrix::new().one_way(0, 1);
+        for _ in 0..100 {
+            let arrival = net.transmit(0, 1, 1, 0);
+            let lat = arrival.unwrap();
+            assert!(
+                (lat as f64) < base as f64 * 1.11 + 10.0,
+                "lat {lat} base {base}"
+            );
+        }
+    }
+}

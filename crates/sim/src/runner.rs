@@ -1,0 +1,468 @@
+//! The simulation runner: N Algorand users over a gossip network in
+//! virtual time — the stand-in for the paper's 1,000-VM EC2 testbed.
+
+use crate::adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
+use crate::event::{Event, EventQueue, Micros};
+use crate::metrics::{round_stats, RoundStats};
+use crate::network::{Filter, NetConfig, Network};
+use algorand_ba::CachedVerifier;
+use algorand_core::{AlgorandParams, Node, RoundRecord, WireMessage};
+use algorand_crypto::Keypair;
+use algorand_gossip::{RelayDecision, RelayState, Topology};
+use algorand_ledger::{Blockchain, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Configuration for one simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of *malicious* users (taken from the end of the index
+    /// space); their stake is the same as everyone else's.
+    pub n_malicious: usize,
+    /// The attack the malicious users mount.
+    pub adversary_kind: AdversaryKind,
+    /// Protocol parameters (typically [`AlgorandParams::scaled`]).
+    pub params: AlgorandParams,
+    /// Transport configuration.
+    pub net: NetConfig,
+    /// Gossip out-degree (paper: 4).
+    pub out_degree: usize,
+    /// Synthetic payload bytes per proposed block.
+    pub payload_bytes: usize,
+    /// Currency units per user (equal split, as in §10).
+    pub stake_per_user: u64,
+    /// Relay every block regardless of priority (ablation of §6's
+    /// highest-priority discard rule; the paper behaviour is `false`).
+    pub relay_all_blocks: bool,
+    /// How often each user re-draws its gossip peers (§8.4: "Algorand
+    /// replaces gossip peers each round", which also heals nodes stuck in
+    /// a disconnected component). 0 disables churn.
+    pub peer_churn_interval: u64,
+    /// Seed for topology and deterministic keys.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A sensible default configuration for `n` users.
+    pub fn new(n: usize) -> SimConfig {
+        SimConfig {
+            n_users: n,
+            n_malicious: 0,
+            adversary_kind: AdversaryKind::default(),
+            params: AlgorandParams::scaled(n),
+            net: NetConfig::default(),
+            out_degree: 4,
+            payload_bytes: 0,
+            stake_per_user: 10,
+            relay_all_blocks: false,
+            // Default: re-draw peers roughly once per expected round.
+            peer_churn_interval: 15_000_000,
+            seed: 1,
+        }
+    }
+}
+
+enum Slot {
+    Honest(Box<Node>),
+    Malicious(Box<MaliciousNode>),
+}
+
+/// A message in flight, with precomputed id/slot/size so relaying costs
+/// O(1) per hop.
+pub struct SimMsg {
+    wire: WireMessage,
+    id: [u8; 32],
+    relay_slot: Option<([u8; 32], u64, u32)>,
+    size: usize,
+    /// Large bodies (blocks) are transferred pull-style: if the receiver
+    /// already announced holding the content, only an announcement-sized
+    /// exchange crosses the wire. Mirrors TCP gossip implementations
+    /// (and Bitcoin's inv/getdata), whose measured cost the paper cites:
+    /// ~2 body copies per node rather than one per edge.
+    pull_based: bool,
+}
+
+/// Bytes for a block announcement (hash + round + priority material).
+const ANNOUNCE_SIZE: usize = 300;
+
+impl SimMsg {
+    fn new(wire: WireMessage) -> Arc<SimMsg> {
+        let pull_based = matches!(
+            wire,
+            WireMessage::Block(_) | WireMessage::ForkProposal(_)
+        );
+        Arc::new(SimMsg {
+            id: wire.message_id(),
+            relay_slot: wire.relay_slot(),
+            size: wire.wire_size(),
+            wire,
+            pull_based,
+        })
+    }
+}
+
+/// The simulation.
+pub struct Simulation {
+    cfg: SimConfig,
+    nodes: Vec<Slot>,
+    keypairs: Vec<Keypair>,
+    topology: Topology,
+    relay: Vec<RelayState>,
+    net: Network,
+    queue: EventQueue<Arc<SimMsg>>,
+    next_wake: Vec<Micros>,
+    next_churn: Micros,
+    churn_epoch: u64,
+    verifier: Arc<CachedVerifier>,
+    adversary: Rc<RefCell<AdversaryShared>>,
+    started: bool,
+}
+
+impl Simulation {
+    /// Builds the simulation: deterministic keys, equal genesis stake, a
+    /// weighted gossip topology, and one node per user.
+    pub fn new(cfg: SimConfig) -> Simulation {
+        let keypairs: Vec<Keypair> = (0..cfg.n_users)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[..8].copy_from_slice(&(cfg.seed ^ 0x5eed).to_le_bytes());
+                seed[8..16].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+                Keypair::from_seed(seed)
+            })
+            .collect();
+        let alloc: Vec<_> = keypairs
+            .iter()
+            .map(|k| (k.pk, cfg.stake_per_user))
+            .collect();
+        let genesis_seed = [0x47u8; 32];
+        let verifier = Arc::new(CachedVerifier::new());
+        let adversary = Rc::new(RefCell::new(AdversaryShared::default()));
+        let n_honest = cfg.n_users - cfg.n_malicious;
+        let nodes: Vec<Slot> = (0..cfg.n_users)
+            .map(|i| {
+                let chain =
+                    Blockchain::new(cfg.params.chain, alloc.iter().copied(), genesis_seed);
+                let mut node =
+                    Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
+                node.payload_bytes = cfg.payload_bytes;
+                if i < n_honest {
+                    Slot::Honest(Box::new(node))
+                } else {
+                    Slot::Malicious(Box::new(MaliciousNode::with_kind(
+                        node,
+                        keypairs[i].clone(),
+                        cfg.adversary_kind,
+                        adversary.clone(),
+                    )))
+                }
+            })
+            .collect();
+        let mut topo_rng = StdRng::seed_from_u64(cfg.seed);
+        let weights = vec![cfg.stake_per_user; cfg.n_users];
+        let topology = Topology::weighted(cfg.n_users, cfg.out_degree, &weights, &mut topo_rng);
+        let relay = (0..cfg.n_users).map(|_| RelayState::new()).collect();
+        let net = Network::new(cfg.n_users, cfg.net.clone());
+        Simulation {
+            nodes,
+            keypairs,
+            topology,
+            relay,
+            net,
+            queue: EventQueue::new(),
+            next_wake: vec![u64::MAX; cfg.n_users],
+            next_churn: if cfg.peer_churn_interval > 0 {
+                cfg.peer_churn_interval
+            } else {
+                u64::MAX
+            },
+            churn_epoch: 0,
+            verifier,
+            adversary,
+            cfg,
+            started: false,
+        }
+    }
+
+    /// Installs a network fault filter (partition, targeted DoS).
+    pub fn set_network_filter(&mut self, filter: Option<Filter>) {
+        self.net.set_filter(filter);
+    }
+
+    /// Submits a transaction via node `node`, gossiping it to the network
+    /// exactly as a user's client would (§4).
+    pub fn submit_transaction(&mut self, node: usize, tx: Transaction) {
+        let msg = match &mut self.nodes[node] {
+            Slot::Honest(n) => n.submit_transaction(tx),
+            Slot::Malicious(m) => m.inner_mut().submit_transaction(tx),
+        };
+        if let Some(msg) = msg {
+            self.dispatch(node, vec![Outgoing::Broadcast(msg)]);
+        }
+    }
+
+    /// Injects an arbitrary wire message into the network at node `via`,
+    /// as if an attacker-controlled peer delivered it. The receiving node
+    /// processes it through the normal validation path, and the gossip
+    /// relay rules decide whether it spreads.
+    pub fn inject_message(&mut self, via: usize, msg: WireMessage) {
+        let sim_msg = SimMsg::new(msg);
+        let now = self.queue.now();
+        self.queue.schedule(
+            now,
+            Event::Deliver {
+                to: via,
+                // A self-loop `from` keeps the relay from skipping a peer.
+                from: via,
+                msg: sim_msg,
+            },
+        );
+    }
+
+    /// The keypair of user `i` (deterministic; useful for crafting
+    /// transactions in tests and benches).
+    pub fn keypair(&self, i: usize) -> &Keypair {
+        &self.keypairs[i]
+    }
+
+    /// Starts every node at time 0.
+    pub fn start(&mut self) {
+        assert!(!self.started, "already started");
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let outgoing = match &mut self.nodes[i] {
+                Slot::Honest(n) => wrap_broadcast(n.start(0)),
+                Slot::Malicious(m) => m.start(0),
+            };
+            self.dispatch(i, outgoing);
+            self.reschedule_wake(i);
+        }
+    }
+
+    /// Runs until virtual time `t_end` or until the event queue drains.
+    pub fn run_until(&mut self, t_end: Micros) {
+        if !self.started {
+            self.start();
+        }
+        while self.queue.next_time().is_some_and(|t| t <= t_end) {
+            let (now, event) = self.queue.pop().expect("peeked");
+            // §8.4: users periodically replace their gossip peers, which
+            // also recovers anyone stranded in a disconnected component.
+            if now >= self.next_churn {
+                self.churn_epoch += 1;
+                self.next_churn = self
+                    .next_churn
+                    .saturating_add(self.cfg.peer_churn_interval.max(1));
+                let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ (self.churn_epoch << 32));
+                let weights = vec![self.cfg.stake_per_user; self.cfg.n_users];
+                self.topology = Topology::weighted(
+                    self.cfg.n_users,
+                    self.cfg.out_degree,
+                    &weights,
+                    &mut rng,
+                );
+            }
+            match event {
+                Event::Wake { node } => {
+                    if self.next_wake[node] > now {
+                        continue; // Stale wake; a newer one is scheduled.
+                    }
+                    self.next_wake[node] = u64::MAX;
+                    let outgoing = match &mut self.nodes[node] {
+                        Slot::Honest(n) => wrap_broadcast(n.on_tick(now)),
+                        Slot::Malicious(m) => m.on_tick(now),
+                    };
+                    self.dispatch(node, outgoing);
+                    self.reschedule_wake(node);
+                }
+                Event::Deliver { to, from, msg } => {
+                    let decision = self.relay[to].classify(msg.id, msg.relay_slot);
+                    if decision == RelayDecision::Duplicate {
+                        continue;
+                    }
+                    let now_t = now;
+                    let outgoing = match &mut self.nodes[to] {
+                        Slot::Honest(n) => wrap_broadcast(n.on_message(&msg.wire, now_t)),
+                        Slot::Malicious(m) => m.on_message(&msg.wire, now_t),
+                    };
+                    // §6: honest users discard block bodies that are not
+                    // the highest-priority proposal they have seen.
+                    let discard = !self.cfg.relay_all_blocks
+                        && match (&msg.wire, &self.nodes[to]) {
+                            (WireMessage::Block(b), Slot::Honest(n)) => {
+                                !n.should_relay_block(b)
+                            }
+                            _ => false,
+                        };
+                    if decision == RelayDecision::Relay && !discard {
+                        self.forward(to, &msg, Some(from), now_t);
+                    }
+                    self.dispatch(to, outgoing);
+                    self.reschedule_wake(to);
+                }
+            }
+        }
+    }
+
+    /// Runs until every honest node's chain has reached `rounds` rounds,
+    /// or until `t_cap` virtual time passes (whichever comes first).
+    ///
+    /// Progress is judged by chain height, not per-round records: a node
+    /// that re-synced via catch-up has the rounds without having measured
+    /// them.
+    pub fn run_rounds(&mut self, rounds: u64, t_cap: Micros) {
+        if !self.started {
+            self.start();
+        }
+        loop {
+            let all_done = self.nodes.iter().all(|slot| {
+                let node = match slot {
+                    Slot::Honest(n) => n.as_ref(),
+                    Slot::Malicious(m) => m.inner(),
+                };
+                node.chain().tip().round >= rounds
+            });
+            if all_done {
+                return;
+            }
+            // Advance in one-second slices so the completion check runs
+            // periodically without scanning after every event.
+            let Some(next) = self.queue.next_time() else {
+                return;
+            };
+            if next > t_cap {
+                return;
+            }
+            self.run_until((next + 1_000_000).min(t_cap));
+        }
+    }
+
+    /// Per-honest-node round records.
+    pub fn honest_records(&self) -> Vec<&[RoundRecord]> {
+        self.nodes
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Honest(n) => Some(n.records()),
+                Slot::Malicious(_) => None,
+            })
+            .collect()
+    }
+
+    /// Aggregated stats for one round.
+    pub fn round_stats(&self, round: u64) -> Option<RoundStats> {
+        round_stats(&self.honest_records(), round)
+    }
+
+    /// Immutable access to an honest node.
+    pub fn honest_node(&self, i: usize) -> &Node {
+        match &self.nodes[i] {
+            Slot::Honest(n) => n,
+            Slot::Malicious(m) => m.inner(),
+        }
+    }
+
+    /// The network (bytes accounting).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Number of distinct vote verifications performed (CPU-cost proxy).
+    pub fn unique_verifications(&self) -> usize {
+        self.verifier.unique_verifications()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Micros {
+        self.queue.now()
+    }
+
+    /// The configuration this simulation runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The shared adversary state (tests inspect recorded equivocations).
+    pub fn adversary(&self) -> Rc<RefCell<AdversaryShared>> {
+        self.adversary.clone()
+    }
+
+    // --- Internals -----------------------------------------------------------
+
+    /// Sends node-originated messages to all (or half) of its peers.
+    fn dispatch(&mut self, from: usize, outgoing: Vec<Outgoing>) {
+        let now = self.queue.now();
+        for o in outgoing {
+            match o {
+                Outgoing::Broadcast(wire) => {
+                    let msg = SimMsg::new(wire);
+                    // Mark as seen so an echoed copy is not re-processed.
+                    self.relay[from].classify(msg.id, msg.relay_slot);
+                    self.forward(from, &msg, None, now);
+                }
+                Outgoing::Split(wire_a, wire_b) => {
+                    let msg_a = SimMsg::new(wire_a);
+                    let msg_b = SimMsg::new(wire_b);
+                    self.relay[from].classify(msg_a.id, msg_a.relay_slot);
+                    self.relay[from].classify(msg_b.id, msg_b.relay_slot);
+                    let peers: Vec<usize> = self.topology.neighbors(from).to_vec();
+                    for (idx, &p) in peers.iter().enumerate() {
+                        let msg = if idx % 2 == 0 { &msg_a } else { &msg_b };
+                        self.transmit(from, p, msg, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Relays a message to every neighbour except the one it came from.
+    fn forward(&mut self, from: usize, msg: &Arc<SimMsg>, exclude: Option<usize>, now: Micros) {
+        let peers: Vec<usize> = self.topology.neighbors(from).to_vec();
+        for p in peers {
+            if Some(p) == exclude {
+                continue;
+            }
+            self.transmit(from, p, msg, now);
+        }
+    }
+
+    fn transmit(&mut self, from: usize, to: usize, msg: &Arc<SimMsg>, now: Micros) {
+        // Pull-based bodies: a peer that already holds the content costs
+        // only the announcement round-trip.
+        let size = if msg.pull_based && self.relay[to].has_seen(&msg.id) {
+            ANNOUNCE_SIZE.min(msg.size)
+        } else {
+            msg.size
+        };
+        if let Some(arrival) = self.net.transmit(from, to, size, now) {
+            self.queue.schedule(
+                arrival,
+                Event::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    fn reschedule_wake(&mut self, node: usize) {
+        let deadline = match &self.nodes[node] {
+            Slot::Honest(n) => n.next_deadline(),
+            Slot::Malicious(m) => m.next_deadline(),
+        };
+        if let Some(d) = deadline {
+            if d < self.next_wake[node] {
+                self.next_wake[node] = d;
+                self.queue.schedule(d, Event::Wake { node });
+            }
+        }
+    }
+}
+
+fn wrap_broadcast(msgs: Vec<WireMessage>) -> Vec<Outgoing> {
+    msgs.into_iter().map(Outgoing::Broadcast).collect()
+}

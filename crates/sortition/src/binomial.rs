@@ -1,0 +1,309 @@
+//! Numerics for sortition: binomial and Poisson distributions in log space.
+//!
+//! Sortition (Algorithm 1) walks the binomial CDF
+//! `B(k; w, p)` with `p = τ/W` tiny and `w` potentially in the millions, so
+//! probabilities are computed via logarithms to avoid underflow. The same
+//! machinery powers the committee-size solver for Figure 3, which needs
+//! Poisson tail probabilities down to 5×10⁻⁹.
+
+/// Natural log of the gamma function, by the Lanczos approximation.
+///
+/// Accurate to ~1e-13 relative error for x > 0, which is far tighter than
+/// anything the probability computations here require.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Natural log of the binomial coefficient C(n, k).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// The binomial probability mass `B(k; n, p)` from §5.1.
+pub fn binomial_pmf(k: u64, n: u64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    if k > n {
+        return 0.0;
+    }
+    let ln_pmf =
+        ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
+    ln_pmf.exp()
+}
+
+/// An iterator over binomial masses `B(0;n,p), B(1;n,p), …` computed by the
+/// stable multiplicative recurrence.
+///
+/// `pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)`, seeded with
+/// `pmf(0) = exp(n·ln(1−p))`. This is how sortition walks the CDF without
+/// recomputing factorials at every step.
+pub struct BinomialPmfIter {
+    n: u64,
+    k: u64,
+    ratio: f64,
+    current: f64,
+    done: bool,
+}
+
+impl BinomialPmfIter {
+    /// Starts the iterator at k = 0.
+    pub fn new(n: u64, p: f64) -> BinomialPmfIter {
+        let p = p.clamp(0.0, 1.0);
+        let (current, ratio) = if p >= 1.0 {
+            // Degenerate: all mass at k = n; emit zeros until then.
+            (if n == 0 { 1.0 } else { 0.0 }, 0.0)
+        } else {
+            (((n as f64) * (1.0 - p).ln()).exp(), p / (1.0 - p))
+        };
+        BinomialPmfIter {
+            n,
+            k: 0,
+            ratio,
+            current,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for BinomialPmfIter {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.done {
+            return None;
+        }
+        let out = self.current;
+        if self.k >= self.n {
+            self.done = true;
+        } else {
+            self.current *= self.ratio * ((self.n - self.k) as f64) / ((self.k + 1) as f64);
+            self.k += 1;
+        }
+        Some(out)
+    }
+}
+
+/// The binomial CDF `P[X ≤ k]` for X ~ Binomial(n, p).
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> f64 {
+    BinomialPmfIter::new(n, p)
+        .take((k + 1).min(n + 1) as usize)
+        .sum::<f64>()
+        .min(1.0)
+}
+
+/// Log of the Poisson probability mass `P[X = k]` for X ~ Poisson(λ).
+pub fn poisson_ln_pmf(k: u64, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    -lambda + (k as f64) * lambda.ln() - ln_gamma(k as f64 + 1.0)
+}
+
+/// The lower Poisson tail `P[X ≤ k]`, summed in linear space from the mode
+/// outward so that tiny tails retain relative accuracy.
+pub fn poisson_cdf(k: u64, lambda: f64) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..=k {
+        acc += poisson_ln_pmf(i, lambda).exp();
+    }
+    acc.min(1.0)
+}
+
+/// The upper Poisson tail `P[X > k]`.
+///
+/// Computed by direct summation of the pmf above `k` (accurate for tiny
+/// tails, where `1 − cdf` would lose everything to cancellation).
+pub fn poisson_sf(k: u64, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    if (k as f64) < lambda {
+        // Left of the mode the survival probability is large; computing it
+        // as a complement is accurate, and the direct sum below would
+        // underflow term-by-term for large λ.
+        return (1.0 - poisson_cdf(k, lambda)).max(0.0);
+    }
+    // Sum from k+1 upward; past the mode the terms decay geometrically.
+    let mut acc = 0.0f64;
+    let mut i = k + 1;
+    let mut ln_term = poisson_ln_pmf(i, lambda);
+    let mut term = ln_term.exp();
+    loop {
+        acc += term;
+        i += 1;
+        ln_term += lambda.ln() - (i as f64).ln();
+        term = ln_term.exp();
+        if (term < acc * 1e-18 && (i as f64) > lambda) || term == 0.0 {
+            break;
+        }
+    }
+    acc.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1e-300)
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!(close(ln_gamma(5.0), 24.0f64.ln(), 1e-12));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!(close(ln_choose(5, 2), 10.0f64.ln(), 1e-12));
+        assert!(close(ln_choose(10, 5), 252.0f64.ln(), 1e-12));
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for (n, p) in [(10u64, 0.3), (100, 0.01), (1000, 0.5)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(k, n, p)).sum();
+            assert!(close(total, 1.0, 1e-9), "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn binomial_iter_matches_direct_pmf() {
+        let n = 50;
+        let p = 0.07;
+        for (k, iter_pmf) in BinomialPmfIter::new(n, p).enumerate() {
+            let direct = binomial_pmf(k as u64, n, p);
+            assert!(
+                close(iter_pmf, direct, 1e-9),
+                "k={k} iter={iter_pmf} direct={direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_iter_handles_degenerate_p() {
+        let all: Vec<f64> = BinomialPmfIter::new(3, 0.0).collect();
+        assert_eq!(all, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_and_bounded() {
+        let n = 200;
+        let p = 0.02;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(k, n, p);
+            assert!(c >= prev - 1e-15);
+            assert!(c <= 1.0);
+            prev = c;
+        }
+        assert!(close(binomial_cdf(n, n, p), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn binomial_splitting_identity() {
+        // §5.1: splitting weight across Sybils does not change the selected
+        // count distribution: Binomial(n1,p) + Binomial(n2,p) =
+        // Binomial(n1+n2,p). Check the convolution directly.
+        let (n1, n2, p) = (30u64, 50u64, 0.04);
+        for k in 0..=20u64 {
+            let convolved: f64 = (0..=k)
+                .map(|j| binomial_pmf(j, n1, p) * binomial_pmf(k - j, n2, p))
+                .sum();
+            let direct = binomial_pmf(k, n1 + n2, p);
+            assert!(
+                close(convolved, direct, 1e-9),
+                "k={k} conv={convolved} direct={direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let lambda = 20.0;
+        let total: f64 = (0..200).map(|k| poisson_ln_pmf(k, lambda).exp()).sum();
+        assert!(close(total, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn poisson_cdf_plus_sf_is_one() {
+        for lambda in [1.0f64, 50.0, 2000.0] {
+            for k in [0u64, 10, (lambda as u64), (2.0 * lambda) as u64] {
+                let total = poisson_cdf(k, lambda) + poisson_sf(k, lambda);
+                assert!(close(total, 1.0, 1e-6), "λ={lambda} k={k} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_sf_deep_tail_is_positive_and_tiny() {
+        // P[X > λ + 10σ] for λ = 1600 is around 1e-23; it must be computed
+        // as a positive number, not rounded to zero by cancellation.
+        let lambda = 1600.0f64;
+        let k = (lambda + 10.0 * lambda.sqrt()) as u64;
+        let sf = poisson_sf(k, lambda);
+        assert!(sf > 0.0 && sf < 1e-15, "sf = {sf}");
+    }
+
+    #[test]
+    fn poisson_tail_matches_known_value() {
+        // P[X > 0] = 1 - e^{-λ}.
+        let lambda = 2.5;
+        assert!(close(poisson_sf(0, lambda), 1.0 - (-lambda).exp(), 1e-12));
+    }
+
+    #[test]
+    fn binomial_approaches_poisson_for_small_p() {
+        // Binomial(n, λ/n) → Poisson(λ): the approximation used in the
+        // committee-size analysis.
+        let lambda = 10.0;
+        let n = 1_000_000u64;
+        let p = lambda / n as f64;
+        for k in 0..30u64 {
+            let b = binomial_pmf(k, n, p);
+            let q = poisson_ln_pmf(k, lambda).exp();
+            assert!(close(b, q, 1e-3), "k={k} binom={b} poisson={q}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Statistical behaviour of sortition: empirical selection frequencies
+//! against the binomial model (§5.1).
+//!
+//! These are distributional smoke tests with seeded determinism — wide
+//! tolerances, no flakiness — complementing the exact unit tests.
+
+use algorand_crypto::Keypair;
+use algorand_sortition::{select, Role, SortitionParams};
+
+fn kp(i: u64) -> Keypair {
+    let mut s = [0u8; 32];
+    s[..8].copy_from_slice(&i.to_le_bytes());
+    Keypair::from_seed(s)
+}
+
+#[test]
+fn expected_committee_size_matches_tau() {
+    // Sum of selected sub-users over many rounds ≈ τ per round.
+    let n_users = 40;
+    let weight = 25u64;
+    let tau = 100.0;
+    let params = SortitionParams {
+        tau,
+        total_weight: n_users as u64 * weight,
+    };
+    let keypairs: Vec<Keypair> = (0..n_users).map(|i| kp(i as u64 + 1)).collect();
+    let rounds = 50u64;
+    let mut total = 0u64;
+    for round in 0..rounds {
+        let role = Role::Committee { round, step: 1 };
+        let seed = [round as u8; 32];
+        for k in &keypairs {
+            if let Some(sel) = select(k, &seed, role, &params, weight) {
+                total += sel.j;
+            }
+        }
+    }
+    let mean = total as f64 / rounds as f64;
+    // σ per round ≈ √(τ(1−p)) ≈ 9.5; the mean of 50 rounds has σ ≈ 1.35.
+    assert!(
+        (mean - tau).abs() < 8.0,
+        "mean committee size {mean} vs τ {tau}"
+    );
+}
+
+#[test]
+fn selection_probability_proportional_to_weight() {
+    // User A with 3× the weight of user B must accumulate ≈3× the selected
+    // sub-users.
+    let params = SortitionParams {
+        tau: 60.0,
+        total_weight: 400,
+    };
+    let heavy = kp(100);
+    let light = kp(101);
+    let mut heavy_total = 0u64;
+    let mut light_total = 0u64;
+    for round in 0..120u64 {
+        let role = Role::Committee { round, step: 2 };
+        let seed = [(round % 251) as u8; 32];
+        if let Some(sel) = select(&heavy, &seed, role, &params, 300) {
+            heavy_total += sel.j;
+        }
+        if let Some(sel) = select(&light, &seed, role, &params, 100) {
+            light_total += sel.j;
+        }
+    }
+    let ratio = heavy_total as f64 / light_total.max(1) as f64;
+    assert!(
+        (2.2..4.0).contains(&ratio),
+        "weight ratio 3 gave selection ratio {ratio} ({heavy_total}/{light_total})"
+    );
+}
+
+#[test]
+fn proposer_count_distribution_matches_poisson_tail() {
+    // With τ_proposer = 6 over 30 users, the no-proposer probability is
+    // e^{-6} ≈ 0.25%; over 200 rounds we should essentially never see a
+    // proposer-less round, and the mean count should be near 6.
+    let n_users = 30;
+    let weight = 10u64;
+    let params = SortitionParams {
+        tau: 6.0,
+        total_weight: n_users as u64 * weight,
+    };
+    let keypairs: Vec<Keypair> = (0..n_users).map(|i| kp(i as u64 + 500)).collect();
+    let mut counts = Vec::new();
+    for round in 0..200u64 {
+        let role = Role::BlockProposer { round };
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&round.to_le_bytes());
+        let mut c = 0;
+        for k in &keypairs {
+            if select(k, &seed, role, &params, weight).is_some() {
+                c += 1;
+            }
+        }
+        counts.push(c);
+    }
+    let zero_rounds = counts.iter().filter(|&&c| c == 0).count();
+    let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+    assert!(zero_rounds <= 2, "{zero_rounds} rounds without a proposer");
+    assert!((4.0..8.0).contains(&mean), "mean proposer count {mean}");
+}
+
+#[test]
+fn different_roles_select_independent_committees() {
+    // The same seed and round must yield different committees for
+    // different steps; overlap should look like independent draws, not
+    // identical sets.
+    let n_users = 60;
+    let weight = 10u64;
+    let params = SortitionParams {
+        tau: 120.0,
+        total_weight: n_users as u64 * weight,
+    };
+    let keypairs: Vec<Keypair> = (0..n_users).map(|i| kp(i as u64 + 900)).collect();
+    let seed = [77u8; 32];
+    let committee = |step: u32| -> Vec<bool> {
+        keypairs
+            .iter()
+            .map(|k| {
+                select(
+                    k,
+                    &seed,
+                    Role::Committee { round: 9, step },
+                    &params,
+                    weight,
+                )
+                .is_some()
+            })
+            .collect()
+    };
+    let c1 = committee(1);
+    let c2 = committee(2);
+    assert_ne!(c1, c2, "steps 1 and 2 drew identical committees");
+    // Each committee selects a majority of users (p ≈ 0.86 of being chosen
+    // at least once with w=10, p_sub=0.2), but not everyone.
+    for (label, c) in [("step1", &c1), ("step2", &c2)] {
+        let members = c.iter().filter(|&&b| b).count();
+        assert!(
+            (30..60).contains(&members),
+            "{label}: {members} members of 60"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Committee-parameter explorer: the Figure 3 computation as a tool.
+//!
+//! Given an assumed honest-stake fraction and a failure budget, solves for
+//! the committee size τ and threshold T that make one BA⋆ step safe and
+//! live, and reports the bandwidth/security trade-off — the §7.5 analysis
+//! a deployment engineer would run before changing h.
+//!
+//! Run with:
+//! `cargo run --release --example committee_explorer [h%] [log10(eps)]`
+//! e.g. `cargo run --release --example committee_explorer 82 -10`
+
+use algorand::ba::VoteMessage;
+use algorand::sortition::committee::{
+    best_threshold, certificate_forgery_log10_bound, solve_committee_size,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let h_pct: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(80.0);
+    let log_eps: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(-8.3); // 5e-9, the paper's budget.
+    let h = (h_pct / 100.0).clamp(0.67, 0.99);
+    let eps = 10f64.powf(log_eps);
+
+    println!("honest stake fraction  h = {:.0}%", h * 100.0);
+    println!("per-step failure budget  = {eps:.1e}");
+    println!();
+    match solve_committee_size(h, eps, 200_000) {
+        Some((tau, t)) => {
+            println!("sufficient committee:  tau = {tau}, T = {t:.3}");
+            println!(
+                "vote threshold:        {:.0} votes must agree per step",
+                t * tau as f64
+            );
+            let per_step_kb = tau as f64 * VoteMessage::WIRE_SIZE as f64 / 1e3;
+            println!(
+                "bandwidth per step:    ~{per_step_kb:.0} KB of committee votes gossiped \
+                 network-wide"
+            );
+            let forgery = certificate_forgery_log10_bound(tau as f64, t, h);
+            println!(
+                "certificate forgery:   per-step probability <= 10^{forgery:.0} \
+                 (paper cites < 2^-166 for tau > 1000)"
+            );
+            let (_, achieved) = best_threshold(tau as f64, h);
+            println!("achieved violation:    {achieved:.2e}");
+        }
+        None => {
+            println!(
+                "no committee up to 200,000 satisfies the budget — h is too close to 2/3 \
+                 (the Figure 3 curve diverges there)"
+            );
+        }
+    }
+    println!();
+    println!("reference: the paper operates at h = 80%, tau = 2000, T = 0.685.");
+}
