@@ -1,9 +1,16 @@
-//! Property-based tests on BA⋆'s vote accounting and message invariants.
+//! Randomized property tests on BA⋆'s vote accounting and message
+//! invariants, driven by the in-repo deterministic RNG so failures replay.
 
 use algorand_ba::tally::StepTally;
 use algorand_ba::{StepKind, VoteMessage};
+use algorand_crypto::rng::Rng;
 use algorand_crypto::{vrf, Keypair};
-use proptest::prelude::*;
+
+const CASES: usize = 16;
+
+fn rng(test_tag: u64) -> Rng {
+    Rng::seed_from_u64(0xBA5E ^ test_tag)
+}
 
 /// A deterministic vote from user `seed` for `value`, any fixed context.
 fn vote(seed: u8, round: u64, step: u32, value: u8) -> VoteMessage {
@@ -20,24 +27,26 @@ fn vote(seed: u8, round: u64, step: u32, value: u8) -> VoteMessage {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Tally totals are permutation-invariant and replay-proof: any order
-    /// and any number of repetitions of the same vote set yields the same
-    /// counts.
-    #[test]
-    fn tally_is_order_and_replay_invariant(
-        votes in proptest::collection::vec((1u8..10, 0u8..3, 1u64..5), 1..16),
-        shuffle_seed in any::<u64>(),
-    ) {
+/// Tally totals are permutation-invariant and replay-proof: any order and
+/// any number of repetitions of the same vote set yields the same counts.
+#[test]
+fn tally_is_order_and_replay_invariant() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
         // One vote per sender: with equivocation, "first vote wins" makes
         // outcomes inherently order-dependent (tested separately below).
+        let n = 1 + rng.gen_range_usize(15);
         let mut seen = std::collections::HashSet::new();
-        let msgs: Vec<(VoteMessage, u64)> = votes
-            .iter()
+        let msgs: Vec<(VoteMessage, u64)> = (0..n)
+            .map(|_| {
+                (
+                    1 + rng.gen_range_u64(9) as u8,
+                    rng.gen_range_u64(3) as u8,
+                    1 + rng.gen_range_u64(4),
+                )
+            })
             .filter(|(who, _, _)| seen.insert(*who))
-            .map(|(who, val, weight)| (vote(*who, 1, 1, *val), *weight))
+            .map(|(who, val, weight)| (vote(who, 1, 1, val), weight))
             .collect();
         // Reference tally: in order, each once.
         let mut reference = StepTally::new();
@@ -46,13 +55,7 @@ proptest! {
         }
         // Shuffled + replayed tally.
         let mut order: Vec<usize> = (0..msgs.len()).collect();
-        // Cheap deterministic shuffle.
-        let mut state = shuffle_seed | 1;
-        for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            order.swap(i, j);
-        }
+        rng.shuffle(&mut order);
         let mut shuffled = StepTally::new();
         for &i in &order {
             let (m, w) = &msgs[i];
@@ -60,87 +63,102 @@ proptest! {
             shuffled.add(m, *w); // Replay: must not double count.
         }
         for val in 0u8..3 {
-            prop_assert_eq!(
+            assert_eq!(
                 reference.count_for(&[val; 32]),
                 shuffled.count_for(&[val; 32]),
-                "value {}", val
+                "value {val}"
             );
         }
-        prop_assert_eq!(reference.common_coin(), shuffled.common_coin());
+        assert_eq!(reference.common_coin(), shuffled.common_coin());
     }
+}
 
-    /// A sender contributes to exactly one value per step, no matter how
-    /// many conflicting votes it sends (equivocation cannot double-count).
-    #[test]
-    fn equivocating_sender_counts_once(
-        who in 1u8..20,
-        values in proptest::collection::vec(0u8..5, 2..6),
-        weight in 1u64..10,
-    ) {
+/// A sender contributes to exactly one value per step, no matter how many
+/// conflicting votes it sends (equivocation cannot double-count).
+#[test]
+fn equivocating_sender_counts_once() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let who = 1 + rng.gen_range_u64(19) as u8;
+        let weight = 1 + rng.gen_range_u64(9);
+        let n_values = 2 + rng.gen_range_usize(4);
         let mut tally = StepTally::new();
-        for v in &values {
-            tally.add(&vote(who, 1, 1, *v), weight);
+        for _ in 0..n_values {
+            let v = rng.gen_range_u64(5) as u8;
+            tally.add(&vote(who, 1, 1, v), weight);
         }
-        prop_assert_eq!(tally.total_votes(), weight);
-        prop_assert_eq!(tally.num_voters(), 1);
+        assert_eq!(tally.total_votes(), weight);
+        assert_eq!(tally.num_voters(), 1);
     }
+}
 
-    /// Over-threshold detection is exact: just below never fires, just
-    /// above always does.
-    #[test]
-    fn threshold_boundary_is_strict(
-        weights in proptest::collection::vec(1u64..50, 1..8),
-    ) {
+/// Over-threshold detection is exact: just below never fires, just above
+/// always does.
+#[test]
+fn threshold_boundary_is_strict() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range_usize(7);
+        let weights: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range_u64(49)).collect();
         let mut tally = StepTally::new();
         for (i, w) in weights.iter().enumerate() {
             tally.add(&vote(i as u8 + 1, 1, 1, 7), *w);
         }
         let total: u64 = weights.iter().sum();
-        prop_assert_eq!(tally.over_threshold(total as f64), None);
-        prop_assert_eq!(
-            tally.over_threshold(total as f64 - 0.5),
-            Some([7u8; 32])
-        );
+        assert_eq!(tally.over_threshold(total as f64), None);
+        assert_eq!(tally.over_threshold(total as f64 - 0.5), Some([7u8; 32]));
     }
+}
 
-    /// Vote signatures bind every field: any single-field change breaks
-    /// verification.
-    #[test]
-    fn vote_signature_binds_fields(
-        who in 1u8..20,
-        round in 1u64..1000,
-        step in 1u32..50,
-        value in any::<u8>(),
-    ) {
+/// Vote signatures bind every field: any single-field change breaks
+/// verification.
+#[test]
+fn vote_signature_binds_fields() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let who = 1 + rng.gen_range_u64(19) as u8;
+        let round = 1 + rng.gen_range_u64(999);
+        let step = 1 + rng.gen_range_u64(49) as u32;
+        let value = rng.gen_range_u64(256) as u8;
         let v = vote(who, round, step, value);
-        prop_assert!(v.signature_valid());
+        assert!(v.signature_valid());
         let mut wrong_round = v.clone();
         wrong_round.round += 1;
-        prop_assert!(!wrong_round.signature_valid());
+        assert!(!wrong_round.signature_valid());
         let mut wrong_step = v.clone();
         wrong_step.step = StepKind::Main(step + 1);
-        prop_assert!(!wrong_step.signature_valid());
+        assert!(!wrong_step.signature_valid());
         let mut wrong_value = v.clone();
         wrong_value.value[0] ^= 0xff;
-        prop_assert!(!wrong_value.signature_valid());
+        assert!(!wrong_value.signature_valid());
         let mut wrong_prev = v.clone();
         wrong_prev.prev_hash[0] ^= 1;
-        prop_assert!(!wrong_prev.signature_valid());
+        assert!(!wrong_prev.signature_valid());
     }
+}
 
-    /// Message ids are injective over the varied fields (no accidental
-    /// dedup collisions between distinct votes).
-    #[test]
-    fn message_ids_unique(
-        a in (1u8..10, 1u64..5, 1u32..5, 0u8..3),
-        b in (1u8..10, 1u64..5, 1u32..5, 0u8..3),
-    ) {
+/// Message ids are injective over the varied fields (no accidental dedup
+/// collisions between distinct votes).
+#[test]
+fn message_ids_unique() {
+    let mut rng = rng(5);
+    for _ in 0..4 * CASES {
+        let pick = |rng: &mut Rng| {
+            (
+                1 + rng.gen_range_u64(9) as u8,
+                1 + rng.gen_range_u64(4),
+                1 + rng.gen_range_u64(4) as u32,
+                rng.gen_range_u64(3) as u8,
+            )
+        };
+        let a = pick(&mut rng);
+        let b = pick(&mut rng);
         let va = vote(a.0, a.1, a.2, a.3);
         let vb = vote(b.0, b.1, b.2, b.3);
         if a == b {
-            prop_assert_eq!(va.message_id(), vb.message_id());
+            assert_eq!(va.message_id(), vb.message_id());
         } else {
-            prop_assert_ne!(va.message_id(), vb.message_id());
+            assert_ne!(va.message_id(), vb.message_id());
         }
     }
 }

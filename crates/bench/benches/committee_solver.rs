@@ -1,23 +1,14 @@
-//! Criterion bench for the Figure 3 committee-size computation: the
+//! Bench for the Figure 3 committee-size computation: the
 //! violation-probability evaluation and the τ solver.
 
+use algorand_bench::timing::bench;
 use algorand_sortition::committee::{solve_committee_size, violation_probability};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_violation(c: &mut Criterion) {
-    c.bench_function("committee/violation_probability(2000,0.685,0.8)", |b| {
-        b.iter(|| violation_probability(2000.0, 0.685, std::hint::black_box(0.8)))
+fn main() {
+    bench("committee/violation_probability(2000,0.685,0.8)", || {
+        std::hint::black_box(violation_probability(2000.0, 0.685, std::hint::black_box(0.8)));
+    });
+    bench("committee/solve h=0.85", || {
+        std::hint::black_box(solve_committee_size(std::hint::black_box(0.85), 5e-9, 20_000));
     });
 }
-
-fn bench_solver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("committee/solve");
-    g.sample_size(10);
-    g.bench_function("h=0.85", |b| {
-        b.iter(|| solve_committee_size(std::hint::black_box(0.85), 5e-9, 20_000))
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_violation, bench_solver);
-criterion_main!(benches);

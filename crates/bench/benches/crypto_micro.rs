@@ -1,49 +1,46 @@
-//! Criterion micro-benchmarks for the §10.3 CPU cost drivers: signatures,
-//! VRFs, sortition, vote processing, and hashing. The paper attributes
-//! most per-user CPU (~6.5% of a core) to verifying signatures and VRFs.
+//! Micro-benchmarks for the §10.3 CPU cost drivers: signatures, VRFs,
+//! sortition, vote processing, and hashing. The paper attributes most
+//! per-user CPU (~6.5% of a core) to verifying signatures and VRFs.
 
 use algorand_ba::{RealVerifier, RoundWeights, StepKind, VoteContext, VoteMessage, VoteVerifier};
+use algorand_bench::timing::{bench, bench_throughput};
 use algorand_crypto::{sha256, sig, vrf, Keypair};
 use algorand_sortition::{select, Role, SortitionParams};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
+fn bench_sha256() {
     for size in [64usize, 1024, 1 << 20] {
         let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| sha256(std::hint::black_box(&data)))
+        bench_throughput(&format!("sha256/{size}B"), size as u64, || {
+            std::hint::black_box(sha256(std::hint::black_box(&data)));
         });
     }
-    g.finish();
 }
 
-fn bench_signatures(c: &mut Criterion) {
+fn bench_signatures() {
     let keypair = Keypair::from_seed([1; 32]);
     let msg = [0x5au8; 300];
     let signature = sig::sign(&keypair, &msg);
-    c.bench_function("sig/sign", |b| {
-        b.iter(|| sig::sign(&keypair, std::hint::black_box(&msg)))
+    bench("sig/sign", || {
+        std::hint::black_box(sig::sign(&keypair, std::hint::black_box(&msg)));
     });
-    c.bench_function("sig/verify", |b| {
-        b.iter(|| sig::verify(&keypair.pk, &msg, std::hint::black_box(&signature)))
+    bench("sig/verify", || {
+        std::hint::black_box(sig::verify(&keypair.pk, &msg, std::hint::black_box(&signature)));
     });
 }
 
-fn bench_vrf(c: &mut Criterion) {
+fn bench_vrf() {
     let keypair = Keypair::from_seed([2; 32]);
     let alpha = b"seed||role";
     let (_, proof) = vrf::prove(&keypair, alpha);
-    c.bench_function("vrf/prove", |b| {
-        b.iter(|| vrf::prove(&keypair, std::hint::black_box(alpha)))
+    bench("vrf/prove", || {
+        std::hint::black_box(vrf::prove(&keypair, std::hint::black_box(alpha)));
     });
-    c.bench_function("vrf/verify", |b| {
-        b.iter(|| vrf::verify(&keypair.pk, alpha, std::hint::black_box(&proof)))
+    bench("vrf/verify", || {
+        std::hint::black_box(vrf::verify(&keypair.pk, alpha, std::hint::black_box(&proof)));
     });
 }
 
-fn bench_sortition(c: &mut Criterion) {
+fn bench_sortition() {
     let keypair = Keypair::from_seed([3; 32]);
     let seed = [7u8; 32];
     let params = SortitionParams {
@@ -51,25 +48,23 @@ fn bench_sortition(c: &mut Criterion) {
         total_weight: 1_000_000,
     };
     let role = Role::Committee { round: 1, step: 1 };
-    c.bench_function("sortition/select", |b| {
-        b.iter(|| select(&keypair, &seed, role, &params, std::hint::black_box(5000)))
+    bench("sortition/select", || {
+        std::hint::black_box(select(&keypair, &seed, role, &params, std::hint::black_box(5000)));
     });
     let sel = select(&keypair, &seed, role, &params, 1_000_000).expect("whale is selected");
-    c.bench_function("sortition/verify", |b| {
-        b.iter(|| {
-            algorand_sortition::verify(
-                &keypair.pk,
-                std::hint::black_box(&sel.proof),
-                &seed,
-                role,
-                &params,
-                1_000_000,
-            )
-        })
+    bench("sortition/verify", || {
+        std::hint::black_box(algorand_sortition::verify(
+            &keypair.pk,
+            std::hint::black_box(&sel.proof),
+            &seed,
+            role,
+            &params,
+            1_000_000,
+        ));
     });
 }
 
-fn bench_vote_processing(c: &mut Criterion) {
+fn bench_vote_processing() {
     // ProcessMsg (Algorithm 6): the dominant cost of observing BA⋆.
     let keypairs: Vec<Keypair> = (0..4u8).map(|i| Keypair::from_seed([i + 1; 32])).collect();
     let weights = RoundWeights::from_pairs(keypairs.iter().map(|k| (k.pk, 1000u64)));
@@ -102,17 +97,15 @@ fn bench_vote_processing(c: &mut Criterion) {
         [4u8; 32],
         [5u8; 32],
     );
-    c.bench_function("ba/process_vote", |b| {
-        b.iter(|| RealVerifier.verify_vote(std::hint::black_box(&vote), &ctx, &weights))
+    bench("ba/process_vote", || {
+        std::hint::black_box(RealVerifier.verify_vote(std::hint::black_box(&vote), &ctx, &weights));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_signatures,
-    bench_vrf,
-    bench_sortition,
-    bench_vote_processing
-);
-criterion_main!(benches);
+fn main() {
+    bench_sha256();
+    bench_signatures();
+    bench_vrf();
+    bench_sortition();
+    bench_vote_processing();
+}

@@ -1,13 +1,13 @@
-//! Criterion benches for ledger-side costs: block validation (the §8.1
-//! checks every user runs on a received proposal) and certificate
-//! validation (what a bootstrapping user pays per round, §8.3).
+//! Benches for ledger-side costs: block validation (the §8.1 checks
+//! every user runs on a received proposal) and certificate validation
+//! (what a bootstrapping user pays per round, §8.3).
 
 use algorand_ba::{BaParams, Certificate, RealVerifier, RoundWeights, StepKind, VoteMessage, SECOND};
+use algorand_bench::timing::bench;
 use algorand_crypto::Keypair;
 use algorand_ledger::seed::propose_seed;
 use algorand_ledger::{Accounts, Block, Transaction};
 use algorand_sortition::{select, Role, SortitionParams};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn make_chain_context(n_users: usize) -> (Vec<Keypair>, Accounts, Block) {
     let keypairs: Vec<Keypair> = (0..n_users)
@@ -31,15 +31,11 @@ fn make_chain_context(n_users: usize) -> (Vec<Keypair>, Accounts, Block) {
     (keypairs, accounts, genesis)
 }
 
-fn bench_block_validation(c: &mut Criterion) {
+fn bench_block_validation() {
     let (keypairs, accounts, genesis) = make_chain_context(8);
-    let mut g = c.benchmark_group("ledger/validate_block");
-    g.sample_size(20);
     for n_txs in [0usize, 10, 100] {
         let txs: Vec<Transaction> = (0..n_txs)
-            .map(|i| {
-                Transaction::payment(&keypairs[0], keypairs[1].pk, 1, i as u64 + 1)
-            })
+            .map(|i| Transaction::payment(&keypairs[0], keypairs[1].pk, 1, i as u64 + 1))
             .collect();
         let (seed, proof) = propose_seed(&keypairs[2], &genesis.seed, 1);
         let block = Block {
@@ -52,18 +48,15 @@ fn bench_block_validation(c: &mut Criterion) {
             txs,
             payload: Vec::new(),
         };
-        g.throughput(Throughput::Elements(n_txs.max(1) as u64));
-        g.bench_function(format!("{n_txs}_txs"), |b| {
-            b.iter(|| {
-                std::hint::black_box(&block)
-                    .validate(&genesis, &accounts, 1_000_000, 3_600_000_000)
-            })
+        bench(&format!("ledger/validate_block/{n_txs}_txs"), || {
+            std::hint::black_box(
+                std::hint::black_box(&block).validate(&genesis, &accounts, 1_000_000, 3_600_000_000),
+            );
         });
     }
-    g.finish();
 }
 
-fn bench_certificate_validation(c: &mut Criterion) {
+fn bench_certificate_validation() {
     // A scaled certificate: 20 committee votes. Paper scale (~1400 votes)
     // costs proportionally more; the per-vote cost is what matters.
     let (keypairs, _, genesis) = make_chain_context(20);
@@ -107,17 +100,14 @@ fn bench_certificate_validation(c: &mut Criterion) {
         value,
         votes,
     };
-    let mut g = c.benchmark_group("ledger/validate_certificate");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(20));
-    g.bench_function("20_votes", |b| {
-        b.iter(|| {
-            std::hint::black_box(&cert)
-                .validate(&params, &seed, &prev, &weights, &RealVerifier)
-        })
+    bench("ledger/validate_certificate/20_votes", || {
+        std::hint::black_box(
+            std::hint::black_box(&cert).validate(&params, &seed, &prev, &weights, &RealVerifier),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_block_validation, bench_certificate_validation);
-criterion_main!(benches);
+fn main() {
+    bench_block_validation();
+    bench_certificate_validation();
+}

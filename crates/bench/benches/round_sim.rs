@@ -1,23 +1,15 @@
-//! Criterion bench: wall-clock cost of simulating full consensus rounds
-//! (the harness cost, not a paper figure — useful for sizing sweeps).
+//! Bench: wall-clock cost of simulating full consensus rounds (the
+//! harness cost, not a paper figure — useful for sizing sweeps).
 
+use algorand_bench::timing::bench;
 use algorand_sim::{SimConfig, Simulation};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_round(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim/one_round");
-    g.sample_size(10);
+fn main() {
     for n in [20usize, 50] {
-        g.bench_function(format!("{n}_users"), |b| {
-            b.iter(|| {
-                let mut sim = Simulation::new(SimConfig::new(n));
-                sim.run_rounds(1, 10 * 60 * 1_000_000);
-                std::hint::black_box(sim.round_stats(1))
-            })
+        bench(&format!("sim/one_round/{n}_users"), || {
+            let mut sim = Simulation::new(SimConfig::new(n));
+            sim.run_rounds(1, 10 * 60 * 1_000_000);
+            std::hint::black_box(sim.round_stats(1));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_round);
-criterion_main!(benches);

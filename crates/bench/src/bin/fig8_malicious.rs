@@ -34,6 +34,7 @@ fn main() {
             p25: avg(|s| s.completion.p25),
             median: avg(|s| s.completion.median),
             p75: avg(|s| s.completion.p75),
+            p99: avg(|s| s.completion.p99),
             max: avg(|s| s.completion.max),
         };
         println!(

@@ -1,0 +1,40 @@
+//! CI smoke test: a small end-to-end payment workload must finalize.
+//!
+//! Runs a 50-user network with ~200 injected transactions and exits
+//! non-zero unless ≥95% of them commit, each exactly once. Fast enough
+//! for every CI run (`scripts/ci.sh`); the full-size acceptance sweep
+//! lives in `tput_throughput` and `tests/txpool_e2e.rs`.
+
+use algorand_bench::T_CAP;
+use algorand_sim::{SimConfig, Simulation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = SimConfig::new(50);
+    cfg.stake_per_user = 50;
+    cfg.tx_rate = 25.0;
+    cfg.tx_total = 200;
+    cfg.seed = 23;
+    let mut sim = Simulation::new(cfg);
+    sim.run_rounds(8, T_CAP);
+
+    let stats = sim.tx_stats().expect("workload configured");
+    let (p50, p99) = stats
+        .latency
+        .as_ref()
+        .map_or((f64::NAN, f64::NAN), |p| (p.median, p.p99));
+    println!(
+        "txpool smoke: injected {} committed {} ({:.1} tx/s, latency p50 {:.2}s p99 {:.2}s, {} duplicate commits)",
+        stats.injected, stats.committed, stats.tx_per_sec, p50, p99, stats.duplicate_commits
+    );
+    let ok = stats.injected == 200
+        && stats.committed as f64 >= 0.95 * stats.injected as f64
+        && stats.duplicate_commits == 0;
+    if ok {
+        println!("txpool smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("txpool smoke: FAILED (need >=95% of 200 committed, exactly once)");
+        ExitCode::FAILURE
+    }
+}

@@ -18,6 +18,8 @@
 //! done
 //! ```
 
+pub mod timing;
+
 use algorand_sim::{Percentiles, RoundStats, SimConfig, Simulation};
 
 /// Virtual-time cap for a single simulated experiment.
@@ -80,6 +82,7 @@ mod tests {
             p25: 2.0,
             median: 3.0,
             p75: 4.0,
+            p99: 4.9,
             max: 5.0,
         };
         assert_eq!(fmt_percentiles(&p).split_whitespace().count(), 5);

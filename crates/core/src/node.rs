@@ -26,7 +26,8 @@ use algorand_ba::{
 use algorand_crypto::Keypair;
 use algorand_ledger::seed::propose_seed;
 use algorand_ledger::{Block, Blockchain, Transaction};
-use std::collections::{HashMap, HashSet, VecDeque};
+use algorand_txpool::TxPool;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// How far ahead of the local round incoming votes are buffered.
@@ -96,12 +97,13 @@ pub struct Node {
     params: AlgorandParams,
     chain: Blockchain,
     verifier: Arc<CachedVerifier>,
-    /// Transactions submitted locally or heard from gossip, pending
-    /// inclusion.
-    pending_txs: VecDeque<Transaction>,
-    /// Ids of transactions ever admitted to the pool (dedup).
-    seen_txs: HashSet<[u8; 32]>,
-    /// Synthetic payload bytes added to proposed blocks (throughput
+    /// The mempool: payments submitted locally or heard from gossip,
+    /// pending inclusion (§5: "each user collects a block of pending
+    /// transactions that they hear about").
+    pub pool: TxPool,
+    /// Byte budget for the transaction list of an assembled proposal.
+    pub block_tx_bytes: usize,
+    /// Synthetic payload bytes added to proposed blocks (block-size
     /// experiments; 0 for a real deployment).
     pub payload_bytes: usize,
     /// All block bodies seen, by hash.
@@ -137,8 +139,8 @@ impl Node {
             params,
             chain,
             verifier,
-            pending_txs: VecDeque::new(),
-            seen_txs: HashSet::new(),
+            pool: TxPool::default(),
+            block_tx_bytes: 1 << 20,
             payload_bytes: 0,
             block_cache: HashMap::new(),
             future_votes: HashMap::new(),
@@ -232,11 +234,10 @@ impl Node {
     /// Queues a transaction for inclusion in a future proposal and returns
     /// the gossip message that submits it to the network (§4).
     pub fn submit_transaction(&mut self, tx: Transaction) -> Option<WireMessage> {
-        if !self.seen_txs.insert(tx.id()) {
-            return None;
-        }
-        self.pending_txs.push_back(tx.clone());
-        Some(WireMessage::Transaction(tx))
+        self.pool
+            .admit(tx.clone(), self.chain.accounts())
+            .ok()
+            .map(|()| WireMessage::Transaction(tx))
     }
 
     /// A one-line description of the node's phase (diagnostics only).
@@ -367,6 +368,9 @@ impl Node {
         if advanced {
             self.hung = false;
             self.last_progress = now;
+            // Blocks adopted via catch-up commit nonces just like agreed
+            // ones: drop what they made stale.
+            self.pool.prune(self.chain.accounts());
             self.start_round(now, out);
         }
     }
@@ -383,17 +387,19 @@ impl Node {
         });
     }
 
-    /// Admits a gossiped payment into the pending pool (§4: each user
-    /// collects a block of pending transactions in case they are chosen to
-    /// propose).
+    /// Admits a gossiped payment into the mempool (§4: each user collects
+    /// a block of pending transactions in case they are chosen to
+    /// propose). The pool screens signatures (cached), replays, and
+    /// duplicates; out-of-order nonces are buffered.
     fn on_transaction(&mut self, tx: &Transaction) {
-        // Signature screening keeps garbage out of the pool; balance and
-        // nonce are checked against the live state at proposal time.
-        if self.seen_txs.contains(&tx.id()) || !tx.signature_valid() {
-            return;
-        }
-        self.seen_txs.insert(tx.id());
-        self.pending_txs.push_back(tx.clone());
+        let _ = self.pool.admit(tx.clone(), self.chain.accounts());
+    }
+
+    /// Whether a just-processed transaction message is new enough to be
+    /// worth relaying: only first admissions propagate, so a transaction
+    /// traverses each node once.
+    pub fn should_relay_transaction(&self, tx: &Transaction) -> bool {
+        self.pool.contains(&tx.id())
     }
 
     /// Advances clocks; fires any due timeouts.
@@ -493,29 +499,17 @@ impl Node {
         }
     }
 
-    /// Builds this proposer's block from pending transactions.
+    /// Builds this proposer's block from the mempool: the highest-priority
+    /// nonce- and balance-consistent run, up to the byte budget. The taken
+    /// transactions leave the pool; [`Node::complete_round`] reinserts
+    /// them if this proposal loses.
     fn assemble_block(&mut self, now: Micros) -> Block {
         let round = self.ctx.round;
         let prev = self.chain.tip();
         let (seed, seed_proof) = propose_seed(&self.keypair, &prev.seed, round);
-        let mut state = self.chain.accounts().clone();
-        let mut txs = Vec::new();
-        let mut rejected = VecDeque::new();
-        while let Some(tx) = self.pending_txs.pop_front() {
-            match state.apply(&tx) {
-                Ok(()) => txs.push(tx),
-                // Keep not-yet-applicable transactions (future nonces) for
-                // later rounds; drop stale replays and permanently invalid
-                // ones.
-                Err(algorand_ledger::TxError::BadNonce)
-                    if tx.nonce > state.nonce(&tx.from) =>
-                {
-                    rejected.push_back(tx)
-                }
-                Err(_) => {}
-            }
-        }
-        self.pending_txs = rejected;
+        let txs = self
+            .pool
+            .take_block(self.chain.accounts(), self.block_tx_bytes);
         Block {
             round,
             prev_hash: self.ctx.prev_hash,
@@ -777,7 +771,21 @@ impl Node {
         }
         // Proposal bodies from completed rounds can no longer be decided
         // on; keep only blocks that future rounds might still reference.
+        // First salvage the transactions of this round's *losing*
+        // proposals back into the mempool (our own taken ones, and any
+        // that reached us only inside a proposal body); the replay check
+        // against the just-updated accounts drops whatever the winning
+        // block committed.
         let completed = block.round;
+        let decided = decision.value;
+        let losing_txs: Vec<Transaction> = self
+            .block_cache
+            .values()
+            .filter(|b| b.round == completed && b.hash() != decided)
+            .flat_map(|b| b.txs.iter().cloned())
+            .collect();
+        self.pool.reinsert(losing_txs, self.chain.accounts());
+        self.pool.prune(self.chain.accounts());
         self.block_cache.retain(|_, b| b.round > completed);
         self.records.push(RoundRecord {
             round: self.ctx.round,
@@ -1030,6 +1038,9 @@ impl Node {
         self.hung = false;
         self.last_progress = now;
         self.recoveries_completed += 1;
+        // Fork switches rewind and replay state; re-anchor the mempool on
+        // the adopted fork's accounts.
+        self.pool.prune(self.chain.accounts());
         self.start_round(now, out);
     }
 }

@@ -165,7 +165,7 @@ pub struct Keypair {
 
 impl Keypair {
     /// Generates a fresh keypair from the given randomness source.
-    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Keypair {
+    pub fn generate(rng: &mut crate::rng::Rng) -> Keypair {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
         Keypair::from_seed(seed)
@@ -254,8 +254,7 @@ pub fn message_digest(parts: &[&[u8]]) -> [u8; 32] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng;
 
     fn kp(seed: u8) -> Keypair {
         Keypair::from_seed([seed; 32])
@@ -342,7 +341,7 @@ mod tests {
 
     #[test]
     fn generated_keys_differ() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let a = Keypair::generate(&mut rng);
         let b = Keypair::generate(&mut rng);
         assert_ne!(a.pk, b.pk);

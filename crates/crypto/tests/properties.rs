@@ -1,210 +1,220 @@
-//! Property-based tests for the cryptographic substrate.
+//! Randomized property tests for the cryptographic substrate.
 //!
 //! These check algebraic laws (field and scalar rings, group structure) and
-//! end-to-end roundtrips (sign/verify, VRF prove/verify) over arbitrary
-//! inputs, complementing the fixed-vector unit tests in each module.
+//! end-to-end roundtrips (sign/verify, VRF prove/verify) over many random
+//! inputs, complementing the fixed-vector unit tests in each module. The
+//! inputs come from the in-repo deterministic RNG, so failures replay
+//! exactly.
 
 use algorand_crypto::edwards::EdwardsPoint;
 use algorand_crypto::field::FieldElement;
+use algorand_crypto::rng::Rng;
 use algorand_crypto::scalar::Scalar;
 use algorand_crypto::sha256::sha256;
 use algorand_crypto::{sig, vrf, Keypair};
-use proptest::prelude::*;
 
-fn arb_field_element() -> impl Strategy<Value = FieldElement> {
-    any::<[u8; 32]>().prop_map(|mut b| {
-        b[31] &= 0x7f;
-        FieldElement::from_bytes(&b)
-    })
+const CASES: usize = 24;
+
+fn rng(test_tag: u64) -> Rng {
+    Rng::seed_from_u64(0xC0FFEE ^ test_tag)
 }
 
-fn arb_scalar() -> impl Strategy<Value = Scalar> {
-    any::<[u8; 32]>().prop_map(|b| Scalar::from_bytes_mod_order(&b))
+fn rand_field(rng: &mut Rng) -> FieldElement {
+    let mut b = rng.gen_bytes32();
+    b[31] &= 0x7f;
+    FieldElement::from_bytes(&b)
 }
 
-fn arb_keypair() -> impl Strategy<Value = Keypair> {
-    any::<[u8; 32]>().prop_map(Keypair::from_seed)
+fn rand_scalar(rng: &mut Rng) -> Scalar {
+    Scalar::from_bytes_mod_order(&rng.gen_bytes32())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn rand_keypair(rng: &mut Rng) -> Keypair {
+    Keypair::from_seed(rng.gen_bytes32())
+}
 
-    // --- Field ring laws -------------------------------------------------
+fn rand_msg(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range_usize(max_len + 1);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    #[test]
-    fn field_add_commutes(a in arb_field_element(), b in arb_field_element()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
+// --- Field ring laws -------------------------------------------------------
+
+#[test]
+fn field_ring_laws() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let (a, b, c) = (rand_field(&mut rng), rand_field(&mut rng), rand_field(&mut rng));
+        assert_eq!(a.add(&b), b.add(&a), "addition commutes");
+        assert_eq!(a.mul(&b), b.mul(&a), "multiplication commutes");
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)), "multiplication associates");
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)), "distributivity");
+        assert!(a.add(&a.neg()).is_zero(), "additive inverse");
+        if !a.is_zero() {
+            assert_eq!(a.mul(&a.invert()), FieldElement::ONE, "multiplicative inverse");
+        }
+        assert_eq!(a.square(), a.mul(&a), "square matches mul");
     }
+}
 
-    #[test]
-    fn field_mul_commutes(a in arb_field_element(), b in arb_field_element()) {
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-    }
-
-    #[test]
-    fn field_mul_associates(
-        a in arb_field_element(),
-        b in arb_field_element(),
-        c in arb_field_element(),
-    ) {
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-    }
-
-    #[test]
-    fn field_distributes(
-        a in arb_field_element(),
-        b in arb_field_element(),
-        c in arb_field_element(),
-    ) {
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-    }
-
-    #[test]
-    fn field_additive_inverse(a in arb_field_element()) {
-        prop_assert!(a.add(&a.neg()).is_zero());
-    }
-
-    #[test]
-    fn field_multiplicative_inverse(a in arb_field_element()) {
-        prop_assume!(!a.is_zero());
-        prop_assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
-    }
-
-    #[test]
-    fn field_bytes_roundtrip(a in arb_field_element()) {
+#[test]
+fn field_bytes_roundtrip() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let a = rand_field(&mut rng);
         let bytes = a.to_bytes();
-        prop_assert_eq!(FieldElement::from_bytes(&bytes), a);
+        assert_eq!(FieldElement::from_bytes(&bytes), a);
         // Canonical encodings keep bit 255 clear.
-        prop_assert_eq!(bytes[31] & 0x80, 0);
+        assert_eq!(bytes[31] & 0x80, 0);
     }
+}
 
-    #[test]
-    fn field_square_matches_mul(a in arb_field_element()) {
-        prop_assert_eq!(a.square(), a.mul(&a));
-    }
-
-    #[test]
-    fn field_sqrt_of_square_recovers(a in arb_field_element()) {
-        prop_assume!(!a.is_zero());
+#[test]
+fn field_sqrt_of_square_recovers() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let a = rand_field(&mut rng);
+        if a.is_zero() {
+            continue;
+        }
         let sq = a.square();
         let r = FieldElement::sqrt_ratio(&sq, &FieldElement::ONE).expect("is a square");
-        prop_assert!(r == a || r == a.neg());
+        assert!(r == a || r == a.neg());
     }
+}
 
-    // --- Scalar ring laws -------------------------------------------------
+// --- Scalar ring laws -------------------------------------------------------
 
-    #[test]
-    fn scalar_add_commutes(a in arb_scalar(), b in arb_scalar()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
+#[test]
+fn scalar_ring_laws() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let (a, b, c) = (rand_scalar(&mut rng), rand_scalar(&mut rng), rand_scalar(&mut rng));
+        assert_eq!(a.add(&b), b.add(&a), "addition commutes");
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)), "multiplication associates");
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)), "distributivity");
+        assert_eq!(a.sub(&b), a.add(&b.neg()), "sub is add-neg");
     }
+}
 
-    #[test]
-    fn scalar_mul_associates(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-    }
-
-    #[test]
-    fn scalar_distributes(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-    }
-
-    #[test]
-    fn scalar_sub_is_add_neg(a in arb_scalar(), b in arb_scalar()) {
-        prop_assert_eq!(a.sub(&b), a.add(&b.neg()));
-    }
-
-    #[test]
-    fn scalar_bytes_roundtrip(a in arb_scalar()) {
+#[test]
+fn scalar_bytes_roundtrip() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let a = rand_scalar(&mut rng);
         let parsed = Scalar::from_canonical_bytes(&a.to_bytes()).expect("canonical");
-        prop_assert_eq!(parsed, a);
+        assert_eq!(parsed, a);
     }
+}
 
-    #[test]
-    fn scalar_wide_reduction_consistent(bytes in any::<[u8; 64]>()) {
+#[test]
+fn scalar_wide_reduction_consistent() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let mut bytes = [0u8; 64];
+        rng.fill_bytes(&mut bytes);
         // Reducing twice must be a fixed point.
         let once = Scalar::from_bytes_mod_order_wide(&bytes);
         let twice = Scalar::from_bytes_mod_order(&once.to_bytes());
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    // --- Group laws --------------------------------------------------------
+// --- Group laws --------------------------------------------------------------
 
-    #[test]
-    fn group_scalar_mul_distributes_over_scalar_add(a in arb_scalar(), b in arb_scalar()) {
-        let base = EdwardsPoint::basepoint();
-        prop_assert_eq!(
+#[test]
+fn group_scalar_mul_distributes_over_scalar_add() {
+    let mut rng = rng(7);
+    let base = EdwardsPoint::basepoint();
+    for _ in 0..CASES {
+        let (a, b) = (rand_scalar(&mut rng), rand_scalar(&mut rng));
+        assert_eq!(
             base.scalar_mul(&a.add(&b)),
             base.scalar_mul(&a).add(&base.scalar_mul(&b))
         );
     }
+}
 
-    #[test]
-    fn group_point_compression_roundtrip(k in arb_scalar()) {
+#[test]
+fn group_point_compression_roundtrip_and_curve_membership() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let k = rand_scalar(&mut rng);
         let p = EdwardsPoint::basepoint().scalar_mul(&k);
         let c = p.compress();
         let q = EdwardsPoint::decompress(&c).expect("valid");
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
+        if !k.is_zero() {
+            assert!(p.is_on_curve());
+            assert!(p.is_torsion_free());
+        }
     }
+}
 
-    #[test]
-    fn group_points_satisfy_curve_equation(k in arb_scalar()) {
-        prop_assume!(!k.is_zero());
-        let p = EdwardsPoint::basepoint().scalar_mul(&k);
-        prop_assert!(p.is_on_curve());
-        prop_assert!(p.is_torsion_free());
-    }
+// --- Signatures ---------------------------------------------------------------
 
-    // --- Signatures ---------------------------------------------------------
-
-    #[test]
-    fn signatures_verify(keypair in arb_keypair(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn signatures_verify_and_bind_message() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let keypair = rand_keypair(&mut rng);
+        let msg = rand_msg(&mut rng, 255);
         let s = sig::sign(&keypair, &msg);
-        prop_assert!(sig::verify(&keypair.pk, &msg, &s).is_ok());
+        assert!(sig::verify(&keypair.pk, &msg, &s).is_ok());
         // Roundtrip through bytes.
         let parsed = sig::Signature::from_bytes(&s.to_bytes()).unwrap();
-        prop_assert!(sig::verify(&keypair.pk, &msg, &parsed).is_ok());
+        assert!(sig::verify(&keypair.pk, &msg, &parsed).is_ok());
+        // Any single-byte flip breaks verification.
+        if !msg.is_empty() {
+            let mut other = msg.clone();
+            other[0] ^= 1;
+            assert!(sig::verify(&keypair.pk, &other, &s).is_err());
+        }
     }
+}
 
-    #[test]
-    fn signatures_bind_message(keypair in arb_keypair(), msg in proptest::collection::vec(any::<u8>(), 1..64)) {
-        let s = sig::sign(&keypair, &msg);
-        let mut other = msg.clone();
-        other[0] ^= 1;
-        prop_assert!(sig::verify(&keypair.pk, &other, &s).is_err());
-    }
+// --- VRF ------------------------------------------------------------------------
 
-    // --- VRF ------------------------------------------------------------------
-
-    #[test]
-    fn vrf_prove_verify(keypair in arb_keypair(), alpha in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn vrf_prove_verify() {
+    let mut rng = rng(10);
+    for _ in 0..CASES {
+        let keypair = rand_keypair(&mut rng);
+        let alpha = rand_msg(&mut rng, 127);
         let (out, proof) = vrf::prove(&keypair, &alpha);
         let verified = vrf::verify(&keypair.pk, &alpha, &proof).unwrap();
-        prop_assert_eq!(out, verified);
+        assert_eq!(out, verified);
         let frac = out.as_unit_fraction();
-        prop_assert!((0.0..1.0).contains(&frac));
+        assert!((0.0..1.0).contains(&frac));
     }
+}
 
-    #[test]
-    fn vrf_proof_does_not_transfer(
-        seed_a in any::<[u8; 32]>(),
-        seed_b in any::<[u8; 32]>(),
-        alpha in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        prop_assume!(seed_a != seed_b);
-        let a = Keypair::from_seed(seed_a);
-        let b = Keypair::from_seed(seed_b);
+#[test]
+fn vrf_proof_does_not_transfer() {
+    let mut rng = rng(11);
+    for _ in 0..CASES {
+        let a = rand_keypair(&mut rng);
+        let b = rand_keypair(&mut rng);
+        assert_ne!(a.pk, b.pk, "distinct random keys");
+        let alpha = rand_msg(&mut rng, 63);
         let (_, proof) = vrf::prove(&a, &alpha);
-        prop_assert!(vrf::verify(&b.pk, &alpha, &proof).is_err());
+        assert!(vrf::verify(&b.pk, &alpha, &proof).is_err());
     }
+}
 
-    // --- SHA-256 -----------------------------------------------------------
+// --- SHA-256 -----------------------------------------------------------------
 
-    #[test]
-    fn sha256_streaming_equivalence(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_streaming_equivalence() {
+    let mut rng = rng(12);
+    for _ in 0..CASES {
+        let data = rand_msg(&mut rng, 511);
+        let split = rng.gen_range_usize(data.len() + 1);
         let mut h = algorand_crypto::sha256::Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
+        assert_eq!(h.finalize(), sha256(&data));
     }
 }

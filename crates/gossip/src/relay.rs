@@ -5,6 +5,13 @@
 //! anti-equivocation and anti-spam rules that keep the gossip network from
 //! being overwhelmed by an adversary. Cryptographic validation happens
 //! before this policy is consulted (invalid messages are dropped outright).
+//!
+//! Memory is bounded by round-based generational pruning: the seen sets
+//! live in two generations, and [`RelayState::prune`] rotates them when
+//! the node's round advances. An entry therefore survives at least one
+//! full round after it was recorded — far longer than any in-flight
+//! duplicate — while a long-running node's relay state stays O(messages
+//! per round) instead of growing without bound.
 
 use std::collections::HashSet;
 
@@ -24,8 +31,12 @@ pub enum RelayDecision {
 /// Relay bookkeeping for one node.
 #[derive(Default)]
 pub struct RelayState {
-    seen_ids: HashSet<[u8; 32]>,
-    sender_slots: HashSet<([u8; 32], u64, u32)>,
+    seen_cur: HashSet<[u8; 32]>,
+    seen_old: HashSet<[u8; 32]>,
+    slots_cur: HashSet<([u8; 32], u64, u32)>,
+    slots_old: HashSet<([u8; 32], u64, u32)>,
+    /// The round [`RelayState::prune`] last rotated at.
+    pruned_round: u64,
 }
 
 impl RelayState {
@@ -44,11 +55,11 @@ impl RelayState {
         message_id: [u8; 32],
         slot: Option<([u8; 32], u64, u32)>,
     ) -> RelayDecision {
-        if !self.seen_ids.insert(message_id) {
+        if self.seen_old.contains(&message_id) || !self.seen_cur.insert(message_id) {
             return RelayDecision::Duplicate;
         }
         if let Some(slot) = slot {
-            if !self.sender_slots.insert(slot) {
+            if self.slots_old.contains(&slot) || !self.slots_cur.insert(slot) {
                 return RelayDecision::Equivocation;
             }
         }
@@ -61,18 +72,41 @@ impl RelayState {
     /// that knows its peer already holds a block sends only the
     /// announcement, not the body.
     pub fn has_seen(&self, message_id: &[u8; 32]) -> bool {
-        self.seen_ids.contains(message_id)
+        self.seen_cur.contains(message_id) || self.seen_old.contains(message_id)
     }
 
-    /// Number of distinct messages seen (for metrics).
+    /// Number of distinct messages seen and not yet pruned (for metrics).
+    ///
+    /// Inserts only ever go to the current generation and only when absent
+    /// from both, so the generations are disjoint.
     pub fn seen_count(&self) -> usize {
-        self.seen_ids.len()
+        self.seen_cur.len() + self.seen_old.len()
     }
 
-    /// Clears state (e.g. between rounds, to bound memory).
+    /// Rotates the generations when `round` has advanced past the last
+    /// rotation: entries recorded two rotations ago are dropped.
+    ///
+    /// Call with the node's current round whenever convenient (every
+    /// message is fine — rotation only happens on a round change). Vote
+    /// and priority traffic is only valid near the current round, and
+    /// in-flight duplicates are milliseconds old, so anything older than a
+    /// full round is safe to forget: a re-delivered antique is simply
+    /// re-classified, and the node's own validation still rejects it.
+    pub fn prune(&mut self, round: u64) {
+        if round <= self.pruned_round {
+            return;
+        }
+        self.pruned_round = round;
+        self.seen_old = std::mem::take(&mut self.seen_cur);
+        self.slots_old = std::mem::take(&mut self.slots_cur);
+    }
+
+    /// Clears state entirely.
     pub fn clear(&mut self) {
-        self.seen_ids.clear();
-        self.sender_slots.clear();
+        self.seen_cur.clear();
+        self.seen_old.clear();
+        self.slots_cur.clear();
+        self.slots_old.clear();
     }
 }
 
@@ -140,6 +174,52 @@ mod tests {
         assert_eq!(
             r.classify([1u8; 32], Some(([9u8; 32], 1, 1))),
             RelayDecision::Relay
+        );
+    }
+
+    #[test]
+    fn pruning_bounds_memory_but_keeps_recent_rounds() {
+        let mut r = RelayState::new();
+        r.prune(1); // node enters round 1
+        // Round 1 traffic.
+        r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
+        r.prune(1); // still round 1: no rotation
+        assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
+        r.prune(2); // rotate: round-1 entries now old
+        // Still deduplicated one round later (in-flight stragglers).
+        assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
+        assert!(r.has_seen(&[1u8; 32]));
+        r.classify([2u8; 32], Some(([9u8; 32], 2, 1)));
+        assert_eq!(r.seen_count(), 2);
+        r.prune(3); // second rotation: round-1 entries dropped
+        assert!(!r.has_seen(&[1u8; 32]), "two rounds old: forgotten");
+        assert!(r.has_seen(&[2u8; 32]), "one round old: kept");
+        assert_eq!(r.seen_count(), 1);
+        // The forgotten id re-classifies as fresh; bounded memory trades
+        // this (harmless for round-scoped traffic) for O(rounds) growth.
+        assert_eq!(r.classify([1u8; 32], None), RelayDecision::Relay);
+    }
+
+    #[test]
+    fn prune_is_monotonic_and_idempotent_within_a_round() {
+        let mut r = RelayState::new();
+        r.classify([1u8; 32], None);
+        r.prune(5);
+        r.prune(5); // same round: must not rotate again
+        r.prune(4); // going backwards: ignored
+        assert!(r.has_seen(&[1u8; 32]));
+        assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
+    }
+
+    #[test]
+    fn equivocation_detection_survives_one_rotation() {
+        let mut r = RelayState::new();
+        r.classify([1u8; 32], Some(([9u8; 32], 7, 1)));
+        r.prune(8);
+        assert_eq!(
+            r.classify([2u8; 32], Some(([9u8; 32], 7, 1))),
+            RelayDecision::Equivocation,
+            "slot guard still active one round later"
         );
     }
 }

@@ -8,8 +8,7 @@
 //! diameter (§8.4), which is what makes dissemination time grow only
 //! logarithmically in the number of users.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use algorand_crypto::rng::Rng;
 use std::collections::VecDeque;
 
 /// A node index within one simulation.
@@ -25,17 +24,17 @@ pub struct Topology {
 impl Topology {
     /// Builds a uniform random topology: each node dials `out_degree`
     /// distinct random peers.
-    pub fn random<R: Rng>(n: usize, out_degree: usize, rng: &mut R) -> Topology {
+    pub fn random(n: usize, out_degree: usize, rng: &mut Rng) -> Topology {
         Self::weighted(n, out_degree, &vec![1u64; n], rng)
     }
 
     /// Builds a money-weighted topology: each node dials `out_degree`
     /// distinct peers sampled proportionally to their weight (§4).
-    pub fn weighted<R: Rng>(
+    pub fn weighted(
         n: usize,
         out_degree: usize,
         weights: &[u64],
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Topology {
         assert_eq!(weights.len(), n);
         let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -50,10 +49,10 @@ impl Topology {
             while dialed.len() < want && guard < 50 * want {
                 guard += 1;
                 let v = if total == 0 {
-                    rng.gen_range(0..n)
+                    rng.gen_range_usize(n)
                 } else {
                     // Weighted sample by cumulative walk.
-                    let mut target = rng.gen_range(0..total);
+                    let mut target = rng.gen_range_u64(total);
                     let mut pick = n - 1;
                     for (i, &w) in weights.iter().enumerate() {
                         if target < w {
@@ -72,7 +71,7 @@ impl Topology {
             // (e.g. one node holds nearly all weight).
             if dialed.len() < want {
                 let mut rest: Vec<NodeId> = (0..n).filter(|&v| v != u).collect();
-                rest.shuffle(rng);
+                rng.shuffle(&mut rest);
                 for v in rest {
                     if dialed.len() >= want {
                         break;
@@ -191,13 +190,11 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn random_graph_with_degree_4_is_connected() {
         // §8.4: almost all users end up in one connected component.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for n in [10, 100, 500] {
             let t = Topology::random(n, 4, &mut rng);
             assert_eq!(t.len(), n);
@@ -211,7 +208,7 @@ mod tests {
 
     #[test]
     fn mean_degree_is_about_twice_out_degree() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         let t = Topology::random(500, 4, &mut rng);
         let d = t.mean_degree();
         assert!((6.0..10.5).contains(&d), "mean degree {d}");
@@ -219,7 +216,7 @@ mod tests {
 
     #[test]
     fn diameter_grows_slowly() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let d100 = Topology::random(100, 4, &mut rng).diameter_estimate();
         let d1000 = Topology::random(1000, 4, &mut rng).diameter_estimate();
         // Logarithmic growth: 10× the nodes should not even double the
@@ -230,7 +227,7 @@ mod tests {
 
     #[test]
     fn weighted_selection_favours_heavy_nodes() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::seed_from_u64(10);
         let n = 200;
         let mut weights = vec![1u64; n];
         weights[0] = 1000; // One node holds most of the money.
@@ -245,7 +242,7 @@ mod tests {
 
     #[test]
     fn no_self_loops_or_duplicate_edges() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let t = Topology::random(100, 4, &mut rng);
         for u in 0..t.len() {
             let neigh = t.neighbors(u);
@@ -259,7 +256,7 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Rng::seed_from_u64(12);
         let t0 = Topology::random(0, 4, &mut rng);
         assert!(t0.is_empty());
         let t1 = Topology::random(1, 4, &mut rng);
@@ -271,7 +268,7 @@ mod tests {
 
     #[test]
     fn edges_are_symmetric() {
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Rng::seed_from_u64(13);
         let t = Topology::random(50, 4, &mut rng);
         for u in 0..t.len() {
             for &v in t.neighbors(u) {

@@ -23,6 +23,8 @@ pub enum Event<M> {
         /// The node to tick.
         node: usize,
     },
+    /// Inject the next workload transaction (open-loop traffic source).
+    Inject,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]

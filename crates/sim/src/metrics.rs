@@ -7,7 +7,8 @@
 
 use algorand_core::RoundRecord;
 
-/// The five-number summary the paper's error bars show.
+/// The five-number summary the paper's error bars show, plus the tail
+/// (p99) that per-transaction latency reporting needs.
 #[derive(Clone, Copy, Debug)]
 pub struct Percentiles {
     /// Smallest sample.
@@ -18,6 +19,8 @@ pub struct Percentiles {
     pub median: f64,
     /// 75th percentile.
     pub p75: f64,
+    /// 99th percentile.
+    pub p99: f64,
     /// Largest sample.
     pub max: f64,
 }
@@ -47,6 +50,7 @@ impl Percentiles {
             p25: q(0.25),
             median: q(0.5),
             p75: q(0.75),
+            p99: q(0.99),
             max: *v.last().expect("nonempty"),
         }
     }
@@ -131,6 +135,7 @@ mod tests {
         assert_eq!(p.p25, 2.0);
         assert_eq!(p.median, 3.0);
         assert_eq!(p.p75, 4.0);
+        assert!((p.p99 - 4.96).abs() < 1e-9);
         assert_eq!(p.max, 5.0);
     }
 

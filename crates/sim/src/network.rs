@@ -9,8 +9,7 @@
 
 use crate::event::Micros;
 use crate::latency::LatencyMatrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use algorand_crypto::rng::Rng;
 
 /// Transport configuration.
 #[derive(Clone, Debug)]
@@ -42,7 +41,7 @@ pub struct Network {
     latency: LatencyMatrix,
     city_of: Vec<usize>,
     uplink_free: Vec<Micros>,
-    rng: StdRng,
+    rng: Rng,
     bytes_sent: Vec<u64>,
     bytes_received: Vec<u64>,
     filter: Option<Filter>,
@@ -57,7 +56,7 @@ impl Network {
         Network {
             city_of: (0..n).map(|i| i % cities).collect(),
             uplink_free: vec![0; n],
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng::seed_from_u64(cfg.seed),
             bytes_sent: vec![0; n],
             bytes_received: vec![0; n],
             filter: None,
@@ -89,7 +88,7 @@ impl Network {
         }
         self.bytes_received[to] += size as u64;
         let base = self.latency.one_way(self.city_of[from], self.city_of[to]);
-        let jitter = 1.0 + self.cfg.jitter_frac * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        let jitter = 1.0 + self.cfg.jitter_frac * (self.rng.gen_f64() * 2.0 - 1.0);
         let lat = (base as f64 * jitter) as Micros;
         Some(self.uplink_free[from] + lat)
     }

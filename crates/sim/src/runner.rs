@@ -3,15 +3,14 @@
 
 use crate::adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
 use crate::event::{Event, EventQueue, Micros};
-use crate::metrics::{round_stats, RoundStats};
+use crate::metrics::{round_stats, Percentiles, RoundStats};
 use crate::network::{Filter, NetConfig, Network};
 use algorand_ba::CachedVerifier;
 use algorand_core::{AlgorandParams, Node, RoundRecord, WireMessage};
+use algorand_crypto::rng::Rng;
 use algorand_crypto::Keypair;
 use algorand_gossip::{RelayDecision, RelayState, Topology};
 use algorand_ledger::{Blockchain, Transaction};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -34,6 +33,13 @@ pub struct SimConfig {
     pub out_degree: usize,
     /// Synthetic payload bytes per proposed block.
     pub payload_bytes: usize,
+    /// Open-loop workload: transactions injected per second across the
+    /// network (0 disables the traffic source).
+    pub tx_rate: f64,
+    /// Total transactions the workload injects before going quiet.
+    pub tx_total: usize,
+    /// Byte budget for the transaction list of each proposed block.
+    pub block_tx_bytes: usize,
     /// Currency units per user (equal split, as in §10).
     pub stake_per_user: u64,
     /// Relay every block regardless of priority (ablation of §6's
@@ -58,6 +64,9 @@ impl SimConfig {
             net: NetConfig::default(),
             out_degree: 4,
             payload_bytes: 0,
+            tx_rate: 0.0,
+            tx_total: 0,
+            block_tx_bytes: 1 << 20,
             stake_per_user: 10,
             relay_all_blocks: false,
             // Default: re-draw peers roughly once per expected round.
@@ -90,6 +99,51 @@ pub struct SimMsg {
 /// Bytes for a block announcement (hash + round + priority material).
 const ANNOUNCE_SIZE: usize = 300;
 
+/// One injected workload transaction, for latency accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct TxRecord {
+    /// The transaction hash.
+    pub id: [u8; 32],
+    /// Index of the (honest) sending user.
+    pub sender: usize,
+    /// Virtual time the transaction entered the sender's node.
+    pub submitted: Micros,
+}
+
+/// The open-loop traffic source: random honest-to-honest payments at a
+/// fixed rate.
+///
+/// It tracks a conservative `spendable` balance per user — genesis stake
+/// minus everything already injected, never counting in-flight income —
+/// so every transaction it emits is guaranteed to stay applicable
+/// whenever it commits, as long as each sender's nonces commit in order
+/// (which per-sender nonce chains enforce).
+struct Workload {
+    rng: Rng,
+    spendable: Vec<u64>,
+    nonces: Vec<u64>,
+    injected: Vec<TxRecord>,
+    remaining: usize,
+    interval: Micros,
+}
+
+/// End-to-end transaction metrics from one workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct TxStats {
+    /// Transactions the workload injected.
+    pub injected: usize,
+    /// Injected transactions that appear in the finalized/agreed chain.
+    pub committed: usize,
+    /// Chain slots holding a transaction hash more than once (must be 0).
+    pub duplicate_commits: usize,
+    /// Committed transactions per virtual second, submission of the first
+    /// to commit of the last.
+    pub tx_per_sec: f64,
+    /// Per-transaction finalization latency in seconds (submission at the
+    /// sender to round completion at the sender), if any committed.
+    pub latency: Option<Percentiles>,
+}
+
 impl SimMsg {
     fn new(wire: WireMessage) -> Arc<SimMsg> {
         let pull_based = matches!(
@@ -120,6 +174,7 @@ pub struct Simulation {
     churn_epoch: u64,
     verifier: Arc<CachedVerifier>,
     adversary: Rc<RefCell<AdversaryShared>>,
+    workload: Option<Workload>,
     started: bool,
 }
 
@@ -150,6 +205,7 @@ impl Simulation {
                 let mut node =
                     Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
                 node.payload_bytes = cfg.payload_bytes;
+                node.block_tx_bytes = cfg.block_tx_bytes;
                 if i < n_honest {
                     Slot::Honest(Box::new(node))
                 } else {
@@ -162,11 +218,19 @@ impl Simulation {
                 }
             })
             .collect();
-        let mut topo_rng = StdRng::seed_from_u64(cfg.seed);
+        let mut topo_rng = Rng::seed_from_u64(cfg.seed);
         let weights = vec![cfg.stake_per_user; cfg.n_users];
         let topology = Topology::weighted(cfg.n_users, cfg.out_degree, &weights, &mut topo_rng);
         let relay = (0..cfg.n_users).map(|_| RelayState::new()).collect();
         let net = Network::new(cfg.n_users, cfg.net.clone());
+        let workload = (cfg.tx_rate > 0.0 && cfg.tx_total > 0).then(|| Workload {
+            rng: Rng::seed_from_u64(cfg.seed ^ 0x7AF0AD),
+            spendable: vec![cfg.stake_per_user; n_honest],
+            nonces: vec![0; n_honest],
+            injected: Vec::with_capacity(cfg.tx_total),
+            remaining: cfg.tx_total,
+            interval: ((1_000_000.0 / cfg.tx_rate) as Micros).max(1),
+        });
         Simulation {
             nodes,
             keypairs,
@@ -183,6 +247,7 @@ impl Simulation {
             churn_epoch: 0,
             verifier,
             adversary,
+            workload,
             cfg,
             started: false,
         }
@@ -241,6 +306,9 @@ impl Simulation {
             self.dispatch(i, outgoing);
             self.reschedule_wake(i);
         }
+        if let Some(wl) = &self.workload {
+            self.queue.schedule(wl.interval, Event::Inject);
+        }
     }
 
     /// Runs until virtual time `t_end` or until the event queue drains.
@@ -257,7 +325,7 @@ impl Simulation {
                 self.next_churn = self
                     .next_churn
                     .saturating_add(self.cfg.peer_churn_interval.max(1));
-                let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ (self.churn_epoch << 32));
+                let mut rng = Rng::seed_from_u64(self.cfg.seed ^ (self.churn_epoch << 32));
                 let weights = vec![self.cfg.stake_per_user; self.cfg.n_users];
                 self.topology = Topology::weighted(
                     self.cfg.n_users,
@@ -277,6 +345,7 @@ impl Simulation {
                         Slot::Malicious(m) => m.on_tick(now),
                     };
                     self.dispatch(node, outgoing);
+                    self.prune_relay(node);
                     self.reschedule_wake(node);
                 }
                 Event::Deliver { to, from, msg } => {
@@ -290,20 +359,26 @@ impl Simulation {
                         Slot::Malicious(m) => m.on_message(&msg.wire, now_t),
                     };
                     // §6: honest users discard block bodies that are not
-                    // the highest-priority proposal they have seen.
-                    let discard = !self.cfg.relay_all_blocks
-                        && match (&msg.wire, &self.nodes[to]) {
-                            (WireMessage::Block(b), Slot::Honest(n)) => {
-                                !n.should_relay_block(b)
-                            }
-                            _ => false,
-                        };
+                    // the highest-priority proposal they have seen; a
+                    // transaction spreads only while its receiver still
+                    // pools it (rejects and evictions die out here).
+                    let discard = match (&msg.wire, &self.nodes[to]) {
+                        (WireMessage::Block(b), Slot::Honest(n)) => {
+                            !self.cfg.relay_all_blocks && !n.should_relay_block(b)
+                        }
+                        (WireMessage::Transaction(tx), Slot::Honest(n)) => {
+                            !n.should_relay_transaction(tx)
+                        }
+                        _ => false,
+                    };
                     if decision == RelayDecision::Relay && !discard {
                         self.forward(to, &msg, Some(from), now_t);
                     }
                     self.dispatch(to, outgoing);
+                    self.prune_relay(to);
                     self.reschedule_wake(to);
                 }
+                Event::Inject => self.inject_next_tx(now),
             }
         }
     }
@@ -390,7 +465,164 @@ impl Simulation {
         self.adversary.clone()
     }
 
+    /// The transactions the workload has injected so far.
+    pub fn injected_txs(&self) -> &[TxRecord] {
+        self.workload.as_ref().map_or(&[], |wl| &wl.injected)
+    }
+
+    /// End-to-end transaction metrics for the workload (if one ran).
+    ///
+    /// Commitment is judged against honest node 0's chain (all honest
+    /// chains agree on the common prefix — asserted elsewhere); latency is
+    /// submission at the sender to the *sender's* completion of the
+    /// committing round, falling back to any honest node's record when
+    /// the sender adopted that round via catch-up.
+    pub fn tx_stats(&self) -> Option<TxStats> {
+        let wl = self.workload.as_ref()?;
+        let chain = self.honest_node(0).chain();
+        let mut commit_round = std::collections::HashMap::new();
+        let mut duplicate_commits = 0usize;
+        for r in 1..=chain.tip().round {
+            let Some(block) = chain.block_at(r) else { continue };
+            for tx in &block.txs {
+                if commit_round.insert(tx.id(), r).is_some() {
+                    duplicate_commits += 1;
+                }
+            }
+        }
+        let mut latencies = Vec::new();
+        let mut committed = 0usize;
+        let mut first_submit = Micros::MAX;
+        let mut last_commit: Micros = 0;
+        for rec in &wl.injected {
+            let Some(&round) = commit_round.get(&rec.id) else {
+                continue;
+            };
+            committed += 1;
+            let finished = self
+                .honest_node(rec.sender)
+                .records()
+                .iter()
+                .find(|x| x.round == round)
+                .map(|x| x.finished)
+                .or_else(|| {
+                    self.honest_records()
+                        .iter()
+                        .flat_map(|rs| rs.iter())
+                        .find(|x| x.round == round)
+                        .map(|x| x.finished)
+                });
+            if let Some(f) = finished {
+                latencies.push(f.saturating_sub(rec.submitted) as f64 / 1e6);
+                first_submit = first_submit.min(rec.submitted);
+                last_commit = last_commit.max(f);
+            }
+        }
+        let tx_per_sec = if last_commit > first_submit {
+            committed as f64 / ((last_commit - first_submit) as f64 / 1e6)
+        } else {
+            0.0
+        };
+        Some(TxStats {
+            injected: wl.injected.len(),
+            committed,
+            duplicate_commits,
+            tx_per_sec,
+            latency: (!latencies.is_empty()).then(|| Percentiles::of(&latencies)),
+        })
+    }
+
     // --- Internals -----------------------------------------------------------
+
+    /// Injects the next workload payment and schedules the one after.
+    ///
+    /// Senders and recipients are random honest users; the amount (1–3
+    /// units) doubles as the pool priority. A sender is eligible only
+    /// while its conservatively tracked spendable stake covers the
+    /// amount, which keeps every injected transaction applicable at
+    /// whatever round it commits.
+    fn inject_next_tx(&mut self, now: Micros) {
+        let Some(mut wl) = self.workload.take() else {
+            return;
+        };
+        if wl.remaining == 0 {
+            self.workload = Some(wl);
+            return;
+        }
+        let n_honest = wl.spendable.len();
+        let richest = wl.spendable.iter().copied().max().unwrap_or(0);
+        if richest == 0 {
+            // Spendable stake exhausted: the source goes quiet early.
+            wl.remaining = 0;
+            self.workload = Some(wl);
+            return;
+        }
+        // Clamp so a large draw cannot end the workload while smaller
+        // payments are still affordable somewhere.
+        let amount = (1 + wl.rng.gen_range_u64(3)).min(richest);
+        let mut sender = None;
+        for _ in 0..8 {
+            let c = wl.rng.gen_range_usize(n_honest);
+            if wl.spendable[c] >= amount {
+                sender = Some(c);
+                break;
+            }
+        }
+        let sender =
+            sender.or_else(|| (0..n_honest).find(|&i| wl.spendable[i] >= amount));
+        let Some(s) = sender else {
+            // Spendable stake exhausted: the source goes quiet early.
+            wl.remaining = 0;
+            self.workload = Some(wl);
+            return;
+        };
+        let mut to = wl.rng.gen_range_usize(n_honest);
+        if to == s {
+            to = (to + 1) % n_honest;
+        }
+        let tx = Transaction::payment(
+            &self.keypairs[s],
+            self.keypairs[to].pk,
+            amount,
+            wl.nonces[s] + 1,
+        );
+        let submitted = match &mut self.nodes[s] {
+            Slot::Honest(n) => n.submit_transaction(tx.clone()),
+            Slot::Malicious(m) => m.inner_mut().submit_transaction(tx.clone()),
+        };
+        if let Some(msg) = submitted {
+            wl.spendable[s] -= amount;
+            wl.nonces[s] += 1;
+            wl.remaining -= 1;
+            wl.injected.push(TxRecord {
+                id: tx.id(),
+                sender: s,
+                submitted: now,
+            });
+            let interval = wl.interval;
+            let again = wl.remaining > 0;
+            self.workload = Some(wl);
+            self.dispatch(s, vec![Outgoing::Broadcast(msg)]);
+            if again {
+                self.queue.schedule(now + interval, Event::Inject);
+            }
+        } else {
+            // The sender's pool refused (e.g. its unconfirmed nonce run
+            // hit the per-sender cap): skip this tick, try again next.
+            let interval = wl.interval;
+            self.workload = Some(wl);
+            self.queue.schedule(now + interval, Event::Inject);
+        }
+    }
+
+    /// Lets node `i`'s relay state rotate out messages two rounds old.
+    fn prune_relay(&mut self, i: usize) {
+        let round = match &self.nodes[i] {
+            Slot::Honest(n) => n.current_round(),
+            Slot::Malicious(m) => m.inner().current_round(),
+        };
+        self.relay[i].prune(round);
+    }
 
     /// Sends node-originated messages to all (or half) of its peers.
     fn dispatch(&mut self, from: usize, outgoing: Vec<Outgoing>) {

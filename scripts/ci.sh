@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the repository. Fully offline; no network access needed.
+#
+#   1. tier-1 gate: release build + facade test suite (the invariant
+#      every PR must keep green),
+#   2. the full workspace test suite (every crate's unit, integration
+#      and doc tests),
+#   3. a 50-user / 200-transaction end-to-end smoke simulation that
+#      fails unless >=95% of injected transactions finalize, each
+#      exactly once (see crates/bench/src/bin/txpool_smoke.rs).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== txpool smoke simulation =="
+cargo run --release -p algorand-bench --bin txpool_smoke
+
+echo "== CI OK =="

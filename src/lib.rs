@@ -11,6 +11,8 @@
 //! * [`ledger`] — transactions, accounts, blocks, seeds, chains, and
 //!   certificates;
 //! * [`gossip`] — topology and relay policy;
+//! * [`txpool`] — the mempool: nonce-ordered, size-bounded pending
+//!   transactions between gossip and block assembly;
 //! * [`core`] — the full Algorand node (block proposal, round loop, fork
 //!   recovery);
 //! * [`sim`] — the discrete-event deployment simulator standing in for the
@@ -35,3 +37,4 @@ pub use algorand_gossip as gossip;
 pub use algorand_ledger as ledger;
 pub use algorand_sim as sim;
 pub use algorand_sortition as sortition;
+pub use algorand_txpool as txpool;

@@ -152,7 +152,7 @@ fn facade_reexports_are_coherent() {
     let topo = algorand::gossip::Topology::random(
         50,
         4,
-        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+        &mut algorand::crypto::rng::Rng::seed_from_u64(1),
     );
     assert!(topo.largest_component() >= 49);
 }

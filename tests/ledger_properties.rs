@@ -1,39 +1,41 @@
-//! Property-based tests over the ledger and consensus invariants.
+//! Randomized property tests over the ledger and consensus invariants,
+//! driven by the in-repo deterministic RNG so failures replay exactly.
 
 use algorand::ba::RoundWeights;
+use algorand::crypto::rng::Rng;
 use algorand::crypto::Keypair;
 use algorand::ledger::codec::Reader;
 use algorand::ledger::seed::{fallback_seed, propose_seed, verify_seed_proposal};
 use algorand::ledger::{Accounts, Block, Transaction};
 use algorand::sortition::{binomial::binomial_pmf, sub_users_selected};
 use algorand_crypto::vrf::VrfOutput;
-use proptest::prelude::*;
 
-fn arb_keypair() -> impl Strategy<Value = Keypair> {
-    any::<[u8; 32]>().prop_map(Keypair::from_seed)
+const CASES: usize = 16;
+
+fn rng(test_tag: u64) -> Rng {
+    Rng::seed_from_u64(0x1ED6E2 ^ test_tag)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+// --- Conservation under arbitrary payment sequences -------------------------
 
-    // --- Conservation under arbitrary payment sequences -------------------
-
-    #[test]
-    fn random_payment_sequences_conserve_money(
-        balances in proptest::collection::vec(1u64..1000, 3..6),
-        ops in proptest::collection::vec((0usize..6, 0usize..6, 0u64..1500), 0..24),
-    ) {
-        let keypairs: Vec<Keypair> = (0..balances.len())
+#[test]
+fn random_payment_sequences_conserve_money() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let n = 3 + rng.gen_range_usize(3);
+        let balances: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range_u64(999)).collect();
+        let keypairs: Vec<Keypair> = (0..n)
             .map(|i| Keypair::from_seed([i as u8 + 1; 32]))
             .collect();
-        let mut accounts = Accounts::genesis(
-            keypairs.iter().zip(&balances).map(|(k, b)| (k.pk, *b)),
-        );
+        let mut accounts =
+            Accounts::genesis(keypairs.iter().zip(&balances).map(|(k, b)| (k.pk, *b)));
         let total: u64 = balances.iter().sum();
-        let mut nonces = vec![0u64; keypairs.len()];
-        for (from, to, amount) in ops {
-            let from = from % keypairs.len();
-            let to = to % keypairs.len();
+        let mut nonces = vec![0u64; n];
+        let ops = rng.gen_range_usize(24);
+        for _ in 0..ops {
+            let from = rng.gen_range_usize(n);
+            let to = rng.gen_range_usize(n);
+            let amount = rng.gen_range_u64(1500);
             let tx = Transaction::payment(
                 &keypairs[from],
                 keypairs[to].pk,
@@ -43,119 +45,140 @@ proptest! {
             if accounts.apply(&tx).is_ok() {
                 nonces[from] += 1;
             }
-            prop_assert_eq!(accounts.total(), total);
+            assert_eq!(accounts.total(), total, "money conserved");
         }
         // Nonces recorded match applied counts.
         for (i, kp) in keypairs.iter().enumerate() {
-            prop_assert_eq!(accounts.nonce(&kp.pk), nonces[i]);
+            assert_eq!(accounts.nonce(&kp.pk), nonces[i]);
         }
     }
+}
 
-    // --- Serialization roundtrips -----------------------------------------
+// --- Serialization roundtrips -----------------------------------------------
 
-    #[test]
-    fn transaction_roundtrip(kp in arb_keypair(), to in arb_keypair(), amount in any::<u64>(), nonce in any::<u64>()) {
-        let tx = Transaction::payment(&kp, to.pk, amount, nonce);
+#[test]
+fn transaction_roundtrip() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let kp = Keypair::from_seed(rng.gen_bytes32());
+        let to = Keypair::from_seed(rng.gen_bytes32());
+        let tx = Transaction::payment(&kp, to.pk, rng.next_u64(), rng.next_u64());
         let bytes = tx.encoded();
         let mut r = Reader::new(&bytes);
         let back = Transaction::decode(&mut r).unwrap();
         r.finish().unwrap();
-        prop_assert_eq!(back.id(), tx.id());
-        prop_assert!(back.signature_valid());
+        assert_eq!(back.id(), tx.id());
+        assert!(back.signature_valid());
     }
+}
 
-    #[test]
-    fn block_roundtrip(
-        proposer in arb_keypair(),
-        round in 1u64..1_000_000,
-        prev in any::<[u8; 32]>(),
-        prev_seed in any::<[u8; 32]>(),
-        n_txs in 0usize..4,
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-        timestamp in any::<u64>(),
-    ) {
+#[test]
+fn block_roundtrip() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let proposer = Keypair::from_seed(rng.gen_bytes32());
+        let round = 1 + rng.gen_range_u64(999_999);
+        let prev = rng.gen_bytes32();
+        let prev_seed = rng.gen_bytes32();
         let (seed, proof) = propose_seed(&proposer, &prev_seed, round);
+        let n_txs = rng.gen_range_usize(4);
         let txs: Vec<Transaction> = (0..n_txs)
             .map(|i| Transaction::payment(&proposer, proposer.pk, i as u64, i as u64 + 1))
             .collect();
+        let mut payload = vec![0u8; rng.gen_range_usize(256)];
+        rng.fill_bytes(&mut payload);
         let block = Block {
             round,
             prev_hash: prev,
             seed,
             seed_proof: Some(proof),
             proposer: Some(proposer.pk),
-            timestamp,
+            timestamp: rng.next_u64(),
             txs,
             payload,
         };
         let bytes = block.encoded();
-        prop_assert_eq!(bytes.len(), block.wire_size());
+        assert_eq!(bytes.len(), block.wire_size());
         let mut r = Reader::new(&bytes);
         let back = Block::decode(&mut r).unwrap();
         r.finish().unwrap();
-        prop_assert_eq!(back.hash(), block.hash());
+        assert_eq!(back.hash(), block.hash());
     }
+}
 
-    // --- Seed chain ---------------------------------------------------------
+// --- Seed chain ---------------------------------------------------------------
 
-    #[test]
-    fn seed_proposals_never_verify_under_wrong_context(
-        kp in arb_keypair(),
-        other in arb_keypair(),
-        prev_seed in any::<[u8; 32]>(),
-        round in 1u64..10_000,
-    ) {
-        prop_assume!(kp.pk != other.pk);
+#[test]
+fn seed_proposals_never_verify_under_wrong_context() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let kp = Keypair::from_seed(rng.gen_bytes32());
+        let other = Keypair::from_seed(rng.gen_bytes32());
+        assert_ne!(kp.pk, other.pk);
+        let prev_seed = rng.gen_bytes32();
+        let round = 1 + rng.gen_range_u64(9_999);
         let (seed, proof) = propose_seed(&kp, &prev_seed, round);
-        prop_assert_eq!(verify_seed_proposal(&kp.pk, &proof, &prev_seed, round), Some(seed));
-        prop_assert_eq!(verify_seed_proposal(&other.pk, &proof, &prev_seed, round), None);
-        prop_assert_eq!(verify_seed_proposal(&kp.pk, &proof, &prev_seed, round + 1), None);
+        assert_eq!(
+            verify_seed_proposal(&kp.pk, &proof, &prev_seed, round),
+            Some(seed)
+        );
+        assert_eq!(
+            verify_seed_proposal(&other.pk, &proof, &prev_seed, round),
+            None
+        );
+        assert_eq!(
+            verify_seed_proposal(&kp.pk, &proof, &prev_seed, round + 1),
+            None
+        );
         // The fallback chain never collides with the VRF seed.
-        prop_assert_ne!(seed, fallback_seed(&prev_seed, round));
+        assert_ne!(seed, fallback_seed(&prev_seed, round));
     }
+}
 
-    // --- Sortition interval mapping ------------------------------------------
+// --- Sortition interval mapping ------------------------------------------------
 
-    #[test]
-    fn sub_user_counts_respect_cdf_intervals(
-        hash_prefix in any::<[u8; 8]>(),
-        w in 1u64..200,
-        tau in 1u64..100,
-        total in 200u64..10_000,
-    ) {
+#[test]
+fn sub_user_counts_respect_cdf_intervals() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
         let mut out = [0u8; 32];
-        out[..8].copy_from_slice(&hash_prefix);
+        rng.fill_bytes(&mut out[..8]);
         let output = VrfOutput(out);
+        let w = 1 + rng.gen_range_u64(199);
+        let tau = 1 + rng.gen_range_u64(99);
+        let total = 200 + rng.gen_range_u64(9_800);
         let p = tau as f64 / total as f64;
         let j = sub_users_selected(&output, w, p);
-        prop_assert!(j <= w);
+        assert!(j <= w);
         // j sits in the CDF interval containing the hash fraction.
         let fraction = output.as_unit_fraction();
         let cdf_below: f64 = (0..j).map(|k| binomial_pmf(k, w, p)).sum();
         let cdf_above: f64 = (0..=j).map(|k| binomial_pmf(k, w, p)).sum();
-        prop_assert!(fraction >= cdf_below - 1e-9, "fraction below interval");
+        assert!(fraction >= cdf_below - 1e-9, "fraction below interval");
         if j < w {
-            prop_assert!(fraction < cdf_above + 1e-9, "fraction above interval");
+            assert!(fraction < cdf_above + 1e-9, "fraction above interval");
         }
     }
+}
 
-    // --- Weights ---------------------------------------------------------------
+// --- Weights ---------------------------------------------------------------------
 
-    #[test]
-    fn weights_snapshot_matches_balances(
-        balances in proptest::collection::vec(0u64..500, 1..8),
-    ) {
-        let keypairs: Vec<Keypair> = (0..balances.len())
+#[test]
+fn weights_snapshot_matches_balances() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range_usize(7);
+        let balances: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(500)).collect();
+        let keypairs: Vec<Keypair> = (0..n)
             .map(|i| Keypair::from_seed([i as u8 + 10; 32]))
             .collect();
-        let accounts = Accounts::genesis(
-            keypairs.iter().zip(&balances).map(|(k, b)| (k.pk, *b)),
-        );
+        let accounts =
+            Accounts::genesis(keypairs.iter().zip(&balances).map(|(k, b)| (k.pk, *b)));
         let weights: RoundWeights = accounts.weights();
-        prop_assert_eq!(weights.total(), accounts.total());
+        assert_eq!(weights.total(), accounts.total());
         for (kp, b) in keypairs.iter().zip(&balances) {
-            prop_assert_eq!(weights.weight_of(&kp.pk), accounts.balance(&kp.pk));
-            prop_assert_eq!(weights.weight_of(&kp.pk), *b);
+            assert_eq!(weights.weight_of(&kp.pk), accounts.balance(&kp.pk));
+            assert_eq!(weights.weight_of(&kp.pk), *b);
         }
     }
 }

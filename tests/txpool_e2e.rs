@@ -1,0 +1,72 @@
+//! End-to-end transaction-pool test: an open-loop payment workload over a
+//! 50-user network must land in finalized blocks exactly once, in
+//! per-sender nonce order, with high delivery and measurable latency.
+
+use algorand::sim::{SimConfig, Simulation};
+use std::collections::HashMap;
+
+const T_CAP: u64 = 30 * 60 * 1_000_000;
+
+#[test]
+fn injected_transactions_finalize_exactly_once_in_nonce_order() {
+    let mut cfg = SimConfig::new(50);
+    cfg.stake_per_user = 50; // Enough spendable stake for the whole run.
+    cfg.tx_rate = 25.0; // Open loop: 25 tx/s for 20 virtual seconds.
+    cfg.tx_total = 500;
+    cfg.seed = 11;
+    let mut sim = Simulation::new(cfg);
+    // Rounds complete every few virtual seconds; 15 rounds covers the whole
+    // injection window plus a finalization tail for the stragglers.
+    sim.run_rounds(15, T_CAP);
+
+    let stats = sim.tx_stats().expect("workload ran");
+    assert_eq!(stats.injected, 500, "full workload injected");
+    assert!(
+        stats.committed as f64 >= 0.95 * stats.injected as f64,
+        "only {}/{} transactions committed",
+        stats.committed,
+        stats.injected
+    );
+    assert_eq!(stats.duplicate_commits, 0, "a transaction committed twice");
+    let latency = stats.latency.expect("committed transactions have latency");
+    assert!(
+        latency.median > 0.0 && latency.p99 >= latency.median,
+        "latency percentiles inconsistent: {latency:?}"
+    );
+    assert!(stats.tx_per_sec > 0.0);
+
+    // Cross-check the chain directly on every honest node: each injected
+    // transaction appears at most once, and each sender's committed
+    // nonces are exactly 1, 2, 3, ... in chain order.
+    let injected: HashMap<[u8; 32], usize> = sim
+        .injected_txs()
+        .iter()
+        .map(|r| (r.id, r.sender))
+        .collect();
+    for node_idx in 0..50 {
+        let chain = sim.honest_node(node_idx).chain();
+        let mut seen = HashMap::new();
+        let mut next_nonce: HashMap<[u8; 32], u64> = HashMap::new();
+        for round in 1..=chain.tip().round {
+            let Some(block) = chain.block_at(round) else {
+                continue;
+            };
+            for tx in &block.txs {
+                assert!(
+                    injected.contains_key(&tx.id()),
+                    "node {node_idx}: unknown transaction in a block"
+                );
+                assert!(
+                    seen.insert(tx.id(), round).is_none(),
+                    "node {node_idx}: transaction committed twice"
+                );
+                let counter = next_nonce.entry(tx.from.to_bytes()).or_insert(0);
+                *counter += 1;
+                assert_eq!(
+                    tx.nonce, *counter,
+                    "node {node_idx}: sender nonces out of order at round {round}"
+                );
+            }
+        }
+    }
+}
