@@ -18,7 +18,7 @@
 use crate::msg::{StepKind, Value, VoteMessage};
 use crate::params::{BaParams, Micros};
 use crate::tally::StepTally;
-use crate::verify::{VoteContext, VoteVerifier};
+use crate::verify::{verify_vote_message, VerifiedVote, VoteContext, VoteVerifier};
 use crate::weights::RoundWeights;
 use crate::Certificate;
 use algorand_crypto::Keypair;
@@ -185,8 +185,7 @@ impl BaStar {
         now: Micros,
     ) -> (BaStar, Vec<Output>) {
         let (mut engine, mut out) = BaStar::start(
-            params, keypair, round, seed, prev_hash, block_hash, empty_hash, weights, verifier,
-            now,
+            params, keypair, round, seed, prev_hash, block_hash, empty_hash, weights, verifier, now,
         );
         // Discard the reduction-one vote and jump straight to binary.
         out.clear();
@@ -201,7 +200,8 @@ impl BaStar {
         self.ablation = flags;
     }
 
-    /// Delivers an incoming vote; returns any resulting outputs.
+    /// Delivers an incoming raw vote: runs it through the verification
+    /// stage, then the tallies. Returns any resulting outputs.
     pub fn on_vote(&mut self, msg: &VoteMessage, now: Micros) -> Vec<Output> {
         let mut out = Vec::new();
         self.ingest(msg);
@@ -209,7 +209,17 @@ impl BaStar {
         out
     }
 
-    /// Records a vote in the tallies without advancing the clock-dependent
+    /// Delivers a vote that already passed the verification stage (the
+    /// staged pipeline's path: the node verifies against
+    /// [`BaStar::vote_context`] and feeds the wrapper straight in).
+    pub fn on_verified_vote(&mut self, vote: &VerifiedVote, now: Micros) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.ingest_verified(vote);
+        self.advance(now, &mut out);
+        out
+    }
+
+    /// Verifies and records a raw vote without advancing clock-dependent
     /// state (used when replaying buffered messages).
     pub fn ingest(&mut self, msg: &VoteMessage) {
         if matches!(self.phase, Phase::Done | Phase::Hung) {
@@ -219,18 +229,51 @@ impl BaStar {
         if msg.round != self.round || msg.prev_hash != self.prev_hash {
             return;
         }
-        let ctx = VoteContext {
-            round: self.round,
-            seed: self.seed,
-            tau: self.params.tau_for(msg.step == StepKind::Final),
-        };
-        let Some(votes) = self.verifier.verify_vote(msg, &ctx, &self.weights) else {
+        let ctx = self.vote_context(msg.step);
+        let Some(vote) = verify_vote_message(self.verifier.as_ref(), msg, &ctx, &self.weights)
+        else {
             return;
         };
-        self.tallies
-            .entry(msg.step.code())
-            .or_default()
-            .add(msg, votes);
+        self.ingest_verified(&vote);
+    }
+
+    /// Records an already-verified vote without advancing clock-dependent
+    /// state. Chain-context checks (round, prev-hash) still run here: a
+    /// [`VerifiedVote`] is cryptographically sound but may belong to a
+    /// different fork or round than this engine.
+    pub fn ingest_verified(&mut self, vote: &VerifiedVote) {
+        if matches!(self.phase, Phase::Done | Phase::Hung) {
+            return;
+        }
+        let msg = vote.message();
+        if msg.round != self.round || msg.prev_hash != self.prev_hash {
+            return;
+        }
+        self.tallies.entry(msg.step.code()).or_default().add(vote);
+    }
+
+    /// The verification context votes for `step` must be checked against.
+    pub fn vote_context(&self, step: StepKind) -> VoteContext {
+        VoteContext {
+            round: self.round,
+            seed: self.seed,
+            tau: self.params.tau_for(step == StepKind::Final),
+        }
+    }
+
+    /// The round this engine is agreeing on.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The previous block hash this engine extends.
+    pub fn prev_hash(&self) -> [u8; 32] {
+        self.prev_hash
+    }
+
+    /// The weight snapshot this engine verifies against.
+    pub fn weights(&self) -> &Arc<RoundWeights> {
+        &self.weights
     }
 
     /// Notifies the engine that time has passed; fires timeouts if due.
@@ -314,11 +357,16 @@ impl BaStar {
             value,
         );
         // Count our own vote immediately; the gossip layer will not echo
-        // our own message back to us.
-        self.tallies
-            .entry(step.code())
-            .or_default()
-            .add(&msg, sel.j);
+        // our own message back to us. Even our own vote goes through the
+        // verification stage — the only path into a tally — which also
+        // pre-warms the shared cache for every other simulated observer.
+        let ctx = self.vote_context(step);
+        if let Some(vote) = verify_vote_message(self.verifier.as_ref(), &msg, &ctx, &self.weights) {
+            debug_assert_eq!(vote.votes(), sel.j);
+            self.tallies.entry(step.code()).or_default().add(&vote);
+        } else {
+            debug_assert!(false, "own freshly signed vote must verify");
+        }
         out.push(Output::Gossip(msg));
     }
 
@@ -387,9 +435,7 @@ impl BaStar {
                             Ok(v) => self.enter_binary_step(step + 1, v, now, out),
                         },
                         2 => match outcome {
-                            Err(()) => {
-                                self.enter_binary_step(step + 1, self.empty_hash, now, out)
-                            }
+                            Err(()) => self.enter_binary_step(step + 1, self.empty_hash, now, out),
                             Ok(v) if v == self.empty_hash => self.decide(v, step, now, out),
                             Ok(v) => self.enter_binary_step(step + 1, v, now, out),
                         },
@@ -428,8 +474,8 @@ impl BaStar {
                         _ => ConsensusKind::Tentative,
                     };
                     let certificate = self.build_certificate(binary_step, value);
-                    let final_certificate = (kind == ConsensusKind::Final)
-                        .then(|| self.build_final_certificate(value));
+                    let final_certificate =
+                        (kind == ConsensusKind::Final).then(|| self.build_final_certificate(value));
                     self.phase = Phase::Done;
                     self.finished = Some(now);
                     out.push(Output::Decided(Decision {

@@ -35,5 +35,7 @@ pub use certificate::{Certificate, CertificateError};
 pub use engine::{AblationFlags, BaStar, ConsensusKind, Decision, Output};
 pub use msg::{StepKind, Value, VoteMessage};
 pub use params::{BaParams, Micros, SECOND};
-pub use verify::{CachedVerifier, RealVerifier, VoteContext, VoteVerifier};
+pub use verify::{
+    verify_vote_message, CachedVerifier, RealVerifier, VerifiedVote, VoteContext, VoteVerifier,
+};
 pub use weights::RoundWeights;

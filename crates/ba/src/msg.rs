@@ -114,8 +114,7 @@ impl VoteMessage {
         prev_hash: [u8; 32],
         value: Value,
     ) -> VoteMessage {
-        let digest =
-            Self::signing_digest(round, step, &sorthash, &sort_proof, &prev_hash, &value);
+        let digest = Self::signing_digest(round, step, &sorthash, &sort_proof, &prev_hash, &value);
         let sig = sig::sign(keypair, &digest);
         VoteMessage {
             sender: keypair.pk,
@@ -311,9 +310,8 @@ mod tests {
         corrupt[0] ^= 0xff; // Sender key no longer decompresses (usually).
         let mut r = Reader::new(&corrupt);
         // Either the key fails to parse or the signature is now invalid.
-        match VoteMessage::decode(&mut r) {
-            Ok(v) => assert!(!v.signature_valid()),
-            Err(_) => {}
+        if let Ok(v) = VoteMessage::decode(&mut r) {
+            assert!(!v.signature_valid());
         }
     }
 

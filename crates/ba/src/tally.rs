@@ -5,6 +5,7 @@
 //! `incomingMsgs` buffer of the paper's pseudocode.
 
 use crate::msg::{Value, VoteMessage};
+use crate::verify::VerifiedVote;
 use algorand_crypto::sha256_concat;
 use std::collections::{HashMap, HashSet};
 
@@ -27,11 +28,15 @@ impl StepTally {
         StepTally::default()
     }
 
-    /// Records a verified vote carrying `votes` sub-user votes.
+    /// Records a vote that passed the verification stage.
     ///
-    /// Returns false (and records nothing) if this sender already voted in
-    /// this step — the one-message-per-⟨round,step⟩ rule of §8.4.
-    pub fn add(&mut self, msg: &VoteMessage, votes: u64) -> bool {
+    /// Accepting only [`VerifiedVote`] — whose constructor is private to
+    /// `crate::verify` — makes it impossible for an unverified message to
+    /// enter a tally. Returns false (and records nothing) if this sender
+    /// already voted in this step — the one-message-per-⟨round,step⟩ rule
+    /// of §8.4.
+    pub fn add(&mut self, vote: &VerifiedVote) -> bool {
+        let (msg, votes) = (vote.message(), vote.votes());
         debug_assert!(votes > 0);
         if !self.voters.insert(msg.sender.to_bytes()) {
             return false;
@@ -102,10 +107,10 @@ mod tests {
     use crate::msg::StepKind;
     use algorand_crypto::{vrf, Keypair};
 
-    fn vote(seed: u8, value: u8) -> VoteMessage {
+    fn vote(seed: u8, value: u8, votes: u64) -> VerifiedVote {
         let kp = Keypair::from_seed([seed; 32]);
         let (sorthash, proof) = vrf::prove(&kp, b"t");
-        VoteMessage::sign(
+        let msg = VoteMessage::sign(
             &kp,
             1,
             StepKind::Main(1),
@@ -113,15 +118,16 @@ mod tests {
             proof,
             [0u8; 32],
             [value; 32],
-        )
+        );
+        VerifiedVote::for_test(msg, votes)
     }
 
     #[test]
     fn counts_accumulate_by_value() {
         let mut t = StepTally::new();
-        assert!(t.add(&vote(1, 7), 3));
-        assert!(t.add(&vote(2, 7), 2));
-        assert!(t.add(&vote(3, 8), 4));
+        assert!(t.add(&vote(1, 7, 3)));
+        assert!(t.add(&vote(2, 7, 2)));
+        assert!(t.add(&vote(3, 8, 4)));
         assert_eq!(t.count_for(&[7u8; 32]), 5);
         assert_eq!(t.count_for(&[8u8; 32]), 4);
         assert_eq!(t.total_votes(), 9);
@@ -131,17 +137,17 @@ mod tests {
     #[test]
     fn duplicate_sender_rejected() {
         let mut t = StepTally::new();
-        assert!(t.add(&vote(1, 7), 3));
+        assert!(t.add(&vote(1, 7, 3)));
         // Same sender, even voting a different value, is dropped.
-        assert!(!t.add(&vote(1, 9), 5));
+        assert!(!t.add(&vote(1, 9, 5)));
         assert_eq!(t.total_votes(), 3);
     }
 
     #[test]
     fn over_threshold_picks_heaviest() {
         let mut t = StepTally::new();
-        t.add(&vote(1, 7), 10);
-        t.add(&vote(2, 8), 12);
+        t.add(&vote(1, 7, 10));
+        t.add(&vote(2, 8, 12));
         assert_eq!(t.over_threshold(9.0), Some([8u8; 32]));
         assert_eq!(t.over_threshold(11.5), Some([8u8; 32]));
         assert_eq!(t.over_threshold(12.0), None);
@@ -154,8 +160,8 @@ mod tests {
         let mut a = StepTally::new();
         let mut b = StepTally::new();
         for (seed, val, votes) in [(1u8, 7u8, 2u64), (2, 7, 1), (3, 8, 3)] {
-            a.add(&vote(seed, val), votes);
-            b.add(&vote(seed, val), votes);
+            a.add(&vote(seed, val, votes));
+            b.add(&vote(seed, val, votes));
         }
         assert_eq!(a.common_coin(), b.common_coin());
         // Empty tally defaults to 0.
@@ -165,9 +171,9 @@ mod tests {
     #[test]
     fn messages_for_filters_by_value() {
         let mut t = StepTally::new();
-        t.add(&vote(1, 7), 2);
-        t.add(&vote(2, 8), 1);
-        t.add(&vote(3, 7), 4);
+        t.add(&vote(1, 7, 2));
+        t.add(&vote(2, 8, 1));
+        t.add(&vote(3, 7, 4));
         let sevens: Vec<u64> = t.messages_for([7u8; 32]).map(|(_, v)| v).collect();
         assert_eq!(sevens.iter().sum::<u64>(), 6);
         assert_eq!(sevens.len(), 2);

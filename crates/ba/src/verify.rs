@@ -3,16 +3,70 @@
 //! Verifying a vote costs one signature check plus one VRF verification
 //! (four scalar multiplications). Real nodes verify each distinct message
 //! once and relay it (§8.4); the simulator mirrors that with a process-wide
-//! cache keyed by message id, so simulating N observers of the same vote
-//! costs one verification, not N.
+//! cache keyed by `(message id, selection seed)`, so simulating N observers
+//! of the same vote costs one verification, not N.
+//!
+//! This module is the vote half of the staged pipeline's verification
+//! stage: the only way to obtain a [`VerifiedVote`] — the sole input type
+//! the tally and engine accept — is [`verify_vote_message`].
 
-use crate::msg::VoteMessage;
 #[cfg(test)]
 use crate::msg::StepKind;
+use crate::msg::VoteMessage;
 use crate::weights::RoundWeights;
 use algorand_sortition::{Role, SortitionParams};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A vote that has passed the stateless verification stage: signature,
+/// VRF sortition proof, and committee selection, all checked against a
+/// [`VoteContext`].
+///
+/// This is the *only* input [`crate::tally::StepTally`] and the
+/// tally-feeding paths of [`crate::engine::BaStar`] accept. The fields
+/// and the constructor are private to this module, so no code outside
+/// the verification stage can manufacture one — unverified votes cannot
+/// reach consensus by construction.
+#[derive(Clone, Debug)]
+pub struct VerifiedVote {
+    msg: VoteMessage,
+    votes: u64,
+}
+
+impl VerifiedVote {
+    /// The underlying wire message.
+    pub fn message(&self) -> &VoteMessage {
+        &self.msg
+    }
+
+    /// The number of selected sub-users this vote carries.
+    pub fn votes(&self) -> u64 {
+        self.votes
+    }
+
+    /// Test-only escape hatch for unit tests of downstream stages; does
+    /// not exist in production builds.
+    #[cfg(test)]
+    pub(crate) fn for_test(msg: VoteMessage, votes: u64) -> VerifiedVote {
+        VerifiedVote { msg, votes }
+    }
+}
+
+/// Runs `msg` through the verification stage. This free function is the
+/// single constructor of [`VerifiedVote`].
+pub fn verify_vote_message(
+    verifier: &dyn VoteVerifier,
+    msg: &VoteMessage,
+    ctx: &VoteContext,
+    weights: &RoundWeights,
+) -> Option<VerifiedVote> {
+    let votes = verifier.verify_vote(msg, ctx, weights)?;
+    Some(VerifiedVote {
+        msg: msg.clone(),
+        votes,
+    })
+}
 
 /// The context a vote is verified against.
 #[derive(Clone, Debug)]
@@ -85,15 +139,23 @@ impl VoteVerifier for RealVerifier {
 
 /// A process-wide verification cache wrapping [`RealVerifier`].
 ///
-/// Keyed by [`VoteMessage::message_id`], which commits to every field
+/// Keyed by `(message_id, seed)`. The id commits to every field
 /// including the signature, so a cache hit is exactly as strong as
-/// re-verifying. All honest simulated nodes share the same seed and weight
-/// snapshot for a round, so results are identical across nodes.
+/// re-verifying; folding the selection seed into the key makes the
+/// entry self-describing about its verification context, so a lookup
+/// under a different seed (a diverged fork, a recovery sub-protocol
+/// epoch, or an over-eager prefetch) misses instead of returning a
+/// result computed for the wrong context.
 #[derive(Default)]
 pub struct CachedVerifier {
     inner: RealVerifier,
-    cache: Mutex<HashMap<[u8; 32], Option<u64>>>,
+    cache: Mutex<HashMap<VerdictKey, Option<u64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
+
+/// A cache key: `(message_id, selection_seed)`.
+type VerdictKey = ([u8; 32], [u8; 32]);
 
 impl CachedVerifier {
     /// Creates an empty cache.
@@ -104,6 +166,28 @@ impl CachedVerifier {
     /// Number of distinct messages verified so far (for cost accounting).
     pub fn unique_verifications(&self) -> usize {
         self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run full verification.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The cached verdict for `(id, seed)`, if the message has already
+    /// been through verification under that seed. `Some(None)` means
+    /// "known invalid" — the relay layer uses this to stop forwarding
+    /// junk without ever re-verifying.
+    pub fn status(&self, id: [u8; 32], seed: [u8; 32]) -> Option<Option<u64>> {
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .get(&(id, seed))
+            .copied()
     }
 
     /// Drops cached entries (e.g., between rounds, to bound memory).
@@ -119,15 +203,17 @@ impl VoteVerifier for CachedVerifier {
         ctx: &VoteContext,
         weights: &RoundWeights,
     ) -> Option<u64> {
-        let id = msg.message_id();
-        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&id) {
+        let key = (msg.message_id(), ctx.seed);
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.verify_vote(msg, ctx, weights);
         self.cache
             .lock()
             .expect("cache poisoned")
-            .insert(id, result);
+            .insert(key, result);
         result
     }
 }
@@ -231,6 +317,53 @@ mod tests {
             vote.value,
         );
         assert_eq!(RealVerifier.verify_vote(&vote, &ctx, &weights), None);
+    }
+
+    #[test]
+    fn verified_vote_only_constructible_through_verification() {
+        let (kps, weights, ctx) = setup();
+        let vote = make_vote(&kps[5], &ctx, &weights);
+        let vv =
+            verify_vote_message(&RealVerifier, &vote, &ctx, &weights).expect("valid vote verifies");
+        assert_eq!(vv.votes(), 100);
+        assert_eq!(vv.message().message_id(), vote.message_id());
+        // An invalid vote never yields a VerifiedVote.
+        let stranger = Keypair::from_seed([98; 32]);
+        let forged = VoteMessage::sign(
+            &stranger,
+            vote.round,
+            vote.step,
+            vote.sorthash,
+            vote.sort_proof,
+            vote.prev_hash,
+            vote.value,
+        );
+        assert!(verify_vote_message(&RealVerifier, &forged, &ctx, &weights).is_none());
+    }
+
+    #[test]
+    fn cache_status_reports_verdicts_and_is_seed_scoped() {
+        let (kps, weights, ctx) = setup();
+        let cache = CachedVerifier::new();
+        let vote = make_vote(&kps[6], &ctx, &weights);
+        let id = vote.message_id();
+        assert_eq!(cache.status(id, ctx.seed), None);
+        cache.verify_vote(&vote, &ctx, &weights);
+        assert_eq!(cache.status(id, ctx.seed), Some(Some(100)));
+        // A different seed is a different verification context: miss.
+        assert_eq!(cache.status(id, [0u8; 32]), None);
+        let wrong_ctx = VoteContext {
+            seed: [0u8; 32],
+            ..ctx.clone()
+        };
+        // Verifying under the wrong seed fails and caches independently.
+        assert_eq!(cache.verify_vote(&vote, &wrong_ctx, &weights), None);
+        assert_eq!(cache.status(id, [0u8; 32]), Some(None));
+        assert_eq!(cache.status(id, ctx.seed), Some(Some(100)));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        cache.verify_vote(&vote, &ctx, &weights);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

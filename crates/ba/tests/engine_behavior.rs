@@ -99,12 +99,7 @@ impl Cluster {
 
     /// Advances virtual time to the earliest engine deadline and fires it.
     fn advance_time(&mut self) -> bool {
-        let Some(next) = self
-            .engines
-            .iter()
-            .filter_map(|e| e.next_deadline())
-            .min()
-        else {
+        let Some(next) = self.engines.iter().filter_map(|e| e.next_deadline()).min() else {
             return false;
         };
         self.now = next;
@@ -240,9 +235,8 @@ fn certificates_from_decisions_validate() {
     let mut cluster = Cluster::start(n, |_| block);
     cluster.run_to_completion();
     let params = test_params(n as u64 * 10);
-    let weights = RoundWeights::from_pairs(
-        (0..n).map(|i| (Keypair::from_seed(seed32(i)).pk, 10u64)),
-    );
+    let weights =
+        RoundWeights::from_pairs((0..n).map(|i| (Keypair::from_seed(seed32(i)).pk, 10u64)));
     let verifier = algorand_ba::RealVerifier;
     for d in cluster.decisions.iter().map(|d| d.as_ref().unwrap()) {
         d.certificate
@@ -271,23 +265,34 @@ fn tampered_certificate_rejected() {
     let mut cluster = Cluster::start(n, |_| block);
     cluster.run_to_completion();
     let params = test_params(n as u64 * 10);
-    let weights = RoundWeights::from_pairs(
-        (0..n).map(|i| (Keypair::from_seed(seed32(i)).pk, 10u64)),
-    );
+    let weights =
+        RoundWeights::from_pairs((0..n).map(|i| (Keypair::from_seed(seed32(i)).pk, 10u64)));
     let d = cluster.decisions[0].as_ref().unwrap();
 
     // Claiming a different value: every vote disagrees.
     let mut cert = d.certificate.clone();
     cert.value = [0x99; 32];
     assert!(cert
-        .validate(&params, &SEED, &PREV_HASH, &weights, &algorand_ba::RealVerifier)
+        .validate(
+            &params,
+            &SEED,
+            &PREV_HASH,
+            &weights,
+            &algorand_ba::RealVerifier
+        )
         .is_err());
 
     // Dropping votes below the threshold.
     let mut cert = d.certificate.clone();
     cert.votes.truncate(1);
     assert!(cert
-        .validate(&params, &SEED, &PREV_HASH, &weights, &algorand_ba::RealVerifier)
+        .validate(
+            &params,
+            &SEED,
+            &PREV_HASH,
+            &weights,
+            &algorand_ba::RealVerifier
+        )
         .is_err());
 
     // Duplicating a vote to inflate the count.
@@ -295,7 +300,13 @@ fn tampered_certificate_rejected() {
     let dup = cert.votes[0].clone();
     cert.votes.push(dup);
     assert!(cert
-        .validate(&params, &SEED, &PREV_HASH, &weights, &algorand_ba::RealVerifier)
+        .validate(
+            &params,
+            &SEED,
+            &PREV_HASH,
+            &weights,
+            &algorand_ba::RealVerifier
+        )
         .is_err());
 }
 

@@ -133,9 +133,7 @@ fn withholding_final_votes_downgrades_to_tentative() {
     // decision must be Tentative (§7.4: "BA⋆ was unable to guarantee
     // safety").
     let (mut engines, mut pending, params) = setup(12);
-    let mut decisions = drive(&mut engines, &mut pending, 0, |v| {
-        v.step != StepKind::Final
-    });
+    let mut decisions = drive(&mut engines, &mut pending, 0, |v| v.step != StepKind::Final);
     assert!(decisions.is_empty(), "no decision before the final timeout");
     // Fire the final-count timeout.
     let after = params.lambda_step + 1;

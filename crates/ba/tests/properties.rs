@@ -2,19 +2,29 @@
 //! invariants, driven by the in-repo deterministic RNG so failures replay.
 
 use algorand_ba::tally::StepTally;
-use algorand_ba::{StepKind, VoteMessage};
+use algorand_ba::{
+    verify_vote_message, RealVerifier, RoundWeights, StepKind, VerifiedVote, VoteContext,
+    VoteMessage,
+};
 use algorand_crypto::rng::Rng;
 use algorand_crypto::{vrf, Keypair};
+use algorand_sortition::{select, Role, SortitionParams};
 
 const CASES: usize = 16;
+
+const SEED: [u8; 32] = [0x5e; 32];
 
 fn rng(test_tag: u64) -> Rng {
     Rng::seed_from_u64(0xBA5E ^ test_tag)
 }
 
+fn keypair(seed: u8) -> Keypair {
+    Keypair::from_seed([seed.max(1); 32])
+}
+
 /// A deterministic vote from user `seed` for `value`, any fixed context.
 fn vote(seed: u8, round: u64, step: u32, value: u8) -> VoteMessage {
-    let kp = Keypair::from_seed([seed.max(1); 32]);
+    let kp = keypair(seed);
     let (sorthash, proof) = vrf::prove(&kp, b"prop-test");
     VoteMessage::sign(
         &kp,
@@ -27,6 +37,50 @@ fn vote(seed: u8, round: u64, step: u32, value: u8) -> VoteMessage {
     )
 }
 
+/// A tally only accepts votes that went through the verification stage,
+/// so property tests build real committee votes: with τ = W every
+/// sub-user is selected deterministically and a sender of weight `w`
+/// carries exactly `w` votes.
+fn verified_vote(seed: u8, value: u8, weights: &RoundWeights) -> VerifiedVote {
+    let kp = keypair(seed);
+    let step = StepKind::Main(1);
+    let tau = weights.total() as f64;
+    let sel = select(
+        &kp,
+        &SEED,
+        Role::Committee {
+            round: 1,
+            step: step.code(),
+        },
+        &SortitionParams {
+            tau,
+            total_weight: weights.total(),
+        },
+        weights.weight_of(&kp.pk),
+    )
+    .expect("τ = W selects everyone");
+    let msg = VoteMessage::sign(
+        &kp,
+        1,
+        step,
+        sel.vrf_output,
+        sel.proof,
+        [0u8; 32],
+        [value; 32],
+    );
+    verify_vote_message(
+        &RealVerifier,
+        &msg,
+        &VoteContext {
+            round: 1,
+            seed: SEED,
+            tau,
+        },
+        weights,
+    )
+    .expect("honestly built vote verifies")
+}
+
 /// Tally totals are permutation-invariant and replay-proof: any order and
 /// any number of repetitions of the same vote set yields the same counts.
 #[test]
@@ -37,7 +91,7 @@ fn tally_is_order_and_replay_invariant() {
         // outcomes inherently order-dependent (tested separately below).
         let n = 1 + rng.gen_range_usize(15);
         let mut seen = std::collections::HashSet::new();
-        let msgs: Vec<(VoteMessage, u64)> = (0..n)
+        let picks: Vec<(u8, u8, u64)> = (0..n)
             .map(|_| {
                 (
                     1 + rng.gen_range_u64(9) as u8,
@@ -46,21 +100,25 @@ fn tally_is_order_and_replay_invariant() {
                 )
             })
             .filter(|(who, _, _)| seen.insert(*who))
-            .map(|(who, val, weight)| (vote(who, 1, 1, val), weight))
+            .collect();
+        let weights =
+            RoundWeights::from_pairs(picks.iter().map(|(who, _, w)| (keypair(*who).pk, *w)));
+        let msgs: Vec<VerifiedVote> = picks
+            .iter()
+            .map(|(who, val, _)| verified_vote(*who, *val, &weights))
             .collect();
         // Reference tally: in order, each once.
         let mut reference = StepTally::new();
-        for (m, w) in &msgs {
-            reference.add(m, *w);
+        for m in &msgs {
+            reference.add(m);
         }
         // Shuffled + replayed tally.
         let mut order: Vec<usize> = (0..msgs.len()).collect();
         rng.shuffle(&mut order);
         let mut shuffled = StepTally::new();
         for &i in &order {
-            let (m, w) = &msgs[i];
-            shuffled.add(m, *w);
-            shuffled.add(m, *w); // Replay: must not double count.
+            shuffled.add(&msgs[i]);
+            shuffled.add(&msgs[i]); // Replay: must not double count.
         }
         for val in 0u8..3 {
             assert_eq!(
@@ -82,10 +140,11 @@ fn equivocating_sender_counts_once() {
         let who = 1 + rng.gen_range_u64(19) as u8;
         let weight = 1 + rng.gen_range_u64(9);
         let n_values = 2 + rng.gen_range_usize(4);
+        let weights = RoundWeights::from_pairs([(keypair(who).pk, weight)]);
         let mut tally = StepTally::new();
         for _ in 0..n_values {
             let v = rng.gen_range_u64(5) as u8;
-            tally.add(&vote(who, 1, 1, v), weight);
+            tally.add(&verified_vote(who, v, &weights));
         }
         assert_eq!(tally.total_votes(), weight);
         assert_eq!(tally.num_voters(), 1);
@@ -100,9 +159,15 @@ fn threshold_boundary_is_strict() {
     for _ in 0..CASES {
         let n = 1 + rng.gen_range_usize(7);
         let weights: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range_u64(49)).collect();
+        let snapshot = RoundWeights::from_pairs(
+            weights
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (keypair(i as u8 + 1).pk, *w)),
+        );
         let mut tally = StepTally::new();
-        for (i, w) in weights.iter().enumerate() {
-            tally.add(&vote(i as u8 + 1, 1, 1, 7), *w);
+        for i in 0..n {
+            tally.add(&verified_vote(i as u8 + 1, 7, &snapshot));
         }
         let total: u64 = weights.iter().sum();
         assert_eq!(tally.over_threshold(total as f64), None);

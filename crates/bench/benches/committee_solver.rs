@@ -6,9 +6,17 @@ use algorand_sortition::committee::{solve_committee_size, violation_probability}
 
 fn main() {
     bench("committee/violation_probability(2000,0.685,0.8)", || {
-        std::hint::black_box(violation_probability(2000.0, 0.685, std::hint::black_box(0.8)));
+        std::hint::black_box(violation_probability(
+            2000.0,
+            0.685,
+            std::hint::black_box(0.8),
+        ));
     });
     bench("committee/solve h=0.85", || {
-        std::hint::black_box(solve_committee_size(std::hint::black_box(0.85), 5e-9, 20_000));
+        std::hint::black_box(solve_committee_size(
+            std::hint::black_box(0.85),
+            5e-9,
+            20_000,
+        ));
     });
 }

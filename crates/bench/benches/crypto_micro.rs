@@ -24,7 +24,11 @@ fn bench_signatures() {
         std::hint::black_box(sig::sign(&keypair, std::hint::black_box(&msg)));
     });
     bench("sig/verify", || {
-        std::hint::black_box(sig::verify(&keypair.pk, &msg, std::hint::black_box(&signature)));
+        let _ = std::hint::black_box(sig::verify(
+            &keypair.pk,
+            &msg,
+            std::hint::black_box(&signature),
+        ));
     });
 }
 
@@ -36,7 +40,11 @@ fn bench_vrf() {
         std::hint::black_box(vrf::prove(&keypair, std::hint::black_box(alpha)));
     });
     bench("vrf/verify", || {
-        std::hint::black_box(vrf::verify(&keypair.pk, alpha, std::hint::black_box(&proof)));
+        let _ = std::hint::black_box(vrf::verify(
+            &keypair.pk,
+            alpha,
+            std::hint::black_box(&proof),
+        ));
     });
 }
 
@@ -49,11 +57,17 @@ fn bench_sortition() {
     };
     let role = Role::Committee { round: 1, step: 1 };
     bench("sortition/select", || {
-        std::hint::black_box(select(&keypair, &seed, role, &params, std::hint::black_box(5000)));
+        std::hint::black_box(select(
+            &keypair,
+            &seed,
+            role,
+            &params,
+            std::hint::black_box(5000),
+        ));
     });
     let sel = select(&keypair, &seed, role, &params, 1_000_000).expect("whale is selected");
     bench("sortition/verify", || {
-        std::hint::black_box(algorand_sortition::verify(
+        let _ = std::hint::black_box(algorand_sortition::verify(
             &keypair.pk,
             std::hint::black_box(&sel.proof),
             &seed,

@@ -2,7 +2,9 @@
 //! every user runs on a received proposal) and certificate validation
 //! (what a bootstrapping user pays per round, §8.3).
 
-use algorand_ba::{BaParams, Certificate, RealVerifier, RoundWeights, StepKind, VoteMessage, SECOND};
+use algorand_ba::{
+    BaParams, Certificate, RealVerifier, RoundWeights, StepKind, VoteMessage, SECOND,
+};
 use algorand_bench::timing::bench;
 use algorand_crypto::Keypair;
 use algorand_ledger::seed::propose_seed;
@@ -49,9 +51,12 @@ fn bench_block_validation() {
             payload: Vec::new(),
         };
         bench(&format!("ledger/validate_block/{n_txs}_txs"), || {
-            std::hint::black_box(
-                std::hint::black_box(&block).validate(&genesis, &accounts, 1_000_000, 3_600_000_000),
-            );
+            let _ = std::hint::black_box(std::hint::black_box(&block).validate(
+                &genesis,
+                &accounts,
+                1_000_000,
+                3_600_000_000,
+            ));
         });
     }
 }
@@ -101,9 +106,13 @@ fn bench_certificate_validation() {
         votes,
     };
     bench("ledger/validate_certificate/20_votes", || {
-        std::hint::black_box(
-            std::hint::black_box(&cert).validate(&params, &seed, &prev, &weights, &RealVerifier),
-        );
+        let _ = std::hint::black_box(std::hint::black_box(&cert).validate(
+            &params,
+            &seed,
+            &prev,
+            &weights,
+            &RealVerifier,
+        ));
     });
 }
 

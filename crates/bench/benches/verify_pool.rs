@@ -1,0 +1,128 @@
+//! Micro-benchmark: serial vs pooled batch verification.
+//!
+//! Builds a batch of genuine committee votes (τ = W sortition so every
+//! key is selected) and times `VerifyPool::verify_batch` into a cold
+//! `PipelineVerifier` cache at 0 (inline), 1, 2, 4, and 8 workers, plus
+//! one warm-cache pass to show what consumers pay after pre-warming.
+//!
+//! Run with: cargo bench -p algorand-bench --bench verify_pool
+//! Results table: results/verify_pool.txt
+
+use algorand_ba::{RoundWeights, StepKind, VoteContext, VoteMessage};
+use algorand_core::{PipelineVerifier, VerifyJob, VerifyPool};
+use algorand_crypto::Keypair;
+use algorand_sortition::{select, Role, SortitionParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+const KEYS: usize = 64;
+const VALUES_PER_KEY: usize = 8;
+const REPS: usize = 3;
+
+fn build_votes(
+    ctx: &VoteContext,
+    weights: &RoundWeights,
+    keypairs: &[Keypair],
+) -> Vec<VoteMessage> {
+    let step = StepKind::Main(1);
+    let params = SortitionParams {
+        tau: ctx.tau,
+        total_weight: weights.total(),
+    };
+    let mut votes = Vec::with_capacity(KEYS * VALUES_PER_KEY);
+    for kp in keypairs {
+        let sel = select(
+            kp,
+            &ctx.seed,
+            Role::Committee {
+                round: ctx.round,
+                step: step.code(),
+            },
+            &params,
+            weights.weight_of(&kp.pk),
+        )
+        .expect("τ = W selects every key");
+        for v in 0..VALUES_PER_KEY {
+            // Distinct values give each vote a distinct message id, so
+            // every job is a cold-cache verification.
+            let value = [v as u8 + 1; 32];
+            votes.push(VoteMessage::sign(
+                kp,
+                ctx.round,
+                step,
+                sel.vrf_output,
+                sel.proof,
+                [7u8; 32],
+                value,
+            ));
+        }
+    }
+    votes
+}
+
+fn jobs(votes: &[VoteMessage], ctx: &VoteContext, weights: &Arc<RoundWeights>) -> Vec<VerifyJob> {
+    votes
+        .iter()
+        .map(|msg| VerifyJob::Vote {
+            msg: msg.clone(),
+            ctx: ctx.clone(),
+            weights: weights.clone(),
+        })
+        .collect()
+}
+
+fn main() {
+    let keypairs: Vec<Keypair> = (0..KEYS)
+        .map(|i| Keypair::from_seed([i as u8 + 1; 32]))
+        .collect();
+    let weights = Arc::new(RoundWeights::from_pairs(
+        keypairs.iter().map(|kp| (kp.pk, 100u64)),
+    ));
+    let ctx = VoteContext {
+        round: 1,
+        seed: [5u8; 32],
+        tau: weights.total() as f64, // τ = W: deterministic full selection
+    };
+    let votes = build_votes(&ctx, &weights, &keypairs);
+    let batch = votes.len();
+    println!("batch = {batch} votes (sig + sortition VRF verify each), best of {REPS}");
+    println!();
+    println!("| workers | cold batch (ms) | votes/s | speedup | warm pass (ms) |");
+    println!("|---------|-----------------|---------|---------|----------------|");
+
+    let mut serial_ms = 0.0f64;
+    for workers in [0usize, 1, 2, 4, 8] {
+        let pool = VerifyPool::new(workers);
+        let mut best_cold = f64::INFINITY;
+        let mut best_warm = f64::INFINITY;
+        for _ in 0..REPS {
+            let verifier = Arc::new(PipelineVerifier::new());
+            let cold_jobs = jobs(&votes, &ctx, &weights);
+            let t0 = Instant::now();
+            pool.verify_batch(&verifier, cold_jobs);
+            best_cold = best_cold.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(verifier.unique_vote_verifications(), batch);
+
+            let warm_jobs = jobs(&votes, &ctx, &weights);
+            let t1 = Instant::now();
+            pool.verify_batch(&verifier, warm_jobs);
+            best_warm = best_warm.min(t1.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(verifier.cache_hits(), batch as u64);
+        }
+        if workers == 0 {
+            serial_ms = best_cold;
+        }
+        println!(
+            "| {:>7} | {:>15.2} | {:>7.0} | {:>6.2}x | {:>14.3} |",
+            if workers == 0 {
+                "serial".to_string()
+            } else {
+                workers.to_string()
+            },
+            best_cold,
+            batch as f64 / (best_cold / 1e3),
+            serial_ms / best_cold,
+            best_warm,
+        );
+    }
+}

@@ -106,15 +106,17 @@ impl Attack {
                     total_weight: weights.total(),
                 };
                 if let Some(sel) = algorand_sortition::select(kp, &SEED, role, &p, 10) {
-                    bank.entry((step, EMPTY)).or_default().push(VoteMessage::sign(
-                        kp,
-                        1,
-                        StepKind::Main(step),
-                        sel.vrf_output,
-                        sel.proof,
-                        PREV,
-                        EMPTY,
-                    ));
+                    bank.entry((step, EMPTY))
+                        .or_default()
+                        .push(VoteMessage::sign(
+                            kp,
+                            1,
+                            StepKind::Main(step),
+                            sel.vrf_output,
+                            sel.proof,
+                            PREV,
+                            EMPTY,
+                        ));
                 }
             }
         }
@@ -152,9 +154,7 @@ impl Attack {
         for o in outputs {
             match o {
                 Output::Gossip(v) => self.pending.push(v),
-                Output::BinaryDecided { value, step } => {
-                    self.decided[i] = Some((value, step))
-                }
+                Output::BinaryDecided { value, step } => self.decided[i] = Some((value, step)),
                 _ => {}
             }
         }
@@ -162,11 +162,10 @@ impl Attack {
 
     fn converged(&self) -> Option<([u8; 32], u32)> {
         let values: Vec<([u8; 32], u32)> = self.decided.iter().flatten().copied().collect();
-        (values.len() > (N_A + N_B) / 2 && values.windows(2).all(|w| w[0].0 == w[1].0))
-            .then(|| {
-                let max_step = values.iter().map(|(_, s)| *s).max().unwrap_or(0);
-                (values[0].0, max_step)
-            })
+        (values.len() > (N_A + N_B) / 2 && values.windows(2).all(|w| w[0].0 == w[1].0)).then(|| {
+            let max_step = values.iter().map(|(_, s)| *s).max().unwrap_or(0);
+            (values[0].0, max_step)
+        })
     }
 
     /// Runs the schedule; returns the max binary step reached at
@@ -209,11 +208,7 @@ impl Attack {
                 let outs = self.engines[i].on_tick(self.now);
                 self.absorb(i, outs);
             }
-            let hung = self
-                .engines
-                .iter()
-                .filter(|e| e.is_finished())
-                .count();
+            let hung = self.engines.iter().filter(|e| e.is_finished()).count();
             if hung > (N_A + N_B) / 2 && self.converged().is_none() {
                 return None; // Most engines hung at MaxSteps: attack won.
             }

@@ -133,11 +133,15 @@ fn main() {
     );
     println!("scenario: 19 users decide at step 1; one straggler's inbox is delayed past λ_step");
     match run(false) {
-        Some(step) => println!("  WITH extra votes:    straggler caught up and decided at step {step}"),
+        Some(step) => {
+            println!("  WITH extra votes:    straggler caught up and decided at step {step}")
+        }
         None => println!("  WITH extra votes:    straggler hung (unexpected)"),
     }
     match run(true) {
-        Some(step) => println!("  WITHOUT extra votes: straggler decided at step {step} (unexpected)"),
+        Some(step) => {
+            println!("  WITHOUT extra votes: straggler decided at step {step} (unexpected)")
+        }
         None => println!(
             "  WITHOUT extra votes: straggler starved below every threshold and hung at MaxSteps"
         ),

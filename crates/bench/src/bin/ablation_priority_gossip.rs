@@ -18,11 +18,7 @@ fn run(relay_all: bool) -> (f64, f64) {
     let rounds = 3;
     let (sim, stats) = run_experiment(cfg, rounds);
     let mb = sim.network().total_bytes_sent() as f64 / 1e6;
-    let median = stats
-        .iter()
-        .map(|s| s.completion.median)
-        .sum::<f64>()
-        / stats.len().max(1) as f64;
+    let median = stats.iter().map(|s| s.completion.median).sum::<f64>() / stats.len().max(1) as f64;
     (mb, median)
 }
 
@@ -37,9 +33,7 @@ fn main() {
         "  WITH discard rule (paper): {mb_discard:>8.1} MB gossiped, median round {lat_discard:.2} s"
     );
     let (mb_all, lat_all) = run(true);
-    println!(
-        "  WITHOUT (relay all):       {mb_all:>8.1} MB gossiped, median round {lat_all:.2} s"
-    );
+    println!("  WITHOUT (relay all):       {mb_all:>8.1} MB gossiped, median round {lat_all:.2} s");
     println!();
     println!(
         "bandwidth saved by the rule: {:.1}x less block traffic",

@@ -5,8 +5,8 @@
 //! (independent of user count), 300 KB certificates (~30% overhead on
 //! 1 MB blocks), and proportional savings from sharding storage.
 
-use algorand_bench::{header, run_experiment};
 use algorand_ba::VoteMessage;
+use algorand_bench::{header, run_experiment};
 use algorand_sim::SimConfig;
 use std::time::Instant;
 
@@ -55,7 +55,10 @@ fn main() {
     }
     let per_cert = cert_bytes as f64 / chain.tip().round.max(1) as f64;
     println!("storage:");
-    println!("  blocks                    {:>9.1} KB", block_bytes as f64 / 1e3);
+    println!(
+        "  blocks                    {:>9.1} KB",
+        block_bytes as f64 / 1e3
+    );
     println!(
         "  certificates              {:>9.1} KB  ({:.1} KB each; paper: 300 KB at tau_step=2000)",
         cert_bytes as f64 / 1e3,
@@ -73,8 +76,7 @@ fn main() {
     );
 
     // Certificate-size model at paper scale: ~threshold votes of ~300 B.
-    let paper_cert_kb =
-        (0.685 * 2000.0 + 1.0) * VoteMessage::WIRE_SIZE as f64 / 1e3;
+    let paper_cert_kb = (0.685 * 2000.0 + 1.0) * VoteMessage::WIRE_SIZE as f64 / 1e3;
     println!();
     println!(
         "model check: at paper scale a certificate needs >0.685*2000 votes x {} B = {:.0} KB (paper: ~300 KB)",
@@ -84,9 +86,7 @@ fn main() {
     // §8.3's forged-certificate attack: the adversary must find a step it
     // dominates; at paper parameters the per-step probability is
     // astronomically small.
-    let log10 = algorand_sortition::committee::certificate_forgery_log10_bound(
-        2000.0, 0.685, 0.80,
-    );
+    let log10 = algorand_sortition::committee::certificate_forgery_log10_bound(2000.0, 0.685, 0.80);
     println!(
         "forgery check: per-step certificate-forgery probability <= 10^{log10:.0} (paper: < 2^-166 = 10^-50)"
     );

@@ -17,18 +17,66 @@ fn main() {
     let sec = |us: u64| us as f64 / 1e6;
     println!("{:<14} {:<46} {:>12}", "parameter", "meaning", "value");
     let rows: Vec<(&str, &str, String)> = vec![
-        ("h", "assumed fraction of honest weighted users", format!("{:.0}%", p.honest_fraction * 100.0)),
-        ("R", "seed refresh interval (# of rounds)", format!("{}", p.chain.seed_refresh_interval)),
-        ("tau_proposer", "expected # of block proposers", format!("{}", p.tau_proposer)),
-        ("tau_step", "expected # of committee members", format!("{}", p.ba.tau_step)),
-        ("T_step", "threshold of tau_step for BA*", format!("{:.1}%", p.ba.t_step * 100.0)),
-        ("tau_final", "expected # of final committee members", format!("{}", p.ba.tau_final)),
-        ("T_final", "threshold of tau_final for BA*", format!("{:.0}%", p.ba.t_final * 100.0)),
-        ("MaxSteps", "maximum number of steps in BinaryBA*", format!("{}", p.ba.max_steps)),
-        ("lambda_priority", "time to gossip sortition proofs", format!("{} s", sec(p.lambda_priority))),
-        ("lambda_block", "timeout for receiving a block", format!("{} s", sec(p.ba.lambda_block))),
-        ("lambda_step", "timeout for a BA* step", format!("{} s", sec(p.ba.lambda_step))),
-        ("lambda_stepvar", "estimate of BA* completion variance", format!("{} s", sec(p.lambda_stepvar))),
+        (
+            "h",
+            "assumed fraction of honest weighted users",
+            format!("{:.0}%", p.honest_fraction * 100.0),
+        ),
+        (
+            "R",
+            "seed refresh interval (# of rounds)",
+            format!("{}", p.chain.seed_refresh_interval),
+        ),
+        (
+            "tau_proposer",
+            "expected # of block proposers",
+            format!("{}", p.tau_proposer),
+        ),
+        (
+            "tau_step",
+            "expected # of committee members",
+            format!("{}", p.ba.tau_step),
+        ),
+        (
+            "T_step",
+            "threshold of tau_step for BA*",
+            format!("{:.1}%", p.ba.t_step * 100.0),
+        ),
+        (
+            "tau_final",
+            "expected # of final committee members",
+            format!("{}", p.ba.tau_final),
+        ),
+        (
+            "T_final",
+            "threshold of tau_final for BA*",
+            format!("{:.0}%", p.ba.t_final * 100.0),
+        ),
+        (
+            "MaxSteps",
+            "maximum number of steps in BinaryBA*",
+            format!("{}", p.ba.max_steps),
+        ),
+        (
+            "lambda_priority",
+            "time to gossip sortition proofs",
+            format!("{} s", sec(p.lambda_priority)),
+        ),
+        (
+            "lambda_block",
+            "timeout for receiving a block",
+            format!("{} s", sec(p.ba.lambda_block)),
+        ),
+        (
+            "lambda_step",
+            "timeout for a BA* step",
+            format!("{} s", sec(p.ba.lambda_step)),
+        ),
+        (
+            "lambda_stepvar",
+            "estimate of BA* completion variance",
+            format!("{} s", sec(p.lambda_stepvar)),
+        ),
     ];
     for (name, meaning, value) in rows {
         println!("{name:<14} {meaning:<46} {value:>12}");
@@ -46,7 +94,16 @@ fn main() {
 
     println!();
     println!("derived:");
-    println!("  step vote threshold  T_step*tau_step  = {:.0} votes", p.ba.step_vote_threshold());
-    println!("  final vote threshold T_final*tau_final = {:.0} votes", p.ba.final_vote_threshold());
-    println!("  proposal wait lambda_priority+lambda_stepvar = {} s", sec(p.proposal_wait()));
+    println!(
+        "  step vote threshold  T_step*tau_step  = {:.0} votes",
+        p.ba.step_vote_threshold()
+    );
+    println!(
+        "  final vote threshold T_final*tau_final = {:.0} votes",
+        p.ba.final_vote_threshold()
+    );
+    println!(
+        "  proposal wait lambda_priority+lambda_stepvar = {} s",
+        sec(p.proposal_wait())
+    );
 }

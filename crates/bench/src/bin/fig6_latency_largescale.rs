@@ -38,7 +38,5 @@ fn main() {
     let mut fig5_regime = EpidemicConfig::figure6(50_000);
     fig5_regime.bandwidth_bps = 20e6;
     let ratio = first / fig5_regime.round_latency_s(&params);
-    println!(
-        "regime check: fig6 latency / fig5 latency at 50k users = {ratio:.1}x (paper: ~4x)"
-    );
+    println!("regime check: fig6 latency / fig5 latency at 50k users = {ratio:.1}x (paper: ~4x)");
 }

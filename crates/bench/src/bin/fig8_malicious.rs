@@ -37,12 +37,7 @@ fn main() {
             p99: avg(|s| s.completion.p99),
             max: avg(|s| s.completion.max),
         };
-        println!(
-            "{:>10}% {:>8}   {}",
-            pct,
-            stats.len(),
-            fmt_percentiles(&p)
-        );
+        println!("{:>10}% {:>8}   {}", pct, stats.len(), fmt_percentiles(&p));
         medians.push(p.median);
     }
     println!();

@@ -1,0 +1,71 @@
+//! Pipeline equivalence harness: runs the 50-user payment workload
+//! (the txpool e2e configuration) and prints a digest over every round
+//! decision on every honest chain, plus wall-clock time.
+//!
+//! The digest must be byte-identical across the staged-pipeline
+//! refactor and across verify-pool worker counts; wall-clock is the
+//! number the verify pool + shared cache are meant to improve.
+//!
+//! Usage: pipeline_equiv [workers ...]   (default: 0 = serial)
+
+use algorand_crypto::sha256;
+use algorand_sim::{SimConfig, Simulation};
+use std::time::Instant;
+
+fn config() -> SimConfig {
+    let mut cfg = SimConfig::new(50);
+    cfg.stake_per_user = 50;
+    cfg.tx_rate = 25.0;
+    cfg.tx_total = 500;
+    cfg.seed = 11;
+    cfg
+}
+
+fn run(workers: usize) {
+    let mut cfg = config();
+    let n = cfg.n_users;
+    cfg.verify_pool_workers = workers;
+    let t0 = Instant::now();
+    let mut sim = Simulation::new(cfg);
+    sim.run_rounds(15, 30 * 60 * 1_000_000);
+    let wall = t0.elapsed();
+
+    // Digest: every honest node's decided (round, block hash) sequence.
+    let mut data = Vec::new();
+    for i in 0..n {
+        let chain = sim.honest_node(i).chain();
+        for r in 0..=chain.tip().round {
+            if let Some(b) = chain.block_at(r) {
+                data.extend_from_slice(&r.to_le_bytes());
+                data.extend_from_slice(&b.hash());
+            }
+        }
+        data.push(0xff);
+    }
+    let digest = sha256(&data);
+    let tx = sim.tx_stats().expect("workload ran");
+    println!(
+        "workers={workers:<2} digest={} rounds={} committed={}/{} wall={:.2}s",
+        hex(&digest),
+        sim.honest_node(0).chain().tip().round,
+        tx.committed,
+        tx.injected,
+        wall.as_secs_f64(),
+    );
+    println!("{}", sim.pipeline_report());
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let runs = if args.is_empty() { vec![0] } else { args };
+    for w in runs {
+        run(w);
+    }
+}

@@ -32,8 +32,7 @@ fn main() {
         let spread = s.completion.p75 - s.completion.p25;
         let step_ok = per_step < sec(params.ba.lambda_step);
         let spread_ok = spread < sec(params.lambda_stepvar);
-        let prop_ok = s.proposal_median
-            < sec(params.proposal_wait() + params.ba.lambda_block);
+        let prop_ok = s.proposal_median < sec(params.proposal_wait() + params.ba.lambda_block);
         let all = step_ok && spread_ok && prop_ok;
         ok &= all;
         println!(

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "txpool smoke: injected {} committed {} ({:.1} tx/s, latency p50 {:.2}s p99 {:.2}s, {} duplicate commits)",
         stats.injected, stats.committed, stats.tx_per_sec, p50, p99, stats.duplicate_commits
     );
+    println!("{}", sim.pipeline_report());
     let ok = stats.injected == 200
         && stats.committed as f64 >= 0.95 * stats.injected as f64
         && stats.duplicate_commits == 0;

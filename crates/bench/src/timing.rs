@@ -36,7 +36,10 @@ pub fn bench<F: FnMut()>(name: &str, mut f: F) -> f64 {
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let median = samples[BATCHES / 2];
-    println!("{name:<44} {:>12}/op  ({iters} iters/batch)", fmt_secs(median));
+    println!(
+        "{name:<44} {:>12}/op  ({iters} iters/batch)",
+        fmt_secs(median)
+    );
     median * 1e9
 }
 

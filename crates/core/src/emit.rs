@@ -1,0 +1,47 @@
+//! Stage 4 of the staged message pipeline: emit.
+//!
+//! Every handler writes its outbound gossip into an [`Outbox`] instead
+//! of a bare `Vec`, giving the pipeline one exit point — the driver
+//! takes the drained messages and the emit counter ticks in one place.
+
+use crate::wire::WireMessage;
+use algorand_ba::VoteMessage;
+
+/// Ordered outbound gossip produced while handling one input (a
+/// message, a tick, or a round start).
+#[derive(Default)]
+pub struct Outbox {
+    msgs: Vec<WireMessage>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Outbox {
+        Outbox::default()
+    }
+
+    /// Queues a message for the driver to transmit.
+    pub fn push(&mut self, msg: WireMessage) {
+        self.msgs.push(msg);
+    }
+
+    /// Queues a consensus vote (the most common emission).
+    pub fn vote(&mut self, v: VoteMessage) {
+        self.msgs.push(WireMessage::Vote(v));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Surrenders the queued messages, in emission order.
+    pub fn into_vec(self) -> Vec<WireMessage> {
+        self.msgs
+    }
+}

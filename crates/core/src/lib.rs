@@ -1,29 +1,49 @@
 //! The Algorand node: the paper's primary contribution assembled.
 //!
 //! This crate wires the substrates together into a complete user
-//! implementation:
+//! implementation. Message handling is a staged pipeline:
+//!
+//! * [`ingest`] — stage 1: wire decode (see [`wire`]) and per-round
+//!   classification of incoming messages;
+//! * [`verify`] — stage 2: stateless signature/VRF verification behind a
+//!   process-wide cache, producing type-state `Verified*` wrappers that
+//!   are the *only* inputs the consensus stage accepts;
+//! * [`round`] — stage 3: the per-round state machine ([`round::RoundContext`])
+//!   plus the cross-round buffers (block bodies, future votes);
+//! * [`emit`] — stage 4: the single exit point for outbound gossip;
+//! * [`pool`] — a dependency-free worker pool that batch-verifies
+//!   messages into the stage-2 cache ahead of consumption.
+//!
+//! Around the pipeline:
 //!
 //! * [`params`] — the Figure 4 parameter set, plus laptop-scale variants;
 //! * [`proposal`] — block proposal with VRF-derived priorities (§6);
 //! * [`node`] — the sans-io round loop: propose → wait → BA⋆ → append (§4,
 //!   §8);
 //! * [`recovery`] — the fork-recovery protocol (§8.2);
-//! * [`metrics`] — per-round records behind the evaluation figures.
+//! * [`metrics`] — per-round records and per-stage pipeline counters.
 //!
 //! A [`Node`] talks to the world exclusively through [`WireMessage`]s and
 //! clock ticks, so the same code runs under the discrete-event simulator,
 //! the integration tests, and (in principle) a real gossip transport.
 
+pub mod emit;
+pub mod ingest;
 pub mod metrics;
 pub mod node;
 pub mod params;
+pub mod pool;
 pub mod proposal;
 pub mod recovery;
+pub mod round;
+pub mod verify;
 pub mod wire;
 
-pub use metrics::RoundRecord;
+pub use metrics::{PipelineStats, RoundRecord};
 pub use node::Node;
 pub use params::AlgorandParams;
+pub use pool::{VerifyJob, VerifyPool};
 pub use proposal::{BlockMessage, PriorityMessage};
 pub use recovery::ForkProposalMessage;
+pub use verify::{PipelineVerifier, VerifiedBlock, VerifiedForkProposal, VerifiedPriority};
 pub use wire::WireMessage;

@@ -51,9 +51,60 @@ impl RoundRecord {
     }
 }
 
+/// Per-node counters for the staged message pipeline, one tick per
+/// message per stage (ingest → verify → consume → emit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Messages entering the ingest stage (decoded deliveries).
+    pub ingested: u64,
+    /// Dropped by ingest: wrong round, wrong phase, or stale.
+    pub rejected_ingest: u64,
+    /// Current-round votes buffered because BA⋆ has not started.
+    pub buffered_early: u64,
+    /// Votes buffered for a near-future round.
+    pub buffered_future: u64,
+    /// Messages that passed the verification stage.
+    pub verified: u64,
+    /// Messages the verification stage rejected.
+    pub rejected_verify: u64,
+    /// Gossip messages handed back to the driver by the emit stage.
+    pub emitted: u64,
+}
+
+impl PipelineStats {
+    /// Adds another node's counters into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.ingested += other.ingested;
+        self.rejected_ingest += other.rejected_ingest;
+        self.buffered_early += other.buffered_early;
+        self.buffered_future += other.buffered_future;
+        self.verified += other.verified;
+        self.rejected_verify += other.rejected_verify;
+        self.emitted += other.emitted;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pipeline_stats_merge_sums_fields() {
+        let mut a = PipelineStats {
+            ingested: 10,
+            rejected_ingest: 1,
+            buffered_early: 2,
+            buffered_future: 3,
+            verified: 4,
+            rejected_verify: 5,
+            emitted: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.ingested, 20);
+        assert_eq!(a.rejected_verify, 10);
+        assert_eq!(a.emitted, 12);
+    }
 
     #[test]
     fn breakdown_sums_to_total() {

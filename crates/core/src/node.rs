@@ -5,7 +5,17 @@
 //! and transmits whatever the node returns. One node corresponds to one
 //! "user" of the paper.
 //!
-//! Round structure per §4–§8 (all waits from Figure 4):
+//! Internally every delivery flows through the staged message pipeline:
+//!
+//! ```text
+//! ingest (decode/classify, crate::ingest) ──► verify (type-state
+//! wrappers from crate::verify) ──► consume (crate::round +
+//! ba::engine) ──► emit (crate::emit)
+//! ```
+//!
+//! The consume stage only has constructors for its inputs inside the
+//! verify stage, so unverified messages cannot reach consensus state by
+//! construction. Round structure per §4–§8 (all waits from Figure 4):
 //!
 //! ```text
 //! start round r ──► propose (if selected) ──► wait λpriority+λstepvar for
@@ -13,46 +23,21 @@
 //! start round r+1
 //! ```
 
-use crate::metrics::RoundRecord;
+use crate::emit::Outbox;
+use crate::ingest::{self, RoundClass};
+use crate::metrics::{PipelineStats, RoundRecord};
 use crate::params::AlgorandParams;
 use crate::proposal::{proposer_sortition, BlockMessage, Priority, PriorityMessage};
-use crate::recovery::{
-    fork_proposer_sortition, recovery_seed, ForkProposalMessage,
-};
+use crate::recovery::{fork_proposer_sortition, recovery_seed, ForkProposalMessage};
+use crate::round::{BlockSighting, BlockStore, FutureVotes, RoundContext};
+use crate::verify::PipelineVerifier;
 use crate::wire::{CatchupBatch, WireMessage};
-use algorand_ba::{
-    BaStar, CachedVerifier, ConsensusKind, Decision, Micros, Output, RoundWeights, VoteMessage,
-};
+use algorand_ba::{BaStar, ConsensusKind, Decision, Micros, Output, RoundWeights, VoteMessage};
 use algorand_crypto::Keypair;
 use algorand_ledger::seed::propose_seed;
 use algorand_ledger::{Block, Blockchain, Transaction};
 use algorand_txpool::TxPool;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-
-/// How far ahead of the local round incoming votes are buffered.
-const FUTURE_ROUND_WINDOW: u64 = 3;
-
-/// Per-round working state.
-struct RoundCtx {
-    round: u64,
-    seed: [u8; 32],
-    weights: Arc<RoundWeights>,
-    prev_hash: [u8; 32],
-    empty_block: Block,
-    empty_hash: [u8; 32],
-    /// Best (priority, proposer, block hash) seen so far.
-    best: Option<(Priority, [u8; 32], [u8; 32])>,
-    /// Proposers caught sending conflicting blocks this round (§10.4's
-    /// client-side optimization: discard both versions).
-    equivocators: HashSet<[u8; 32]>,
-    /// First block hash seen from each proposer.
-    proposer_blocks: HashMap<[u8; 32], [u8; 32]>,
-    /// Votes received before BA⋆ started.
-    vote_buffer: Vec<VoteMessage>,
-    started: Micros,
-    ba_started: Option<Micros>,
-}
 
 #[allow(clippy::large_enum_variant)] // One Phase per node; size is irrelevant.
 enum Phase {
@@ -88,7 +73,9 @@ enum RecoveryPhase {
         until: Micros,
         best: Option<(Priority, Block)>,
     },
-    Ba { engine: Box<BaStar> },
+    Ba {
+        engine: Box<BaStar>,
+    },
 }
 
 /// A full Algorand user.
@@ -96,7 +83,8 @@ pub struct Node {
     keypair: Keypair,
     params: AlgorandParams,
     chain: Blockchain,
-    verifier: Arc<CachedVerifier>,
+    /// The shared verification stage (and its process-wide cache).
+    verifier: Arc<PipelineVerifier>,
     /// The mempool: payments submitted locally or heard from gossip,
     /// pending inclusion (§5: "each user collects a block of pending
     /// transactions that they hear about").
@@ -107,11 +95,12 @@ pub struct Node {
     /// experiments; 0 for a real deployment).
     pub payload_bytes: usize,
     /// All block bodies seen, by hash.
-    block_cache: HashMap<[u8; 32], Block>,
+    blocks: BlockStore,
     /// Votes for rounds we have not reached yet.
-    future_votes: HashMap<u64, Vec<VoteMessage>>,
-    ctx: RoundCtx,
+    future_votes: FutureVotes,
+    ctx: RoundContext,
     phase: Phase,
+    pipeline: PipelineStats,
     records: Vec<RoundRecord>,
     hung: bool,
     last_progress: Micros,
@@ -131,9 +120,9 @@ impl Node {
         keypair: Keypair,
         chain: Blockchain,
         params: AlgorandParams,
-        verifier: Arc<CachedVerifier>,
+        verifier: Arc<PipelineVerifier>,
     ) -> Node {
-        let ctx = Self::make_ctx(&chain, 0);
+        let ctx = RoundContext::new(&chain, 0);
         Node {
             keypair,
             params,
@@ -142,10 +131,11 @@ impl Node {
             pool: TxPool::default(),
             block_tx_bytes: 1 << 20,
             payload_bytes: 0,
-            block_cache: HashMap::new(),
-            future_votes: HashMap::new(),
+            blocks: BlockStore::new(),
+            future_votes: FutureVotes::new(),
             ctx,
             phase: Phase::WaitProposals { until: 0 },
+            pipeline: PipelineStats::default(),
             records: Vec::new(),
             hung: false,
             last_progress: 0,
@@ -154,28 +144,6 @@ impl Node {
             next_catchup_request: 0,
             recoveries_completed: 0,
             catchups_applied: 0,
-        }
-    }
-
-    fn make_ctx(chain: &Blockchain, now: Micros) -> RoundCtx {
-        let round = chain.next_round();
-        let prev = chain.tip();
-        let prev_hash = prev.hash();
-        let empty_block = Block::empty(round, prev_hash, &prev.seed);
-        let empty_hash = empty_block.hash();
-        RoundCtx {
-            round,
-            seed: chain.selection_seed(round),
-            weights: Arc::new(chain.weights_for_round(round)),
-            prev_hash,
-            empty_block,
-            empty_hash,
-            best: None,
-            equivocators: HashSet::new(),
-            proposer_blocks: HashMap::new(),
-            vote_buffer: Vec::new(),
-            started: now,
-            ba_started: None,
         }
     }
 
@@ -193,12 +161,22 @@ impl Node {
 
     /// The round currently being agreed on.
     pub fn current_round(&self) -> u64 {
-        self.ctx.round
+        self.ctx.round()
     }
 
     /// Completed-round records (the raw data behind the figures).
     pub fn records(&self) -> &[RoundRecord] {
         &self.records
+    }
+
+    /// Per-stage message counters for this node.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline
+    }
+
+    /// The shared verification stage this node checks messages against.
+    pub fn verifier(&self) -> &Arc<PipelineVerifier> {
+        &self.verifier
     }
 
     /// True if BA⋆ hung (MaxSteps) and the node awaits recovery.
@@ -222,13 +200,30 @@ impl Node {
     ///
     /// Blocks for other rounds are relayed (peers may be ahead or behind).
     pub fn should_relay_block(&self, b: &crate::proposal::BlockMessage) -> bool {
-        if b.block.round != self.ctx.round {
+        if b.block.round != self.ctx.round() {
             return true;
         }
-        match &self.ctx.best {
-            Some((_, _, best_hash)) => *best_hash == b.block.hash(),
-            None => true,
+        self.ctx.relay_worthy(b.block.hash())
+    }
+
+    /// Whether a just-processed vote is worth relaying, consulting the
+    /// verify stage's cached verdict instead of re-verifying (§8.4: "only
+    /// relay messages after validating them").
+    ///
+    /// Conservative by design: a vote is dropped only when it targets the
+    /// round this node is actively running BA⋆ for *and* the cache holds a
+    /// known-invalid verdict under this round's seed — exactly the votes
+    /// [`Node::on_message`] just verified. Anything the node has not
+    /// verified itself (other rounds, other phases) is relayed, so cache
+    /// warmth never changes relay behavior.
+    pub fn should_relay_vote(&self, v: &VoteMessage) -> bool {
+        if v.round != self.ctx.round() || !matches!(self.phase, Phase::Ba { .. }) {
+            return true;
         }
+        !matches!(
+            self.verifier.vote_status(v.message_id(), *self.ctx.seed()),
+            Some(None)
+        )
     }
 
     /// Queues a transaction for inclusion in a future proposal and returns
@@ -246,7 +241,10 @@ impl Node {
         let phase = match &self.phase {
             Phase::WaitProposals { until } => format!("WaitProposals(until={until})"),
             Phase::WaitBlock { until, expected } => {
-                format!("WaitBlock(until={until}, expected={:02x}{:02x})", expected[0], expected[1])
+                format!(
+                    "WaitBlock(until={until}, expected={:02x}{:02x})",
+                    expected[0], expected[1]
+                )
             }
             Phase::Ba { engine } => format!(
                 "Ba(deadline={:?}, finished={})",
@@ -261,16 +259,21 @@ impl Node {
         };
         let best = self
             .ctx
-            .best
-            .as_ref()
-            .map(|(p, _, bh)| format!("best p={:02x}{:02x} bh={:02x}{:02x}", p[0], p[1], bh[0], bh[1]))
+            .best()
+            .map(|(p, _, bh)| {
+                format!(
+                    "best p={:02x}{:02x} bh={:02x}{:02x}",
+                    p[0], p[1], bh[0], bh[1]
+                )
+            })
             .unwrap_or_else(|| "best none".into());
+        let empty_hash = self.ctx.empty_hash();
         format!(
             "round={} {phase} {best} empty={:02x}{:02x} equivocators={}",
-            self.ctx.round,
-            self.ctx.empty_hash[0],
-            self.ctx.empty_hash[1],
-            self.ctx.equivocators.len()
+            self.ctx.round(),
+            empty_hash[0],
+            empty_hash[1],
+            self.ctx.equivocator_count()
         )
     }
 
@@ -278,14 +281,15 @@ impl Node {
 
     /// Begins participation: starts the next round.
     pub fn start(&mut self, now: Micros) -> Vec<WireMessage> {
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         self.start_round(now, &mut out);
-        out
+        self.emit(out)
     }
 
-    /// Delivers a gossip message.
+    /// Delivers a gossip message: the pipeline's ingest entry point.
     pub fn on_message(&mut self, msg: &WireMessage, now: Micros) -> Vec<WireMessage> {
-        let mut out = Vec::new();
+        self.pipeline.ingested += 1;
+        let mut out = Outbox::new();
         match msg {
             WireMessage::Priority(p) => self.on_priority(p, now, &mut out),
             WireMessage::Block(b) => self.on_block(b, now, &mut out),
@@ -293,11 +297,16 @@ impl Node {
             WireMessage::ForkProposal(f) => self.on_fork_proposal(f, now, &mut out),
             WireMessage::Transaction(tx) => self.on_transaction(tx),
             WireMessage::CatchupRequest { have } => self.on_catchup_request(*have, &mut out),
-            WireMessage::CatchupResponse(batch) => {
-                self.on_catchup_response(batch, now, &mut out)
-            }
+            WireMessage::CatchupResponse(batch) => self.on_catchup_response(batch, now, &mut out),
         }
-        out
+        self.emit(out)
+    }
+
+    /// The pipeline's emit stage: hands the accumulated gossip back to
+    /// the driver and ticks the emit counter.
+    fn emit(&mut self, out: Outbox) -> Vec<WireMessage> {
+        self.pipeline.emitted += out.len() as u64;
+        out.into_vec()
     }
 
     /// Serves a catch-up request from canonical history (§8.3).
@@ -305,7 +314,7 @@ impl Node {
     /// Responses are bounded to a few rounds per message; a node far behind
     /// iterates. Identical responses from different peers deduplicate by
     /// content in the gossip layer.
-    fn on_catchup_request(&mut self, have: u64, out: &mut Vec<WireMessage>) {
+    fn on_catchup_request(&mut self, have: u64, out: &mut Outbox) {
         const MAX_ROUNDS_PER_RESPONSE: u64 = 4;
         let tip = self.chain.tip().round;
         if have >= tip {
@@ -314,8 +323,7 @@ impl Node {
         let upto = (have + MAX_ROUNDS_PER_RESPONSE).min(tip);
         let mut entries = Vec::new();
         for r in have + 1..=upto {
-            let (Some(block), Some(cert)) =
-                (self.chain.block_at(r), self.chain.certificate_at(r))
+            let (Some(block), Some(cert)) = (self.chain.block_at(r), self.chain.certificate_at(r))
             else {
                 break; // History incomplete (should not happen on canon).
             };
@@ -328,12 +336,7 @@ impl Node {
 
     /// Applies a catch-up batch: validate each certificate against our own
     /// chain context, append, and restart the round loop at the new tip.
-    fn on_catchup_response(
-        &mut self,
-        batch: &CatchupBatch,
-        now: Micros,
-        out: &mut Vec<WireMessage>,
-    ) {
+    fn on_catchup_response(&mut self, batch: &CatchupBatch, now: Micros, out: &mut Outbox) {
         let mut advanced = false;
         for (block, cert) in &batch.entries {
             let next = self.chain.next_round();
@@ -377,7 +380,7 @@ impl Node {
 
     /// Emits a rate-limited catch-up request when the network's votes show
     /// we are behind.
-    fn maybe_request_catchup(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+    fn maybe_request_catchup(&mut self, now: Micros, out: &mut Outbox) {
         if now < self.next_catchup_request {
             return;
         }
@@ -404,7 +407,7 @@ impl Node {
 
     /// Advances clocks; fires any due timeouts.
     pub fn on_tick(&mut self, now: Micros) -> Vec<WireMessage> {
-        let mut out = Vec::new();
+        let mut out = Outbox::new();
         self.maybe_enter_recovery(now, &mut out);
         match &mut self.phase {
             Phase::WaitProposals { until } => {
@@ -425,7 +428,7 @@ impl Node {
             Phase::AwaitBlockContent { .. } => {}
             Phase::Recovery(_) => self.recovery_tick(now, &mut out),
         }
-        out
+        self.emit(out)
     }
 
     /// The next instant at which [`Node::on_tick`] must run, if any.
@@ -457,45 +460,59 @@ impl Node {
 
     // --- Round lifecycle ------------------------------------------------------
 
-    fn start_round(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
-        self.ctx = Self::make_ctx(&self.chain, now);
-        self.block_cache
-            .insert(self.ctx.empty_hash, self.ctx.empty_block.clone());
+    fn start_round(&mut self, now: Micros, out: &mut Outbox) {
+        self.ctx = RoundContext::new(&self.chain, now);
+        self.blocks
+            .insert(self.ctx.empty_hash(), self.ctx.empty_block().clone());
         self.phase = Phase::WaitProposals {
             until: now + self.params.proposal_wait(),
         };
         // Proposer sortition (§6).
         if let Some((sorthash, sort_proof, priority)) = proposer_sortition(
             &self.keypair,
-            &self.ctx.seed,
-            self.ctx.round,
-            &self.ctx.weights,
+            self.ctx.seed(),
+            self.ctx.round(),
+            self.ctx.weights(),
             self.params.tau_proposer,
         ) {
             let block = self.assemble_block(now);
             let block_hash = block.hash();
-            self.block_cache.insert(block_hash, block.clone());
+            self.blocks.insert(block_hash, block.clone());
             self.chain.observe_block(block.clone());
-            self.ctx
-                .proposer_blocks
-                .insert(self.keypair.pk.to_bytes(), block_hash);
-            self.ctx.best = Some((priority, self.keypair.pk.to_bytes(), block_hash));
-            out.push(WireMessage::Priority(PriorityMessage::sign(
+            let msg = PriorityMessage::sign(
                 &self.keypair,
-                self.ctx.round,
+                self.ctx.round(),
                 sorthash,
                 sort_proof,
                 block_hash,
-            )));
-            out.push(WireMessage::Block(BlockMessage {
-                block,
-                sorthash,
-                sort_proof,
-            }));
+            );
+            // Our own proposal enters the round through the same verify
+            // stage as everyone else's — there is no unverified side door,
+            // and the shared cache is pre-warmed for the rest of the
+            // network.
+            match self.verifier.verify_priority(
+                &msg,
+                self.ctx.seed(),
+                self.ctx.weights(),
+                self.params.tau_proposer,
+            ) {
+                Some(vp) => {
+                    debug_assert_eq!(vp.priority(), priority);
+                    self.pipeline.verified += 1;
+                    self.ctx.observe_priority(&vp);
+                    out.push(WireMessage::Priority(msg));
+                    out.push(WireMessage::Block(BlockMessage {
+                        block,
+                        sorthash,
+                        sort_proof,
+                    }));
+                }
+                None => debug_assert!(false, "own freshly signed proposal must verify"),
+            }
         }
         // Replay any early-arrived votes for this round once BA⋆ starts.
-        if let Some(votes) = self.future_votes.remove(&self.ctx.round) {
-            self.ctx.vote_buffer = votes;
+        if let Some(votes) = self.future_votes.take(self.ctx.round()) {
+            self.ctx.seed_vote_buffer(votes);
         }
     }
 
@@ -504,7 +521,7 @@ impl Node {
     /// transactions leave the pool; [`Node::complete_round`] reinserts
     /// them if this proposal loses.
     fn assemble_block(&mut self, now: Micros) -> Block {
-        let round = self.ctx.round;
+        let round = self.ctx.round();
         let prev = self.chain.tip();
         let (seed, seed_proof) = propose_seed(&self.keypair, &prev.seed, round);
         let txs = self
@@ -512,7 +529,7 @@ impl Node {
             .take_block(self.chain.accounts(), self.block_tx_bytes);
         Block {
             round,
-            prev_hash: self.ctx.prev_hash,
+            prev_hash: self.ctx.prev_hash(),
             seed,
             seed_proof: Some(seed_proof),
             proposer: Some(self.keypair.pk),
@@ -522,70 +539,51 @@ impl Node {
         }
     }
 
-    fn on_priority(&mut self, p: &PriorityMessage, _now: Micros, _out: &mut Vec<WireMessage>) {
-        if p.round != self.ctx.round || !matches!(self.phase, Phase::WaitProposals { .. }) {
+    fn on_priority(&mut self, p: &PriorityMessage, _now: Micros, _out: &mut Outbox) {
+        if p.round != self.ctx.round() || !matches!(self.phase, Phase::WaitProposals { .. }) {
+            self.pipeline.rejected_ingest += 1;
             return;
         }
-        let Some(priority) = p.verify(&self.ctx.seed, &self.ctx.weights, self.params.tau_proposer)
-        else {
+        let Some(vp) = self.verifier.verify_priority(
+            p,
+            self.ctx.seed(),
+            self.ctx.weights(),
+            self.params.tau_proposer,
+        ) else {
+            self.pipeline.rejected_verify += 1;
             return;
         };
-        let sender = p.sender.to_bytes();
-        // Two different block hashes from one proposer = equivocation.
-        match self.ctx.proposer_blocks.get(&sender) {
-            Some(prev) if *prev != p.block_hash => {
-                self.ctx.equivocators.insert(sender);
-            }
-            None => {
-                self.ctx.proposer_blocks.insert(sender, p.block_hash);
-            }
-            _ => {}
-        }
-        if self
-            .ctx
-            .best
-            .as_ref()
-            .map(|(best, _, _)| priority > *best)
-            .unwrap_or(true)
-        {
-            self.ctx.best = Some((priority, sender, p.block_hash));
-        }
+        self.pipeline.verified += 1;
+        self.ctx.observe_priority(&vp);
     }
 
-    fn on_block(&mut self, b: &BlockMessage, now: Micros, out: &mut Vec<WireMessage>) {
+    fn on_block(&mut self, b: &BlockMessage, now: Micros, out: &mut Outbox) {
         let hash = b.block.hash();
-        self.block_cache.insert(hash, b.block.clone());
+        self.blocks.insert(hash, b.block.clone());
         self.chain.observe_block(b.block.clone());
-        if b.block.round != self.ctx.round {
+        if b.block.round != self.ctx.round() {
             return;
         }
-        // Equivocation detection for the current round.
+        // Equivocation is settled on hashes alone; only a proposer's first
+        // block of the round is worth verifying.
         if let Some(proposer) = &b.block.proposer {
             let sender = proposer.to_bytes();
-            match self.ctx.proposer_blocks.get(&sender) {
-                Some(prev) if *prev != hash => {
-                    self.ctx.equivocators.insert(sender);
-                }
-                None => {
-                    // Also folds the block's priority into `best`, in case
-                    // its priority message was lost.
-                    if let Some(priority) =
-                        b.verify(&self.ctx.seed, &self.ctx.weights, self.params.tau_proposer)
-                    {
-                        self.ctx.proposer_blocks.insert(sender, hash);
-                        if matches!(self.phase, Phase::WaitProposals { .. })
-                            && self
-                                .ctx
-                                .best
-                                .as_ref()
-                                .map(|(best, _, _)| priority > *best)
-                                .unwrap_or(true)
-                        {
-                            self.ctx.best = Some((priority, sender, hash));
-                        }
+            if self.ctx.note_block(sender, hash) == BlockSighting::New {
+                match self.verifier.verify_block(
+                    b,
+                    self.ctx.seed(),
+                    self.ctx.weights(),
+                    self.params.tau_proposer,
+                ) {
+                    Some(vb) => {
+                        self.pipeline.verified += 1;
+                        // The block's priority also covers for a lost
+                        // priority message, but only while still collecting.
+                        let update_best = matches!(self.phase, Phase::WaitProposals { .. });
+                        self.ctx.observe_block(&vb, update_best);
                     }
+                    None => self.pipeline.rejected_verify += 1,
                 }
-                _ => {}
             }
         }
         // If we were waiting for exactly this block, move on to BA⋆.
@@ -605,45 +603,85 @@ impl Node {
         }
     }
 
-    fn on_vote(&mut self, v: &VoteMessage, now: Micros, out: &mut Vec<WireMessage>) {
+    fn on_vote(&mut self, v: &VoteMessage, now: Micros, out: &mut Outbox) {
         match &mut self.phase {
             Phase::Recovery(r) => {
                 if let RecoveryPhase::Ba { engine, .. } = &mut r.phase {
-                    // The engine checks the round (and prev-hash) itself.
-                    let outputs = engine.on_vote(v, now);
+                    // The chain-context checks (round, prev-hash) that used
+                    // to live inside the engine: a vote failing them is
+                    // never verified, but the clock still advances, exactly
+                    // as before.
+                    let outputs = if !engine.is_finished()
+                        && v.round == engine.round()
+                        && v.prev_hash == engine.prev_hash()
+                    {
+                        let ctx = engine.vote_context(v.step);
+                        match self.verifier.verify_vote(v, &ctx, engine.weights()) {
+                            Some(vv) => {
+                                self.pipeline.verified += 1;
+                                engine.on_verified_vote(&vv, now)
+                            }
+                            None => {
+                                self.pipeline.rejected_verify += 1;
+                                engine.on_tick(now)
+                            }
+                        }
+                    } else {
+                        self.pipeline.rejected_ingest += 1;
+                        engine.on_tick(now)
+                    };
                     self.handle_recovery_engine_outputs(outputs, now, out);
                 }
                 return;
             }
             Phase::Ba { engine } => {
-                if v.round == self.ctx.round {
-                    let outputs = engine.on_vote(v, now);
+                if v.round == engine.round() {
+                    let outputs = if !engine.is_finished() && v.prev_hash == engine.prev_hash() {
+                        let ctx = engine.vote_context(v.step);
+                        match self.verifier.verify_vote(v, &ctx, engine.weights()) {
+                            Some(vv) => {
+                                self.pipeline.verified += 1;
+                                engine.on_verified_vote(&vv, now)
+                            }
+                            None => {
+                                self.pipeline.rejected_verify += 1;
+                                engine.on_tick(now)
+                            }
+                        }
+                    } else {
+                        self.pipeline.rejected_ingest += 1;
+                        engine.on_tick(now)
+                    };
                     self.handle_engine_outputs(outputs, now, out);
                     return;
                 }
             }
             _ => {
-                if v.round == self.ctx.round {
-                    self.ctx.vote_buffer.push(v.clone());
+                if v.round == self.ctx.round() {
+                    self.ctx.buffer_vote(v);
+                    self.pipeline.buffered_early += 1;
                     return;
                 }
             }
         }
         // Buffer near-future rounds; request catch-up when the network is
         // clearly far ahead of us.
-        if v.round > self.ctx.round && v.round <= self.ctx.round + FUTURE_ROUND_WINDOW {
-            self.future_votes.entry(v.round).or_default().push(v.clone());
-        } else if v.round > self.ctx.round + FUTURE_ROUND_WINDOW {
-            self.maybe_request_catchup(now, out);
+        match ingest::classify_round(v.round, self.ctx.round()) {
+            RoundClass::NearFuture => {
+                self.future_votes.push(v);
+                self.pipeline.buffered_future += 1;
+            }
+            RoundClass::FarFuture => self.maybe_request_catchup(now, out),
+            RoundClass::Past => self.pipeline.rejected_ingest += 1,
+            RoundClass::Current => {} // Handled by the phase match above.
         }
     }
 
     /// End of the proposal wait: pick the highest-priority proposal.
-    fn adopt_best_proposal(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
-        match &self.ctx.best {
-            Some((_, proposer, block_hash)) if !self.ctx.equivocators.contains(proposer) => {
-                let block_hash = *block_hash;
-                if self.block_cache.contains_key(&block_hash) {
+    fn adopt_best_proposal(&mut self, now: Micros, out: &mut Outbox) {
+        match self.ctx.best_candidate() {
+            Some(block_hash) => {
+                if self.blocks.contains(&block_hash) {
                     self.begin_ba(Some(block_hash), now, out);
                 } else {
                     self.phase = Phase::WaitBlock {
@@ -652,16 +690,16 @@ impl Node {
                     };
                 }
             }
-            _ => self.begin_ba(None, now, out),
+            None => self.begin_ba(None, now, out),
         }
     }
 
     /// Starts BA⋆ with the candidate block (validated) or the empty block.
-    fn begin_ba(&mut self, candidate: Option<[u8; 32]>, now: Micros, out: &mut Vec<WireMessage>) {
+    fn begin_ba(&mut self, candidate: Option<[u8; 32]>, now: Micros, out: &mut Outbox) {
         let initial = match candidate {
             Some(hash) => {
                 let valid = self
-                    .block_cache
+                    .blocks
                     .get(&hash)
                     .map(|b| {
                         b.validate(
@@ -676,32 +714,45 @@ impl Node {
                 if valid {
                     hash
                 } else {
-                    self.ctx.empty_hash
+                    self.ctx.empty_hash()
                 }
             }
-            None => self.ctx.empty_hash,
+            None => self.ctx.empty_hash(),
         };
-        self.ctx.ba_started = Some(now);
+        self.ctx.set_ba_started(now);
         let (mut engine, outputs) = BaStar::start(
             self.params.ba,
             self.keypair.clone(),
-            self.ctx.round,
-            self.ctx.seed,
-            self.ctx.prev_hash,
+            self.ctx.round(),
+            *self.ctx.seed(),
+            self.ctx.prev_hash(),
             initial,
-            self.ctx.empty_hash,
-            self.ctx.weights.clone(),
+            self.ctx.empty_hash(),
+            self.ctx.weights().clone(),
             self.verifier.clone(),
             now,
         );
         for msg in outputs {
             if let Output::Gossip(v) = msg {
-                out.push(WireMessage::Vote(v));
+                out.vote(v);
             }
         }
-        // Replay votes that arrived before BA⋆ existed.
-        for v in std::mem::take(&mut self.ctx.vote_buffer) {
-            engine.ingest(&v);
+        // Replay votes that arrived before BA⋆ existed, through the same
+        // verify stage live deliveries take.
+        let prev_hash = self.ctx.prev_hash();
+        for v in self.ctx.take_vote_buffer() {
+            if v.prev_hash != prev_hash {
+                self.pipeline.rejected_ingest += 1;
+                continue;
+            }
+            let ctx = engine.vote_context(v.step);
+            match self.verifier.verify_vote(&v, &ctx, engine.weights()) {
+                Some(vv) => {
+                    self.pipeline.verified += 1;
+                    engine.ingest_verified(&vv);
+                }
+                None => self.pipeline.rejected_verify += 1,
+            }
         }
         let outputs = engine.on_tick(now);
         self.phase = Phase::Ba {
@@ -710,18 +761,13 @@ impl Node {
         self.handle_engine_outputs(outputs, now, out);
     }
 
-    fn handle_engine_outputs(
-        &mut self,
-        outputs: Vec<Output>,
-        now: Micros,
-        out: &mut Vec<WireMessage>,
-    ) {
+    fn handle_engine_outputs(&mut self, outputs: Vec<Output>, now: Micros, out: &mut Outbox) {
         // Flush all gossip first so the decision-time votes (the
         // three-extra-steps rule and the final vote) are not lost.
         let mut decided = None;
         for o in outputs {
             match o {
-                Output::Gossip(v) => out.push(WireMessage::Vote(v)),
+                Output::Gossip(v) => out.vote(v),
                 Output::BinaryDecided { .. } => {}
                 Output::Decided(d) => decided = Some(d),
                 Output::Hung => {
@@ -731,7 +777,7 @@ impl Node {
             }
         }
         if let Some(d) = decided {
-            if self.block_cache.contains_key(&d.value) {
+            if self.blocks.contains(&d.value) {
                 self.complete_round(d, now, out);
             } else {
                 self.phase = Phase::AwaitBlockContent { decision: d };
@@ -739,24 +785,26 @@ impl Node {
         }
     }
 
-    fn complete_round(&mut self, decision: Decision, now: Micros, out: &mut Vec<WireMessage>) {
+    fn complete_round(&mut self, decision: Decision, now: Micros, out: &mut Outbox) {
         let block = self
-            .block_cache
+            .blocks
             .get(&decision.value)
-            .expect("caller checked the cache")
+            .expect("caller checked the store")
             .clone();
         let finalized = decision.kind == ConsensusKind::Final;
         let (binary_done, ba_started) = match &self.phase {
             Phase::Ba { engine } => (
                 engine.binary_done_at().unwrap_or(now),
-                self.ctx.ba_started.unwrap_or(self.ctx.started),
+                self.ctx.ba_started().unwrap_or(self.ctx.started()),
             ),
-            _ => (now, self.ctx.ba_started.unwrap_or(self.ctx.started)),
+            _ => (now, self.ctx.ba_started().unwrap_or(self.ctx.started())),
         };
-        match self
-            .chain
-            .append(block.clone(), Some(decision.certificate.clone()), finalized, now)
-        {
+        match self.chain.append(
+            block.clone(),
+            Some(decision.certificate.clone()),
+            finalized,
+            now,
+        ) {
             Ok(()) => {}
             Err(_) => {
                 // Consensus picked a block we cannot validate: freeze and
@@ -777,25 +825,20 @@ impl Node {
         // against the just-updated accounts drops whatever the winning
         // block committed.
         let completed = block.round;
-        let decided = decision.value;
-        let losing_txs: Vec<Transaction> = self
-            .block_cache
-            .values()
-            .filter(|b| b.round == completed && b.hash() != decided)
-            .flat_map(|b| b.txs.iter().cloned())
-            .collect();
+        let losing_txs: Vec<Transaction> =
+            self.blocks.salvage_losing_txs(completed, decision.value);
         self.pool.reinsert(losing_txs, self.chain.accounts());
         self.pool.prune(self.chain.accounts());
-        self.block_cache.retain(|_, b| b.round > completed);
+        self.blocks.prune_through(completed);
         self.records.push(RoundRecord {
-            round: self.ctx.round,
-            started: self.ctx.started,
+            round: self.ctx.round(),
+            started: self.ctx.started(),
             ba_started,
             binary_done,
             finished: now,
             kind: decision.kind,
             binary_step: decision.binary_step,
-            empty: decision.value == self.ctx.empty_hash,
+            empty: decision.value == self.ctx.empty_hash(),
             block_bytes: block.wire_size(),
         });
         self.last_progress = now;
@@ -805,7 +848,7 @@ impl Node {
 
     // --- Recovery (§8.2) -----------------------------------------------------
 
-    fn maybe_enter_recovery(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+    fn maybe_enter_recovery(&mut self, now: Micros, out: &mut Outbox) {
         if self.params.recovery_interval == 0 || now < self.next_epoch_check {
             return;
         }
@@ -836,7 +879,7 @@ impl Node {
         (seed, weights)
     }
 
-    fn enter_recovery(&mut self, epoch: u64, attempt: u32, now: Micros, out: &mut Vec<WireMessage>) {
+    fn enter_recovery(&mut self, epoch: u64, attempt: u32, now: Micros, out: &mut Outbox) {
         let (seed, weights) = self.recovery_context(epoch, attempt);
         let mut best: Option<(Priority, Block)> = None;
         // Fork-proposer sortition: propose an empty block extending the
@@ -856,16 +899,32 @@ impl Node {
                 .expect("longest fork tip is stored")
                 .clone();
             let block = Block::empty(tip.round + 1, tip_hash, &tip.seed);
-            self.block_cache.insert(block.hash(), block.clone());
-            best = Some((priority, block.clone()));
-            out.push(WireMessage::ForkProposal(ForkProposalMessage::sign(
+            self.blocks.insert(block.hash(), block.clone());
+            let msg = ForkProposalMessage::sign(
                 &self.keypair,
                 epoch,
                 attempt,
                 sorthash,
                 sort_proof,
                 block,
-            )));
+            );
+            // Same rule as round proposals: our own fork proposal goes
+            // through the verify stage (warming the shared cache) before
+            // it can become the best candidate.
+            match self.verifier.verify_fork_proposal(
+                &msg,
+                &seed,
+                &weights,
+                self.params.tau_proposer,
+            ) {
+                Some(vf) => {
+                    debug_assert_eq!(vf.priority(), priority);
+                    self.pipeline.verified += 1;
+                    best = Some((vf.priority(), vf.block().clone()));
+                    out.push(WireMessage::ForkProposal(msg));
+                }
+                None => debug_assert!(false, "own freshly signed fork proposal must verify"),
+            }
         }
         self.phase = Phase::Recovery(RecoveryState {
             epoch,
@@ -884,22 +943,30 @@ impl Node {
         });
     }
 
-    fn on_fork_proposal(&mut self, f: &ForkProposalMessage, now: Micros, out: &mut Vec<WireMessage>) {
+    fn on_fork_proposal(&mut self, f: &ForkProposalMessage, now: Micros, out: &mut Outbox) {
         // Cache the proposed block regardless of phase, so a decision can
         // complete even if the proposal arrives late.
-        self.block_cache.insert(f.block.hash(), f.block.clone());
+        self.blocks.insert(f.block.hash(), f.block.clone());
         let Phase::Recovery(r) = &mut self.phase else {
+            self.pipeline.rejected_ingest += 1;
             return;
         };
         if f.epoch != r.epoch || f.attempt != r.attempt {
+            self.pipeline.rejected_ingest += 1;
             return;
         }
         let RecoveryPhase::WaitProposals { best, .. } = &mut r.phase else {
+            self.pipeline.rejected_ingest += 1;
             return;
         };
-        let Some(priority) = f.verify(&r.seed, &r.weights, self.params.tau_proposer) else {
+        let Some(vf) =
+            self.verifier
+                .verify_fork_proposal(f, &r.seed, &r.weights, self.params.tau_proposer)
+        else {
+            self.pipeline.rejected_verify += 1;
             return;
         };
+        self.pipeline.verified += 1;
         // The proposed fork must be at least as long as our longest (§8.2).
         let our_len = self.chain.longest_fork().1;
         match self.chain.fork_length(&f.block.prev_hash) {
@@ -907,8 +974,12 @@ impl Node {
             _ => return,
         }
         let had_best = best.is_some();
-        if best.as_ref().map(|(b, _)| priority > *b).unwrap_or(true) {
-            *best = Some((priority, f.block.clone()));
+        if best
+            .as_ref()
+            .map(|(b, _)| vf.priority() > *b)
+            .unwrap_or(true)
+        {
+            *best = Some((vf.priority(), vf.block().clone()));
         }
         // If the collection window already closed while we had no proposal,
         // this late arrival should start BA promptly rather than waiting
@@ -921,7 +992,7 @@ impl Node {
         }
     }
 
-    fn recovery_tick(&mut self, now: Micros, out: &mut Vec<WireMessage>) {
+    fn recovery_tick(&mut self, now: Micros, out: &mut Outbox) {
         let Phase::Recovery(r) = &mut self.phase else {
             return;
         };
@@ -962,7 +1033,7 @@ impl Node {
                 );
                 for o in outputs {
                     if let Output::Gossip(v) = o {
-                        out.push(WireMessage::Vote(v));
+                        out.vote(v);
                     }
                 }
                 let more = engine.on_tick(now);
@@ -982,13 +1053,13 @@ impl Node {
         &mut self,
         outputs: Vec<Output>,
         now: Micros,
-        out: &mut Vec<WireMessage>,
+        out: &mut Outbox,
     ) {
         let mut decided = None;
         let mut hung = false;
         for o in outputs {
             match o {
-                Output::Gossip(v) => out.push(WireMessage::Vote(v)),
+                Output::Gossip(v) => out.vote(v),
                 Output::BinaryDecided { .. } => {}
                 Output::Decided(d) => decided = Some(d),
                 Output::Hung => hung = true,
@@ -1005,8 +1076,8 @@ impl Node {
         }
     }
 
-    fn complete_recovery(&mut self, decision: Decision, now: Micros, out: &mut Vec<WireMessage>) {
-        let Some(block) = self.block_cache.get(&decision.value).cloned() else {
+    fn complete_recovery(&mut self, decision: Decision, now: Micros, out: &mut Outbox) {
+        let Some(block) = self.blocks.get(&decision.value).cloned() else {
             // We decided on a fork block we never saw; retry next attempt.
             if let Phase::Recovery(r) = &self.phase {
                 let (epoch, attempt) = (r.epoch, r.attempt + 1);
@@ -1044,4 +1115,3 @@ impl Node {
         self.start_round(now, out);
     }
 }
-

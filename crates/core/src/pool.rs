@@ -1,0 +1,278 @@
+//! A dependency-free worker pool for the verification stage.
+//!
+//! Signature and VRF checks are stateless and embarrassingly parallel,
+//! but the workspace is offline — no rayon. This pool is plain
+//! `std::thread` workers draining a `Mutex<VecDeque>` under a condvar.
+//!
+//! Jobs only *warm* a shared [`PipelineVerifier`] cache: a worker
+//! verifies a message and stores the verdict; it never touches
+//! consensus state. Callers later consume the message on their own
+//! thread, in their own order, and hit the cache. That split is what
+//! keeps the simulator deterministic — thread scheduling can change
+//! which worker verifies what, but never the order in which results
+//! are *applied*.
+
+use crate::proposal::{BlockMessage, PriorityMessage};
+use crate::recovery::ForkProposalMessage;
+use crate::verify::PipelineVerifier;
+use algorand_ba::{RoundWeights, VoteContext, VoteMessage};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of verification work: a message plus the context to verify
+/// it under. Running a job populates the verifier's cache; the result
+/// itself is discarded.
+///
+/// Variant sizes mirror [`WireMessage`](crate::wire::WireMessage)'s:
+/// block-bearing jobs dwarf vote jobs, but jobs are built one at a time
+/// and moved straight into the queue, never copied in bulk.
+#[allow(clippy::large_enum_variant)]
+pub enum VerifyJob {
+    /// A committee vote with its sortition context.
+    Vote {
+        msg: VoteMessage,
+        ctx: VoteContext,
+        weights: Arc<RoundWeights>,
+    },
+    /// A priority gossip message (§6).
+    Priority {
+        msg: PriorityMessage,
+        seed: [u8; 32],
+        weights: Arc<RoundWeights>,
+        tau: f64,
+    },
+    /// A proposed block's sortition attachment (§6).
+    Block {
+        msg: BlockMessage,
+        seed: [u8; 32],
+        weights: Arc<RoundWeights>,
+        tau: f64,
+    },
+    /// A fork-recovery proposal (§8.2).
+    Fork {
+        msg: ForkProposalMessage,
+        seed: [u8; 32],
+        weights: Arc<RoundWeights>,
+        tau: f64,
+    },
+}
+
+impl VerifyJob {
+    fn run(&self, verifier: &PipelineVerifier) {
+        match self {
+            VerifyJob::Vote { msg, ctx, weights } => {
+                verifier.verify_vote(msg, ctx, weights);
+            }
+            VerifyJob::Priority {
+                msg,
+                seed,
+                weights,
+                tau,
+            } => {
+                verifier.verify_priority(msg, seed, weights, *tau);
+            }
+            VerifyJob::Block {
+                msg,
+                seed,
+                weights,
+                tau,
+            } => {
+                verifier.verify_block(msg, seed, weights, *tau);
+            }
+            VerifyJob::Fork {
+                msg,
+                seed,
+                weights,
+                tau,
+            } => {
+                verifier.verify_fork_proposal(msg, seed, weights, *tau);
+            }
+        }
+    }
+}
+
+struct PoolState {
+    jobs: VecDeque<(Arc<PipelineVerifier>, VerifyJob)>,
+    /// Queued plus in-flight jobs; a batch is complete when this hits 0.
+    outstanding: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals workers that jobs arrived (or shutdown).
+    work: Condvar,
+    /// Signals the submitter that `outstanding` reached 0.
+    done: Condvar,
+}
+
+/// A fixed-size pool of verification workers.
+///
+/// With zero workers the pool degrades to running jobs inline on the
+/// caller's thread, so `VerifyPool::new(0)` is the serial baseline with
+/// identical observable behavior.
+pub struct VerifyPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VerifyPool {
+    /// Spawns `workers` verification threads (0 = inline/serial mode).
+    pub fn new(workers: usize) -> VerifyPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                outstanding: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        VerifyPool { shared, workers }
+    }
+
+    /// Number of worker threads (0 means inline mode).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Verifies a batch against `verifier`'s caches, blocking until
+    /// every job has run. Results land in the cache only; the caller
+    /// re-requests them (as cache hits) in its own deterministic order.
+    pub fn verify_batch(&self, verifier: &Arc<PipelineVerifier>, jobs: Vec<VerifyJob>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.workers.is_empty() {
+            for job in &jobs {
+                job.run(verifier);
+            }
+            return;
+        }
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        state.outstanding += jobs.len();
+        state
+            .jobs
+            .extend(jobs.into_iter().map(|j| (verifier.clone(), j)));
+        self.shared.work.notify_all();
+        while state.outstanding > 0 {
+            state = self.shared.done.wait(state).expect("pool poisoned");
+        }
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("pool poisoned");
+    loop {
+        match state.jobs.pop_front() {
+            Some((verifier, job)) => {
+                drop(state);
+                job.run(&verifier);
+                state = shared.state.lock().expect("pool poisoned");
+                state.outstanding -= 1;
+                if state.outstanding == 0 {
+                    shared.done.notify_all();
+                }
+            }
+            None if state.shutdown => return,
+            None => {
+                state = shared.work.wait(state).expect("pool poisoned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposal::proposer_sortition;
+    use algorand_crypto::Keypair;
+
+    fn priority_jobs(n: u8) -> (Arc<PipelineVerifier>, Vec<VerifyJob>, Arc<RoundWeights>) {
+        let keypairs: Vec<Keypair> = (1..=n).map(|i| Keypair::from_seed([i; 32])).collect();
+        let weights = Arc::new(RoundWeights::from_pairs(
+            keypairs.iter().map(|kp| (kp.pk, 10u64)),
+        ));
+        let seed = [5u8; 32];
+        let tau = weights.total() as f64;
+        let jobs = keypairs
+            .iter()
+            .map(|kp| {
+                let (out, proof, _) =
+                    proposer_sortition(kp, &seed, 1, &weights, tau).expect("τ = W selects");
+                VerifyJob::Priority {
+                    msg: PriorityMessage::sign(kp, 1, out, proof, [1u8; 32]),
+                    seed,
+                    weights: weights.clone(),
+                    tau,
+                }
+            })
+            .collect();
+        (Arc::new(PipelineVerifier::new()), jobs, weights)
+    }
+
+    #[test]
+    fn pooled_batch_matches_inline_batch() {
+        let (inline_v, inline_jobs, _) = priority_jobs(6);
+        VerifyPool::new(0).verify_batch(&inline_v, inline_jobs);
+
+        let (pooled_v, pooled_jobs, _) = priority_jobs(6);
+        let pool = VerifyPool::new(4);
+        pool.verify_batch(&pooled_v, pooled_jobs);
+
+        assert_eq!(
+            inline_v.unique_proposal_verifications(),
+            pooled_v.unique_proposal_verifications()
+        );
+        assert_eq!(inline_v.cache_misses(), pooled_v.cache_misses());
+        assert_eq!(pooled_v.unique_proposal_verifications(), 6);
+    }
+
+    #[test]
+    fn batches_reuse_the_warm_cache() {
+        let (verifier, jobs, _) = priority_jobs(4);
+        let again: Vec<VerifyJob> = jobs
+            .iter()
+            .map(|j| match j {
+                VerifyJob::Priority {
+                    msg,
+                    seed,
+                    weights,
+                    tau,
+                } => VerifyJob::Priority {
+                    msg: msg.clone(),
+                    seed: *seed,
+                    weights: weights.clone(),
+                    tau: *tau,
+                },
+                _ => unreachable!(),
+            })
+            .collect();
+        let pool = VerifyPool::new(2);
+        pool.verify_batch(&verifier, jobs);
+        assert_eq!(verifier.cache_misses(), 4);
+        pool.verify_batch(&verifier, again);
+        assert_eq!(verifier.cache_misses(), 4);
+        assert_eq!(verifier.cache_hits(), 4);
+    }
+}

@@ -160,7 +160,12 @@ impl PriorityMessage {
         weights: &RoundWeights,
         tau_proposer: f64,
     ) -> Option<Priority> {
-        let digest = Self::digest(self.round, &self.sorthash, &self.sort_proof, &self.block_hash);
+        let digest = Self::digest(
+            self.round,
+            &self.sorthash,
+            &self.sort_proof,
+            &self.block_hash,
+        );
         sig::verify(&self.sender, &digest, &self.sig).ok()?;
         let role = Role::BlockProposer { round: self.round };
         let weight = weights.weight_of(&self.sender);
@@ -168,8 +173,7 @@ impl PriorityMessage {
             return None;
         }
         let certified =
-            algorand_sortition::verified_output(&self.sender, &self.sort_proof, seed, role)
-                .ok()?;
+            algorand_sortition::verified_output(&self.sender, &self.sort_proof, seed, role).ok()?;
         if certified != self.sorthash {
             return None;
         }

@@ -179,8 +179,7 @@ impl ForkProposalMessage {
             return None;
         }
         let certified =
-            algorand_sortition::verified_output(&self.sender, &self.sort_proof, seed, role)
-                .ok()?;
+            algorand_sortition::verified_output(&self.sender, &self.sort_proof, seed, role).ok()?;
         if certified != self.sorthash {
             return None;
         }
@@ -216,7 +215,11 @@ pub fn fork_proposer_sortition(
         &params,
         weights.weight_of(&keypair.pk),
     )?;
-    Some((sel.vrf_output, sel.proof, compute_priority(&sel.vrf_output, sel.j)))
+    Some((
+        sel.vrf_output,
+        sel.proof,
+        compute_priority(&sel.vrf_output, sel.j),
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,302 @@
+//! Stage 3 of the staged message pipeline: per-round consensus state.
+//!
+//! [`RoundContext`] is the working state of the round being agreed on —
+//! selection seed, weight snapshot, best proposal, equivocation
+//! bookkeeping, and the pre-BA⋆ vote buffer. Its observation methods
+//! accept only the `Verified*` wrappers from [`crate::verify`], so the
+//! type system guarantees nothing unverified influences a round
+//! transition.
+//!
+//! [`BlockStore`] (block bodies by hash) and [`FutureVotes`] (votes for
+//! rounds we have not reached) are the cross-round buffers that used to
+//! live loose inside the node.
+
+use crate::proposal::Priority;
+use crate::verify::{VerifiedBlock, VerifiedPriority};
+use algorand_ba::{Micros, RoundWeights, VoteMessage};
+use algorand_ledger::{Block, Blockchain, Transaction};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Per-round working state. Mutation of proposal bookkeeping goes
+/// through [`RoundContext::observe_priority`] /
+/// [`RoundContext::observe_block`], which require verified inputs.
+pub struct RoundContext {
+    round: u64,
+    seed: [u8; 32],
+    weights: Arc<RoundWeights>,
+    prev_hash: [u8; 32],
+    empty_block: Block,
+    empty_hash: [u8; 32],
+    /// Best (priority, proposer, block hash) seen so far.
+    best: Option<(Priority, [u8; 32], [u8; 32])>,
+    /// Proposers caught sending conflicting blocks this round (§10.4's
+    /// client-side optimization: discard both versions).
+    equivocators: HashSet<[u8; 32]>,
+    /// First block hash seen from each proposer.
+    proposer_blocks: HashMap<[u8; 32], [u8; 32]>,
+    /// Votes received before BA⋆ started.
+    vote_buffer: Vec<VoteMessage>,
+    started: Micros,
+    ba_started: Option<Micros>,
+}
+
+/// What [`RoundContext::note_block`] concluded about a block sighting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockSighting {
+    /// First block from this proposer: verification is warranted.
+    New,
+    /// Same block seen again from this proposer: nothing to do.
+    Known,
+    /// Conflicts with this proposer's earlier block: both discarded.
+    Equivocation,
+}
+
+impl RoundContext {
+    /// Captures the chain-derived context for the next round.
+    pub fn new(chain: &Blockchain, now: Micros) -> RoundContext {
+        let round = chain.next_round();
+        let prev = chain.tip();
+        let prev_hash = prev.hash();
+        let empty_block = Block::empty(round, prev_hash, &prev.seed);
+        let empty_hash = empty_block.hash();
+        RoundContext {
+            round,
+            seed: chain.selection_seed(round),
+            weights: Arc::new(chain.weights_for_round(round)),
+            prev_hash,
+            empty_block,
+            empty_hash,
+            best: None,
+            equivocators: HashSet::new(),
+            proposer_blocks: HashMap::new(),
+            vote_buffer: Vec::new(),
+            started: now,
+            ba_started: None,
+        }
+    }
+
+    /// The round being agreed on.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The sortition seed for this round.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The weight snapshot for this round.
+    pub fn weights(&self) -> &Arc<RoundWeights> {
+        &self.weights
+    }
+
+    /// Hash of the previous block.
+    pub fn prev_hash(&self) -> [u8; 32] {
+        self.prev_hash
+    }
+
+    /// This round's fallback empty block.
+    pub fn empty_block(&self) -> &Block {
+        &self.empty_block
+    }
+
+    /// Hash of the fallback empty block.
+    pub fn empty_hash(&self) -> [u8; 32] {
+        self.empty_hash
+    }
+
+    /// When the round started.
+    pub fn started(&self) -> Micros {
+        self.started
+    }
+
+    /// When BA⋆ started, if it has.
+    pub fn ba_started(&self) -> Option<Micros> {
+        self.ba_started
+    }
+
+    /// Records the BA⋆ start time.
+    pub fn set_ba_started(&mut self, now: Micros) {
+        self.ba_started = Some(now);
+    }
+
+    /// The best (priority, proposer, block hash) observed so far.
+    pub fn best(&self) -> Option<&(Priority, [u8; 32], [u8; 32])> {
+        self.best.as_ref()
+    }
+
+    /// Number of proposers caught equivocating this round.
+    pub fn equivocator_count(&self) -> usize {
+        self.equivocators.len()
+    }
+
+    /// Folds a verified priority message into the proposal race:
+    /// equivocation bookkeeping, then an unconditional best-priority
+    /// update (§6). Callers gate on the proposal-collection phase.
+    pub fn observe_priority(&mut self, vp: &VerifiedPriority) {
+        debug_assert_eq!(vp.round(), self.round);
+        let sender = vp.sender();
+        let block_hash = vp.block_hash();
+        // Two different block hashes from one proposer = equivocation.
+        match self.proposer_blocks.get(&sender) {
+            Some(prev) if *prev != block_hash => {
+                self.equivocators.insert(sender);
+            }
+            None => {
+                self.proposer_blocks.insert(sender, block_hash);
+            }
+            _ => {}
+        }
+        let priority = vp.priority();
+        if self
+            .best
+            .as_ref()
+            .map(|(best, _, _)| priority > *best)
+            .unwrap_or(true)
+        {
+            self.best = Some((priority, sender, block_hash));
+        }
+    }
+
+    /// Classifies a block sighting *before* verification: repeats and
+    /// equivocations are settled on hashes alone (and recorded), so only
+    /// a proposer's first block ever reaches the verify stage.
+    pub fn note_block(&mut self, proposer: [u8; 32], hash: [u8; 32]) -> BlockSighting {
+        match self.proposer_blocks.get(&proposer) {
+            Some(prev) if *prev != hash => {
+                self.equivocators.insert(proposer);
+                BlockSighting::Equivocation
+            }
+            Some(_) => BlockSighting::Known,
+            None => BlockSighting::New,
+        }
+    }
+
+    /// Folds a verified block into the proposal race. The block also
+    /// carries its proposer's priority, covering the case where the
+    /// separate priority message was lost; `update_best` is true only
+    /// during the proposal-collection phase.
+    pub fn observe_block(&mut self, vb: &VerifiedBlock, update_best: bool) {
+        debug_assert_eq!(vb.round(), self.round);
+        let sender = vb.proposer();
+        let hash = vb.hash();
+        self.proposer_blocks.insert(sender, hash);
+        let priority = vb.priority();
+        if update_best
+            && self
+                .best
+                .as_ref()
+                .map(|(best, _, _)| priority > *best)
+                .unwrap_or(true)
+        {
+            self.best = Some((priority, sender, hash));
+        }
+    }
+
+    /// The best proposal's block hash, unless its proposer equivocated
+    /// (then the round falls back to the empty block).
+    pub fn best_candidate(&self) -> Option<[u8; 32]> {
+        match &self.best {
+            Some((_, proposer, block_hash)) if !self.equivocators.contains(proposer) => {
+                Some(*block_hash)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a block with this hash is worth relaying (§6): only the
+    /// highest-priority proposal propagates.
+    pub fn relay_worthy(&self, hash: [u8; 32]) -> bool {
+        match &self.best {
+            Some((_, _, best_hash)) => *best_hash == hash,
+            None => true,
+        }
+    }
+
+    /// Holds a current-round vote until BA⋆ starts.
+    pub fn buffer_vote(&mut self, v: &VoteMessage) {
+        self.vote_buffer.push(v.clone());
+    }
+
+    /// Pre-loads the buffer (votes that arrived while this round was
+    /// still in the future).
+    pub fn seed_vote_buffer(&mut self, votes: Vec<VoteMessage>) {
+        self.vote_buffer = votes;
+    }
+
+    /// Drains the pre-BA⋆ vote buffer for replay.
+    pub fn take_vote_buffer(&mut self) -> Vec<VoteMessage> {
+        std::mem::take(&mut self.vote_buffer)
+    }
+}
+
+/// All block bodies seen, by hash — proposal pre-images that a BA⋆
+/// decision (or a late-deciding peer's pull) may still need.
+#[derive(Default)]
+pub struct BlockStore {
+    blocks: HashMap<[u8; 32], Block>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> BlockStore {
+        BlockStore::default()
+    }
+
+    /// Stores a block body under its (precomputed) hash.
+    pub fn insert(&mut self, hash: [u8; 32], block: Block) {
+        self.blocks.insert(hash, block);
+    }
+
+    /// Whether the pre-image of `hash` is available.
+    pub fn contains(&self, hash: &[u8; 32]) -> bool {
+        self.blocks.contains_key(hash)
+    }
+
+    /// The block body for `hash`, if stored.
+    pub fn get(&self, hash: &[u8; 32]) -> Option<&Block> {
+        self.blocks.get(hash)
+    }
+
+    /// Transactions of round `completed`'s *losing* proposals, for
+    /// reinsertion into the mempool (the replay check against updated
+    /// accounts later drops whatever the winner committed).
+    pub fn salvage_losing_txs(&self, completed: u64, decided: [u8; 32]) -> Vec<Transaction> {
+        self.blocks
+            .values()
+            .filter(|b| b.round == completed && b.hash() != decided)
+            .flat_map(|b| b.txs.iter().cloned())
+            .collect()
+    }
+
+    /// Drops bodies from rounds at or before `completed`; they can no
+    /// longer be decided on.
+    pub fn prune_through(&mut self, completed: u64) {
+        self.blocks.retain(|_, b| b.round > completed);
+    }
+}
+
+/// Votes for rounds this node has not reached yet, replayed into the
+/// round's vote buffer when the round starts.
+#[derive(Default)]
+pub struct FutureVotes {
+    by_round: HashMap<u64, Vec<VoteMessage>>,
+}
+
+impl FutureVotes {
+    /// Creates an empty buffer.
+    pub fn new() -> FutureVotes {
+        FutureVotes::default()
+    }
+
+    /// Buffers a vote for a future round.
+    pub fn push(&mut self, v: &VoteMessage) {
+        self.by_round.entry(v.round).or_default().push(v.clone());
+    }
+
+    /// Removes and returns the votes buffered for `round`.
+    pub fn take(&mut self, round: u64) -> Option<Vec<VoteMessage>> {
+        self.by_round.remove(&round)
+    }
+}

@@ -108,16 +108,12 @@ impl WireMessage {
         const TAG_FORK: u64 = 2 << 56;
         match self {
             // Priority messages: one per proposer per round.
-            WireMessage::Priority(p) => {
-                Some((p.sender.to_bytes(), TAG_PRIORITY | p.round, 0))
-            }
+            WireMessage::Priority(p) => Some((p.sender.to_bytes(), TAG_PRIORITY | p.round, 0)),
             // Blocks are deduplicated by content only; equivocation is
             // detected (and punished by falling back to the empty block)
             // at the proposal layer, not the relay layer.
             WireMessage::Block(_) => None,
-            WireMessage::Vote(v) => {
-                Some((v.sender.to_bytes(), TAG_VOTE | v.round, v.step.code()))
-            }
+            WireMessage::Vote(v) => Some((v.sender.to_bytes(), TAG_VOTE | v.round, v.step.code())),
             WireMessage::ForkProposal(f) => {
                 Some((f.sender.to_bytes(), TAG_FORK | f.epoch, f.attempt))
             }

@@ -172,16 +172,12 @@ fn scaled_params_accept_decoded_traffic() {
     // re-decoded vote to a fresh node; it must not crash or mis-route.
     let params = AlgorandParams::scaled(4);
     let keypair = kp(9);
-    let chain = algorand_ledger::Blockchain::new(
-        params.chain,
-        [(keypair.pk, 10u64)],
-        [0x47u8; 32],
-    );
+    let chain = algorand_ledger::Blockchain::new(params.chain, [(keypair.pk, 10u64)], [0x47u8; 32]);
     let mut node = algorand_core::Node::new(
         keypair,
         chain,
         params,
-        std::sync::Arc::new(algorand_ba::CachedVerifier::new()),
+        std::sync::Arc::new(algorand_core::PipelineVerifier::new()),
     );
     node.start(0);
     let vote = WireMessage::Vote(sample_vote(6));

@@ -194,7 +194,11 @@ impl EdwardsPoint {
     /// This is the verification workhorse: signature verification computes
     /// `s·B − c·PK` and VRF verification computes `s·B − c·Y` and
     /// `s·H − c·Γ`.
-    pub fn double_scalar_mul_basepoint(a: &Scalar, point_a: &EdwardsPoint, b: &Scalar) -> EdwardsPoint {
+    pub fn double_scalar_mul_basepoint(
+        a: &Scalar,
+        point_a: &EdwardsPoint,
+        b: &Scalar,
+    ) -> EdwardsPoint {
         point_a.scalar_mul(a).add(&EdwardsPoint::basepoint_mul(b))
     }
 

@@ -189,7 +189,13 @@ impl FieldElement {
             }
             r[0] += 19 * carry;
         }
-        FieldElement([r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64])
+        FieldElement([
+            r[0] as u64,
+            r[1] as u64,
+            r[2] as u64,
+            r[3] as u64,
+            r[4] as u64,
+        ])
     }
 
     fn weak_reduce(self) -> FieldElement {

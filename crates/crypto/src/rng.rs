@@ -157,7 +157,10 @@ mod tests {
         // implementation of xoshiro256++.
         let mut rng = Rng { s: [1, 2, 3, 4] };
         let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
-        assert_eq!(got, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+        assert_eq!(
+            got,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
     }
 
     #[test]

@@ -133,8 +133,7 @@ impl Scalar {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let acc =
-                    wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                let acc = wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 wide[i + j] = acc as u64;
                 carry = acc >> 64;
             }
@@ -150,7 +149,9 @@ impl Scalar {
 
     /// Iterates over the 256 bits of the scalar, most significant first.
     pub fn bits_msb_first(&self) -> impl Iterator<Item = bool> + '_ {
-        (0..256).rev().map(move |i| (self.0[i / 64] >> (i % 64)) & 1 == 1)
+        (0..256)
+            .rev()
+            .map(move |i| (self.0[i / 64] >> (i % 64)) & 1 == 1)
     }
 }
 

@@ -100,7 +100,10 @@ impl PublicKey {
         if !point.is_torsion_free() || point.is_identity() {
             return Err(CryptoError::InvalidPoint);
         }
-        Ok(PublicKey { bytes: *bytes, point })
+        Ok(PublicKey {
+            bytes: *bytes,
+            point,
+        })
     }
 
     /// The 32-byte compressed encoding.
@@ -237,8 +240,7 @@ pub fn sign(keypair: &Keypair, msg: &[u8]) -> Signature {
 pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
     let c = challenge(&sig.r_bytes, pk, msg);
     // R' = s·B − c·PK must equal R.
-    let r_prime =
-        EdwardsPoint::double_scalar_mul_basepoint(&c.neg(), pk.point(), &sig.s);
+    let r_prime = EdwardsPoint::double_scalar_mul_basepoint(&c.neg(), pk.point(), &sig.s);
     if r_prime.compress() == sig.r_bytes {
         Ok(())
     } else {
@@ -296,8 +298,14 @@ mod tests {
     #[test]
     fn signature_is_deterministic() {
         let keypair = kp(6);
-        assert_eq!(sign(&keypair, b"m").to_bytes(), sign(&keypair, b"m").to_bytes());
-        assert_ne!(sign(&keypair, b"m").to_bytes(), sign(&keypair, b"n").to_bytes());
+        assert_eq!(
+            sign(&keypair, b"m").to_bytes(),
+            sign(&keypair, b"m").to_bytes()
+        );
+        assert_ne!(
+            sign(&keypair, b"m").to_bytes(),
+            sign(&keypair, b"n").to_bytes()
+        );
     }
 
     #[test]

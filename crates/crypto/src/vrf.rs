@@ -241,7 +241,9 @@ mod tests {
         let (_, proof) = prove(&keypair, b"alpha");
         let mut bytes = proof.to_bytes();
         bytes[40] ^= 0x01; // Perturb c.
-        if let Ok(tampered) = VrfProof::from_bytes(&bytes) { assert!(verify(&keypair.pk, b"alpha", &tampered).is_err()) }
+        if let Ok(tampered) = VrfProof::from_bytes(&bytes) {
+            assert!(verify(&keypair.pk, b"alpha", &tampered).is_err())
+        }
     }
 
     #[test]

@@ -46,14 +46,30 @@ fn rand_msg(rng: &mut Rng, max_len: usize) -> Vec<u8> {
 fn field_ring_laws() {
     let mut rng = rng(1);
     for _ in 0..CASES {
-        let (a, b, c) = (rand_field(&mut rng), rand_field(&mut rng), rand_field(&mut rng));
+        let (a, b, c) = (
+            rand_field(&mut rng),
+            rand_field(&mut rng),
+            rand_field(&mut rng),
+        );
         assert_eq!(a.add(&b), b.add(&a), "addition commutes");
         assert_eq!(a.mul(&b), b.mul(&a), "multiplication commutes");
-        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)), "multiplication associates");
-        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)), "distributivity");
+        assert_eq!(
+            a.mul(&b).mul(&c),
+            a.mul(&b.mul(&c)),
+            "multiplication associates"
+        );
+        assert_eq!(
+            a.mul(&b.add(&c)),
+            a.mul(&b).add(&a.mul(&c)),
+            "distributivity"
+        );
         assert!(a.add(&a.neg()).is_zero(), "additive inverse");
         if !a.is_zero() {
-            assert_eq!(a.mul(&a.invert()), FieldElement::ONE, "multiplicative inverse");
+            assert_eq!(
+                a.mul(&a.invert()),
+                FieldElement::ONE,
+                "multiplicative inverse"
+            );
         }
         assert_eq!(a.square(), a.mul(&a), "square matches mul");
     }
@@ -91,10 +107,22 @@ fn field_sqrt_of_square_recovers() {
 fn scalar_ring_laws() {
     let mut rng = rng(4);
     for _ in 0..CASES {
-        let (a, b, c) = (rand_scalar(&mut rng), rand_scalar(&mut rng), rand_scalar(&mut rng));
+        let (a, b, c) = (
+            rand_scalar(&mut rng),
+            rand_scalar(&mut rng),
+            rand_scalar(&mut rng),
+        );
         assert_eq!(a.add(&b), b.add(&a), "addition commutes");
-        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)), "multiplication associates");
-        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)), "distributivity");
+        assert_eq!(
+            a.mul(&b).mul(&c),
+            a.mul(&b.mul(&c)),
+            "multiplication associates"
+        );
+        assert_eq!(
+            a.mul(&b.add(&c)),
+            a.mul(&b).add(&a.mul(&c)),
+            "distributivity"
+        );
         assert_eq!(a.sub(&b), a.add(&b.neg()), "sub is add-neg");
     }
 }

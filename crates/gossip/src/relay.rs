@@ -181,12 +181,12 @@ mod tests {
     fn pruning_bounds_memory_but_keeps_recent_rounds() {
         let mut r = RelayState::new();
         r.prune(1); // node enters round 1
-        // Round 1 traffic.
+                    // Round 1 traffic.
         r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
         r.prune(1); // still round 1: no rotation
         assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
         r.prune(2); // rotate: round-1 entries now old
-        // Still deduplicated one round later (in-flight stragglers).
+                    // Still deduplicated one round later (in-flight stragglers).
         assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
         assert!(r.has_seen(&[1u8; 32]));
         r.classify([2u8; 32], Some(([9u8; 32], 2, 1)));

@@ -30,12 +30,7 @@ impl Topology {
 
     /// Builds a money-weighted topology: each node dials `out_degree`
     /// distinct peers sampled proportionally to their weight (§4).
-    pub fn weighted(
-        n: usize,
-        out_degree: usize,
-        weights: &[u64],
-        rng: &mut Rng,
-    ) -> Topology {
+    pub fn weighted(n: usize, out_degree: usize, weights: &[u64], rng: &mut Rng) -> Topology {
         assert_eq!(weights.len(), n);
         let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         if n <= 1 {

@@ -239,7 +239,12 @@ impl Blockchain {
         if block.prev_hash != self.tip_hash() {
             return Err(ChainError::UnknownParent);
         }
-        block.validate(self.tip(), self.accounts(), now, self.params.max_timestamp_skew)?;
+        block.validate(
+            self.tip(),
+            self.accounts(),
+            now,
+            self.params.max_timestamp_skew,
+        )?;
         let mut state = self.accounts().clone();
         for tx in &block.txs {
             state
@@ -468,8 +473,7 @@ impl Blockchain {
             .filter(|(r, _)| n_shards <= 1 || (*r as u64) % n_shards == shard)
             .map(|(_, h)| {
                 let stored = &self.all_blocks[h];
-                stored.block.wire_size()
-                    + stored.certificate.as_ref().map_or(0, |c| c.wire_size())
+                stored.block.wire_size() + stored.certificate.as_ref().map_or(0, |c| c.wire_size())
             })
             .sum()
     }

@@ -383,11 +383,7 @@ fn min_balance_weights_remove_divested_stake() {
     let keypairs = users(3);
     let mut p = params();
     p.min_balance_weights = true;
-    let mut chain = Blockchain::new(
-        p,
-        keypairs.iter().map(|k| (k.pk, 100u64)),
-        GENESIS_SEED,
-    );
+    let mut chain = Blockchain::new(p, keypairs.iter().map(|k| (k.pk, 100u64)), GENESIS_SEED);
     for r in 1..=6u64 {
         let txs = if r == 5 {
             // User 0 divests everything at round 5 — *after* the look-back
@@ -402,16 +398,20 @@ fn min_balance_weights_remove_divested_stake() {
     // Round 7's look-back snapshot (R=5, lookback=2) predates the sale and
     // lists user 0 with 100 units — but min-balance clamps them to 0.
     let w = chain.weights_for_round(7);
-    assert_eq!(w.weight_of(&keypairs[0].pk), 0, "divested stake must not vote");
-    assert_eq!(w.weight_of(&keypairs[2].pk), 100, "unmoved stake unaffected");
+    assert_eq!(
+        w.weight_of(&keypairs[0].pk),
+        0,
+        "divested stake must not vote"
+    );
+    assert_eq!(
+        w.weight_of(&keypairs[2].pk),
+        100,
+        "unmoved stake unaffected"
+    );
     // Without the option the stale snapshot would still empower user 0.
     let mut plain = params();
     plain.min_balance_weights = false;
-    let mut chain2 = Blockchain::new(
-        plain,
-        keypairs.iter().map(|k| (k.pk, 100u64)),
-        GENESIS_SEED,
-    );
+    let mut chain2 = Blockchain::new(plain, keypairs.iter().map(|k| (k.pk, 100u64)), GENESIS_SEED);
     for r in 1..=6u64 {
         let txs = if r == 5 {
             vec![Transaction::payment(&keypairs[0], keypairs[1].pk, 100, 1)]

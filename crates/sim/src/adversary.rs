@@ -58,7 +58,11 @@ impl MaliciousNode {
     ///
     /// `keypair` must be the same keypair `inner` runs with: the twin
     /// messages are forged under the node's real identity.
-    pub fn new(inner: Node, keypair: Keypair, shared: Rc<RefCell<AdversaryShared>>) -> MaliciousNode {
+    pub fn new(
+        inner: Node,
+        keypair: Keypair,
+        shared: Rc<RefCell<AdversaryShared>>,
+    ) -> MaliciousNode {
         Self::with_kind(inner, keypair, AdversaryKind::Equivocator, shared)
     }
 

@@ -73,10 +73,7 @@ impl LatencyMatrix {
                 micros[i][j] = if i == j {
                     SAME_CITY_US as u64
                 } else {
-                    let km = haversine_km(
-                        (CITIES[i].1, CITIES[i].2),
-                        (CITIES[j].1, CITIES[j].2),
-                    );
+                    let km = haversine_km((CITIES[i].1, CITIES[i].2), (CITIES[j].1, CITIES[j].2));
                     (km / PROPAGATION_KM_PER_S * 1e6 + BASE_OVERHEAD_US) as u64
                 };
             }

@@ -5,15 +5,23 @@ use crate::adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
 use crate::event::{Event, EventQueue, Micros};
 use crate::metrics::{round_stats, Percentiles, RoundStats};
 use crate::network::{Filter, NetConfig, Network};
-use algorand_ba::CachedVerifier;
-use algorand_core::{AlgorandParams, Node, RoundRecord, WireMessage};
+use algorand_ba::{RoundWeights, StepKind, VoteContext};
+use algorand_core::{
+    AlgorandParams, Node, PipelineStats, PipelineVerifier, RoundRecord, VerifyJob, VerifyPool,
+    WireMessage,
+};
 use algorand_crypto::rng::Rng;
 use algorand_crypto::Keypair;
 use algorand_gossip::{RelayDecision, RelayState, Topology};
+use algorand_ledger::seed::selection_seed_round;
 use algorand_ledger::{Blockchain, Transaction};
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// Verification jobs buffered before a batch is handed to the pool.
+const PREWARM_BATCH: usize = 32;
 
 /// Configuration for one simulation.
 #[derive(Clone, Debug)]
@@ -51,6 +59,11 @@ pub struct SimConfig {
     pub peer_churn_interval: u64,
     /// Seed for topology and deterministic keys.
     pub seed: u64,
+    /// Worker threads for the parallel verify pool (0 = serial; behavior
+    /// is byte-identical either way — the pool only pre-warms the shared
+    /// verification cache ahead of each delivery, never reordering
+    /// events).
+    pub verify_pool_workers: usize,
 }
 
 impl SimConfig {
@@ -72,6 +85,7 @@ impl SimConfig {
             // Default: re-draw peers roughly once per expected round.
             peer_churn_interval: 15_000_000,
             seed: 1,
+            verify_pool_workers: 0,
         }
     }
 }
@@ -146,10 +160,7 @@ pub struct TxStats {
 
 impl SimMsg {
     fn new(wire: WireMessage) -> Arc<SimMsg> {
-        let pull_based = matches!(
-            wire,
-            WireMessage::Block(_) | WireMessage::ForkProposal(_)
-        );
+        let pull_based = matches!(wire, WireMessage::Block(_) | WireMessage::ForkProposal(_));
         Arc::new(SimMsg {
             id: wire.message_id(),
             relay_slot: wire.relay_slot(),
@@ -172,10 +183,62 @@ pub struct Simulation {
     next_wake: Vec<Micros>,
     next_churn: Micros,
     churn_epoch: u64,
-    verifier: Arc<CachedVerifier>,
+    verifier: Arc<PipelineVerifier>,
+    pool: VerifyPool,
+    /// Verification jobs awaiting a batch hand-off to the pool.
+    pending_verify: Vec<VerifyJob>,
+    /// Message ids already queued for pre-warming (first transmit wins).
+    prewarmed: HashSet<[u8; 32]>,
+    /// Weight snapshots reused across a round's pre-warm jobs.
+    prewarm_weights: HashMap<u64, Arc<RoundWeights>>,
     adversary: Rc<RefCell<AdversaryShared>>,
     workload: Option<Workload>,
     started: bool,
+}
+
+/// Aggregated staged-pipeline counters for one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineReport {
+    /// Per-stage counters summed over all honest nodes.
+    pub stages: PipelineStats,
+    /// Hits on the process-wide verification cache.
+    pub cache_hits: u64,
+    /// Misses (full verifications) on the process-wide cache.
+    pub cache_misses: u64,
+    /// Distinct vote verifications performed.
+    pub unique_votes: usize,
+    /// Distinct priority/block/fork-proposal verifications performed.
+    pub unique_proposals: usize,
+    /// Verify-pool worker threads (0 = serial).
+    pub pool_workers: usize,
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pipeline: ingested={} rejected_ingest={} buffered_early={} buffered_future={}",
+            self.stages.ingested,
+            self.stages.rejected_ingest,
+            self.stages.buffered_early,
+            self.stages.buffered_future,
+        )?;
+        writeln!(
+            f,
+            "verify:   verified={} rejected={} cache_hits={} cache_misses={} unique_votes={} unique_proposals={}",
+            self.stages.verified,
+            self.stages.rejected_verify,
+            self.cache_hits,
+            self.cache_misses,
+            self.unique_votes,
+            self.unique_proposals,
+        )?;
+        write!(
+            f,
+            "emit:     emitted={} pool_workers={}",
+            self.stages.emitted, self.pool_workers
+        )
+    }
 }
 
 impl Simulation {
@@ -195,15 +258,13 @@ impl Simulation {
             .map(|k| (k.pk, cfg.stake_per_user))
             .collect();
         let genesis_seed = [0x47u8; 32];
-        let verifier = Arc::new(CachedVerifier::new());
+        let verifier = Arc::new(PipelineVerifier::new());
         let adversary = Rc::new(RefCell::new(AdversaryShared::default()));
         let n_honest = cfg.n_users - cfg.n_malicious;
         let nodes: Vec<Slot> = (0..cfg.n_users)
             .map(|i| {
-                let chain =
-                    Blockchain::new(cfg.params.chain, alloc.iter().copied(), genesis_seed);
-                let mut node =
-                    Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
+                let chain = Blockchain::new(cfg.params.chain, alloc.iter().copied(), genesis_seed);
+                let mut node = Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
                 node.payload_bytes = cfg.payload_bytes;
                 node.block_tx_bytes = cfg.block_tx_bytes;
                 if i < n_honest {
@@ -246,6 +307,10 @@ impl Simulation {
             },
             churn_epoch: 0,
             verifier,
+            pool: VerifyPool::new(cfg.verify_pool_workers),
+            pending_verify: Vec::new(),
+            prewarmed: HashSet::new(),
+            prewarm_weights: HashMap::new(),
             adversary,
             workload,
             cfg,
@@ -327,12 +392,8 @@ impl Simulation {
                     .saturating_add(self.cfg.peer_churn_interval.max(1));
                 let mut rng = Rng::seed_from_u64(self.cfg.seed ^ (self.churn_epoch << 32));
                 let weights = vec![self.cfg.stake_per_user; self.cfg.n_users];
-                self.topology = Topology::weighted(
-                    self.cfg.n_users,
-                    self.cfg.out_degree,
-                    &weights,
-                    &mut rng,
-                );
+                self.topology =
+                    Topology::weighted(self.cfg.n_users, self.cfg.out_degree, &weights, &mut rng);
             }
             match event {
                 Event::Wake { node } => {
@@ -369,6 +430,10 @@ impl Simulation {
                         (WireMessage::Transaction(tx), Slot::Honest(n)) => {
                             !n.should_relay_transaction(tx)
                         }
+                        // Votes the receiver just found invalid stop here;
+                        // the relay consults the shared verify cache
+                        // instead of re-verifying.
+                        (WireMessage::Vote(v), Slot::Honest(n)) => !n.should_relay_vote(v),
                         _ => false,
                     };
                     if decision == RelayDecision::Relay && !discard {
@@ -447,7 +512,33 @@ impl Simulation {
 
     /// Number of distinct vote verifications performed (CPU-cost proxy).
     pub fn unique_verifications(&self) -> usize {
-        self.verifier.unique_verifications()
+        self.verifier.unique_vote_verifications()
+    }
+
+    /// The shared verification stage (process-wide cache).
+    pub fn verifier(&self) -> &Arc<PipelineVerifier> {
+        &self.verifier
+    }
+
+    /// Aggregated staged-pipeline counters across honest nodes plus the
+    /// process-wide cache, for the metrics report.
+    pub fn pipeline_report(&self) -> PipelineReport {
+        let mut stages = PipelineStats::default();
+        for slot in &self.nodes {
+            let node = match slot {
+                Slot::Honest(n) => n.as_ref(),
+                Slot::Malicious(m) => m.inner(),
+            };
+            stages.merge(&node.pipeline_stats());
+        }
+        PipelineReport {
+            stages,
+            cache_hits: self.verifier.cache_hits(),
+            cache_misses: self.verifier.cache_misses(),
+            unique_votes: self.verifier.unique_vote_verifications(),
+            unique_proposals: self.verifier.unique_proposal_verifications(),
+            pool_workers: self.pool.workers(),
+        }
     }
 
     /// The current virtual time.
@@ -483,7 +574,9 @@ impl Simulation {
         let mut commit_round = std::collections::HashMap::new();
         let mut duplicate_commits = 0usize;
         for r in 1..=chain.tip().round {
-            let Some(block) = chain.block_at(r) else { continue };
+            let Some(block) = chain.block_at(r) else {
+                continue;
+            };
             for tx in &block.txs {
                 if commit_round.insert(tx.id(), r).is_some() {
                     duplicate_commits += 1;
@@ -568,8 +661,7 @@ impl Simulation {
                 break;
             }
         }
-        let sender =
-            sender.or_else(|| (0..n_honest).find(|&i| wl.spendable[i] >= amount));
+        let sender = sender.or_else(|| (0..n_honest).find(|&i| wl.spendable[i] >= amount));
         let Some(s) = sender else {
             // Spendable stake exhausted: the source goes quiet early.
             wl.remaining = 0;
@@ -670,6 +762,7 @@ impl Simulation {
             msg.size
         };
         if let Some(arrival) = self.net.transmit(from, to, size, now) {
+            self.enqueue_prewarm(msg);
             self.queue.schedule(
                 arrival,
                 Event::Deliver {
@@ -679,6 +772,83 @@ impl Simulation {
                 },
             );
         }
+    }
+
+    /// Queues a message for cache pre-warming by the verify pool. Each
+    /// message is verified once process-wide no matter how many nodes it
+    /// is in flight to; delivery later hits the cache.
+    ///
+    /// Determinism: jobs only populate the `(message id, seed)`-keyed
+    /// cache, whose verdicts are pure functions of their key. Event order
+    /// is untouched, and a job built under a stale context lands on a key
+    /// no consumer asks for — wasted work, never a wrong answer.
+    fn enqueue_prewarm(&mut self, msg: &Arc<SimMsg>) {
+        if self.pool.workers() == 0 || !self.prewarmed.insert(msg.id) {
+            return;
+        }
+        if let Some(job) = self.prewarm_job(&msg.wire) {
+            self.pending_verify.push(job);
+            if self.pending_verify.len() >= PREWARM_BATCH {
+                let jobs = std::mem::take(&mut self.pending_verify);
+                self.pool.verify_batch(&self.verifier, jobs);
+            }
+        }
+    }
+
+    /// Builds the verification job for an in-flight message, using honest
+    /// node 0's chain as the context oracle. Messages whose context is not
+    /// yet derivable exactly (selection seed still in the future) are
+    /// skipped — the consuming node verifies those inline.
+    fn prewarm_job(&mut self, wire: &WireMessage) -> Option<VerifyJob> {
+        let chain = match &self.nodes[0] {
+            Slot::Honest(n) => n.chain(),
+            Slot::Malicious(m) => m.inner().chain(),
+        };
+        let tip = chain.tip().round;
+        let interval = self.cfg.params.chain.seed_refresh_interval;
+        let round = match wire {
+            WireMessage::Vote(v) => v.round,
+            WireMessage::Priority(p) => p.round,
+            WireMessage::Block(b) => b.block.round,
+            _ => return None,
+        };
+        if selection_seed_round(round, interval) > tip {
+            return None;
+        }
+        let seed = chain.selection_seed(round);
+        let weights = match self.prewarm_weights.get(&round) {
+            Some(w) => w.clone(),
+            None => {
+                let w = Arc::new(chain.weights_for_round(round));
+                self.prewarm_weights.insert(round, w.clone());
+                self.prewarm_weights.retain(|&r, _| r + 8 > round);
+                w
+            }
+        };
+        Some(match wire {
+            WireMessage::Vote(v) => VerifyJob::Vote {
+                msg: v.clone(),
+                ctx: VoteContext {
+                    round,
+                    seed,
+                    tau: self.cfg.params.ba.tau_for(v.step == StepKind::Final),
+                },
+                weights,
+            },
+            WireMessage::Priority(p) => VerifyJob::Priority {
+                msg: p.clone(),
+                seed,
+                weights,
+                tau: self.cfg.params.tau_proposer,
+            },
+            WireMessage::Block(b) => VerifyJob::Block {
+                msg: b.clone(),
+                seed,
+                weights,
+                tau: self.cfg.params.tau_proposer,
+            },
+            _ => unreachable!("round extraction above filtered the rest"),
+        })
     }
 
     fn reschedule_wake(&mut self, node: usize) {

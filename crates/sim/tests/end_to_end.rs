@@ -143,7 +143,12 @@ fn decisions_are_final_and_chain_finalizes() {
         let chain = node.chain();
         assert!(chain.is_finalized(1), "node {i} round 1 not finalized");
         for rec in node.records() {
-            assert_eq!(rec.kind, ConsensusKind::Final, "node {i} round {}", rec.round);
+            assert_eq!(
+                rec.kind,
+                ConsensusKind::Final,
+                "node {i} round {}",
+                rec.round
+            );
         }
     }
 }

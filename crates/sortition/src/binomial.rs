@@ -58,8 +58,7 @@ pub fn binomial_pmf(k: u64, n: u64, p: f64) -> f64 {
     if k > n {
         return 0.0;
     }
-    let ln_pmf =
-        ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
+    let ln_pmf = ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
     ln_pmf.exp()
 }
 

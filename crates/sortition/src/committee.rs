@@ -264,7 +264,10 @@ mod tests {
         let p_final = final_step_violation(10_000.0, 0.74, 0.80);
         let p_step = violation_probability(2000.0, 0.685, 0.80);
         assert!(p_final < p_step, "final {p_final:e} vs step {p_step:e}");
-        assert!(p_final * 150.0 < 5e-9, "final-step margin too small: {p_final:e}");
+        assert!(
+            p_final * 150.0 < 5e-9,
+            "final-step margin too small: {p_final:e}"
+        );
     }
 
     #[test]

@@ -232,8 +232,14 @@ mod tests {
             Role::Committee { round: 1, step: 1 },
             Role::Committee { round: 1, step: 2 },
             Role::Committee { round: 2, step: 1 },
-            Role::ForkProposer { epoch: 1, attempt: 0 },
-            Role::ForkProposer { epoch: 1, attempt: 1 },
+            Role::ForkProposer {
+                epoch: 1,
+                attempt: 0,
+            },
+            Role::ForkProposer {
+                epoch: 1,
+                attempt: 1,
+            },
         ];
         for (i, a) in roles.iter().enumerate() {
             for (j, b) in roles.iter().enumerate() {
@@ -382,7 +388,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_multi, "a 90% holder should often win multiple sub-users");
+        assert!(
+            saw_multi,
+            "a 90% holder should often win multiple sub-users"
+        );
     }
 
     #[test]

@@ -256,7 +256,9 @@ impl TxPool {
                     chain.get(&next).map(|tx| (*sender, next, priority_key(tx)))
                 })
                 .max_by_key(|(_, _, key)| *key);
-            let Some((sender, nonce, _)) = best else { break };
+            let Some((sender, nonce, _)) = best else {
+                break;
+            };
             let tx = self.remove(&sender, nonce).expect("head exists");
             if scratch.apply(&tx).is_ok() {
                 taken.push(tx);
@@ -331,10 +333,16 @@ mod tests {
         let accounts = Accounts::genesis([(a.pk, 100)]);
         let mut pool = TxPool::new(PoolConfig::default());
         // Nonces arrive 3, 1, 2 — gossip reordering.
-        pool.admit(Transaction::payment(&a, b.pk, 1, 3), &accounts).unwrap();
-        assert!(pool.take_block(&accounts, 1 << 20).is_empty(), "gap blocks proposal");
-        pool.admit(Transaction::payment(&a, b.pk, 1, 1), &accounts).unwrap();
-        pool.admit(Transaction::payment(&a, b.pk, 1, 2), &accounts).unwrap();
+        pool.admit(Transaction::payment(&a, b.pk, 1, 3), &accounts)
+            .unwrap();
+        assert!(
+            pool.take_block(&accounts, 1 << 20).is_empty(),
+            "gap blocks proposal"
+        );
+        pool.admit(Transaction::payment(&a, b.pk, 1, 1), &accounts)
+            .unwrap();
+        pool.admit(Transaction::payment(&a, b.pk, 1, 2), &accounts)
+            .unwrap();
         let block = pool.take_block(&accounts, 1 << 20);
         assert_eq!(
             block.iter().map(|t| t.nonce).collect::<Vec<_>>(),
@@ -419,9 +427,11 @@ mod tests {
         let mut pool = small_pool();
         // Sender a queues a 4-long cheap chain, then b adds a pricey tx.
         for n in 1..=4u64 {
-            pool.admit(Transaction::payment(&a, b.pk, 1, n), &accounts).unwrap();
+            pool.admit(Transaction::payment(&a, b.pk, 1, n), &accounts)
+                .unwrap();
         }
-        pool.admit(Transaction::payment(&b, a.pk, 99, 1), &accounts).unwrap();
+        pool.admit(Transaction::payment(&b, a.pk, 99, 1), &accounts)
+            .unwrap();
         // a's tail (nonce 4) was evicted; the head of the chain survives,
         // so the remaining run is still contiguous and proposable.
         let block = pool.take_block(&accounts, 1 << 20);
@@ -455,7 +465,8 @@ mod tests {
         // b starts broke; a's payment inside the block funds b's payment.
         let accounts = Accounts::genesis([(a.pk, 50)]);
         let mut pool = TxPool::new(PoolConfig::default());
-        pool.admit(Transaction::payment(&a, b.pk, 50, 1), &accounts).unwrap();
+        pool.admit(Transaction::payment(&a, b.pk, 50, 1), &accounts)
+            .unwrap();
         // b's spend of the incoming 50 is admitted only once funded, so
         // craft it directly into the pool path via reinsert after funding:
         let spend = Transaction::payment(&b, a.pk, 30, 1);
@@ -464,7 +475,9 @@ mod tests {
             Err(AdmitError::InsufficientBalance)
         );
         let mut funded = accounts.clone();
-        funded.apply(&Transaction::payment(&a, b.pk, 50, 1)).unwrap();
+        funded
+            .apply(&Transaction::payment(&a, b.pk, 50, 1))
+            .unwrap();
         // Once the ledger shows the funding, the spend is admissible.
         let mut pool2 = TxPool::new(PoolConfig::default());
         pool2.admit(spend, &funded).unwrap();
@@ -479,8 +492,10 @@ mod tests {
         let b = kp(2);
         let accounts = Accounts::genesis([(a.pk, 10)]);
         let mut pool = TxPool::new(PoolConfig::default());
-        pool.admit(Transaction::payment(&a, b.pk, 7, 1), &accounts).unwrap();
-        pool.admit(Transaction::payment(&a, b.pk, 7, 2), &accounts).unwrap();
+        pool.admit(Transaction::payment(&a, b.pk, 7, 1), &accounts)
+            .unwrap();
+        pool.admit(Transaction::payment(&a, b.pk, 7, 2), &accounts)
+            .unwrap();
         let block = pool.take_block(&accounts, 1 << 20);
         assert_eq!(block.len(), 1, "second 7 overdraws after the first");
         assert!(pool.is_empty(), "unspendable head dropped");
@@ -493,7 +508,8 @@ mod tests {
         let accounts = Accounts::genesis([(a.pk, 100)]);
         let mut pool = TxPool::new(PoolConfig::default());
         for n in 1..=3u64 {
-            pool.admit(Transaction::payment(&a, b.pk, 1, n), &accounts).unwrap();
+            pool.admit(Transaction::payment(&a, b.pk, 1, n), &accounts)
+                .unwrap();
         }
         let proposed = pool.take_block(&accounts, 1 << 20);
         assert_eq!(proposed.len(), 3);
@@ -515,7 +531,8 @@ mod tests {
         let accounts = Accounts::genesis([(a.pk, 100)]);
         let mut pool = TxPool::new(PoolConfig::default());
         for n in 1..=3u64 {
-            pool.admit(Transaction::payment(&a, b.pk, 1, n), &accounts).unwrap();
+            pool.admit(Transaction::payment(&a, b.pk, 1, n), &accounts)
+                .unwrap();
         }
         let proposed = pool.take_block(&accounts, 1 << 20);
         // A competing winning block committed nonce 1 meanwhile.
@@ -523,7 +540,11 @@ mod tests {
         after.apply(&proposed[0]).unwrap();
         pool.reinsert(proposed, &after);
         assert_eq!(pool.len(), 2, "committed nonce 1 dropped as replay");
-        let nonces: Vec<u64> = pool.take_block(&after, 1 << 20).iter().map(|t| t.nonce).collect();
+        let nonces: Vec<u64> = pool
+            .take_block(&after, 1 << 20)
+            .iter()
+            .map(|t| t.nonce)
+            .collect();
         assert_eq!(nonces, vec![2, 3]);
     }
 
@@ -533,8 +554,9 @@ mod tests {
         let b = kp(2);
         let accounts = Accounts::genesis([(a.pk, 100)]);
         let mut pool = TxPool::new(PoolConfig::default());
-        let txs: Vec<Transaction> =
-            (1..=3u64).map(|n| Transaction::payment(&a, b.pk, 1, n)).collect();
+        let txs: Vec<Transaction> = (1..=3u64)
+            .map(|n| Transaction::payment(&a, b.pk, 1, n))
+            .collect();
         for tx in &txs {
             pool.admit(tx.clone(), &accounts).unwrap();
         }
@@ -580,7 +602,8 @@ mod tests {
             pool.admit(Transaction::payment(&a, kp(2).pk, 1, 9), &accounts),
             Err(AdmitError::NonceTooFar)
         );
-        pool.admit(Transaction::payment(&a, kp(2).pk, 1, 8), &accounts).unwrap();
+        pool.admit(Transaction::payment(&a, kp(2).pk, 1, 8), &accounts)
+            .unwrap();
     }
 
     #[test]
@@ -592,7 +615,10 @@ mod tests {
         let tx = Transaction::payment(&a, b.pk, 1, 1);
         pool.admit(tx.clone(), &accounts).unwrap();
         let taken = pool.take_block(&accounts, 1 << 20);
-        assert!(pool.sig_ok.contains(&tx.id()), "verification outlives removal");
+        assert!(
+            pool.sig_ok.contains(&tx.id()),
+            "verification outlives removal"
+        );
         pool.reinsert(taken, &accounts);
         assert_eq!(pool.len(), 1);
     }
@@ -609,6 +635,10 @@ mod tests {
         pool.take_block(&accounts, Transaction::WIRE_SIZE);
         assert_eq!(pool.bytes(), 2 * Transaction::WIRE_SIZE);
         pool.prune(&accounts);
-        assert_eq!(pool.bytes(), 2 * Transaction::WIRE_SIZE, "nothing committed yet");
+        assert_eq!(
+            pool.bytes(),
+            2 * Transaction::WIRE_SIZE,
+            "nothing committed yet"
+        );
     }
 }

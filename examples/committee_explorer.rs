@@ -16,14 +16,8 @@ use algorand::sortition::committee::{
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let h_pct: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(80.0);
-    let log_eps: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(-8.3); // 5e-9, the paper's budget.
+    let h_pct: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(80.0);
+    let log_eps: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(-8.3); // 5e-9, the paper's budget.
     let h = (h_pct / 100.0).clamp(0.67, 0.99);
     let eps = 10f64.powf(log_eps);
 

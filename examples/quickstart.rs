@@ -63,6 +63,10 @@ fn main() {
         "agreed block: round {}, {} transaction(s), proposer {}",
         tip.round,
         tip.txs.len(),
-        if tip.is_empty_block() { "none (empty)" } else { "selected by sortition" }
+        if tip.is_empty_block() {
+            "none (empty)"
+        } else {
+            "selected by sortition"
+        }
     );
 }

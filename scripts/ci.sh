@@ -7,11 +7,18 @@
 #      and doc tests),
 #   3. a 50-user / 200-transaction end-to-end smoke simulation that
 #      fails unless >=95% of injected transactions finalize, each
-#      exactly once (see crates/bench/src/bin/txpool_smoke.rs).
+#      exactly once (see crates/bench/src/bin/txpool_smoke.rs),
+#   4. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== style: cargo fmt --check =="
+cargo fmt --check
+
+echo "== style: cargo clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
 
 echo "== tier-1: cargo build --release =="
 cargo build --release

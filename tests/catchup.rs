@@ -1,0 +1,174 @@
+//! Regression tests for the catch-up protocol (§8.3).
+//!
+//! A lagging user requests `(block, certificate)` pairs from peers and
+//! validates each certificate against its own chain context before
+//! appending. These tests cover the adversarial and lossy cases: batches
+//! mixing valid, stale, and non-consecutive entries; a forged
+//! certificate in the middle of a batch; and partial application across
+//! successive request/response exchanges when the server caps rounds per
+//! response.
+
+use algorand::ba::Certificate;
+use algorand::core::wire::{CatchupBatch, WireMessage};
+use algorand::core::{Node, PipelineVerifier};
+use algorand::ledger::{Block, Blockchain};
+use algorand::sim::{SimConfig, Simulation};
+use std::sync::Arc;
+
+const T_CAP: u64 = 30 * 60 * 1_000_000;
+
+/// Runs a small network for `rounds` rounds and returns the simulation
+/// plus the canonical `(block, certificate)` history from node 0.
+fn history(rounds: u64) -> (Simulation, Vec<(Block, Certificate)>) {
+    let mut cfg = SimConfig::new(16);
+    cfg.seed = 33;
+    let mut sim = Simulation::new(cfg);
+    sim.run_rounds(rounds, T_CAP);
+    let chain = sim.honest_node(0).chain();
+    let entries: Vec<_> = (1..=chain.tip().round)
+        .map(|r| {
+            (
+                chain.block_at(r).expect("canonical block").clone(),
+                chain.certificate_at(r).expect("canonical cert").clone(),
+            )
+        })
+        .collect();
+    (sim, entries)
+}
+
+/// A fresh node at genesis sharing the simulation's allocation, so the
+/// simulated history validates against its chain context.
+fn fresh_node(sim: &Simulation) -> Node {
+    let cfg = SimConfig::new(16);
+    let alloc: Vec<_> = (0..16)
+        .map(|i| (sim.keypair(i).pk, cfg.stake_per_user))
+        .collect();
+    let chain = Blockchain::new(cfg.params.chain, alloc.iter().copied(), [0x47u8; 32]);
+    let mut node = Node::new(
+        sim.keypair(0).clone(),
+        chain,
+        cfg.params,
+        Arc::new(PipelineVerifier::new()),
+    );
+    node.start(0);
+    node
+}
+
+fn respond(entries: &[(Block, Certificate)]) -> WireMessage {
+    WireMessage::CatchupResponse(CatchupBatch {
+        entries: entries.to_vec(),
+    })
+}
+
+#[test]
+fn mixed_valid_and_stale_entries_apply_the_valid_ones() {
+    let (sim, entries) = history(5);
+    assert!(entries.len() >= 5, "need a round beyond the applied prefix");
+    let mut node = fresh_node(&sim);
+
+    // First exchange brings the node to round 1.
+    node.on_message(&respond(&entries[..1]), 1);
+    assert_eq!(node.chain().tip().round, 1);
+
+    // Second batch interleaves a stale round 1, the valid rounds 2 and 3,
+    // and a non-consecutive future round: only 2 and 3 may apply.
+    let mixed = vec![
+        entries[0].clone(),                 // stale: already on chain
+        entries[1].clone(),                 // valid: round 2
+        entries[0].clone(),                 // stale again, mid-batch
+        entries[2].clone(),                 // valid: round 3
+        entries[entries.len() - 1].clone(), // gap: skips a round
+    ];
+    node.on_message(
+        &WireMessage::CatchupResponse(CatchupBatch { entries: mixed }),
+        2,
+    );
+
+    assert_eq!(node.chain().tip().round, 3, "valid prefix applied");
+    assert_eq!(node.catchups_applied(), 3);
+    let donor = sim.honest_node(0).chain();
+    for r in 1..=3 {
+        assert_eq!(
+            node.chain().block_at(r).unwrap().hash(),
+            donor.block_at(r).unwrap().hash(),
+            "round {r} matches the donor chain"
+        );
+    }
+}
+
+#[test]
+fn forged_certificate_mid_batch_stops_application() {
+    let (sim, entries) = history(4);
+    assert!(entries.len() >= 3);
+    let mut node = fresh_node(&sim);
+
+    // Forge round 2's certificate: strip its votes below the threshold.
+    // The round/value fields still match the block, so the batch passes
+    // the cheap consistency checks and fails only inside
+    // `Certificate::validate`.
+    let mut forged = entries[1].clone();
+    forged.1.votes.truncate(1);
+
+    let batch = vec![entries[0].clone(), forged, entries[2].clone()];
+    node.on_message(
+        &WireMessage::CatchupResponse(CatchupBatch { entries: batch }),
+        1,
+    );
+
+    // The valid prefix lands; the forged entry aborts the rest — round 3
+    // must NOT be appended even though its own certificate is genuine
+    // (appending it would leave a hole in the chain).
+    assert_eq!(node.chain().tip().round, 1, "application stops at forgery");
+    assert_eq!(node.catchups_applied(), 1);
+
+    // The same rounds re-served honestly still apply: the forgery did not
+    // poison any state.
+    node.on_message(&respond(&entries[1..3]), 2);
+    assert_eq!(node.chain().tip().round, 3);
+    assert_eq!(node.catchups_applied(), 3);
+}
+
+#[test]
+fn partial_application_resumes_on_next_request() {
+    // Enough history that one capped response cannot cover it.
+    let (sim, entries) = history(7);
+    let tip = entries.len() as u64;
+    assert!(tip >= 6, "need more rounds than one response carries");
+
+    // A server brought up to the full history via one (uncapped) apply.
+    let mut server = fresh_node(&sim);
+    server.on_message(&respond(&entries), 1);
+    assert_eq!(server.chain().tip().round, tip);
+
+    let mut behind = fresh_node(&sim);
+    let mut exchanges = 0;
+    while behind.chain().tip().round < tip {
+        let have = behind.chain().tip().round;
+        let out = server.on_message(&WireMessage::CatchupRequest { have }, 2);
+        let response = out
+            .iter()
+            .find(|m| matches!(m, WireMessage::CatchupResponse(_)))
+            .expect("server behind a request must respond");
+        if let WireMessage::CatchupResponse(b) = response {
+            assert!(b.entries.len() <= 4, "responses are capped to a few rounds");
+            assert_eq!(
+                b.entries[0].0.round,
+                have + 1,
+                "each response resumes at the requester's next round"
+            );
+        }
+        behind.on_message(response, 3);
+        assert!(
+            behind.chain().tip().round > have,
+            "every exchange makes progress"
+        );
+        exchanges += 1;
+    }
+    assert!(exchanges >= 2, "catch-up took multiple request cycles");
+    assert_eq!(behind.catchups_applied() as u64, tip);
+    assert_eq!(
+        behind.chain().tip_hash(),
+        sim.honest_node(0).chain().tip_hash(),
+        "caught-up chain converges with the network"
+    );
+}

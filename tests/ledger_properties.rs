@@ -36,12 +36,8 @@ fn random_payment_sequences_conserve_money() {
             let from = rng.gen_range_usize(n);
             let to = rng.gen_range_usize(n);
             let amount = rng.gen_range_u64(1500);
-            let tx = Transaction::payment(
-                &keypairs[from],
-                keypairs[to].pk,
-                amount,
-                nonces[from] + 1,
-            );
+            let tx =
+                Transaction::payment(&keypairs[from], keypairs[to].pk, amount, nonces[from] + 1);
             if accounts.apply(&tx).is_ok() {
                 nonces[from] += 1;
             }
@@ -172,8 +168,7 @@ fn weights_snapshot_matches_balances() {
         let keypairs: Vec<Keypair> = (0..n)
             .map(|i| Keypair::from_seed([i as u8 + 10; 32]))
             .collect();
-        let accounts =
-            Accounts::genesis(keypairs.iter().zip(&balances).map(|(k, b)| (k.pk, *b)));
+        let accounts = Accounts::genesis(keypairs.iter().zip(&balances).map(|(k, b)| (k.pk, *b)));
         let weights: RoundWeights = accounts.weights();
         assert_eq!(weights.total(), accounts.total());
         for (kp, b) in keypairs.iter().zip(&balances) {
