@@ -118,6 +118,13 @@ pub struct BaStar {
     phase: Phase,
     /// When the current phase's CountVotes window opened.
     phase_started: Micros,
+    /// Consecutive steps that concluded by timeout rather than votes.
+    /// Each one doubles the effective λ_step (§8.2's retry doubling),
+    /// capped at [`BaStar::MAX_TIMEOUT_DOUBLINGS`]; a step that
+    /// concludes on votes resets the streak.
+    timeout_streak: u32,
+    /// Total timeout-fired steps over this engine's lifetime.
+    timeout_escalations: u64,
     /// Timestamps for metrics: when reduction / binary / final concluded.
     reduction_done: Option<Micros>,
     binary_done: Option<Micros>,
@@ -158,6 +165,8 @@ impl BaStar {
             ablation: AblationFlags::default(),
             phase: Phase::Reduction1,
             phase_started: now,
+            timeout_streak: 0,
+            timeout_escalations: 0,
             reduction_done: None,
             binary_done: None,
             finished: None,
@@ -283,12 +292,34 @@ impl BaStar {
         out
     }
 
+    /// Upper bound on consecutive-timeout doublings of λ_step, so the
+    /// backoff tops out at 16× rather than growing without limit.
+    pub const MAX_TIMEOUT_DOUBLINGS: u32 = 4;
+
+    /// The effective step timeout: λ_step doubled once per consecutive
+    /// timeout-fired step (§8.2's retry doubling), capped. During a
+    /// partition this stops nodes from spinning through committee-less
+    /// steps; the first vote-concluded step resets it.
+    pub fn effective_lambda_step(&self) -> Micros {
+        self.params.lambda_step << self.timeout_streak.min(Self::MAX_TIMEOUT_DOUBLINGS)
+    }
+
+    /// Total steps this engine concluded by timeout (backoff escalations).
+    pub fn timeout_escalations(&self) -> u64 {
+        self.timeout_escalations
+    }
+
+    /// The current consecutive-timeout streak.
+    pub fn timeout_streak(&self) -> u32 {
+        self.timeout_streak
+    }
+
     /// The next instant at which [`BaStar::on_tick`] must be called, if any.
     pub fn next_deadline(&self) -> Option<Micros> {
         let lambda = match self.phase {
-            Phase::Reduction1 => self.params.lambda_block + self.params.lambda_step,
+            Phase::Reduction1 => self.params.lambda_block + self.effective_lambda_step(),
             Phase::Reduction2 | Phase::Binary { .. } | Phase::FinalCount { .. } => {
-                self.params.lambda_step
+                self.effective_lambda_step()
             }
             Phase::Done | Phase::Hung => return None,
         };
@@ -375,22 +406,22 @@ impl BaStar {
         let (step_code, lambda, threshold) = match &self.phase {
             Phase::Reduction1 => (
                 StepKind::ReductionOne.code(),
-                self.params.lambda_block + self.params.lambda_step,
+                self.params.lambda_block + self.effective_lambda_step(),
                 self.params.step_vote_threshold(),
             ),
             Phase::Reduction2 => (
                 StepKind::ReductionTwo.code(),
-                self.params.lambda_step,
+                self.effective_lambda_step(),
                 self.params.step_vote_threshold(),
             ),
             Phase::Binary { step } => (
                 StepKind::Main(*step).code(),
-                self.params.lambda_step,
+                self.effective_lambda_step(),
                 self.params.step_vote_threshold(),
             ),
             Phase::FinalCount { .. } => (
                 StepKind::Final.code(),
-                self.params.lambda_step,
+                self.effective_lambda_step(),
                 self.params.final_vote_threshold(),
             ),
             Phase::Done | Phase::Hung => return None,
@@ -409,6 +440,15 @@ impl BaStar {
     /// Advances phases as long as outcomes are available.
     fn advance(&mut self, now: Micros, out: &mut Vec<Output>) {
         while let Some(outcome) = self.current_outcome(now) {
+            // §8.2 retry doubling: a timeout-fired step grows the next
+            // step's window; a vote-concluded step resets it.
+            match &outcome {
+                Ok(_) => self.timeout_streak = 0,
+                Err(()) => {
+                    self.timeout_streak += 1;
+                    self.timeout_escalations += 1;
+                }
+            }
             match &self.phase {
                 Phase::Reduction1 => {
                     // Algorithm 7 step 2: re-gossip the popular hash, or

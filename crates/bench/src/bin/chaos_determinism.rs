@@ -1,0 +1,194 @@
+//! Chaos determinism check + recovery-time measurement.
+//!
+//! Runs each scripted chaos scenario **twice** with the same `(seed,
+//! schedule)` pair and demands byte-identical final-chain digests — the
+//! replayability property the chaos harness is built on (faults are
+//! data, all randomness flows from seeded RNGs). Alongside, it measures
+//! the observed recovery time: virtual seconds from the last fault
+//! clearing until every honest node is back on one common chain that
+//! has grown at least two rounds past the fault window.
+//!
+//! Exit code is non-zero on any determinism mismatch or missed
+//! recovery, so CI can gate on it. Output feeds `results/chaos.txt`.
+
+use algorand_sim::{FaultSchedule, Micros, SimConfig, Simulation};
+
+const SEC: Micros = 1_000_000;
+
+struct Scenario {
+    name: &'static str,
+    n: usize,
+    n_malicious: usize,
+    seed: u64,
+    schedule: fn(usize) -> FaultSchedule,
+    /// Give up on recovery this long after the last fault clears.
+    horizon: Micros,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "partition/heal (sym)",
+            n: 16,
+            n_malicious: 0,
+            seed: 11,
+            schedule: |n| FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC),
+            horizon: 300 * SEC,
+        },
+        Scenario {
+            name: "partition (asym)",
+            n: 12,
+            n_malicious: 0,
+            seed: 12,
+            schedule: |n| FaultSchedule::new().asymmetric_partition(n, 10, 30 * SEC, 90 * SEC),
+            horizon: 240 * SEC,
+        },
+        Scenario {
+            name: "30% loss window",
+            n: 12,
+            n_malicious: 0,
+            seed: 13,
+            schedule: |_| FaultSchedule::new().loss_window(0.30, 20 * SEC, 80 * SEC),
+            horizon: 180 * SEC,
+        },
+        Scenario {
+            name: "crash majority 9/16",
+            n: 16,
+            n_malicious: 0,
+            seed: 14,
+            schedule: |_| {
+                let mut s = FaultSchedule::new();
+                for node in 0..9 {
+                    s = s.crash_restart(node, 40 * SEC, 100 * SEC);
+                }
+                s
+            },
+            horizon: 360 * SEC,
+        },
+        Scenario {
+            name: "partition + equivocators",
+            n: 20,
+            n_malicious: 4,
+            seed: 15,
+            schedule: |n| FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC),
+            horizon: 300 * SEC,
+        },
+        Scenario {
+            name: "rolling restarts 6/12",
+            n: 12,
+            n_malicious: 0,
+            seed: 16,
+            schedule: |_| {
+                let mut s = FaultSchedule::new();
+                for node in 0..6 {
+                    let down = (20 + 15 * node as u64) * SEC;
+                    s = s.crash_restart(node, down, down + 30 * SEC);
+                }
+                s
+            },
+            horizon: 240 * SEC,
+        },
+    ]
+}
+
+fn min_tip(sim: &Simulation, n_honest: usize) -> u64 {
+    (0..n_honest)
+        .map(|i| sim.honest_node(i).chain().tip().round)
+        .min()
+        .unwrap()
+}
+
+fn converged(sim: &Simulation, n_honest: usize, target: u64) -> bool {
+    let tip = min_tip(sim, n_honest);
+    if tip < target {
+        return false;
+    }
+    for round in 1..=tip {
+        let h0 = sim.honest_node(0).chain().block_at(round).unwrap().hash();
+        for i in 1..n_honest {
+            if sim.honest_node(i).chain().block_at(round).unwrap().hash() != h0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One run: returns (digest, recovery seconds if converged, report line).
+fn run_once(s: &Scenario) -> ([u8; 32], Option<f64>, String) {
+    let mut cfg = SimConfig::new(s.n);
+    cfg.n_malicious = s.n_malicious;
+    cfg.seed = s.seed;
+    let mut sim = Simulation::new(cfg);
+    let schedule = (s.schedule)(s.n);
+    let clear = schedule.last_fault_clear();
+    sim.set_fault_schedule(schedule);
+    sim.run_until(clear);
+    let n_honest = s.n - s.n_malicious;
+    let target = min_tip(&sim, n_honest) + 2;
+    let mut recovery = None;
+    let mut t = clear;
+    while recovery.is_none() && t < clear + s.horizon {
+        t += 5 * SEC;
+        sim.run_until(t);
+        if converged(&sim, n_honest, target) {
+            recovery = Some((sim.now() - clear) as f64 / 1e6);
+        }
+    }
+    let report = sim.fault_report();
+    let line = format!(
+        "restarts={} partitions={} dropped(filter/partition/loss)={}/{}/{} \
+         escalations={} watchdog_catchups={} fork_recoveries={} catchups={}",
+        report.restarts,
+        report.partitions_activated,
+        report.dropped_by_filter,
+        report.dropped_by_partition,
+        report.dropped_by_loss,
+        report.timeout_escalations,
+        report.watchdog_catchups,
+        report.recoveries_completed,
+        report.catchups_applied,
+    );
+    (sim.chain_digest(), recovery, line)
+}
+
+fn hex8(d: &[u8; 32]) -> String {
+    d[..4].iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn main() {
+    println!("chaos determinism + recovery times (virtual seconds after last fault clears)");
+    println!();
+    let mut failed = false;
+    for s in scenarios() {
+        let (digest_a, recovery_a, line) = run_once(&s);
+        let (digest_b, recovery_b, _) = run_once(&s);
+        let deterministic = digest_a == digest_b && recovery_a == recovery_b;
+        let recovery = match recovery_a {
+            Some(r) => format!("{r:>6.1} s"),
+            None => "  MISS ".to_string(),
+        };
+        println!(
+            "{:<26} n={:<3} recovery={} digest={} replay={}",
+            s.name,
+            s.n,
+            recovery,
+            hex8(&digest_a),
+            if deterministic {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        println!("  {line}");
+        if !deterministic || recovery_a.is_none() {
+            failed = true;
+        }
+    }
+    println!();
+    if failed {
+        println!("FAIL: determinism mismatch or missed recovery");
+        std::process::exit(1);
+    }
+    println!("OK: all scenarios recovered; every (seed, schedule) replay was identical");
+}

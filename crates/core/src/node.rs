@@ -32,7 +32,10 @@ use crate::recovery::{fork_proposer_sortition, recovery_seed, ForkProposalMessag
 use crate::round::{BlockSighting, BlockStore, FutureVotes, RoundContext};
 use crate::verify::PipelineVerifier;
 use crate::wire::{CatchupBatch, WireMessage};
-use algorand_ba::{BaStar, ConsensusKind, Decision, Micros, Output, RoundWeights, VoteMessage};
+use algorand_ba::{
+    BaStar, Certificate, ConsensusKind, Decision, Micros, Output, RoundWeights, VoteMessage,
+};
+use algorand_crypto::codec::{Reader, WriteExt};
 use algorand_crypto::Keypair;
 use algorand_ledger::seed::propose_seed;
 use algorand_ledger::{Block, Blockchain, Transaction};
@@ -111,6 +114,14 @@ pub struct Node {
     next_catchup_request: Micros,
     recoveries_completed: usize,
     catchups_applied: usize,
+    /// Consecutive struggling rounds: each round that needed engine
+    /// timeout escalations doubles the next proposal wait (§8.2's retry
+    /// doubling applied at the round level), reset on a clean round.
+    stepvar_backoff: u32,
+    /// Total BA⋆ timeout escalations across completed rounds.
+    timeout_escalations: u64,
+    /// Catch-up requests fired by the liveness watchdog.
+    watchdog_catchups: usize,
 }
 
 impl Node {
@@ -144,7 +155,20 @@ impl Node {
             next_catchup_request: 0,
             recoveries_completed: 0,
             catchups_applied: 0,
+            stepvar_backoff: 0,
+            timeout_escalations: 0,
+            watchdog_catchups: 0,
         }
+    }
+
+    /// Cap on λ_stepvar doublings (2⁵ = 32× the base wait).
+    pub const MAX_STEPVAR_DOUBLINGS: u32 = 5;
+
+    /// The current proposal-collection wait: λ_priority plus λ_stepvar
+    /// doubled once per consecutive struggling round (§8.2).
+    fn proposal_wait(&self) -> Micros {
+        self.params.lambda_priority
+            + (self.params.lambda_stepvar << self.stepvar_backoff.min(Self::MAX_STEPVAR_DOUBLINGS))
     }
 
     // --- Public accessors ---------------------------------------------------
@@ -192,6 +216,30 @@ impl Node {
     /// How many rounds this node adopted via the catch-up protocol.
     pub fn catchups_applied(&self) -> usize {
         self.catchups_applied
+    }
+
+    /// Catch-up requests fired by the liveness watchdog (stall-driven,
+    /// as opposed to far-future-vote-driven).
+    pub fn watchdog_catchups(&self) -> usize {
+        self.watchdog_catchups
+    }
+
+    /// Total BA⋆ timeout escalations, including the round in flight.
+    pub fn timeout_escalations(&self) -> u64 {
+        let live = match &self.phase {
+            Phase::Ba { engine } => engine.timeout_escalations(),
+            Phase::Recovery(r) => match &r.phase {
+                RecoveryPhase::Ba { engine } => engine.timeout_escalations(),
+                _ => 0,
+            },
+            _ => 0,
+        };
+        self.timeout_escalations + live
+    }
+
+    /// Current λ_stepvar doubling level (0 = clean rounds).
+    pub fn stepvar_backoff(&self) -> u32 {
+        self.stepvar_backoff
     }
 
     /// Whether a just-processed block message is worth relaying (§6):
@@ -371,6 +419,9 @@ impl Node {
         if advanced {
             self.hung = false;
             self.last_progress = now;
+            // The network demonstrably made progress without us; our local
+            // timeout history says nothing about its health now.
+            self.stepvar_backoff = 0;
             // Blocks adopted via catch-up commit nonces just like agreed
             // ones: drop what they made stale.
             self.pool.prune(self.chain.accounts());
@@ -388,6 +439,107 @@ impl Node {
         out.push(WireMessage::CatchupRequest {
             have: self.chain.tip().round,
         });
+    }
+
+    /// Liveness watchdog: a node stalled for half a recovery interval
+    /// starts probing peers for agreed rounds it may have missed — the
+    /// cheap first escalation rung, well before the §8.2 fork-recovery
+    /// machinery arms at the epoch boundary. Stalls this long never occur
+    /// in a healthy network (rounds conclude in seconds), so the watchdog
+    /// is silent outside fault windows.
+    fn watchdog_tick(&mut self, now: Micros, out: &mut Outbox) {
+        if self.params.recovery_interval == 0 || matches!(self.phase, Phase::Recovery(_)) {
+            return;
+        }
+        if now.saturating_sub(self.last_progress) <= self.params.recovery_interval / 2 {
+            return;
+        }
+        if now >= self.next_catchup_request {
+            self.watchdog_catchups += 1;
+            self.maybe_request_catchup(now, out);
+        }
+    }
+
+    // --- Crash/restart snapshots ---------------------------------------------
+
+    /// Serializes the node's durable state: the agreed chain with its
+    /// certificates, in the same `(block, certificate)` wire encoding the
+    /// §8.3 catch-up protocol uses. Volatile state — mempool, proposal
+    /// race, buffered votes, BA⋆ progress — is deliberately absent: a
+    /// real crash loses it, and a restarted node rebuilds by rejoining.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let tip = self.chain.tip().round;
+        let mut entries: Vec<(&Block, &Certificate)> = Vec::new();
+        for r in 1..=tip {
+            match (self.chain.block_at(r), self.chain.certificate_at(r)) {
+                (Some(b), Some(c)) => entries.push((b, c)),
+                _ => break, // History incomplete (should not happen on canon).
+            }
+        }
+        let finalized_through = (1..=tip)
+            .take_while(|&r| self.chain.is_finalized(r))
+            .last()
+            .unwrap_or(0);
+        let mut out = Vec::new();
+        out.put_u64(finalized_through);
+        out.put_u32(entries.len() as u32);
+        for (b, c) in entries {
+            b.encode(&mut out);
+            c.encode(&mut out);
+        }
+        out
+    }
+
+    /// Rebuilds a node from genesis state plus a [`Node::snapshot`].
+    ///
+    /// Nothing in the snapshot is trusted: every certificate is
+    /// re-validated against the growing chain exactly as a live catch-up
+    /// batch would be, and restoration stops at the first entry that
+    /// fails — a corrupt snapshot yields a shorter chain, never a wrong
+    /// one. The returned node has not started a round; drive it with
+    /// [`Node::start`] and it rejoins, fetching anything it missed while
+    /// down via catch-up.
+    pub fn restore(
+        keypair: Keypair,
+        genesis: Blockchain,
+        params: AlgorandParams,
+        verifier: Arc<PipelineVerifier>,
+        snapshot: &[u8],
+        now: Micros,
+    ) -> Node {
+        let mut chain = genesis;
+        let mut r = Reader::new(snapshot);
+        if let (Ok(finalized_through), Ok(n)) = (r.u64(), r.u32()) {
+            for _ in 0..n {
+                let (Ok(block), Ok(cert)) = (Block::decode(&mut r), Certificate::decode(&mut r))
+                else {
+                    break;
+                };
+                let next = chain.next_round();
+                if block.round != next || cert.round != next || cert.value != block.hash() {
+                    break;
+                }
+                let seed = chain.selection_seed(next);
+                let weights = chain.weights_for_round(next);
+                let prev_hash = chain.tip_hash();
+                if cert
+                    .validate(&params.ba, &seed, &prev_hash, &weights, verifier.as_ref())
+                    .is_err()
+                {
+                    break;
+                }
+                if chain.append(block, Some(cert), false, now).is_err() {
+                    break;
+                }
+            }
+            let restored_tip = chain.tip().round;
+            if finalized_through > 0 && restored_tip > 0 {
+                chain.finalize(finalized_through.min(restored_tip));
+            }
+        }
+        let mut node = Node::new(keypair, chain, params, verifier);
+        node.last_progress = now;
+        node
     }
 
     /// Admits a gossiped payment into the mempool (§4: each user collects
@@ -409,6 +561,7 @@ impl Node {
     pub fn on_tick(&mut self, now: Micros) -> Vec<WireMessage> {
         let mut out = Outbox::new();
         self.maybe_enter_recovery(now, &mut out);
+        self.watchdog_tick(now, &mut out);
         match &mut self.phase {
             Phase::WaitProposals { until } => {
                 if now >= *until {
@@ -465,7 +618,7 @@ impl Node {
         self.blocks
             .insert(self.ctx.empty_hash(), self.ctx.empty_block().clone());
         self.phase = Phase::WaitProposals {
-            until: now + self.params.proposal_wait(),
+            until: now + self.proposal_wait(),
         };
         // Proposer sortition (§6).
         if let Some((sorthash, sort_proof, priority)) = proposer_sortition(
@@ -668,8 +821,20 @@ impl Node {
         // clearly far ahead of us.
         match ingest::classify_round(v.round, self.ctx.round()) {
             RoundClass::NearFuture => {
-                self.future_votes.push(v);
-                self.pipeline.buffered_future += 1;
+                if self.future_votes.push(v) {
+                    self.pipeline.buffered_future += 1;
+                } else {
+                    self.pipeline.rejected_ingest += 1;
+                }
+                // A committee vote two rounds ahead proves the network has
+                // certified both our current round and the next: probe for
+                // the missing certificates now instead of drifting until
+                // the far-future window trips. Healthy nodes are never two
+                // rounds behind, so this only fires on a genuine lag (the
+                // request is rate-limited like every other catch-up).
+                if v.round >= self.ctx.round() + 2 {
+                    self.maybe_request_catchup(now, out);
+                }
             }
             RoundClass::FarFuture => self.maybe_request_catchup(now, out),
             RoundClass::Past => self.pipeline.rejected_ingest += 1,
@@ -792,13 +957,22 @@ impl Node {
             .expect("caller checked the store")
             .clone();
         let finalized = decision.kind == ConsensusKind::Final;
-        let (binary_done, ba_started) = match &self.phase {
+        let (binary_done, ba_started, escalations) = match &self.phase {
             Phase::Ba { engine } => (
                 engine.binary_done_at().unwrap_or(now),
                 self.ctx.ba_started().unwrap_or(self.ctx.started()),
+                engine.timeout_escalations(),
             ),
-            _ => (now, self.ctx.ba_started().unwrap_or(self.ctx.started())),
+            _ => (now, self.ctx.ba_started().unwrap_or(self.ctx.started()), 0),
         };
+        // Adaptive λ_stepvar: a round whose BA⋆ burned timeouts doubles
+        // the next proposal wait; a clean round resets the backoff.
+        self.timeout_escalations += escalations;
+        if escalations > 0 {
+            self.stepvar_backoff = (self.stepvar_backoff + 1).min(Self::MAX_STEPVAR_DOUBLINGS);
+        } else {
+            self.stepvar_backoff = 0;
+        }
         match self.chain.append(
             block.clone(),
             Some(decision.certificate.clone()),
@@ -1109,6 +1283,7 @@ impl Node {
         self.hung = false;
         self.last_progress = now;
         self.recoveries_completed += 1;
+        self.stepvar_backoff = 0;
         // Fork switches rewind and replay state; re-anchor the mempool on
         // the adopted fork's accounts.
         self.pool.prune(self.chain.accounts());

@@ -279,24 +279,140 @@ impl BlockStore {
 
 /// Votes for rounds this node has not reached yet, replayed into the
 /// round's vote buffer when the round starts.
+///
+/// Bounded: a malicious flood of far-future votes must not grow memory
+/// without limit, so each round holds at most
+/// [`FutureVotes::MAX_PER_ROUND`] votes and the whole buffer at most
+/// [`FutureVotes::MAX_TOTAL`]. When the total cap is hit, the
+/// oldest-buffered (lowest-numbered) round is evicted wholesale — those
+/// votes have waited longest and, if their round is real, the committee
+/// will still be re-heard live once the node gets there.
 #[derive(Default)]
 pub struct FutureVotes {
     by_round: HashMap<u64, Vec<VoteMessage>>,
+    total: usize,
 }
 
 impl FutureVotes {
+    /// Cap on buffered votes for any single future round (a scaled
+    /// committee is ≤ ~300 sub-users; 512 leaves slack for per-step
+    /// committees across the round).
+    pub const MAX_PER_ROUND: usize = 512;
+    /// Cap on buffered votes across all future rounds.
+    pub const MAX_TOTAL: usize = 1536;
+
     /// Creates an empty buffer.
     pub fn new() -> FutureVotes {
         FutureVotes::default()
     }
 
-    /// Buffers a vote for a future round.
-    pub fn push(&mut self, v: &VoteMessage) {
-        self.by_round.entry(v.round).or_default().push(v.clone());
+    /// Buffers a vote for a future round. Returns `false` when the vote
+    /// was dropped by the per-round cap (the total cap instead evicts
+    /// the oldest buffered round to make room).
+    pub fn push(&mut self, v: &VoteMessage) -> bool {
+        let bucket = self.by_round.entry(v.round).or_default();
+        if bucket.len() >= Self::MAX_PER_ROUND {
+            return false;
+        }
+        bucket.push(v.clone());
+        self.total += 1;
+        while self.total > Self::MAX_TOTAL {
+            let oldest = *self
+                .by_round
+                .keys()
+                .min()
+                .expect("total > 0 implies a round exists");
+            let evicted = self.by_round.remove(&oldest).expect("key just found");
+            self.total -= evicted.len();
+        }
+        true
     }
 
     /// Removes and returns the votes buffered for `round`.
     pub fn take(&mut self, round: u64) -> Option<Vec<VoteMessage>> {
-        self.by_round.remove(&round)
+        let votes = self.by_round.remove(&round)?;
+        self.total -= votes.len();
+        Some(votes)
+    }
+
+    /// Total buffered votes across all rounds.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorand_ba::StepKind;
+    use algorand_crypto::{vrf, Keypair};
+
+    fn vote(round: u64) -> VoteMessage {
+        let kp = Keypair::from_seed([7u8; 32]);
+        let (sorthash, proof) = vrf::prove(&kp, b"future-votes-test");
+        VoteMessage::sign(
+            &kp,
+            round,
+            StepKind::Main(1),
+            sorthash,
+            proof,
+            [0u8; 32],
+            [0u8; 32],
+        )
+    }
+
+    #[test]
+    fn per_round_cap_drops_overflow() {
+        let mut fv = FutureVotes::new();
+        let v = vote(5);
+        for _ in 0..FutureVotes::MAX_PER_ROUND {
+            assert!(fv.push(&v));
+        }
+        assert_eq!(fv.len(), FutureVotes::MAX_PER_ROUND);
+        assert!(!fv.push(&v), "vote beyond the per-round cap must drop");
+        assert_eq!(fv.len(), FutureVotes::MAX_PER_ROUND);
+        assert_eq!(
+            fv.take(5).map(|v| v.len()),
+            Some(FutureVotes::MAX_PER_ROUND)
+        );
+        assert!(fv.is_empty());
+    }
+
+    #[test]
+    fn total_cap_evicts_oldest_round() {
+        let mut fv = FutureVotes::new();
+        for round in [10u64, 11, 12] {
+            let v = vote(round);
+            for _ in 0..FutureVotes::MAX_PER_ROUND {
+                assert!(fv.push(&v));
+            }
+        }
+        assert_eq!(fv.len(), FutureVotes::MAX_TOTAL);
+        // One more vote overflows the total cap: the oldest round goes.
+        assert!(fv.push(&vote(13)));
+        assert!(fv.take(10).is_none(), "oldest round should be evicted");
+        assert_eq!(
+            fv.len(),
+            FutureVotes::MAX_TOTAL - FutureVotes::MAX_PER_ROUND + 1
+        );
+        assert_eq!(fv.take(13).map(|v| v.len()), Some(1));
+    }
+
+    #[test]
+    fn take_accounts_for_removed_votes() {
+        let mut fv = FutureVotes::new();
+        for _ in 0..3 {
+            fv.push(&vote(2));
+        }
+        fv.push(&vote(4));
+        assert_eq!(fv.len(), 4);
+        assert_eq!(fv.take(2).map(|v| v.len()), Some(3));
+        assert_eq!(fv.len(), 1);
+        assert!(fv.take(2).is_none());
     }
 }

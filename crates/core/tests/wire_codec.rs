@@ -185,5 +185,11 @@ fn scaled_params_accept_decoded_traffic() {
     let mut r = Reader::new(&bytes);
     let decoded = WireMessage::decode(&mut r).unwrap();
     let out = node.on_message(&decoded, 1);
-    assert!(out.is_empty(), "garbage round-3 vote produces no output");
+    // A round-3 vote reaching a round-1 node is two rounds ahead: the node
+    // buffers it and fires the gap-2 catch-up probe — nothing else.
+    assert_eq!(out.len(), 1, "expected exactly the catch-up probe");
+    assert!(
+        matches!(out[0], WireMessage::CatchupRequest { have: 0 }),
+        "garbage round-3 vote may only elicit a catch-up request"
+    );
 }

@@ -31,6 +31,9 @@ pub struct AdversaryShared {
     /// Per round: the pair of equivocated block hashes, once some malicious
     /// proposer has produced them.
     pub equivocations: HashMap<u64, ([u8; 32], [u8; 32])>,
+    /// Block bodies suppressed by withholding proposers (attack-coverage
+    /// evidence for the §6 worst-case tests).
+    pub withheld_blocks: u64,
 }
 
 /// Which attack a malicious node mounts.
@@ -124,8 +127,12 @@ impl MaliciousNode {
             return outputs
                 .into_iter()
                 .filter(|m| {
-                    !matches!(m, WireMessage::Block(b)
-                        if b.block.proposer == Some(self.inner.public_key()))
+                    let withheld = matches!(m, WireMessage::Block(b)
+                        if b.block.proposer == Some(self.inner.public_key()));
+                    if withheld {
+                        self.shared.borrow_mut().withheld_blocks += 1;
+                    }
+                    !withheld
                 })
                 .map(Outgoing::Broadcast)
                 .collect();

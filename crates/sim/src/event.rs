@@ -25,6 +25,12 @@ pub enum Event<M> {
     },
     /// Inject the next workload transaction (open-loop traffic source).
     Inject,
+    /// Apply the `idx`-th scripted fault from the installed
+    /// [`FaultSchedule`](crate::faults::FaultSchedule).
+    Fault {
+        /// Index into the simulation's fault-event list.
+        idx: usize,
+    },
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]

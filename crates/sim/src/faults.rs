@@ -1,0 +1,172 @@
+//! Scripted fault injection: the chaos harness's schedule language.
+//!
+//! A [`FaultSchedule`] is a time-ordered list of [`FaultEvent`]s the
+//! simulation applies at exact virtual instants, interleaved
+//! deterministically with message deliveries and timer wakes. Because
+//! every fault is data (no closures) and all randomness downstream of a
+//! fault flows from the simulation's seeded RNGs, a `(seed, schedule)`
+//! pair replays to a byte-identical run — the property the CI
+//! determinism check asserts.
+//!
+//! The vocabulary covers the paper's robustness claims (§8.2, §10.4–10.6):
+//! network partitions (symmetric and asymmetric) with healing, per-send
+//! packet loss, propagation-delay spikes, node crashes with later
+//! restarts (durable state only survives; the node rejoins via the §8.3
+//! catch-up protocol), and clock skew for the loosely-synchronized-clock
+//! assumptions of §8.2.
+
+use crate::event::Micros;
+use crate::network::PartitionSpec;
+
+/// One scripted fault, applied at an exact virtual instant.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Install a partition (replacing any active one).
+    Partition(PartitionSpec),
+    /// Remove the active partition.
+    Heal,
+    /// Set the per-send packet-loss probability (0 restores lossless).
+    Loss(f64),
+    /// Distort propagation latency to `latency * factor + extra`.
+    DelaySpike {
+        /// Multiplicative latency factor.
+        factor: f64,
+        /// Constant additional latency in microseconds.
+        extra: Micros,
+    },
+    /// Restore normal propagation latency.
+    DelayClear,
+    /// Crash a node: volatile state is lost, durable state (the chain
+    /// with its certificates) is snapshotted through the wire codec.
+    Crash(usize),
+    /// Restart a crashed node from its snapshot; it rejoins via catch-up.
+    Restart(usize),
+    /// Skew a node's local clock by `skew` microseconds (applied to
+    /// every timestamp the node observes from then on).
+    ClockSkew {
+        /// The skewed node.
+        node: usize,
+        /// Non-negative offset added to the node's local clock.
+        skew: Micros,
+    },
+}
+
+/// A [`FaultAction`] bound to its firing time.
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault applies.
+    pub at: Micros,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A replayable script of timed faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Appends an action at `at` (builder style).
+    pub fn at(mut self, at: Micros, action: FaultAction) -> FaultSchedule {
+        self.events.push(FaultEvent { at, action });
+        self
+    }
+
+    /// A symmetric bipartition of `n` nodes at `split`, healed later.
+    pub fn bipartition(self, n: usize, split: usize, from: Micros, until: Micros) -> FaultSchedule {
+        self.at(
+            from,
+            FaultAction::Partition(PartitionSpec::bipartition(n, split)),
+        )
+        .at(until, FaultAction::Heal)
+    }
+
+    /// An asymmetric partition (second group cannot reach the first),
+    /// healed later.
+    pub fn asymmetric_partition(
+        self,
+        n: usize,
+        split: usize,
+        from: Micros,
+        until: Micros,
+    ) -> FaultSchedule {
+        self.at(
+            from,
+            FaultAction::Partition(PartitionSpec::asymmetric(n, split)),
+        )
+        .at(until, FaultAction::Heal)
+    }
+
+    /// A packet-loss window at rate `prob`.
+    pub fn loss_window(self, prob: f64, from: Micros, until: Micros) -> FaultSchedule {
+        self.at(from, FaultAction::Loss(prob))
+            .at(until, FaultAction::Loss(0.0))
+    }
+
+    /// Crash `node` at `from`, restart it at `until`.
+    pub fn crash_restart(self, node: usize, from: Micros, until: Micros) -> FaultSchedule {
+        self.at(from, FaultAction::Crash(node))
+            .at(until, FaultAction::Restart(node))
+    }
+
+    /// The events in schedule order (stable by time, then insertion).
+    pub fn into_events(self) -> Vec<FaultEvent> {
+        let mut events: Vec<(usize, FaultEvent)> = self.events.into_iter().enumerate().collect();
+        events.sort_by_key(|&(i, ref e)| (e.at, i));
+        events.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// The instant the last scheduled fault fires — every action after
+    /// this point is a heal/restart, so tests bound recovery time from
+    /// here.
+    pub fn last_fault_clear(&self) -> Micros {
+        self.events.iter().map(|e| e.at).max().unwrap_or(0)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_orders_by_time_then_insertion() {
+        let s = FaultSchedule::new()
+            .at(30, FaultAction::Heal)
+            .at(10, FaultAction::Loss(0.5))
+            .at(30, FaultAction::Loss(0.0))
+            .at(20, FaultAction::Crash(1));
+        assert_eq!(s.last_fault_clear(), 30);
+        let events = s.into_events();
+        let times: Vec<Micros> = events.iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![10, 20, 30, 30]);
+        // Ties preserve insertion order: Heal before Loss(0.0).
+        assert!(matches!(events[2].action, FaultAction::Heal));
+        assert!(matches!(events[3].action, FaultAction::Loss(_)));
+    }
+
+    #[test]
+    fn builders_expand_to_paired_events() {
+        let s = FaultSchedule::new()
+            .bipartition(8, 4, 100, 200)
+            .crash_restart(3, 150, 250)
+            .loss_window(0.3, 120, 180);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.last_fault_clear(), 250);
+    }
+}

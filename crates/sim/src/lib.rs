@@ -12,6 +12,7 @@
 pub mod adversary;
 pub mod epidemic;
 pub mod event;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod network;
@@ -20,6 +21,7 @@ pub mod runner;
 pub use adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
 pub use epidemic::EpidemicConfig;
 pub use event::{Event, EventQueue, Micros};
+pub use faults::{FaultAction, FaultEvent, FaultSchedule};
 pub use metrics::{round_stats, Percentiles, RoundStats};
-pub use network::{NetConfig, Network};
-pub use runner::{SimConfig, Simulation};
+pub use network::{NetConfig, Network, PartitionSpec};
+pub use runner::{FaultReport, SimConfig, Simulation};

@@ -6,6 +6,18 @@
 //! `8·S / bandwidth` seconds — transmissions serialize, which is exactly
 //! what makes large blocks dominate round latency in Figure 7 — then takes
 //! one inter-city one-way latency (±jitter) to arrive.
+//!
+//! Fault injection layers, applied in order to every send:
+//!
+//! 1. the caller-supplied [`Filter`] hook (targeted DoS, custom rules),
+//! 2. the installed [`PartitionSpec`] (group-to-group link blocking,
+//!    symmetric or asymmetric),
+//! 3. deterministic per-send packet loss at the current loss rate,
+//!    sampled from the seeded RNG,
+//! 4. an optional delay spike (multiplicative factor plus a constant)
+//!    on the propagation latency.
+//!
+//! Drops are counted per cause so the chaos harness can report them.
 
 use crate::event::Micros;
 use crate::latency::LatencyMatrix;
@@ -18,7 +30,11 @@ pub struct NetConfig {
     pub bandwidth_bps: u64,
     /// Multiplicative jitter applied to latency (0.1 = ±10%).
     pub jitter_frac: f64,
-    /// RNG seed for jitter and city assignment.
+    /// Probability that any given send is silently dropped, sampled
+    /// deterministically per send from the seeded RNG. 0 disables the
+    /// draw entirely, leaving the jitter stream untouched.
+    pub loss_prob: f64,
+    /// RNG seed for jitter, loss sampling, and city assignment.
     pub seed: u64,
 }
 
@@ -27,6 +43,7 @@ impl Default for NetConfig {
         NetConfig {
             bandwidth_bps: 20_000_000,
             jitter_frac: 0.1,
+            loss_prob: 0.0,
             seed: 42,
         }
     }
@@ -34,6 +51,44 @@ impl Default for NetConfig {
 
 /// A drop filter: returns true if the message may pass.
 pub type Filter = Box<dyn FnMut(Micros, usize, usize) -> bool>;
+
+/// A data-driven network partition: each node belongs to a group, and a
+/// set of ordered `(from_group, to_group)` pairs is blocked. Symmetric
+/// bipartitions block both directions; asymmetric ones block only one,
+/// modelling links that fail in a single direction.
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    /// Group id of each node.
+    pub group_of: Vec<u8>,
+    /// Ordered group pairs whose links are cut.
+    pub blocked: Vec<(u8, u8)>,
+}
+
+impl PartitionSpec {
+    /// A symmetric bipartition: nodes `< split` vs the rest, no traffic
+    /// across in either direction.
+    pub fn bipartition(n: usize, split: usize) -> PartitionSpec {
+        PartitionSpec {
+            group_of: (0..n).map(|i| u8::from(i >= split)).collect(),
+            blocked: vec![(0, 1), (1, 0)],
+        }
+    }
+
+    /// An asymmetric partition: the first group's messages still reach
+    /// the second, but nothing flows back.
+    pub fn asymmetric(n: usize, split: usize) -> PartitionSpec {
+        PartitionSpec {
+            group_of: (0..n).map(|i| u8::from(i >= split)).collect(),
+            blocked: vec![(1, 0)],
+        }
+    }
+
+    /// Whether a send from `from` to `to` is blocked.
+    pub fn blocks(&self, from: usize, to: usize) -> bool {
+        let (gf, gt) = (self.group_of[from], self.group_of[to]);
+        gf != gt && self.blocked.contains(&(gf, gt))
+    }
+}
 
 /// The simulated transport.
 pub struct Network {
@@ -45,6 +100,14 @@ pub struct Network {
     bytes_sent: Vec<u64>,
     bytes_received: Vec<u64>,
     filter: Option<Filter>,
+    partition: Option<PartitionSpec>,
+    loss_prob: f64,
+    /// Latency distortion: `(factor, extra)` applied as
+    /// `latency * factor + extra`.
+    delay_spike: Option<(f64, Micros)>,
+    dropped_by_filter: u64,
+    dropped_by_partition: u64,
+    dropped_by_loss: u64,
 }
 
 impl Network {
@@ -60,22 +123,50 @@ impl Network {
             bytes_sent: vec![0; n],
             bytes_received: vec![0; n],
             filter: None,
+            partition: None,
+            loss_prob: cfg.loss_prob,
+            delay_spike: None,
+            dropped_by_filter: 0,
+            dropped_by_partition: 0,
+            dropped_by_loss: 0,
             latency,
             cfg,
         }
     }
 
-    /// Installs a drop filter (partitions, targeted DoS). Passing `None`
-    /// removes it.
+    /// Installs a drop filter (targeted DoS, custom rules). Passing
+    /// `None` removes it.
     pub fn set_filter(&mut self, filter: Option<Filter>) {
         self.filter = filter;
     }
 
+    /// Installs (or heals, with `None`) a partition.
+    pub fn set_partition(&mut self, partition: Option<PartitionSpec>) {
+        self.partition = partition;
+    }
+
+    /// The currently installed partition, if any.
+    pub fn partition(&self) -> Option<&PartitionSpec> {
+        self.partition.as_ref()
+    }
+
+    /// Sets the per-send packet-loss probability (0 disables sampling).
+    pub fn set_loss_prob(&mut self, prob: f64) {
+        self.loss_prob = prob;
+    }
+
+    /// Distorts propagation latency to `latency * factor + extra`
+    /// (`None` restores normal latency).
+    pub fn set_delay_spike(&mut self, spike: Option<(f64, Micros)>) {
+        self.delay_spike = spike;
+    }
+
     /// Transmits `size` bytes from `from` to `to` starting at `now`.
     ///
-    /// Returns the arrival time, or `None` when the filter drops the
-    /// message. Either way the sender's uplink is consumed: a sender
-    /// cannot tell that the adversary discarded its packets.
+    /// Returns the arrival time, or `None` when a filter, partition, or
+    /// loss draw drops the message. Either way the sender's uplink is
+    /// consumed: a sender cannot tell that the network discarded its
+    /// packets.
     pub fn transmit(&mut self, from: usize, to: usize, size: usize, now: Micros) -> Option<Micros> {
         let tx_time = (size as u128 * 8 * 1_000_000 / self.cfg.bandwidth_bps as u128) as Micros;
         let start = self.uplink_free[from].max(now);
@@ -83,13 +174,27 @@ impl Network {
         self.bytes_sent[from] += size as u64;
         if let Some(filter) = &mut self.filter {
             if !filter(now, from, to) {
+                self.dropped_by_filter += 1;
                 return None;
             }
+        }
+        if let Some(p) = &self.partition {
+            if p.blocks(from, to) {
+                self.dropped_by_partition += 1;
+                return None;
+            }
+        }
+        if self.loss_prob > 0.0 && self.rng.gen_f64() < self.loss_prob {
+            self.dropped_by_loss += 1;
+            return None;
         }
         self.bytes_received[to] += size as u64;
         let base = self.latency.one_way(self.city_of[from], self.city_of[to]);
         let jitter = 1.0 + self.cfg.jitter_frac * (self.rng.gen_f64() * 2.0 - 1.0);
-        let lat = (base as f64 * jitter) as Micros;
+        let mut lat = (base as f64 * jitter) as Micros;
+        if let Some((factor, extra)) = self.delay_spike {
+            lat = (lat as f64 * factor) as Micros + extra;
+        }
         Some(self.uplink_free[from] + lat)
     }
 
@@ -106,6 +211,21 @@ impl Network {
     /// Sum of bytes sent across all nodes.
     pub fn total_bytes_sent(&self) -> u64 {
         self.bytes_sent.iter().sum()
+    }
+
+    /// Sends dropped by the caller-installed filter.
+    pub fn dropped_by_filter(&self) -> u64 {
+        self.dropped_by_filter
+    }
+
+    /// Sends dropped by the installed partition.
+    pub fn dropped_by_partition(&self) -> u64 {
+        self.dropped_by_partition
+    }
+
+    /// Sends dropped by random packet loss.
+    pub fn dropped_by_loss(&self) -> u64 {
+        self.dropped_by_loss
     }
 
     /// The city index a node lives in.
@@ -125,6 +245,7 @@ mod tests {
             NetConfig {
                 bandwidth_bps: 8_000_000, // 1 MB/s.
                 jitter_frac: 0.0,
+                loss_prob: 0.0,
                 seed: 1,
             },
         );
@@ -153,6 +274,7 @@ mod tests {
             NetConfig {
                 bandwidth_bps: 8_000_000,
                 jitter_frac: 0.0,
+                loss_prob: 0.0,
                 seed: 1,
             },
         );
@@ -160,6 +282,7 @@ mod tests {
         assert!(net.transmit(0, 1, 1_000_000, 0).is_none());
         assert_eq!(net.bytes_sent(0), 1_000_000);
         assert_eq!(net.bytes_received(1), 0);
+        assert_eq!(net.dropped_by_filter(), 1);
         // The uplink was still occupied for the dropped send.
         let next = net.transmit(1, 0, 100, 0).unwrap();
         assert!(next > 0);
@@ -177,5 +300,73 @@ mod tests {
                 "lat {lat} base {base}"
             );
         }
+    }
+
+    #[test]
+    fn loss_prob_drops_close_to_rate() {
+        let mut net = Network::new(2, NetConfig::default());
+        net.set_loss_prob(0.3);
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if net.transmit(0, 1, 100, 0).is_none() {
+                dropped += 1;
+            }
+        }
+        assert_eq!(net.dropped_by_loss(), dropped);
+        assert!((200..400).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn loss_sampling_is_deterministic_per_seed() {
+        let run = || {
+            let mut net = Network::new(2, NetConfig::default());
+            net.set_loss_prob(0.5);
+            (0..64)
+                .map(|_| net.transmit(0, 1, 100, 0).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_both_ways() {
+        let mut net = Network::new(4, NetConfig::default());
+        net.set_partition(Some(PartitionSpec::bipartition(4, 2)));
+        assert!(net.transmit(0, 2, 10, 0).is_none());
+        assert!(net.transmit(2, 0, 10, 0).is_none());
+        assert!(net.transmit(0, 1, 10, 0).is_some());
+        assert!(net.transmit(2, 3, 10, 0).is_some());
+        assert_eq!(net.dropped_by_partition(), 2);
+        net.set_partition(None);
+        assert!(net.transmit(0, 2, 10, 0).is_some());
+    }
+
+    #[test]
+    fn asymmetric_partition_blocks_one_way() {
+        let mut net = Network::new(4, NetConfig::default());
+        net.set_partition(Some(PartitionSpec::asymmetric(4, 2)));
+        // Group 0 → group 1 passes; group 1 → group 0 is cut.
+        assert!(net.transmit(0, 2, 10, 0).is_some());
+        assert!(net.transmit(2, 0, 10, 0).is_none());
+        assert_eq!(net.dropped_by_partition(), 1);
+    }
+
+    #[test]
+    fn delay_spike_inflates_latency() {
+        let cfg = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let mut net = Network::new(2, cfg);
+        let normal = net.transmit(0, 1, 1, 0).unwrap();
+        net.set_delay_spike(Some((3.0, 50_000)));
+        let spiked = net.transmit(0, 1, 1, 0).unwrap();
+        assert!(
+            spiked >= normal * 2 + 50_000,
+            "normal {normal} spiked {spiked}"
+        );
+        net.set_delay_spike(None);
+        let healed = net.transmit(0, 1, 1, 0).unwrap();
+        assert!(healed < spiked, "healed {healed} spiked {spiked}");
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
 use crate::event::{Event, EventQueue, Micros};
+use crate::faults::{FaultAction, FaultEvent, FaultSchedule};
 use crate::metrics::{round_stats, Percentiles, RoundStats};
 use crate::network::{Filter, NetConfig, Network};
 use algorand_ba::{RoundWeights, StepKind, VoteContext};
@@ -22,6 +23,9 @@ use std::sync::Arc;
 
 /// Verification jobs buffered before a batch is handed to the pool.
 const PREWARM_BATCH: usize = 32;
+
+/// Genesis seed shared by every node (and by restarts).
+const GENESIS_SEED: [u8; 32] = [0x47u8; 32];
 
 /// Configuration for one simulation.
 #[derive(Clone, Debug)]
@@ -194,6 +198,16 @@ pub struct Simulation {
     adversary: Rc<RefCell<AdversaryShared>>,
     workload: Option<Workload>,
     started: bool,
+    /// Scripted faults, indexed by queued `Event::Fault`s.
+    faults: Vec<FaultEvent>,
+    /// Which nodes are currently crashed (down, not processing events).
+    crashed: Vec<bool>,
+    /// Durable-state snapshots of crashed nodes, for restart.
+    snapshots: Vec<Option<Vec<u8>>>,
+    /// Per-node clock skew: the node's local clock reads `now + skew`.
+    clock_skew: Vec<Micros>,
+    restarts: usize,
+    partitions_activated: usize,
 }
 
 /// Aggregated staged-pipeline counters for one simulation run.
@@ -241,6 +255,52 @@ impl std::fmt::Display for PipelineReport {
     }
 }
 
+/// Fault-injection and recovery counters for one simulation run, the
+/// observability half of the chaos harness.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultReport {
+    /// Partitions installed by the fault schedule.
+    pub partitions_activated: usize,
+    /// Node restarts completed.
+    pub restarts: usize,
+    /// Sends dropped by the caller-installed filter.
+    pub dropped_by_filter: u64,
+    /// Sends dropped by scripted partitions.
+    pub dropped_by_partition: u64,
+    /// Sends dropped by random packet loss.
+    pub dropped_by_loss: u64,
+    /// BA⋆ step-timeout escalations summed over honest nodes.
+    pub timeout_escalations: u64,
+    /// Watchdog-initiated catch-up requests summed over honest nodes.
+    pub watchdog_catchups: usize,
+    /// §8.2 fork recoveries completed, summed over honest nodes.
+    pub recoveries_completed: usize,
+    /// Rounds adopted via §8.3 catch-up, summed over honest nodes.
+    pub catchups_applied: usize,
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "faults:   partitions={} restarts={} dropped(filter/partition/loss)={}/{}/{}",
+            self.partitions_activated,
+            self.restarts,
+            self.dropped_by_filter,
+            self.dropped_by_partition,
+            self.dropped_by_loss,
+        )?;
+        write!(
+            f,
+            "recovery: timeout_escalations={} watchdog_catchups={} fork_recoveries={} catchups={}",
+            self.timeout_escalations,
+            self.watchdog_catchups,
+            self.recoveries_completed,
+            self.catchups_applied,
+        )
+    }
+}
+
 impl Simulation {
     /// Builds the simulation: deterministic keys, equal genesis stake, a
     /// weighted gossip topology, and one node per user.
@@ -257,7 +317,7 @@ impl Simulation {
             .iter()
             .map(|k| (k.pk, cfg.stake_per_user))
             .collect();
-        let genesis_seed = [0x47u8; 32];
+        let genesis_seed = GENESIS_SEED;
         let verifier = Arc::new(PipelineVerifier::new());
         let adversary = Rc::new(RefCell::new(AdversaryShared::default()));
         let n_honest = cfg.n_users - cfg.n_malicious;
@@ -313,6 +373,12 @@ impl Simulation {
             prewarm_weights: HashMap::new(),
             adversary,
             workload,
+            faults: Vec::new(),
+            crashed: vec![false; cfg.n_users],
+            snapshots: (0..cfg.n_users).map(|_| None).collect(),
+            clock_skew: vec![0; cfg.n_users],
+            restarts: 0,
+            partitions_activated: 0,
             cfg,
             started: false,
         }
@@ -321,6 +387,24 @@ impl Simulation {
     /// Installs a network fault filter (partition, targeted DoS).
     pub fn set_network_filter(&mut self, filter: Option<Filter>) {
         self.net.set_filter(filter);
+    }
+
+    /// Installs a scripted fault schedule: every event is queued at its
+    /// exact virtual instant, interleaving deterministically with message
+    /// deliveries and timer wakes. May be called before or during a run;
+    /// schedules accumulate.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        let base = self.faults.len();
+        let events = schedule.into_events();
+        for (k, e) in events.iter().enumerate() {
+            self.queue.schedule(e.at, Event::Fault { idx: base + k });
+        }
+        self.faults.extend(events);
+    }
+
+    /// Whether node `i` is currently crashed.
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
     }
 
     /// Submits a transaction via node `node`, gossiping it to the network
@@ -397,24 +481,28 @@ impl Simulation {
             }
             match event {
                 Event::Wake { node } => {
-                    if self.next_wake[node] > now {
-                        continue; // Stale wake; a newer one is scheduled.
+                    if self.crashed[node] || self.next_wake[node] > now {
+                        continue; // Crashed, or stale (a newer wake exists).
                     }
                     self.next_wake[node] = u64::MAX;
+                    let local = self.local_now(node, now);
                     let outgoing = match &mut self.nodes[node] {
-                        Slot::Honest(n) => wrap_broadcast(n.on_tick(now)),
-                        Slot::Malicious(m) => m.on_tick(now),
+                        Slot::Honest(n) => wrap_broadcast(n.on_tick(local)),
+                        Slot::Malicious(m) => m.on_tick(local),
                     };
                     self.dispatch(node, outgoing);
                     self.prune_relay(node);
                     self.reschedule_wake(node);
                 }
                 Event::Deliver { to, from, msg } => {
+                    if self.crashed[to] {
+                        continue; // In-flight packets to a dead process.
+                    }
                     let decision = self.relay[to].classify(msg.id, msg.relay_slot);
                     if decision == RelayDecision::Duplicate {
                         continue;
                     }
-                    let now_t = now;
+                    let now_t = self.local_now(to, now);
                     let outgoing = match &mut self.nodes[to] {
                         Slot::Honest(n) => wrap_broadcast(n.on_message(&msg.wire, now_t)),
                         Slot::Malicious(m) => m.on_message(&msg.wire, now_t),
@@ -444,6 +532,10 @@ impl Simulation {
                     self.reschedule_wake(to);
                 }
                 Event::Inject => self.inject_next_tx(now),
+                Event::Fault { idx } => {
+                    let action = self.faults[idx].action.clone();
+                    self.apply_fault(action, now);
+                }
             }
         }
     }
@@ -459,12 +551,13 @@ impl Simulation {
             self.start();
         }
         loop {
-            let all_done = self.nodes.iter().all(|slot| {
+            let all_done = self.nodes.iter().enumerate().all(|(i, slot)| {
                 let node = match slot {
                     Slot::Honest(n) => n.as_ref(),
                     Slot::Malicious(m) => m.inner(),
                 };
-                node.chain().tip().round >= rounds
+                // A crashed node cannot make progress; it is not waited on.
+                self.crashed[i] || node.chain().tip().round >= rounds
             });
             if all_done {
                 return;
@@ -539,6 +632,47 @@ impl Simulation {
             unique_proposals: self.verifier.unique_proposal_verifications(),
             pool_workers: self.pool.workers(),
         }
+    }
+
+    /// Fault-injection and recovery counters for this run.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut report = FaultReport {
+            partitions_activated: self.partitions_activated,
+            restarts: self.restarts,
+            dropped_by_filter: self.net.dropped_by_filter(),
+            dropped_by_partition: self.net.dropped_by_partition(),
+            dropped_by_loss: self.net.dropped_by_loss(),
+            timeout_escalations: 0,
+            watchdog_catchups: 0,
+            recoveries_completed: 0,
+            catchups_applied: 0,
+        };
+        for slot in &self.nodes {
+            let Slot::Honest(n) = slot else { continue };
+            report.timeout_escalations += n.timeout_escalations();
+            report.watchdog_catchups += n.watchdog_catchups();
+            report.recoveries_completed += n.recoveries_completed();
+            report.catchups_applied += n.catchups_applied();
+        }
+        report
+    }
+
+    /// A digest of every honest node's canonical chain, for the
+    /// determinism check: identical `(seed, schedule)` runs must produce
+    /// identical digests.
+    pub fn chain_digest(&self) -> [u8; 32] {
+        let mut acc: Vec<u8> = Vec::new();
+        for slot in &self.nodes {
+            let Slot::Honest(n) = slot else { continue };
+            let chain = n.chain();
+            for r in 1..=chain.tip().round {
+                if let Some(b) = chain.block_at(r) {
+                    acc.extend_from_slice(&b.hash());
+                }
+            }
+            acc.push(0xFF); // Node separator.
+        }
+        algorand_crypto::sha256_concat(&[b"chain-digest", &acc])
     }
 
     /// The current virtual time.
@@ -656,16 +790,25 @@ impl Simulation {
         let mut sender = None;
         for _ in 0..8 {
             let c = wl.rng.gen_range_usize(n_honest);
-            if wl.spendable[c] >= amount {
+            if !self.crashed[c] && wl.spendable[c] >= amount {
                 sender = Some(c);
                 break;
             }
         }
-        let sender = sender.or_else(|| (0..n_honest).find(|&i| wl.spendable[i] >= amount));
+        let sender = sender
+            .or_else(|| (0..n_honest).find(|&i| !self.crashed[i] && wl.spendable[i] >= amount));
         let Some(s) = sender else {
-            // Spendable stake exhausted: the source goes quiet early.
-            wl.remaining = 0;
-            self.workload = Some(wl);
+            if (0..n_honest).any(|i| wl.spendable[i] >= amount) {
+                // Eligible stake exists but its holders are down: skip
+                // this tick and try again after the crash window.
+                let interval = wl.interval;
+                self.workload = Some(wl);
+                self.queue.schedule(now + interval, Event::Inject);
+            } else {
+                // Spendable stake exhausted: the source goes quiet early.
+                wl.remaining = 0;
+                self.workload = Some(wl);
+            }
             return;
         };
         let mut to = wl.rng.gen_range_usize(n_honest);
@@ -857,11 +1000,98 @@ impl Simulation {
             Slot::Malicious(m) => m.next_deadline(),
         };
         if let Some(d) = deadline {
+            // Node deadlines are on the node's (possibly skewed) local
+            // clock; the queue runs on global time.
+            let d = d.saturating_sub(self.clock_skew[node]);
             if d < self.next_wake[node] {
                 self.next_wake[node] = d;
                 self.queue.schedule(d, Event::Wake { node });
             }
         }
+    }
+
+    /// The instant node `i`'s local clock shows at global time `now`.
+    fn local_now(&self, node: usize, now: Micros) -> Micros {
+        now + self.clock_skew[node]
+    }
+
+    /// Applies one scripted fault.
+    fn apply_fault(&mut self, action: FaultAction, now: Micros) {
+        match action {
+            FaultAction::Partition(spec) => {
+                self.partitions_activated += 1;
+                self.net.set_partition(Some(spec));
+            }
+            FaultAction::Heal => self.net.set_partition(None),
+            FaultAction::Loss(prob) => self.net.set_loss_prob(prob),
+            FaultAction::DelaySpike { factor, extra } => {
+                self.net.set_delay_spike(Some((factor, extra)));
+            }
+            FaultAction::DelayClear => self.net.set_delay_spike(None),
+            FaultAction::Crash(i) => self.crash_node(i),
+            FaultAction::Restart(i) => self.restart_node(i, now),
+            FaultAction::ClockSkew { node, skew } => {
+                self.clock_skew[node] = skew;
+                // The node's next deadline moved on the global clock.
+                self.reschedule_wake(node);
+            }
+        }
+    }
+
+    /// Crashes an honest node: its durable state (chain + certificates)
+    /// is snapshotted through the wire codec, everything else is lost,
+    /// and it stops processing events.
+    fn crash_node(&mut self, i: usize) {
+        if self.crashed[i] {
+            return;
+        }
+        let Slot::Honest(node) = &self.nodes[i] else {
+            debug_assert!(false, "chaos scripts crash honest nodes only");
+            return;
+        };
+        self.snapshots[i] = Some(node.snapshot());
+        self.crashed[i] = true;
+        // Pending wakes for the dead process become stale.
+        self.next_wake[i] = u64::MAX;
+    }
+
+    /// Restarts a crashed node from its snapshot. The node revalidates
+    /// the snapshot as it would a catch-up batch, comes back with empty
+    /// volatile state (fresh relay view, empty mempool), and rejoins the
+    /// round loop — fetching whatever it missed while down via §8.3
+    /// catch-up.
+    fn restart_node(&mut self, i: usize, now: Micros) {
+        if !self.crashed[i] {
+            return;
+        }
+        let snapshot = self.snapshots[i].take().unwrap_or_default();
+        let alloc: Vec<_> = self
+            .keypairs
+            .iter()
+            .map(|k| (k.pk, self.cfg.stake_per_user))
+            .collect();
+        let genesis = Blockchain::new(self.cfg.params.chain, alloc, GENESIS_SEED);
+        let local = self.local_now(i, now);
+        let mut node = Node::restore(
+            self.keypairs[i].clone(),
+            genesis,
+            self.cfg.params,
+            self.verifier.clone(),
+            &snapshot,
+            local,
+        );
+        node.payload_bytes = self.cfg.payload_bytes;
+        node.block_tx_bytes = self.cfg.block_tx_bytes;
+        self.nodes[i] = Slot::Honest(Box::new(node));
+        self.relay[i] = RelayState::new();
+        self.crashed[i] = false;
+        self.restarts += 1;
+        let outgoing = match &mut self.nodes[i] {
+            Slot::Honest(n) => wrap_broadcast(n.start(local)),
+            Slot::Malicious(_) => unreachable!("restored nodes are honest"),
+        };
+        self.dispatch(i, outgoing);
+        self.reschedule_wake(i);
     }
 }
 

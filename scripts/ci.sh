@@ -8,7 +8,11 @@
 #   3. a 50-user / 200-transaction end-to-end smoke simulation that
 #      fails unless >=95% of injected transactions finalize, each
 #      exactly once (see crates/bench/src/bin/txpool_smoke.rs),
-#   4. style gates: rustfmt and clippy with warnings denied.
+#   4. the chaos suite (fixed seeds) plus a determinism check: every
+#      scripted fault schedule is run twice and must produce identical
+#      final-chain digests and recover within its horizon (see
+#      crates/bench/src/bin/chaos_determinism.rs),
+#   5. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -31,5 +35,11 @@ cargo test --workspace -q
 
 echo "== txpool smoke simulation =="
 cargo run --release -p algorand-bench --bin txpool_smoke
+
+echo "== chaos suite (fixed seeds) =="
+cargo test --release -q -p algorand-sim --test chaos
+
+echo "== chaos determinism + recovery check =="
+cargo run --release -p algorand-bench --bin chaos_determinism
 
 echo "== CI OK =="
