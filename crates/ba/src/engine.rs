@@ -22,6 +22,7 @@ use crate::verify::{verify_vote_message, VerifiedVote, VoteContext, VoteVerifier
 use crate::weights::RoundWeights;
 use crate::Certificate;
 use algorand_crypto::Keypair;
+use algorand_obs::{SpanKind, Tracer};
 use algorand_sortition::{select, Role, SortitionParams};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -130,6 +131,10 @@ pub struct BaStar {
     binary_done: Option<Micros>,
     finished: Option<Micros>,
     started: Micros,
+    /// Trace sink ([`Tracer::disabled`] until the driver attaches one) and
+    /// the node id stamped on emitted spans.
+    tracer: Tracer,
+    trace_node: u32,
 }
 
 impl BaStar {
@@ -171,10 +176,20 @@ impl BaStar {
             binary_done: None,
             finished: None,
             started: now,
+            tracer: Tracer::disabled(),
+            trace_node: 0,
         };
         let mut out = Vec::new();
-        engine.committee_vote(StepKind::ReductionOne, block_hash, &mut out);
+        engine.committee_vote(StepKind::ReductionOne, block_hash, now, &mut out);
         (engine, out)
+    }
+
+    /// Attaches a trace sink; subsequent spans are stamped with `node`.
+    /// The reduction-one sortition of [`BaStar::start`] predates the
+    /// attach and is therefore untraced; its BA⋆-step span still is.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.trace_node = node;
     }
 
     /// Starts the engine directly at BinaryBA⋆ step 1, skipping reduction —
@@ -364,7 +379,7 @@ impl BaStar {
 
     /// Runs sortition for `step`; if selected, signs, self-tallies, and
     /// emits a vote (CommitteeVote, Algorithm 4).
-    fn committee_vote(&mut self, step: StepKind, value: Value, out: &mut Vec<Output>) {
+    fn committee_vote(&mut self, step: StepKind, value: Value, now: Micros, out: &mut Vec<Output>) {
         let is_final = step == StepKind::Final;
         let role = Role::Committee {
             round: self.round,
@@ -378,6 +393,12 @@ impl BaStar {
         let Some(sel) = select(&self.keypair, &self.seed, role, &params, my_weight) else {
             return; // Not on this step's committee.
         };
+        self.tracer
+            .span(SpanKind::Sortition, self.trace_node, self.round, now)
+            .step(step.code())
+            .label("committee")
+            .value(sel.j)
+            .instant();
         let msg = VoteMessage::sign(
             &self.keypair,
             self.round,
@@ -440,6 +461,26 @@ impl BaStar {
     /// Advances phases as long as outcomes are available.
     fn advance(&mut self, now: Micros, out: &mut Vec<Output>) {
         while let Some(outcome) = self.current_outcome(now) {
+            if self.tracer.is_enabled() {
+                let (label, step_code) = match &self.phase {
+                    Phase::Reduction1 => ("reduction1", StepKind::ReductionOne.code()),
+                    Phase::Reduction2 => ("reduction2", StepKind::ReductionTwo.code()),
+                    Phase::Binary { step } => ("binary", StepKind::Main(*step).code()),
+                    Phase::FinalCount { .. } => ("final", StepKind::Final.code()),
+                    Phase::Done | Phase::Hung => unreachable!("no outcomes when finished"),
+                };
+                self.tracer
+                    .span(
+                        SpanKind::BaStep,
+                        self.trace_node,
+                        self.round,
+                        self.phase_started,
+                    )
+                    .step(step_code)
+                    .label(label)
+                    .ok(outcome.is_ok())
+                    .end_at(now);
+            }
             // §8.2 retry doubling: a timeout-fired step grows the next
             // step's window; a vote-concluded step resets it.
             match &outcome {
@@ -456,7 +497,7 @@ impl BaStar {
                     let vote_value = outcome.unwrap_or(self.empty_hash);
                     self.phase = Phase::Reduction2;
                     self.phase_started = now;
-                    self.committee_vote(StepKind::ReductionTwo, vote_value, out);
+                    self.committee_vote(StepKind::ReductionTwo, vote_value, now, out);
                 }
                 Phase::Reduction2 => {
                     let hblock2 = outcome.unwrap_or(self.empty_hash);
@@ -541,7 +582,7 @@ impl BaStar {
         }
         self.phase = Phase::Binary { step };
         self.phase_started = now;
-        self.committee_vote(StepKind::Main(step), r, out);
+        self.committee_vote(StepKind::Main(step), r, now, out);
     }
 
     /// BinaryBA⋆ reached consensus on `v` at `step`: vote the next three
@@ -550,11 +591,11 @@ impl BaStar {
     fn decide(&mut self, v: Value, step: u32, now: Micros, out: &mut Vec<Output>) {
         if !self.ablation.disable_extra_votes {
             for s in step + 1..=step + 3 {
-                self.committee_vote(StepKind::Main(s), v, out);
+                self.committee_vote(StepKind::Main(s), v, now, out);
             }
         }
         if step == 1 {
-            self.committee_vote(StepKind::Final, v, out);
+            self.committee_vote(StepKind::Final, v, now, out);
         }
         self.binary_done = Some(now);
         out.push(Output::BinaryDecided { value: v, step });

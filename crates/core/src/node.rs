@@ -39,6 +39,7 @@ use algorand_crypto::codec::{Reader, WriteExt};
 use algorand_crypto::Keypair;
 use algorand_ledger::seed::propose_seed;
 use algorand_ledger::{Block, Blockchain, Transaction};
+use algorand_obs::{SpanKind, Tracer};
 use algorand_txpool::TxPool;
 use std::sync::Arc;
 
@@ -122,6 +123,10 @@ pub struct Node {
     timeout_escalations: u64,
     /// Catch-up requests fired by the liveness watchdog.
     watchdog_catchups: usize,
+    /// Trace sink ([`Tracer::disabled`] until the driver attaches one)
+    /// and the node id stamped on emitted spans.
+    tracer: Tracer,
+    trace_node: u32,
 }
 
 impl Node {
@@ -158,7 +163,16 @@ impl Node {
             stepvar_backoff: 0,
             timeout_escalations: 0,
             watchdog_catchups: 0,
+            tracer: Tracer::disabled(),
+            trace_node: 0,
         }
+    }
+
+    /// Attaches a trace sink; subsequent spans are stamped with `node`.
+    /// Propagated to each BA⋆ engine as rounds start.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.trace_node = node;
     }
 
     /// Cap on λ_stepvar doublings (2⁵ = 32× the base wait).
@@ -386,6 +400,7 @@ impl Node {
     /// chain context, append, and restart the round loop at the new tip.
     fn on_catchup_response(&mut self, batch: &CatchupBatch, now: Micros, out: &mut Outbox) {
         let mut advanced = false;
+        let mut applied = 0u64;
         for (block, cert) in &batch.entries {
             let next = self.chain.next_round();
             if block.round != next || cert.round != next || cert.value != block.hash() {
@@ -414,9 +429,20 @@ impl Node {
                 return;
             }
             self.catchups_applied += 1;
+            applied += 1;
             advanced = true;
         }
         if advanced {
+            self.tracer
+                .span(
+                    SpanKind::Catchup,
+                    self.trace_node,
+                    self.chain.tip().round,
+                    now,
+                )
+                .label("apply")
+                .value(applied)
+                .instant();
             self.hung = false;
             self.last_progress = now;
             // The network demonstrably made progress without us; our local
@@ -436,9 +462,12 @@ impl Node {
             return;
         }
         self.next_catchup_request = now + self.params.ba.lambda_step;
-        out.push(WireMessage::CatchupRequest {
-            have: self.chain.tip().round,
-        });
+        let have = self.chain.tip().round;
+        self.tracer
+            .span(SpanKind::Catchup, self.trace_node, have, now)
+            .label("request")
+            .instant();
+        out.push(WireMessage::CatchupRequest { have });
     }
 
     /// Liveness watchdog: a node stalled for half a recovery interval
@@ -456,6 +485,15 @@ impl Node {
         }
         if now >= self.next_catchup_request {
             self.watchdog_catchups += 1;
+            self.tracer
+                .span(
+                    SpanKind::Catchup,
+                    self.trace_node,
+                    self.chain.tip().round,
+                    now,
+                )
+                .label("watchdog")
+                .instant();
             self.maybe_request_catchup(now, out);
         }
     }
@@ -628,6 +666,11 @@ impl Node {
             self.ctx.weights(),
             self.params.tau_proposer,
         ) {
+            self.tracer
+                .span(SpanKind::Sortition, self.trace_node, self.ctx.round(), now)
+                .label("proposer")
+                .value(1)
+                .instant();
             let block = self.assemble_block(now);
             let block_hash = block.hash();
             self.blocks.insert(block_hash, block.clone());
@@ -697,12 +740,18 @@ impl Node {
             self.pipeline.rejected_ingest += 1;
             return;
         }
-        let Some(vp) = self.verifier.verify_priority(
+        let verdict = self.verifier.verify_priority(
             p,
             self.ctx.seed(),
             self.ctx.weights(),
             self.params.tau_proposer,
-        ) else {
+        );
+        self.tracer
+            .span(SpanKind::Verify, self.trace_node, p.round, _now)
+            .label("priority")
+            .ok(verdict.is_some())
+            .instant();
+        let Some(vp) = verdict else {
             self.pipeline.rejected_verify += 1;
             return;
         };
@@ -722,12 +771,19 @@ impl Node {
         if let Some(proposer) = &b.block.proposer {
             let sender = proposer.to_bytes();
             if self.ctx.note_block(sender, hash) == BlockSighting::New {
-                match self.verifier.verify_block(
+                let verdict = self.verifier.verify_block(
                     b,
                     self.ctx.seed(),
                     self.ctx.weights(),
                     self.params.tau_proposer,
-                ) {
+                );
+                self.tracer
+                    .span(SpanKind::Verify, self.trace_node, b.block.round, now)
+                    .label("block")
+                    .value(b.block.wire_size() as u64)
+                    .ok(verdict.is_some())
+                    .instant();
+                match verdict {
                     Some(vb) => {
                         self.pipeline.verified += 1;
                         // The block's priority also covers for a lost
@@ -769,7 +825,14 @@ impl Node {
                         && v.prev_hash == engine.prev_hash()
                     {
                         let ctx = engine.vote_context(v.step);
-                        match self.verifier.verify_vote(v, &ctx, engine.weights()) {
+                        let verdict = self.verifier.verify_vote(v, &ctx, engine.weights());
+                        self.tracer
+                            .span(SpanKind::Verify, self.trace_node, v.round, now)
+                            .step(v.step.code())
+                            .label("vote")
+                            .ok(verdict.is_some())
+                            .instant();
+                        match verdict {
                             Some(vv) => {
                                 self.pipeline.verified += 1;
                                 engine.on_verified_vote(&vv, now)
@@ -791,7 +854,14 @@ impl Node {
                 if v.round == engine.round() {
                     let outputs = if !engine.is_finished() && v.prev_hash == engine.prev_hash() {
                         let ctx = engine.vote_context(v.step);
-                        match self.verifier.verify_vote(v, &ctx, engine.weights()) {
+                        let verdict = self.verifier.verify_vote(v, &ctx, engine.weights());
+                        self.tracer
+                            .span(SpanKind::Verify, self.trace_node, v.round, now)
+                            .step(v.step.code())
+                            .label("vote")
+                            .ok(verdict.is_some())
+                            .instant();
+                        match verdict {
                             Some(vv) => {
                                 self.pipeline.verified += 1;
                                 engine.on_verified_vote(&vv, now)
@@ -897,6 +967,7 @@ impl Node {
             self.verifier.clone(),
             now,
         );
+        engine.set_tracer(self.tracer.clone(), self.trace_node);
         for msg in outputs {
             if let Output::Gossip(v) = msg {
                 out.vote(v);
@@ -911,7 +982,14 @@ impl Node {
                 continue;
             }
             let ctx = engine.vote_context(v.step);
-            match self.verifier.verify_vote(&v, &ctx, engine.weights()) {
+            let verdict = self.verifier.verify_vote(&v, &ctx, engine.weights());
+            self.tracer
+                .span(SpanKind::Verify, self.trace_node, v.round, now)
+                .step(v.step.code())
+                .label("vote")
+                .ok(verdict.is_some())
+                .instant();
+            match verdict {
                 Some(vv) => {
                     self.pipeline.verified += 1;
                     engine.ingest_verified(&vv);
@@ -1015,6 +1093,22 @@ impl Node {
             empty: decision.value == self.ctx.empty_hash(),
             block_bytes: block.wire_size(),
         });
+        if self.tracer.is_enabled() {
+            let round = self.ctx.round();
+            let started = self.ctx.started();
+            self.tracer
+                .span(SpanKind::Proposal, self.trace_node, round, started)
+                .label("proposal")
+                .ok(decision.value != self.ctx.empty_hash())
+                .end_at(ba_started);
+            self.tracer
+                .span(SpanKind::Round, self.trace_node, round, started)
+                .step(decision.binary_step)
+                .label(if finalized { "final" } else { "tentative" })
+                .value(block.wire_size() as u64)
+                .ok(finalized)
+                .end_at(now);
+        }
         self.last_progress = now;
         self.hung = false;
         self.start_round(now, out);
@@ -1054,6 +1148,17 @@ impl Node {
     }
 
     fn enter_recovery(&mut self, epoch: u64, attempt: u32, now: Micros, out: &mut Outbox) {
+        self.tracer
+            .span(
+                SpanKind::Fault,
+                self.trace_node,
+                self.chain.tip().round,
+                now,
+            )
+            .step(attempt)
+            .label("recovery_enter")
+            .value(epoch)
+            .instant();
         let (seed, weights) = self.recovery_context(epoch, attempt);
         let mut best: Option<(Priority, Block)> = None;
         // Fork-proposer sortition: propose an empty block extending the
@@ -1133,10 +1238,15 @@ impl Node {
             self.pipeline.rejected_ingest += 1;
             return;
         };
-        let Some(vf) =
+        let verdict =
             self.verifier
-                .verify_fork_proposal(f, &r.seed, &r.weights, self.params.tau_proposer)
-        else {
+                .verify_fork_proposal(f, &r.seed, &r.weights, self.params.tau_proposer);
+        self.tracer
+            .span(SpanKind::Verify, self.trace_node, f.block.round, now)
+            .label("fork")
+            .ok(verdict.is_some())
+            .instant();
+        let Some(vf) = verdict else {
             self.pipeline.rejected_verify += 1;
             return;
         };
@@ -1205,6 +1315,7 @@ impl Node {
                     self.verifier.clone(),
                     now,
                 );
+                engine.set_tracer(self.tracer.clone(), self.trace_node);
                 for o in outputs {
                     if let Output::Gossip(v) = o {
                         out.vote(v);
@@ -1284,6 +1395,15 @@ impl Node {
         self.last_progress = now;
         self.recoveries_completed += 1;
         self.stepvar_backoff = 0;
+        self.tracer
+            .span(
+                SpanKind::Fault,
+                self.trace_node,
+                self.chain.tip().round,
+                now,
+            )
+            .label("recovery_done")
+            .instant();
         // Fork switches rewind and replay state; re-anchor the mempool on
         // the adopted fork's accounts.
         self.pool.prune(self.chain.accounts());

@@ -11,5 +11,5 @@
 pub mod relay;
 pub mod topology;
 
-pub use relay::{RelayDecision, RelayState};
+pub use relay::{RelayDecision, RelayMetrics, RelayState};
 pub use topology::{NodeId, Topology};

@@ -13,6 +13,7 @@
 //! duplicate — while a long-running node's relay state stays O(messages
 //! per round) instead of growing without bound.
 
+use algorand_obs::{Counter, Registry};
 use std::collections::HashSet;
 
 /// What to do with an incoming, already-validated message.
@@ -28,6 +29,29 @@ pub enum RelayDecision {
     Equivocation,
 }
 
+/// Fleet-wide relay counters, shared across nodes via a [`Registry`].
+/// The default (unregistered) metrics are inert no-ops on plain atomics.
+#[derive(Clone, Default)]
+pub struct RelayMetrics {
+    /// First sightings forwarded to peers.
+    pub relayed: Counter,
+    /// Messages dropped as exact duplicates.
+    pub duplicates: Counter,
+    /// Messages dropped by the one-message-per-key rule.
+    pub equivocations: Counter,
+}
+
+impl RelayMetrics {
+    /// Metrics registered under the standard `gossip.*` names.
+    pub fn registered(reg: &Registry) -> RelayMetrics {
+        RelayMetrics {
+            relayed: reg.counter("gossip.relayed"),
+            duplicates: reg.counter("gossip.duplicates"),
+            equivocations: reg.counter("gossip.equivocations"),
+        }
+    }
+}
+
 /// Relay bookkeeping for one node.
 #[derive(Default)]
 pub struct RelayState {
@@ -37,12 +61,21 @@ pub struct RelayState {
     slots_old: HashSet<([u8; 32], u64, u32)>,
     /// The round [`RelayState::prune`] last rotated at.
     pruned_round: u64,
+    metrics: RelayMetrics,
 }
 
 impl RelayState {
     /// Creates empty relay state.
     pub fn new() -> RelayState {
         RelayState::default()
+    }
+
+    /// Creates empty relay state ticking the given shared counters.
+    pub fn with_metrics(metrics: RelayMetrics) -> RelayState {
+        RelayState {
+            metrics,
+            ..RelayState::default()
+        }
     }
 
     /// Classifies a message by content id and optional per-sender slot.
@@ -56,13 +89,16 @@ impl RelayState {
         slot: Option<([u8; 32], u64, u32)>,
     ) -> RelayDecision {
         if self.seen_old.contains(&message_id) || !self.seen_cur.insert(message_id) {
+            self.metrics.duplicates.inc();
             return RelayDecision::Duplicate;
         }
         if let Some(slot) = slot {
             if self.slots_old.contains(&slot) || !self.slots_cur.insert(slot) {
+                self.metrics.equivocations.inc();
                 return RelayDecision::Equivocation;
             }
         }
+        self.metrics.relayed.inc();
         RelayDecision::Relay
     }
 

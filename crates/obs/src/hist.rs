@@ -1,0 +1,273 @@
+//! Sample summaries: the exact five-number summary the paper's error bars
+//! use, and a log-scale histogram for unbounded streams.
+//!
+//! [`Percentiles`] is computed from the full sample set with linear
+//! interpolation — exact, but O(samples) memory. [`Histogram`] is the
+//! streaming counterpart: constant memory, log-spaced buckets with eight
+//! sub-buckets per octave (≤ 12.5% relative error per recorded value),
+//! built for per-node latency and byte distributions that must merge
+//! across a fleet.
+
+/// The five-number summary the paper's error bars show, plus the tail
+/// (p99) that per-transaction latency reporting needs.
+#[derive(Clone, Copy, Debug)]
+pub struct Percentiles {
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes the summary of a non-empty sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Percentiles {
+        assert!(!values.is_empty(), "no samples");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Percentiles {
+            min: v[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            p99: q(0.99),
+            max: *v.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Sub-buckets per octave: 3 mantissa bits, so every recorded value lands
+/// in a bucket whose width is at most 1/8 of its lower bound.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Highest most-significant-bit position tracked exactly; larger values
+/// fall into the overflow bucket. 2^47 µs is ~4.5 years of virtual time,
+/// far beyond any simulated run.
+const MAX_MSB: u32 = 47;
+/// Linear region (values < SUB are their own bucket) plus one bucket per
+/// (octave, sub-bucket) pair, plus the overflow bucket.
+const BUCKETS: usize = SUB + ((MAX_MSB - SUB_BITS + 1) as usize) * SUB + 1;
+const OVERFLOW: usize = BUCKETS - 1;
+
+/// A fixed-memory log-scale histogram of `u64` samples (times in µs,
+/// sizes in bytes).
+///
+/// Quantile extraction returns the lower bound of the bucket holding the
+/// requested rank, clamped into the exact `[min, max]` observed range —
+/// so a single-sample histogram reports that sample exactly, and no
+/// quantile can ever fall outside the observed range.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket a value falls into.
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        if msb > MAX_MSB {
+            return OVERFLOW;
+        }
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + ((msb - SUB_BITS) as usize) * SUB + sub
+    }
+
+    /// The lower bound of bucket `i` (its representative value).
+    fn bucket_floor(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        if i == OVERFLOW {
+            return 1u64 << (MAX_MSB + 1);
+        }
+        let rel = i - SUB;
+        let msb = (rel / SUB) as u32 + SUB_BITS;
+        let sub = (rel % SUB) as u64;
+        ((SUB as u64) + sub) << (msb - SUB_BITS)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Samples that landed in the overflow bucket (beyond 2^48).
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[OVERFLOW]
+    }
+
+    /// The quantile `q` in `[0, 1]`, or `None` for an empty histogram.
+    ///
+    /// Returns the lower bound of the bucket containing the rank-`⌈q·n⌉`
+    /// sample, clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self` (fleet merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let p = Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p25, 2.0);
+        assert_eq!(p.median, 3.0);
+        assert_eq!(p.p75, 4.0);
+        assert!((p.p99 - 4.96).abs() < 1e-9);
+        assert_eq!(p.max, 5.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let p = Percentiles::of(&[0.0, 10.0]);
+        assert_eq!(p.median, 5.0);
+        assert_eq!(p.p25, 2.5);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for v in [0u64, 1, 7, 8, 9, 100, 1_000, 1_000_000, u64::from(u32::MAX)] {
+            let floor = Histogram::bucket_floor(Histogram::bucket_of(v));
+            assert!(floor <= v, "floor {floor} above value {v}");
+            assert!(
+                (v - floor) as f64 <= v as f64 / 8.0 + 1.0,
+                "error too large: {v} -> {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50().unwrap() as f64;
+        let p99 = h.p99().unwrap() as f64;
+        assert!((p50 - 500.0).abs() <= 500.0 / 8.0 + 1.0, "p50 {p50}");
+        assert!((p99 - 990.0).abs() <= 990.0 / 8.0 + 1.0, "p99 {p99}");
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+    }
+}

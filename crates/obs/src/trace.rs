@@ -1,0 +1,497 @@
+//! Structured trace spans with a bounded in-memory buffer and byte-stable
+//! JSONL export.
+//!
+//! Every span carries the same shape: a [`SpanKind`] from the fixed
+//! taxonomy (round, BA⋆ step, sortition, verify, gossip hop, catch-up,
+//! fault), the node id, the round, an optional step code, sim-time start
+//! and end, a free `value` (bytes, counts), and an `ok` flag whose meaning
+//! is kind-specific (verification verdict, votes-vs-timeout, final-vs-
+//! tentative).
+//!
+//! Determinism: recording only *reads* values the simulation already
+//! computed — it never draws randomness, never reorders events, and the
+//! instrumented hot paths are no-ops when the tracer is disabled. All
+//! recording happens from the single-threaded simulation loop, so the
+//! buffer order is a pure function of `(seed, schedule)` and the export is
+//! byte-stable — the property the CI trace-determinism gate asserts.
+
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+
+/// Virtual time in microseconds (the simulator's clock).
+pub type Micros = u64;
+
+/// Node id used for network-wide events (faults that target no node).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// The span taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// One completed consensus round on one node (start of proposal wait
+    /// to block append). `step` is the concluding BinaryBA⋆ step, `value`
+    /// the agreed block's wire size, `ok` whether consensus was final.
+    Round,
+    /// The block-proposal portion of a round (priority wait + block wait).
+    Proposal,
+    /// One concluded BA⋆ phase (reduction 1/2, a BinaryBA⋆ step, or the
+    /// final count). `ok` = concluded on votes (false = timeout).
+    BaStep,
+    /// A sortition selection (proposer or committee). `value` = sub-user
+    /// count for committee selections.
+    Sortition,
+    /// One verification-stage verdict. `ok` = accepted.
+    Verify,
+    /// One gossip hop of a block body (send start to arrival), or a
+    /// per-node `uplink_total`/`downlink_total` summary. `value` = bytes.
+    GossipHop,
+    /// Catch-up activity: `request`, `apply`, or `watchdog` (see labels).
+    Catchup,
+    /// A scripted fault application or a recovery-protocol milestone.
+    Fault,
+}
+
+impl SpanKind {
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Round => "round",
+            SpanKind::Proposal => "proposal",
+            SpanKind::BaStep => "ba_step",
+            SpanKind::Sortition => "sortition",
+            SpanKind::Verify => "verify",
+            SpanKind::GossipHop => "gossip_hop",
+            SpanKind::Catchup => "catchup",
+            SpanKind::Fault => "fault",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        Some(match s {
+            "round" => SpanKind::Round,
+            "proposal" => SpanKind::Proposal,
+            "ba_step" => SpanKind::BaStep,
+            "sortition" => SpanKind::Sortition,
+            "verify" => SpanKind::Verify,
+            "gossip_hop" => SpanKind::GossipHop,
+            "catchup" => SpanKind::Catchup,
+            "fault" => SpanKind::Fault,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded span (or instantaneous event, when `start == end`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Which taxonomy entry this is.
+    pub kind: SpanKind,
+    /// The node the event happened on ([`NO_NODE`] for network-wide).
+    pub node: u32,
+    /// The consensus round the event belongs to (0 when not applicable).
+    pub round: u64,
+    /// Step code within the round (BA⋆ step code; 0 otherwise).
+    pub step: u32,
+    /// Kind-specific label (`"binary"`, `"vote"`, `"crash"`, …).
+    pub label: Cow<'static, str>,
+    /// Sim-time start, µs.
+    pub start: Micros,
+    /// Sim-time end, µs.
+    pub end: Micros,
+    /// Kind-specific magnitude (bytes, counts, sub-users).
+    pub value: u64,
+    /// Kind-specific verdict (accepted / on-votes / final).
+    pub ok: bool,
+}
+
+impl TraceEvent {
+    /// The span's duration.
+    pub fn duration(&self) -> Micros {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+struct Buffer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A cheap, cloneable recording handle. [`Tracer::disabled`] is inert:
+/// every recording call on it is a no-op, which is how production paths
+/// run untraced at zero cost.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Mutex<Buffer>>>);
+
+impl Tracer {
+    /// The inert tracer: records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer(None)
+    }
+
+    /// A tracer with a bounded in-memory buffer; events past `cap` are
+    /// counted as dropped instead of growing memory without bound.
+    pub fn bounded(cap: usize) -> Tracer {
+        Tracer(Some(Arc::new(Mutex::new(Buffer {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }))))
+    }
+
+    /// Whether recording does anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records a complete event.
+    pub fn record(&self, ev: TraceEvent) {
+        let Some(buf) = &self.0 else { return };
+        let mut buf = buf.lock().expect("trace lock");
+        if buf.events.len() >= buf.cap {
+            buf.dropped += 1;
+        } else {
+            buf.events.push(ev);
+        }
+    }
+
+    /// Opens a span guard at `start`. Builder methods fill in the fields;
+    /// [`Span::end_at`] (or [`Span::instant`]) records it. On a disabled
+    /// tracer the guard is inert.
+    pub fn span(&self, kind: SpanKind, node: u32, round: u64, start: Micros) -> Span {
+        Span {
+            tracer: self.clone(),
+            ev: TraceEvent {
+                kind,
+                node,
+                round,
+                step: 0,
+                label: Cow::Borrowed(""),
+                start,
+                end: start,
+                value: 0,
+                ok: true,
+            },
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.0
+            .as_ref()
+            .map_or(0, |b| b.lock().expect("trace lock").events.len())
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |b| b.lock().expect("trace lock").dropped)
+    }
+
+    /// A snapshot copy of the buffered events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0
+            .as_ref()
+            .map_or_else(Vec::new, |b| b.lock().expect("trace lock").events.clone())
+    }
+
+    /// Exports the buffer as JSONL keyed by `(seed, schedule)`; see
+    /// [`write_jsonl`].
+    pub fn export_jsonl(&self, seed: u64, schedule: &str) -> String {
+        write_jsonl(seed, schedule, self.dropped(), &self.events())
+    }
+}
+
+/// A span under construction. Building is allocation-free for static
+/// labels; nothing is recorded until [`Span::end_at`] or
+/// [`Span::instant`].
+#[must_use = "a span records nothing until end_at()/instant() is called"]
+pub struct Span {
+    tracer: Tracer,
+    ev: TraceEvent,
+}
+
+impl Span {
+    /// Sets the step code.
+    pub fn step(mut self, step: u32) -> Span {
+        self.ev.step = step;
+        self
+    }
+
+    /// Sets the label.
+    pub fn label(mut self, label: &'static str) -> Span {
+        self.ev.label = Cow::Borrowed(label);
+        self
+    }
+
+    /// Sets the magnitude.
+    pub fn value(mut self, value: u64) -> Span {
+        self.ev.value = value;
+        self
+    }
+
+    /// Sets the verdict flag.
+    pub fn ok(mut self, ok: bool) -> Span {
+        self.ev.ok = ok;
+        self
+    }
+
+    /// Closes the span at `end` and records it.
+    pub fn end_at(mut self, end: Micros) {
+        self.ev.end = end;
+        self.tracer.record(self.ev);
+    }
+
+    /// Records the span as an instantaneous event (`end = start`).
+    pub fn instant(self) {
+        let end = self.ev.start;
+        self.end_at(end);
+    }
+}
+
+// --- JSONL export / import ----------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes a trace as JSONL: a header line keyed by `(seed, schedule)`
+/// followed by one event per line, fields in a fixed order — identical
+/// runs produce byte-identical output.
+pub fn write_jsonl(seed: u64, schedule: &str, dropped: u64, events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str(&format!(
+        "{{\"trace\":\"algorand\",\"version\":1,\"seed\":{seed},\"schedule\":\""
+    ));
+    escape_into(&mut out, schedule);
+    out.push_str(&format!(
+        "\",\"events\":{},\"dropped\":{dropped}}}\n",
+        events.len()
+    ));
+    for ev in events {
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"node\":{},\"round\":{},\"step\":{},\"label\":\"",
+            ev.kind.as_str(),
+            ev.node,
+            ev.round,
+            ev.step
+        ));
+        escape_into(&mut out, &ev.label);
+        out.push_str(&format!(
+            "\",\"start\":{},\"end\":{},\"value\":{},\"ok\":{}}}\n",
+            ev.start, ev.end, ev.value, ev.ok
+        ));
+    }
+    out
+}
+
+/// A parsed trace artifact.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The run's seed (from the header).
+    pub seed: u64,
+    /// The run's schedule name (from the header).
+    pub schedule: String,
+    /// Events dropped at record time (buffer cap).
+    pub dropped: u64,
+    /// The recorded events, in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            if c == '"' {
+                *in_str = !*in_str;
+            }
+            if !*in_str && (c == ',' || c == '}') {
+                Some(Some(i))
+            } else {
+                Some(None)
+            }
+        })
+        .flatten()
+        .next()?;
+    Some(&rest[..end])
+}
+
+fn field_u64(line: &str, key: &str) -> Result<u64, String> {
+    field_raw(line, key)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| format!("missing or bad field {key:?} in {line:?}"))
+}
+
+fn field_str(line: &str, key: &str) -> Result<String, String> {
+    let raw = field_raw(line, key).ok_or_else(|| format!("missing field {key:?} in {line:?}"))?;
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("field {key:?} is not a string in {line:?}"))?;
+    // The writer only escapes quote/backslash/newline/control chars.
+    Ok(inner
+        .replace("\\n", "\n")
+        .replace("\\\"", "\"")
+        .replace("\\\\", "\\"))
+}
+
+/// Parses the JSONL produced by [`write_jsonl`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_jsonl(input: &str) -> Result<Trace, String> {
+    let mut lines = input.lines();
+    let header = lines.next().ok_or("empty trace")?;
+    if field_str(header, "trace")? != "algorand" {
+        return Err("not an algorand trace".into());
+    }
+    let mut trace = Trace {
+        seed: field_u64(header, "seed")?,
+        schedule: field_str(header, "schedule")?,
+        dropped: field_u64(header, "dropped")?,
+        events: Vec::new(),
+    };
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let kind_name = field_str(line, "kind")?;
+        let kind =
+            SpanKind::parse(&kind_name).ok_or_else(|| format!("unknown kind {kind_name:?}"))?;
+        trace.events.push(TraceEvent {
+            kind,
+            node: field_u64(line, "node")? as u32,
+            round: field_u64(line, "round")?,
+            step: field_u64(line, "step")? as u32,
+            label: Cow::Owned(field_str(line, "label")?),
+            start: field_u64(line, "start")?,
+            end: field_u64(line, "end")?,
+            value: field_u64(line, "value")?,
+            ok: field_raw(line, "ok").map(str::trim) == Some("true"),
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: SpanKind, node: u32, start: Micros, end: Micros) -> TraceEvent {
+        TraceEvent {
+            kind,
+            node,
+            round: 3,
+            step: 2,
+            label: Cow::Borrowed("binary"),
+            start,
+            end,
+            value: 17,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.span(SpanKind::Round, 1, 1, 0).label("final").end_at(10);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert!(t.export_jsonl(1, "none").starts_with("{\"trace\""));
+    }
+
+    #[test]
+    fn span_guard_records_on_end() {
+        let t = Tracer::bounded(16);
+        t.span(SpanKind::BaStep, 4, 3, 100)
+            .step(2)
+            .label("binary")
+            .value(17)
+            .ok(true)
+            .end_at(250);
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].duration(), 150);
+        assert_eq!(evs[0].label, "binary");
+    }
+
+    #[test]
+    fn buffer_bounds_and_counts_drops() {
+        let t = Tracer::bounded(2);
+        for i in 0..5u64 {
+            t.span(SpanKind::Verify, 0, 1, i).instant();
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let parsed = parse_jsonl(&t.export_jsonl(9, "s")).unwrap();
+        assert_eq!(parsed.dropped, 3);
+        assert_eq!(parsed.events.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let events = vec![
+            ev(SpanKind::Round, 0, 0, 5_000_000),
+            ev(SpanKind::GossipHop, NO_NODE, 10, 20),
+            TraceEvent {
+                label: Cow::Borrowed("odd \"label\"\\with\nescapes"),
+                ..ev(SpanKind::Fault, 7, 1, 1)
+            },
+        ];
+        let text = write_jsonl(42, "crash_restart", 1, &events);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.schedule, "crash_restart");
+        assert_eq!(parsed.dropped, 1);
+        assert_eq!(parsed.events, events);
+    }
+
+    #[test]
+    fn export_is_byte_stable() {
+        let record = || {
+            let t = Tracer::bounded(8);
+            t.span(SpanKind::Catchup, 3, 9, 77)
+                .label("apply")
+                .value(4)
+                .end_at(80);
+            t.export_jsonl(7, "x")
+        };
+        assert_eq!(record(), record());
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [
+            SpanKind::Round,
+            SpanKind::Proposal,
+            SpanKind::BaStep,
+            SpanKind::Sortition,
+            SpanKind::Verify,
+            SpanKind::GossipHop,
+            SpanKind::Catchup,
+            SpanKind::Fault,
+        ] {
+            assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SpanKind::parse("nope"), None);
+    }
+}

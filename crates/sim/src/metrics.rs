@@ -7,54 +7,10 @@
 
 use algorand_core::RoundRecord;
 
-/// The five-number summary the paper's error bars show, plus the tail
-/// (p99) that per-transaction latency reporting needs.
-#[derive(Clone, Copy, Debug)]
-pub struct Percentiles {
-    /// Smallest sample.
-    pub min: f64,
-    /// 25th percentile.
-    pub p25: f64,
-    /// Median.
-    pub median: f64,
-    /// 75th percentile.
-    pub p75: f64,
-    /// 99th percentile.
-    pub p99: f64,
-    /// Largest sample.
-    pub max: f64,
-}
-
-impl Percentiles {
-    /// Computes the summary of a non-empty sample set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` is empty.
-    pub fn of(values: &[f64]) -> Percentiles {
-        assert!(!values.is_empty(), "no samples");
-        let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
-        let q = |p: f64| -> f64 {
-            let idx = p * (v.len() - 1) as f64;
-            let lo = idx.floor() as usize;
-            let hi = idx.ceil() as usize;
-            if lo == hi {
-                v[lo]
-            } else {
-                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
-            }
-        };
-        Percentiles {
-            min: v[0],
-            p25: q(0.25),
-            median: q(0.5),
-            p75: q(0.75),
-            p99: q(0.99),
-            max: *v.last().expect("nonempty"),
-        }
-    }
-}
+// The exact interpolated summary moved into the shared observability
+// crate; re-exported here so existing `sim::metrics::Percentiles` callers
+// keep compiling unchanged.
+pub use algorand_obs::Percentiles;
 
 /// Aggregated timing for one round across all honest users, in seconds.
 #[derive(Clone, Copy, Debug)]
@@ -126,24 +82,6 @@ mod tests {
             empty: false,
             block_bytes: 1000,
         }
-    }
-
-    #[test]
-    fn percentiles_of_known_set() {
-        let p = Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
-        assert_eq!(p.min, 1.0);
-        assert_eq!(p.p25, 2.0);
-        assert_eq!(p.median, 3.0);
-        assert_eq!(p.p75, 4.0);
-        assert!((p.p99 - 4.96).abs() < 1e-9);
-        assert_eq!(p.max, 5.0);
-    }
-
-    #[test]
-    fn percentiles_interpolate() {
-        let p = Percentiles::of(&[0.0, 10.0]);
-        assert_eq!(p.median, 5.0);
-        assert_eq!(p.p25, 2.5);
     }
 
     #[test]

@@ -13,9 +13,11 @@ use algorand_core::{
 };
 use algorand_crypto::rng::Rng;
 use algorand_crypto::Keypair;
-use algorand_gossip::{RelayDecision, RelayState, Topology};
+use algorand_gossip::{RelayDecision, RelayMetrics, RelayState, Topology};
 use algorand_ledger::seed::selection_seed_round;
 use algorand_ledger::{Blockchain, Transaction};
+use algorand_obs::{write_jsonl, Histogram, Registry, SpanKind, TraceEvent, Tracer, NO_NODE};
+use algorand_txpool::PoolMetrics;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -26,6 +28,10 @@ const PREWARM_BATCH: usize = 32;
 
 /// Genesis seed shared by every node (and by restarts).
 const GENESIS_SEED: [u8; 32] = [0x47u8; 32];
+
+/// Bound on buffered trace events per run (~100 bytes each); past it
+/// events are counted as dropped rather than growing memory unbounded.
+const TRACE_CAP: usize = 1 << 21;
 
 /// Configuration for one simulation.
 #[derive(Clone, Debug)]
@@ -68,6 +74,11 @@ pub struct SimConfig {
     /// verification cache ahead of each delivery, never reordering
     /// events).
     pub verify_pool_workers: usize,
+    /// Record structured trace spans into the bounded in-memory buffer
+    /// (exported with [`Simulation::export_trace`]). Tracing is
+    /// write-only and consumes no randomness, so it cannot change the
+    /// simulation's behavior: same seed ⇒ same chain digest either way.
+    pub trace: bool,
 }
 
 impl SimConfig {
@@ -90,6 +101,7 @@ impl SimConfig {
             peer_churn_interval: 15_000_000,
             seed: 1,
             verify_pool_workers: 0,
+            trace: false,
         }
     }
 }
@@ -175,6 +187,22 @@ impl SimMsg {
     }
 }
 
+/// Counters a node accumulated before a crash/restart cycle replaced
+/// it. Aggregating reports add these exactly once per node id, so a
+/// crashed-then-restarted node's history is neither lost (the old bug:
+/// the replacement node restarts every counter at zero) nor
+/// double-counted (stats are folded in only when the old node object is
+/// dropped at restart, never while it still sits in its slot).
+#[derive(Default)]
+struct NodeCarry {
+    pipeline: PipelineStats,
+    records: Vec<RoundRecord>,
+    timeout_escalations: u64,
+    watchdog_catchups: usize,
+    recoveries_completed: usize,
+    catchups_applied: usize,
+}
+
 /// The simulation.
 pub struct Simulation {
     cfg: SimConfig,
@@ -208,6 +236,13 @@ pub struct Simulation {
     clock_skew: Vec<Micros>,
     restarts: usize,
     partitions_activated: usize,
+    /// The process-wide metrics registry every node publishes into.
+    registry: Registry,
+    /// The shared trace buffer (inert unless `cfg.trace`).
+    tracer: Tracer,
+    /// Counters carried over from nodes replaced by crash/restart,
+    /// keyed by node id.
+    carry: HashMap<usize, NodeCarry>,
 }
 
 /// Aggregated staged-pipeline counters for one simulation run.
@@ -320,6 +355,13 @@ impl Simulation {
         let genesis_seed = GENESIS_SEED;
         let verifier = Arc::new(PipelineVerifier::new());
         let adversary = Rc::new(RefCell::new(AdversaryShared::default()));
+        let registry = Registry::new();
+        let tracer = if cfg.trace {
+            Tracer::bounded(TRACE_CAP)
+        } else {
+            Tracer::disabled()
+        };
+        let pool_metrics = PoolMetrics::registered(&registry);
         let n_honest = cfg.n_users - cfg.n_malicious;
         let nodes: Vec<Slot> = (0..cfg.n_users)
             .map(|i| {
@@ -327,6 +369,8 @@ impl Simulation {
                 let mut node = Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
                 node.payload_bytes = cfg.payload_bytes;
                 node.block_tx_bytes = cfg.block_tx_bytes;
+                node.set_tracer(tracer.clone(), i as u32);
+                node.pool.set_metrics(pool_metrics.clone());
                 if i < n_honest {
                     Slot::Honest(Box::new(node))
                 } else {
@@ -342,7 +386,10 @@ impl Simulation {
         let mut topo_rng = Rng::seed_from_u64(cfg.seed);
         let weights = vec![cfg.stake_per_user; cfg.n_users];
         let topology = Topology::weighted(cfg.n_users, cfg.out_degree, &weights, &mut topo_rng);
-        let relay = (0..cfg.n_users).map(|_| RelayState::new()).collect();
+        let relay_metrics = RelayMetrics::registered(&registry);
+        let relay = (0..cfg.n_users)
+            .map(|_| RelayState::with_metrics(relay_metrics.clone()))
+            .collect();
         let net = Network::new(cfg.n_users, cfg.net.clone());
         let workload = (cfg.tx_rate > 0.0 && cfg.tx_total > 0).then(|| Workload {
             rng: Rng::seed_from_u64(cfg.seed ^ 0x7AF0AD),
@@ -379,6 +426,9 @@ impl Simulation {
             clock_skew: vec![0; cfg.n_users],
             restarts: 0,
             partitions_activated: 0,
+            registry,
+            tracer,
+            carry: HashMap::new(),
             cfg,
             started: false,
         }
@@ -585,9 +635,38 @@ impl Simulation {
             .collect()
     }
 
+    /// Per-honest-node round records *including* those a node measured
+    /// before a crash/restart cycle replaced it, deduplicated by round
+    /// per node (a record carried from before the crash wins over a
+    /// hypothetical re-measurement after it).
+    pub fn combined_records(&self) -> Vec<Vec<RoundRecord>> {
+        let mut out = Vec::new();
+        for (i, slot) in self.nodes.iter().enumerate() {
+            let Slot::Honest(n) = slot else { continue };
+            let mut seen = HashSet::new();
+            let mut recs = Vec::new();
+            if let Some(c) = self.carry.get(&i) {
+                for r in &c.records {
+                    if seen.insert(r.round) {
+                        recs.push(*r);
+                    }
+                }
+            }
+            for r in n.records() {
+                if seen.insert(r.round) {
+                    recs.push(*r);
+                }
+            }
+            out.push(recs);
+        }
+        out
+    }
+
     /// Aggregated stats for one round.
     pub fn round_stats(&self, round: u64) -> Option<RoundStats> {
-        round_stats(&self.honest_records(), round)
+        let combined = self.combined_records();
+        let views: Vec<&[RoundRecord]> = combined.iter().map(|v| v.as_slice()).collect();
+        round_stats(&views, round)
     }
 
     /// Immutable access to an honest node.
@@ -624,6 +703,10 @@ impl Simulation {
             };
             stages.merge(&node.pipeline_stats());
         }
+        // Counters from nodes replaced by crash/restart, once per node id.
+        for c in self.carry.values() {
+            stages.merge(&c.pipeline);
+        }
         PipelineReport {
             stages,
             cache_hits: self.verifier.cache_hits(),
@@ -653,6 +736,13 @@ impl Simulation {
             report.watchdog_catchups += n.watchdog_catchups();
             report.recoveries_completed += n.recoveries_completed();
             report.catchups_applied += n.catchups_applied();
+        }
+        // Counters from nodes replaced by crash/restart, once per node id.
+        for c in self.carry.values() {
+            report.timeout_escalations += c.timeout_escalations;
+            report.watchdog_catchups += c.watchdog_catchups;
+            report.recoveries_completed += c.recoveries_completed;
+            report.catchups_applied += c.catchups_applied;
         }
         report
     }
@@ -721,19 +811,18 @@ impl Simulation {
         let mut committed = 0usize;
         let mut first_submit = Micros::MAX;
         let mut last_commit: Micros = 0;
+        let combined = self.combined_records();
         for rec in &wl.injected {
             let Some(&round) = commit_round.get(&rec.id) else {
                 continue;
             };
             committed += 1;
-            let finished = self
-                .honest_node(rec.sender)
-                .records()
-                .iter()
-                .find(|x| x.round == round)
+            let finished = combined
+                .get(rec.sender)
+                .and_then(|rs| rs.iter().find(|x| x.round == round))
                 .map(|x| x.finished)
                 .or_else(|| {
-                    self.honest_records()
+                    combined
                         .iter()
                         .flat_map(|rs| rs.iter())
                         .find(|x| x.round == round)
@@ -757,6 +846,92 @@ impl Simulation {
             tx_per_sec,
             latency: (!latencies.is_empty()).then(|| Percentiles::of(&latencies)),
         })
+    }
+
+    /// The process-wide metrics registry (gossip relay and mempool
+    /// counters tick into it live; [`Simulation::publish_metrics`] folds
+    /// in the per-run aggregates).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Publishes this run's aggregate reports onto the registry.
+    ///
+    /// Idempotent: gauges are overwritten and histograms replaced, so
+    /// calling it again after more rounds simply refreshes the values —
+    /// restarted nodes never double-count.
+    pub fn publish_metrics(&self) {
+        let p = self.pipeline_report();
+        let reg = &self.registry;
+        reg.gauge("pipeline.ingested").set(p.stages.ingested as i64);
+        reg.gauge("pipeline.verified").set(p.stages.verified as i64);
+        reg.gauge("pipeline.rejected_verify")
+            .set(p.stages.rejected_verify as i64);
+        reg.gauge("pipeline.emitted").set(p.stages.emitted as i64);
+        reg.gauge("verify.cache_hits").set(p.cache_hits as i64);
+        reg.gauge("verify.cache_misses").set(p.cache_misses as i64);
+        reg.gauge("verify.unique_votes").set(p.unique_votes as i64);
+        let f = self.fault_report();
+        reg.gauge("faults.partitions")
+            .set(f.partitions_activated as i64);
+        reg.gauge("faults.restarts").set(f.restarts as i64);
+        reg.gauge("recovery.timeout_escalations")
+            .set(f.timeout_escalations as i64);
+        reg.gauge("recovery.watchdog_catchups")
+            .set(f.watchdog_catchups as i64);
+        reg.gauge("recovery.fork_recoveries")
+            .set(f.recoveries_completed as i64);
+        reg.gauge("recovery.catchups_applied")
+            .set(f.catchups_applied as i64);
+        reg.gauge("net.total_bytes_sent")
+            .set(self.net.total_bytes_sent() as i64);
+        // Round-completion latency across all nodes and rounds, µs.
+        let mut lat = Histogram::new();
+        for recs in self.combined_records() {
+            for r in &recs {
+                lat.record(r.total());
+            }
+        }
+        reg.histogram("round.latency_us").replace(lat);
+        if let Some(t) = self.tx_stats() {
+            reg.gauge("workload.injected").set(t.injected as i64);
+            reg.gauge("workload.committed").set(t.committed as i64);
+        }
+    }
+
+    /// Exports the recorded trace as byte-stable JSONL keyed by
+    /// `(seed, schedule)`, with one per-node bandwidth summary pair
+    /// (uplink/downlink byte totals) appended so `trace_report` can
+    /// reproduce the paper's per-user bandwidth figure from the trace
+    /// alone.
+    pub fn export_trace(&self, schedule: &str) -> String {
+        let mut events = self.tracer.events();
+        let now = self.queue.now();
+        for i in 0..self.cfg.n_users {
+            events.push(TraceEvent {
+                kind: SpanKind::GossipHop,
+                node: i as u32,
+                round: 0,
+                step: 0,
+                label: "uplink_total".into(),
+                start: 0,
+                end: now,
+                value: self.net.bytes_sent(i),
+                ok: true,
+            });
+            events.push(TraceEvent {
+                kind: SpanKind::GossipHop,
+                node: i as u32,
+                round: 0,
+                step: 0,
+                label: "downlink_total".into(),
+                start: 0,
+                end: now,
+                value: self.net.bytes_received(i),
+                ok: true,
+            });
+        }
+        write_jsonl(self.cfg.seed, schedule, self.tracer.dropped(), &events)
     }
 
     // --- Internals -----------------------------------------------------------
@@ -905,6 +1080,22 @@ impl Simulation {
             msg.size
         };
         if let Some(arrival) = self.net.transmit(from, to, size, now) {
+            // One gossip-hop span per full block-body transfer (the
+            // bandwidth-dominant hops; announcement-sized exchanges and
+            // vote traffic are summarized by the bandwidth totals in the
+            // exported trace instead, keeping the buffer within bounds).
+            if self.tracer.is_enabled() && msg.pull_based && size == msg.size {
+                let round = match &msg.wire {
+                    WireMessage::Block(b) => b.block.round,
+                    WireMessage::ForkProposal(f) => f.block.round,
+                    _ => 0,
+                };
+                self.tracer
+                    .span(SpanKind::GossipHop, to as u32, round, now)
+                    .label("block_body")
+                    .value(size as u64)
+                    .end_at(arrival);
+            }
             self.enqueue_prewarm(msg);
             self.queue.schedule(
                 arrival,
@@ -1017,6 +1208,22 @@ impl Simulation {
 
     /// Applies one scripted fault.
     fn apply_fault(&mut self, action: FaultAction, now: Micros) {
+        if self.tracer.is_enabled() {
+            let (label, node) = match &action {
+                FaultAction::Partition(_) => ("partition", NO_NODE),
+                FaultAction::Heal => ("heal", NO_NODE),
+                FaultAction::Loss(_) => ("loss", NO_NODE),
+                FaultAction::DelaySpike { .. } => ("delay_spike", NO_NODE),
+                FaultAction::DelayClear => ("delay_clear", NO_NODE),
+                FaultAction::Crash(i) => ("crash", *i as u32),
+                FaultAction::Restart(i) => ("restart", *i as u32),
+                FaultAction::ClockSkew { node, .. } => ("clock_skew", *node as u32),
+            };
+            self.tracer
+                .span(SpanKind::Fault, node, 0, now)
+                .label(label)
+                .instant();
+        }
         match action {
             FaultAction::Partition(spec) => {
                 self.partitions_activated += 1;
@@ -1065,6 +1272,18 @@ impl Simulation {
             return;
         }
         let snapshot = self.snapshots[i].take().unwrap_or_default();
+        // Fold the dying node's counters into the carry before its slot
+        // is overwritten, so aggregated reports keep its pre-crash
+        // history without ever double-counting it.
+        if let Slot::Honest(old) = &self.nodes[i] {
+            let c = self.carry.entry(i).or_default();
+            c.pipeline.merge(&old.pipeline_stats());
+            c.records.extend_from_slice(old.records());
+            c.timeout_escalations += old.timeout_escalations();
+            c.watchdog_catchups += old.watchdog_catchups();
+            c.recoveries_completed += old.recoveries_completed();
+            c.catchups_applied += old.catchups_applied();
+        }
         let alloc: Vec<_> = self
             .keypairs
             .iter()
@@ -1082,8 +1301,11 @@ impl Simulation {
         );
         node.payload_bytes = self.cfg.payload_bytes;
         node.block_tx_bytes = self.cfg.block_tx_bytes;
+        node.set_tracer(self.tracer.clone(), i as u32);
+        node.pool
+            .set_metrics(PoolMetrics::registered(&self.registry));
         self.nodes[i] = Slot::Honest(Box::new(node));
-        self.relay[i] = RelayState::new();
+        self.relay[i] = RelayState::with_metrics(RelayMetrics::registered(&self.registry));
         self.crashed[i] = false;
         self.restarts += 1;
         let outgoing = match &mut self.nodes[i] {

@@ -303,3 +303,54 @@ fn identical_seed_and_schedule_replay_identically() {
     assert_eq!(digest_a, digest_b, "chaos replay diverged");
     assert_eq!(now_a, now_b);
 }
+
+#[test]
+fn restart_carries_precrash_counters_exactly_once() {
+    // A crashed-then-restarted node loses all volatile state, including
+    // its measurement counters. The aggregating reports must still show
+    // its pre-crash history — carried over exactly once per node id —
+    // while the live node object restarts from zero.
+    let n = 10;
+    let mut cfg = SimConfig::new(n);
+    cfg.seed = 17;
+    let mut sim = Simulation::new(cfg);
+    let schedule = FaultSchedule::new().crash_restart(0, 30 * SEC, 90 * SEC);
+    let clear = schedule.last_fault_clear();
+    sim.set_fault_schedule(schedule);
+    sim.run_until(30 * SEC);
+    let tip_at_crash = sim.honest_node(0).chain().tip().round;
+    assert!(
+        tip_at_crash >= 2,
+        "node 0 should finish rounds before the crash"
+    );
+    sim.run_until(clear + 150 * SEC);
+
+    // The live (restarted) object has no memory of pre-crash rounds …
+    let live_first = sim.honest_node(0).records().iter().map(|r| r.round).min();
+    assert!(
+        live_first.is_none_or(|r| r > tip_at_crash),
+        "restored node unexpectedly holds pre-crash records"
+    );
+    // … but the combined view still has them, each round exactly once.
+    let combined = sim.combined_records();
+    let rounds: Vec<u64> = combined[0].iter().map(|r| r.round).collect();
+    assert!(
+        rounds.iter().any(|&r| r <= tip_at_crash),
+        "pre-crash rounds lost from the aggregated records"
+    );
+    let mut dedup = rounds.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), rounds.len(), "a round was double-counted");
+
+    // Pipeline counters: the report must exceed the live-only sum by
+    // exactly the carried pre-crash share (> 0 here, since node 0
+    // ingested traffic before going down).
+    let live_only: u64 = (0..n)
+        .map(|i| sim.honest_node(i).pipeline_stats().ingested)
+        .sum();
+    assert!(
+        sim.pipeline_report().stages.ingested > live_only,
+        "pre-crash pipeline counters lost from the aggregate"
+    );
+}

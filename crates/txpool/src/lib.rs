@@ -18,6 +18,7 @@
 //! every node evicts identically.
 
 use algorand_ledger::{Accounts, Transaction};
+use algorand_obs::{Counter, Registry};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Size and shape limits for a [`TxPool`].
@@ -84,6 +85,29 @@ impl std::error::Error for AdmitError {}
 /// Upper bound on the signature-verification cache before it resets.
 const SIG_CACHE_MAX: usize = 1 << 16;
 
+/// Fleet-wide mempool counters, shared across nodes via a [`Registry`].
+/// The default (unregistered) metrics are inert no-ops on plain atomics.
+#[derive(Clone, Debug, Default)]
+pub struct PoolMetrics {
+    /// Transactions accepted into a pool.
+    pub admitted: Counter,
+    /// Transactions refused by [`TxPool::admit`] (any [`AdmitError`]).
+    pub rejected: Counter,
+    /// Transactions taken into proposed blocks.
+    pub taken: Counter,
+}
+
+impl PoolMetrics {
+    /// Metrics registered under the standard `txpool.*` names.
+    pub fn registered(reg: &Registry) -> PoolMetrics {
+        PoolMetrics {
+            admitted: reg.counter("txpool.admitted"),
+            rejected: reg.counter("txpool.rejected"),
+            taken: reg.counter("txpool.taken"),
+        }
+    }
+}
+
 /// A size-bounded mempool of signed payments, ordered per sender by nonce.
 #[derive(Clone, Debug, Default)]
 pub struct TxPool {
@@ -98,6 +122,8 @@ pub struct TxPool {
     sig_ok: HashSet<[u8; 32]>,
     /// Total wire bytes queued.
     bytes: usize,
+    /// Shared admit/take counters (inert unless registered).
+    metrics: PoolMetrics,
 }
 
 impl TxPool {
@@ -109,7 +135,13 @@ impl TxPool {
             ids: HashSet::new(),
             sig_ok: HashSet::new(),
             bytes: 0,
+            metrics: PoolMetrics::default(),
         }
+    }
+
+    /// Attaches shared counters; subsequent admits and takes tick them.
+    pub fn set_metrics(&mut self, metrics: PoolMetrics) {
+        self.metrics = metrics;
     }
 
     /// Number of queued transactions.
@@ -161,6 +193,15 @@ impl TxPool {
     /// unchanged except possibly for evictions of *other* transactions
     /// when the pool was over capacity.
     pub fn admit(&mut self, tx: Transaction, accounts: &Accounts) -> Result<(), AdmitError> {
+        let res = self.admit_inner(tx, accounts);
+        match res {
+            Ok(()) => self.metrics.admitted.inc(),
+            Err(_) => self.metrics.rejected.inc(),
+        }
+        res
+    }
+
+    fn admit_inner(&mut self, tx: Transaction, accounts: &Accounts) -> Result<(), AdmitError> {
         let id = tx.id();
         if self.ids.contains(&id) {
             return Err(AdmitError::Duplicate);
@@ -267,6 +308,7 @@ impl TxPool {
             // the pool: with its chain head unspendable the whole chain is
             // stuck, and the sender must re-issue.
         }
+        self.metrics.taken.add(taken.len() as u64);
         taken
     }
 
@@ -276,7 +318,9 @@ impl TxPool {
     /// better-priced queued ones) are silently dropped.
     pub fn reinsert<I: IntoIterator<Item = Transaction>>(&mut self, txs: I, accounts: &Accounts) {
         for tx in txs {
-            let _ = self.admit(tx, accounts);
+            // Bypasses the admit counters: a reinserted transaction was
+            // already counted when first admitted.
+            let _ = self.admit_inner(tx, accounts);
         }
     }
 

@@ -12,7 +12,10 @@
 #      scripted fault schedule is run twice and must produce identical
 #      final-chain digests and recover within its horizon (see
 #      crates/bench/src/bin/chaos_determinism.rs),
-#   5. style gates: rustfmt and clippy with warnings denied.
+#   5. the trace-determinism gate: the same seed traced twice must
+#      export byte-identical trace JSONL, and tracing on/off must not
+#      change the chain digest (see crates/bench/src/bin/trace_report.rs),
+#   6. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -41,5 +44,8 @@ cargo test --release -q -p algorand-sim --test chaos
 
 echo "== chaos determinism + recovery check =="
 cargo run --release -p algorand-bench --bin chaos_determinism
+
+echo "== trace determinism gate =="
+cargo run --release -p algorand-bench --bin trace_report -- --check
 
 echo "== CI OK =="
