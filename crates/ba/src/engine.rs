@@ -22,7 +22,7 @@ use crate::verify::{verify_vote_message, VerifiedVote, VoteContext, VoteVerifier
 use crate::weights::RoundWeights;
 use crate::Certificate;
 use algorand_crypto::Keypair;
-use algorand_obs::{SpanKind, Tracer};
+use algorand_obs::{causal, stable_id, SpanKind, Tracer};
 use algorand_sortition::{select, Role, SortitionParams};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -135,6 +135,26 @@ pub struct BaStar {
     /// the node id stamped on emitted spans.
     tracer: Tracer,
     trace_node: u32,
+    /// Span id of the most recently concluded phase (0 = still in the
+    /// proposal phase) — the causal predecessor of emitted votes.
+    last_concluded: u64,
+    /// Whether to stamp causal ids and emit tally events. Recovery-
+    /// protocol engines re-run fork rounds and would collide with the
+    /// normal round's id namespace, so the driver suppresses them.
+    causal_ids: bool,
+    /// The reduction-one emission of [`BaStar::start`] predates the
+    /// tracer attach; it is parked here and flushed by
+    /// [`BaStar::set_tracer`].
+    pending_emission: Option<PendingEmission>,
+}
+
+/// A vote emission recorded before a tracer was attached.
+struct PendingEmission {
+    step_code: u32,
+    msg_id: u64,
+    voter: u64,
+    j: u64,
+    at: Micros,
 }
 
 impl BaStar {
@@ -178,6 +198,9 @@ impl BaStar {
             started: now,
             tracer: Tracer::disabled(),
             trace_node: 0,
+            last_concluded: 0,
+            causal_ids: true,
+            pending_emission: None,
         };
         let mut out = Vec::new();
         engine.committee_vote(StepKind::ReductionOne, block_hash, now, &mut out);
@@ -186,10 +209,48 @@ impl BaStar {
 
     /// Attaches a trace sink; subsequent spans are stamped with `node`.
     /// The reduction-one sortition of [`BaStar::start`] predates the
-    /// attach and is therefore untraced; its BA⋆-step span still is.
+    /// attach; it was parked and is flushed here so the causal chain
+    /// reaches back to the proposal that seeded the vote.
     pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
         self.tracer = tracer;
         self.trace_node = node;
+        let Some(p) = self.pending_emission.take() else {
+            return;
+        };
+        if !self.tracer.is_enabled() || !self.causal_ids {
+            return;
+        }
+        self.tracer
+            .span(SpanKind::Sortition, node, self.round, p.at)
+            .step(p.step_code)
+            .label("committee")
+            .value(p.j)
+            .id(p.msg_id)
+            .cause(causal::proposal_span_id(node, self.round))
+            .instant();
+        self.tracer
+            .span(SpanKind::Tally, node, self.round, p.at)
+            .step(p.step_code)
+            .label("add")
+            .id(p.msg_id)
+            .cause(p.voter)
+            .value(p.j)
+            .instant();
+    }
+
+    /// Disables causal id stamping and tally events for this engine.
+    /// Recovery-protocol engines re-run fork rounds and would collide
+    /// with the normal round's causal id namespace, so the driver
+    /// suppresses them. Plain spans still record.
+    pub fn suppress_causal_ids(&mut self) {
+        self.causal_ids = false;
+    }
+
+    /// The span id of the most recently concluded BA⋆ phase (0 before the
+    /// first conclusion) — the round span's causal link to the final
+    /// count that produced its certificate.
+    pub fn last_concluded_span(&self) -> u64 {
+        self.last_concluded
     }
 
     /// Starts the engine directly at BinaryBA⋆ step 1, skipping reduction —
@@ -228,7 +289,7 @@ impl BaStar {
     /// stage, then the tallies. Returns any resulting outputs.
     pub fn on_vote(&mut self, msg: &VoteMessage, now: Micros) -> Vec<Output> {
         let mut out = Vec::new();
-        self.ingest(msg);
+        self.ingest(msg, now);
         self.advance(now, &mut out);
         out
     }
@@ -238,14 +299,15 @@ impl BaStar {
     /// [`BaStar::vote_context`] and feeds the wrapper straight in).
     pub fn on_verified_vote(&mut self, vote: &VerifiedVote, now: Micros) -> Vec<Output> {
         let mut out = Vec::new();
-        self.ingest_verified(vote);
+        self.ingest_verified(vote, now);
         self.advance(now, &mut out);
         out
     }
 
     /// Verifies and records a raw vote without advancing clock-dependent
-    /// state (used when replaying buffered messages).
-    pub fn ingest(&mut self, msg: &VoteMessage) {
+    /// state (used when replaying buffered messages). `now` only stamps
+    /// the trace.
+    pub fn ingest(&mut self, msg: &VoteMessage, now: Micros) {
         if matches!(self.phase, Phase::Done | Phase::Hung) {
             return;
         }
@@ -258,14 +320,15 @@ impl BaStar {
         else {
             return;
         };
-        self.ingest_verified(&vote);
+        self.ingest_verified(&vote, now);
     }
 
     /// Records an already-verified vote without advancing clock-dependent
     /// state. Chain-context checks (round, prev-hash) still run here: a
     /// [`VerifiedVote`] is cryptographically sound but may belong to a
-    /// different fork or round than this engine.
-    pub fn ingest_verified(&mut self, vote: &VerifiedVote) {
+    /// different fork or round than this engine. `now` only stamps the
+    /// trace.
+    pub fn ingest_verified(&mut self, vote: &VerifiedVote, now: Micros) {
         if matches!(self.phase, Phase::Done | Phase::Hung) {
             return;
         }
@@ -273,7 +336,27 @@ impl BaStar {
         if msg.round != self.round || msg.prev_hash != self.prev_hash {
             return;
         }
-        self.tallies.entry(msg.step.code()).or_default().add(vote);
+        if self.tallies.entry(msg.step.code()).or_default().add(vote) {
+            self.record_tally_add(vote, now);
+        }
+    }
+
+    /// Emits the vote-accounting trace event for a successful tally add
+    /// — the stream the invariant monitor checks §8.4's one-vote rule
+    /// and the §7.5 committee bounds against.
+    fn record_tally_add(&self, vote: &VerifiedVote, now: Micros) {
+        if !self.tracer.is_enabled() || !self.causal_ids {
+            return;
+        }
+        let msg = vote.message();
+        self.tracer
+            .span(SpanKind::Tally, self.trace_node, self.round, now)
+            .step(msg.step.code())
+            .label("add")
+            .id(stable_id(&msg.message_id()))
+            .cause(stable_id(&msg.sender.to_bytes()))
+            .value(vote.votes())
+            .instant();
     }
 
     /// The verification context votes for `step` must be checked against.
@@ -393,12 +476,6 @@ impl BaStar {
         let Some(sel) = select(&self.keypair, &self.seed, role, &params, my_weight) else {
             return; // Not on this step's committee.
         };
-        self.tracer
-            .span(SpanKind::Sortition, self.trace_node, self.round, now)
-            .step(step.code())
-            .label("committee")
-            .value(sel.j)
-            .instant();
         let msg = VoteMessage::sign(
             &self.keypair,
             self.round,
@@ -408,6 +485,36 @@ impl BaStar {
             self.prev_hash,
             value,
         );
+        // The emission span carries the vote's message id and links back
+        // to the phase whose conclusion triggered the vote (the proposal
+        // phase for reduction one) — the backward edge the critical-path
+        // walker follows from a tally to the voter's own history.
+        let msg_id = stable_id(&msg.message_id());
+        if self.tracer.is_enabled() {
+            let mut span = self
+                .tracer
+                .span(SpanKind::Sortition, self.trace_node, self.round, now)
+                .step(step.code())
+                .label("committee")
+                .value(sel.j);
+            if self.causal_ids {
+                let cause = if self.last_concluded != 0 {
+                    self.last_concluded
+                } else {
+                    causal::proposal_span_id(self.trace_node, self.round)
+                };
+                span = span.id(msg_id).cause(cause);
+            }
+            span.instant();
+        } else if self.causal_ids {
+            self.pending_emission = Some(PendingEmission {
+                step_code: step.code(),
+                msg_id,
+                voter: stable_id(&self.keypair.pk.to_bytes()),
+                j: sel.j,
+                at: now,
+            });
+        }
         // Count our own vote immediately; the gossip layer will not echo
         // our own message back to us. Even our own vote goes through the
         // verification stage — the only path into a tally — which also
@@ -415,7 +522,9 @@ impl BaStar {
         let ctx = self.vote_context(step);
         if let Some(vote) = verify_vote_message(self.verifier.as_ref(), &msg, &ctx, &self.weights) {
             debug_assert_eq!(vote.votes(), sel.j);
-            self.tallies.entry(step.code()).or_default().add(&vote);
+            if self.tallies.entry(step.code()).or_default().add(&vote) {
+                self.record_tally_add(&vote, now);
+            }
         } else {
             debug_assert!(false, "own freshly signed vote must verify");
         }
@@ -469,7 +578,8 @@ impl BaStar {
                     Phase::FinalCount { .. } => ("final", StepKind::Final.code()),
                     Phase::Done | Phase::Hung => unreachable!("no outcomes when finished"),
                 };
-                self.tracer
+                let mut span = self
+                    .tracer
                     .span(
                         SpanKind::BaStep,
                         self.trace_node,
@@ -478,8 +588,24 @@ impl BaStar {
                     )
                     .step(step_code)
                     .label(label)
-                    .ok(outcome.is_ok())
-                    .end_at(now);
+                    .ok(outcome.is_ok());
+                if self.causal_ids {
+                    // A vote-concluded step is caused by its gating vote;
+                    // a timeout conclusion has no gate (cause 0).
+                    let gate = match &outcome {
+                        Ok(v) => self
+                            .tallies
+                            .get(&step_code)
+                            .and_then(|t| t.last_message_for(v))
+                            .map(|m| stable_id(&m.message_id()))
+                            .unwrap_or(0),
+                        Err(()) => 0,
+                    };
+                    let sid = causal::step_span_id(self.trace_node, self.round, step_code);
+                    span = span.id(sid).cause(gate);
+                    self.last_concluded = sid;
+                }
+                span.end_at(now);
             }
             // §8.2 retry doubling: a timeout-fired step grows the next
             // step's window; a vote-concluded step resets it.

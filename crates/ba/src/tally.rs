@@ -91,6 +91,20 @@ impl StepTally {
         }
     }
 
+    /// The most recently counted message voting for `value` — when a step
+    /// concludes on votes, this is (an upper bound on) the gating vote
+    /// that pushed the value over its threshold, used for causal trace
+    /// links. Batch ingestion (catch-up replay) may overshoot the exact
+    /// threshold-crosser, but the returned vote was in the tally at
+    /// conclusion time, so the causal chain stays valid.
+    pub fn last_message_for(&self, value: &Value) -> Option<&VoteMessage> {
+        self.messages
+            .iter()
+            .rev()
+            .find(|(m, _)| m.value == *value)
+            .map(|(m, _)| m)
+    }
+
     /// Messages voting for `value`, with their vote counts — certificate
     /// raw material.
     pub fn messages_for(&self, value: Value) -> impl Iterator<Item = (&VoteMessage, u64)> + '_ {

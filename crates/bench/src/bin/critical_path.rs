@@ -1,0 +1,308 @@
+//! Per-round critical-path profiler over the causal trace.
+//!
+//! Runs the traced 50-user payment workload, exports the trace as JSONL,
+//! and reconstructs — from the JSONL alone, with no access to simulator
+//! state — the gating chain of every round: certificate → final-count
+//! step → gating vote's verify → gossip hops back to the voter → the
+//! voter's previous phase → … → the proposal span that seeded the round.
+//! Each chain edge is attributed to one of four categories (proposal,
+//! gossip, verify, ba_step) and the per-round and aggregate tables show
+//! where finalization latency actually goes.
+//!
+//! `--check` is the CI gate: the same `(seed, schedule)` must render a
+//! byte-identical report twice, every chain must be contiguous in time,
+//! and for every *finalized* round the chain must account for ≥ 95% of
+//! the round's measured finalization latency.
+
+use algorand_bench::T_CAP;
+use algorand_obs::{critical_paths, parse_jsonl, CriticalPath, EdgeKind};
+use algorand_sim::{SimConfig, Simulation};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Fraction of measured finalization latency the chain must explain for
+/// every finalized round (the acceptance bar for the causal walk).
+const MIN_COVERAGE: f64 = 0.95;
+
+/// Edges printed per round before the listing is elided (the
+/// attribution sums always cover the full chain).
+const MAX_EDGES_SHOWN: usize = 24;
+
+/// The same 50-user payment workload as `trace_report`, always traced —
+/// this report is meaningless without causal ids.
+fn workload_cfg() -> SimConfig {
+    let mut cfg = SimConfig::new(50);
+    cfg.stake_per_user = 50;
+    cfg.tx_rate = 25.0;
+    cfg.tx_total = 200;
+    cfg.seed = 23;
+    cfg.trace = true;
+    cfg
+}
+
+fn run_workload() -> Simulation {
+    let mut sim = Simulation::new(workload_cfg());
+    sim.run_rounds(8, T_CAP);
+    sim
+}
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// Render the full report from exported JSONL. Pure function of the
+/// trace bytes, so `--check` can demand byte-identical output.
+fn render(jsonl: &str) -> Result<String, String> {
+    let trace = parse_jsonl(jsonl)?;
+    let paths = critical_paths(&trace.events);
+    let mut out = String::new();
+    let w = &mut out;
+
+    let _ = writeln!(
+        w,
+        "== critical-path profiler: payment-50 seed {} ==",
+        trace.seed
+    );
+    let _ = writeln!(
+        w,
+        "trace: {} events, {} dropped",
+        trace.events.len(),
+        trace.dropped
+    );
+    let finals = paths.iter().filter(|p| p.final_consensus).count();
+    let _ = writeln!(
+        w,
+        "rounds: {} traced ({} final, {} tentative)",
+        paths.len(),
+        finals,
+        paths.len() - finals
+    );
+    let _ = writeln!(w);
+
+    for p in &paths {
+        render_round(w, p);
+    }
+    render_attribution(w, &paths);
+    Ok(out)
+}
+
+fn render_round(w: &mut String, p: &CriticalPath) {
+    let _ =
+        writeln!(
+        w,
+        "round {:>2}  finalizer n{:<3} {}  latency {:>7.3}s  chain {:>2} edges  coverage {:>5.1}%",
+        p.round,
+        p.finalizer,
+        if p.final_consensus { "final    " } else { "tentative" },
+        secs(p.latency()),
+        p.edges.len(),
+        p.coverage() * 100.0
+    );
+    let shown = p.edges.len().min(MAX_EDGES_SHOWN);
+    for e in &p.edges[..shown] {
+        let hop = if e.from_node == e.to_node {
+            format!("n{}", e.to_node)
+        } else {
+            format!("n{}->n{}", e.from_node, e.to_node)
+        };
+        let _ = writeln!(
+            w,
+            "    {:>8.3}s  +{:>7.3}s  {:<8} {:<12} {}",
+            secs(e.start),
+            secs(e.duration()),
+            e.kind.as_str(),
+            e.label,
+            hop
+        );
+    }
+    if p.edges.len() > shown {
+        let _ = writeln!(w, "    ... {} more edges", p.edges.len() - shown);
+    }
+    let _ = writeln!(w);
+}
+
+fn render_attribution(w: &mut String, paths: &[CriticalPath]) {
+    let _ = writeln!(w, "latency attribution (seconds on the critical path):");
+    let _ = writeln!(
+        w,
+        "  {:>5}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "round", "latency", "proposal", "gossip", "verify", "ba_step", "coverage"
+    );
+    let mut tot = [0u64; 4];
+    let mut tot_latency = 0u64;
+    for p in paths {
+        let attr = p.attribution();
+        for (slot, (_, us)) in tot.iter_mut().zip(attr.iter()) {
+            *slot += us;
+        }
+        tot_latency += p.latency();
+        let _ = writeln!(
+            w,
+            "  {:>5}  {:>7.3}s  {:>7.3}s  {:>7.3}s  {:>7.3}s  {:>7.3}s  {:>7.1}%",
+            p.round,
+            secs(p.latency()),
+            secs(attr[0].1),
+            secs(attr[1].1),
+            secs(attr[2].1),
+            secs(attr[3].1),
+            p.coverage() * 100.0
+        );
+    }
+    let attributed: u64 = tot.iter().sum();
+    let _ = writeln!(
+        w,
+        "  {:>5}  {:>7.3}s  {:>7.3}s  {:>7.3}s  {:>7.3}s  {:>7.3}s  {:>7.1}%",
+        "total",
+        secs(tot_latency),
+        secs(tot[0]),
+        secs(tot[1]),
+        secs(tot[2]),
+        secs(tot[3]),
+        if tot_latency == 0 {
+            100.0
+        } else {
+            attributed as f64 / tot_latency as f64 * 100.0
+        }
+    );
+    if attributed > 0 {
+        let share = |us: u64| us as f64 / attributed as f64 * 100.0;
+        let _ = writeln!(
+            w,
+            "  share of attributed time: proposal {:.1}%  gossip {:.1}%  verify {:.1}%  ba_step {:.1}%",
+            share(tot[0]),
+            share(tot[1]),
+            share(tot[2]),
+            share(tot[3])
+        );
+    }
+}
+
+/// Structural checks on the reconstructed chains: contiguity (each edge
+/// starts where the previous one ended), origin at a proposal-phase
+/// edge, and the ≥ 95% coverage bar for finalized rounds.
+fn check_paths(paths: &[CriticalPath], rounds_expected: u64) -> Vec<String> {
+    let mut problems = Vec::new();
+    if (paths.len() as u64) < rounds_expected {
+        problems.push(format!(
+            "only {} of {} rounds produced a critical path",
+            paths.len(),
+            rounds_expected
+        ));
+    }
+    for p in paths {
+        if p.edges.is_empty() {
+            problems.push(format!("round {}: empty chain", p.round));
+            continue;
+        }
+        for pair in p.edges.windows(2) {
+            if pair[1].start != pair[0].end {
+                problems.push(format!(
+                    "round {}: chain not contiguous at t={}us ({} -> {})",
+                    p.round, pair[0].end, pair[0].label, pair[1].label
+                ));
+                break;
+            }
+        }
+        // Chains may begin with the block body's gossip hops (the walk
+        // descends past the proposal span to the proposer), but every
+        // chain must pass through the proposal phase on its way to the
+        // certificate.
+        if !p.edges.iter().any(|e| e.kind == EdgeKind::Proposal) {
+            problems.push(format!(
+                "round {}: chain never passes through the proposal phase",
+                p.round
+            ));
+        }
+        if p.final_consensus && p.coverage() < MIN_COVERAGE {
+            problems.push(format!(
+                "round {}: coverage {:.1}% below the {:.0}% bar",
+                p.round,
+                p.coverage() * 100.0,
+                MIN_COVERAGE * 100.0
+            ));
+        }
+    }
+    problems
+}
+
+fn check() -> ExitCode {
+    let a = run_workload();
+    let b = run_workload();
+    let jsonl_a = a.export_trace("payment-50");
+    let jsonl_b = b.export_trace("payment-50");
+    let mut ok = true;
+    if a.trace_dropped() > 0 {
+        println!(
+            "critical-path check: FAILED (trace truncated: {} events dropped)",
+            a.trace_dropped()
+        );
+        ok = false;
+    }
+    let report_a = match render(&jsonl_a) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("critical-path check: FAILED (render a: {e})");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report_b = match render(&jsonl_b) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("critical-path check: FAILED (render b: {e})");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report_a != report_b {
+        println!("critical-path check: FAILED (same seed+schedule rendered different reports)");
+        ok = false;
+    } else {
+        println!(
+            "critical-path check: identical report across reruns ({} bytes)",
+            report_a.len()
+        );
+    }
+    let trace = parse_jsonl(&jsonl_a).expect("exporter emits parseable JSONL");
+    let paths = critical_paths(&trace.events);
+    let problems = check_paths(&paths, 8);
+    if problems.is_empty() {
+        let worst = paths
+            .iter()
+            .filter(|p| p.final_consensus)
+            .map(|p| p.coverage())
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "critical-path check: {} rounds, all chains contiguous, worst finalized coverage {:.1}%",
+            paths.len(),
+            worst * 100.0
+        );
+    } else {
+        for p in &problems {
+            println!("critical-path check: FAILED ({p})");
+        }
+        ok = false;
+    }
+    if ok {
+        println!("critical-path check: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--check") {
+        return check();
+    }
+    let sim = run_workload();
+    let jsonl = sim.export_trace("payment-50");
+    match render(&jsonl) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("critical_path: bad trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -184,6 +184,29 @@ fn print_bandwidth(trace: &Trace) {
             p.median * 8e3 / horizon
         );
     }
+    // Network-wide per-kind byte split (the exporter's bytes_* summary
+    // events): where the bandwidth actually goes.
+    let kind_total: u64 = trace
+        .events
+        .iter()
+        .filter(|e| e.label.starts_with("bytes_"))
+        .map(|e| e.value)
+        .sum();
+    if kind_total > 0 {
+        print!("  per-kind share:");
+        for e in trace
+            .events
+            .iter()
+            .filter(|e| e.label.starts_with("bytes_"))
+        {
+            print!(
+                "  {}={:.1}%",
+                e.label.trim_start_matches("bytes_"),
+                e.value as f64 / kind_total as f64 * 100.0
+            );
+        }
+        println!();
+    }
     let hops = durations(trace, SpanKind::GossipHop, "block_body");
     println!("{}", fmt_line("block-body gossip hop", &hops));
 }
@@ -265,6 +288,13 @@ fn report() -> ExitCode {
         trace.events.len(),
         trace.dropped
     );
+    if trace.dropped > 0 {
+        println!(
+            "WARNING: trace truncated ({} events dropped past the buffer cap); \
+             per-span sections undercount",
+            trace.dropped
+        );
+    }
     print_latency_breakdown(&trace);
     print_step_wallclock(&trace);
     print_bandwidth(&trace);
@@ -328,6 +358,15 @@ fn check() -> ExitCode {
         ok = false;
     } else {
         println!("trace check: tracing on/off leaves the chain digest unchanged");
+    }
+    // A truncated trace silently undercounts every per-span section, so
+    // the gate treats it as a failure rather than a warning.
+    let dropped = a.trace_dropped().max(b.trace_dropped());
+    if dropped > 0 {
+        println!("trace check: FAILED (trace truncated: {dropped} events dropped)");
+        ok = false;
+    } else {
+        println!("trace check: no dropped events (trace is complete)");
     }
     if ok {
         println!("trace check: OK");

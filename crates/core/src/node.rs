@@ -37,10 +37,11 @@ use algorand_ba::{
 };
 use algorand_crypto::codec::{Reader, WriteExt};
 use algorand_crypto::Keypair;
-use algorand_ledger::seed::propose_seed;
+use algorand_ledger::seed::{fallback_seed, propose_seed, verify_seed_proposal};
 use algorand_ledger::{Block, Blockchain, Transaction};
-use algorand_obs::{SpanKind, Tracer};
+use algorand_obs::{causal, stable_id, SpanKind, Tracer};
 use algorand_txpool::TxPool;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 #[allow(clippy::large_enum_variant)] // One Phase per node; size is irrelevant.
@@ -127,6 +128,13 @@ pub struct Node {
     /// and the node id stamped on emitted spans.
     tracer: Tracer,
     trace_node: u32,
+    /// Gossip message ids of block bodies seen this round, by block hash —
+    /// the proposal span's causal link to the adopted block. Only
+    /// populated while tracing; cleared each round.
+    block_msg_ids: HashMap<[u8; 32], u64>,
+    /// The block hash BA⋆ started with (the adopted proposal or the empty
+    /// block), for proposal-span causal attribution.
+    ba_input: [u8; 32],
 }
 
 impl Node {
@@ -165,6 +173,8 @@ impl Node {
             watchdog_catchups: 0,
             tracer: Tracer::disabled(),
             trace_node: 0,
+            block_msg_ids: HashMap::new(),
+            ba_input: [0u8; 32],
         }
     }
 
@@ -653,6 +663,8 @@ impl Node {
 
     fn start_round(&mut self, now: Micros, out: &mut Outbox) {
         self.ctx = RoundContext::new(&self.chain, now);
+        self.block_msg_ids.clear();
+        self.ba_input = [0u8; 32];
         self.blocks
             .insert(self.ctx.empty_hash(), self.ctx.empty_block().clone());
         self.phase = Phase::WaitProposals {
@@ -697,11 +709,16 @@ impl Node {
                     self.pipeline.verified += 1;
                     self.ctx.observe_priority(&vp);
                     out.push(WireMessage::Priority(msg));
-                    out.push(WireMessage::Block(BlockMessage {
+                    let bm = BlockMessage {
                         block,
                         sorthash,
                         sort_proof,
-                    }));
+                    };
+                    if self.tracer.is_enabled() {
+                        self.block_msg_ids
+                            .insert(block_hash, stable_id(&bm.message_id()));
+                    }
+                    out.push(WireMessage::Block(bm));
                 }
                 None => debug_assert!(false, "own freshly signed proposal must verify"),
             }
@@ -749,6 +766,7 @@ impl Node {
         self.tracer
             .span(SpanKind::Verify, self.trace_node, p.round, _now)
             .label("priority")
+            .id(stable_id(&p.message_id()))
             .ok(verdict.is_some())
             .instant();
         let Some(vp) = verdict else {
@@ -766,6 +784,11 @@ impl Node {
         if b.block.round != self.ctx.round() {
             return;
         }
+        if self.tracer.is_enabled() {
+            self.block_msg_ids
+                .entry(hash)
+                .or_insert_with(|| stable_id(&b.message_id()));
+        }
         // Equivocation is settled on hashes alone; only a proposer's first
         // block of the round is worth verifying.
         if let Some(proposer) = &b.block.proposer {
@@ -780,6 +803,7 @@ impl Node {
                 self.tracer
                     .span(SpanKind::Verify, self.trace_node, b.block.round, now)
                     .label("block")
+                    .id(stable_id(&b.message_id()))
                     .value(b.block.wire_size() as u64)
                     .ok(verdict.is_some())
                     .instant();
@@ -830,6 +854,7 @@ impl Node {
                             .span(SpanKind::Verify, self.trace_node, v.round, now)
                             .step(v.step.code())
                             .label("vote")
+                            .id(stable_id(&v.message_id()))
                             .ok(verdict.is_some())
                             .instant();
                         match verdict {
@@ -859,6 +884,7 @@ impl Node {
                             .span(SpanKind::Verify, self.trace_node, v.round, now)
                             .step(v.step.code())
                             .label("vote")
+                            .id(stable_id(&v.message_id()))
                             .ok(verdict.is_some())
                             .instant();
                         match verdict {
@@ -891,10 +917,25 @@ impl Node {
         // clearly far ahead of us.
         match ingest::classify_round(v.round, self.ctx.round()) {
             RoundClass::NearFuture => {
-                if self.future_votes.push(v) {
+                let parked = self.future_votes.push(v);
+                if parked {
                     self.pipeline.buffered_future += 1;
                 } else {
                     self.pipeline.rejected_ingest += 1;
+                }
+                if self.tracer.is_enabled() {
+                    // Staleness accounting for the invariant monitor:
+                    // step = round gap, value = buffer occupancy after
+                    // the push, ok = whether the vote was parked.
+                    self.tracer
+                        .span(SpanKind::Tally, self.trace_node, v.round, now)
+                        .step((v.round - self.ctx.round()) as u32)
+                        .label("future")
+                        .id(stable_id(&v.message_id()))
+                        .cause(stable_id(&v.sender.to_bytes()))
+                        .value(self.future_votes.len() as u64)
+                        .ok(parked)
+                        .instant();
                 }
                 // A committee vote two rounds ahead proves the network has
                 // certified both our current round and the next: probe for
@@ -955,6 +996,7 @@ impl Node {
             None => self.ctx.empty_hash(),
         };
         self.ctx.set_ba_started(now);
+        self.ba_input = initial;
         let (mut engine, outputs) = BaStar::start(
             self.params.ba,
             self.keypair.clone(),
@@ -987,12 +1029,13 @@ impl Node {
                 .span(SpanKind::Verify, self.trace_node, v.round, now)
                 .step(v.step.code())
                 .label("vote")
+                .id(stable_id(&v.message_id()))
                 .ok(verdict.is_some())
                 .instant();
             match verdict {
                 Some(vv) => {
                     self.pipeline.verified += 1;
-                    engine.ingest_verified(&vv);
+                    engine.ingest_verified(&vv, now);
                 }
                 None => self.pipeline.rejected_verify += 1,
             }
@@ -1035,13 +1078,14 @@ impl Node {
             .expect("caller checked the store")
             .clone();
         let finalized = decision.kind == ConsensusKind::Final;
-        let (binary_done, ba_started, escalations) = match &self.phase {
+        let ba_started = self.ctx.ba_started().unwrap_or(self.ctx.started());
+        let (binary_done, escalations, concluded_span) = match &self.phase {
             Phase::Ba { engine } => (
                 engine.binary_done_at().unwrap_or(now),
-                self.ctx.ba_started().unwrap_or(self.ctx.started()),
                 engine.timeout_escalations(),
+                engine.last_concluded_span(),
             ),
-            _ => (now, self.ctx.ba_started().unwrap_or(self.ctx.started()), 0),
+            _ => (now, 0, 0),
         };
         // Adaptive λ_stepvar: a round whose BA⋆ burned timeouts doubles
         // the next proposal wait; a clean round resets the backoff.
@@ -1096,15 +1140,46 @@ impl Node {
         if self.tracer.is_enabled() {
             let round = self.ctx.round();
             let started = self.ctx.started();
+            // The proposal phase's causal link: the gossip message id of
+            // the block BA⋆ actually started with (0 for the empty block,
+            // which no message carried).
+            let adopted = if self.ba_input == self.ctx.empty_hash() {
+                0
+            } else {
+                self.block_msg_ids.get(&self.ba_input).copied().unwrap_or(0)
+            };
             self.tracer
                 .span(SpanKind::Proposal, self.trace_node, round, started)
                 .label("proposal")
+                .id(causal::proposal_span_id(self.trace_node, round))
+                .cause(adopted)
                 .ok(decision.value != self.ctx.empty_hash())
                 .end_at(ba_started);
+            // Seed-chain validity (§5.2): the appended block's seed must
+            // be the proposer's VRF output over the previous seed, or the
+            // hash-chain fallback for empty blocks.
+            let seed_ok = match self.chain.block_by_hash(&block.prev_hash) {
+                Some(prev) => match (&block.proposer, &block.seed_proof) {
+                    (Some(pk), Some(proof)) => {
+                        verify_seed_proposal(pk, proof, &prev.seed, block.round) == Some(block.seed)
+                    }
+                    _ => block.seed == fallback_seed(&prev.seed, block.round),
+                },
+                None => false,
+            };
+            self.tracer
+                .span(SpanKind::Verify, self.trace_node, round, now)
+                .label("seed")
+                .id(stable_id(&decision.value))
+                .value(stable_id(&block.seed))
+                .ok(seed_ok)
+                .instant();
             self.tracer
                 .span(SpanKind::Round, self.trace_node, round, started)
                 .step(decision.binary_step)
                 .label(if finalized { "final" } else { "tentative" })
+                .id(stable_id(&decision.value))
+                .cause(concluded_span)
                 .value(block.wire_size() as u64)
                 .ok(finalized)
                 .end_at(now);
@@ -1244,6 +1319,7 @@ impl Node {
         self.tracer
             .span(SpanKind::Verify, self.trace_node, f.block.round, now)
             .label("fork")
+            .id(stable_id(&f.message_id()))
             .ok(verdict.is_some())
             .instant();
         let Some(vf) = verdict else {
@@ -1315,6 +1391,11 @@ impl Node {
                     self.verifier.clone(),
                     now,
                 );
+                // Recovery re-runs fork rounds whose (node, round, step)
+                // keys collide with the normal rounds' causal namespace;
+                // suppress before the tracer attach so the parked
+                // reduction-one emission is not flushed with ids either.
+                engine.suppress_causal_ids();
                 engine.set_tracer(self.tracer.clone(), self.trace_node);
                 for o in outputs {
                     if let Output::Gossip(v) = o {

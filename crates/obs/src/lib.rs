@@ -16,20 +16,33 @@
 //!   interpolated five-number summary used by the paper-style reports,
 //!   and a constant-memory log-scale histogram (8 sub-buckets per octave,
 //!   ≤ 12.5% relative error) with p50/p99 extraction and fleet merge.
+//! - **Causal analysis** ([`causal`]): every causal event carries a
+//!   stable `id` and a `cause` link; [`causal::critical_paths`] walks a
+//!   round's certificate backward across nodes to the proposal that
+//!   seeded it, with per-edge latency attribution.
+//! - **Invariant monitor** ([`monitor`]): an online checker fed live
+//!   from the tracer's observer slot — conflicting certificates,
+//!   committee tail bounds, seed-chain validity, vote accounting, and
+//!   FutureVotes staleness.
 //!
 //! Everything here is write-only from the instrumented code's point of
 //! view and consumes no randomness, so enabling or disabling observability
 //! cannot change simulation behavior — the trace-determinism CI gate
 //! asserts exactly that.
 
+pub mod causal;
 mod hist;
+pub mod monitor;
 mod registry;
 mod trace;
 
+pub use causal::{critical_paths, CausalGraph, CriticalPath, Edge, EdgeKind};
 pub use hist::{Histogram, Percentiles};
+pub use monitor::{InvariantMonitor, MonitorConfig, MonitorHandle, MonitorReport};
 pub use registry::{Counter, Gauge, HistHandle, Registry};
 pub use trace::{
-    parse_jsonl, write_jsonl, Micros, Span, SpanKind, Trace, TraceEvent, Tracer, NO_NODE,
+    parse_jsonl, span_id, stable_id, write_jsonl, Micros, Span, SpanKind, Trace, TraceEvent,
+    TraceObserver, Tracer, NO_NODE,
 };
 
 #[cfg(test)]

@@ -41,8 +41,14 @@ pub enum SpanKind {
     Sortition,
     /// One verification-stage verdict. `ok` = accepted.
     Verify,
-    /// One gossip hop of a block body (send start to arrival), or a
-    /// per-node `uplink_total`/`downlink_total` summary. `value` = bytes.
+    /// One vote accepted into a BA⋆ step tally (`label = "add"`) or a
+    /// future-round vote parked for later (`label = "future"`). `id` is
+    /// the vote message id, `cause` the voter id, `value` the sub-user
+    /// count (adds) or the buffer occupancy after the park (futures).
+    Tally,
+    /// One gossip hop of a message body (send start to arrival), or a
+    /// per-node `uplink_total`/`downlink_total` summary. `value` = bytes,
+    /// `peer` = the sending node for per-hop spans.
     GossipHop,
     /// Catch-up activity: `request`, `apply`, or `watchdog` (see labels).
     Catchup,
@@ -59,6 +65,7 @@ impl SpanKind {
             SpanKind::BaStep => "ba_step",
             SpanKind::Sortition => "sortition",
             SpanKind::Verify => "verify",
+            SpanKind::Tally => "tally",
             SpanKind::GossipHop => "gossip_hop",
             SpanKind::Catchup => "catchup",
             SpanKind::Fault => "fault",
@@ -73,6 +80,7 @@ impl SpanKind {
             "ba_step" => SpanKind::BaStep,
             "sortition" => SpanKind::Sortition,
             "verify" => SpanKind::Verify,
+            "tally" => SpanKind::Tally,
             "gossip_hop" => SpanKind::GossipHop,
             "catchup" => SpanKind::Catchup,
             "fault" => SpanKind::Fault,
@@ -102,6 +110,18 @@ pub struct TraceEvent {
     pub value: u64,
     /// Kind-specific verdict (accepted / on-votes / final).
     pub ok: bool,
+    /// Stable causal identity: the gossip message id for hops, verifies
+    /// and vote emissions ([`stable_id`]), a deterministic phase span id
+    /// ([`span_id`]) for proposal/step/round spans, 0 when the event has
+    /// no causal identity.
+    pub id: u64,
+    /// The id of the message or span that caused this event (0 = none):
+    /// the gating vote for a concluded step, the adopted proposal for a
+    /// reduction-one vote, the concluding step for a round.
+    pub cause: u64,
+    /// The other endpoint of a gossip hop (the sending node);
+    /// [`NO_NODE`] when not applicable.
+    pub peer: u32,
 }
 
 impl TraceEvent {
@@ -111,10 +131,50 @@ impl TraceEvent {
     }
 }
 
+/// Truncates a 32-byte content hash (message id, public key, block hash)
+/// to the 64-bit causal id used in trace links: the first 8 bytes,
+/// little-endian, never 0 (0 is reserved for "no link").
+pub fn stable_id(bytes: &[u8; 32]) -> u64 {
+    let raw = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    if raw == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        raw
+    }
+}
+
+/// A deterministic id for a protocol phase span, computable by both the
+/// producer (instrumentation) and the consumer (the causal walker)
+/// without coordination: a bit-mix of `(node, round, step, tag)`.
+/// Never 0.
+pub fn span_id(node: u32, round: u64, step: u32, tag: u8) -> u64 {
+    // splitmix64 finalizer over a packed key; tag keeps proposal / step /
+    // round namespaces disjoint for the same (node, round).
+    let mut z = (round ^ ((node as u64) << 40) ^ ((step as u64) << 8) ^ (tag as u64))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// A live consumer of every recorded event (the invariant monitor).
+/// Observers see events *before* the buffer-cap check, so a truncated
+/// trace still feeds the full stream to the observer.
+pub trait TraceObserver: Send {
+    /// Called once per recorded event, in recording order.
+    fn observe(&mut self, ev: &TraceEvent);
+}
+
 struct Buffer {
     events: Vec<TraceEvent>,
     cap: usize,
     dropped: u64,
+    observer: Option<Box<dyn TraceObserver>>,
 }
 
 /// A cheap, cloneable recording handle. [`Tracer::disabled`] is inert:
@@ -136,6 +196,7 @@ impl Tracer {
             events: Vec::new(),
             cap,
             dropped: 0,
+            observer: None,
         }))))
     }
 
@@ -144,10 +205,21 @@ impl Tracer {
         self.0.is_some()
     }
 
+    /// Attaches a live observer fed every subsequent event. No-op on a
+    /// disabled tracer. A later call replaces the previous observer.
+    pub fn set_observer(&self, observer: Box<dyn TraceObserver>) {
+        if let Some(buf) = &self.0 {
+            buf.lock().expect("trace lock").observer = Some(observer);
+        }
+    }
+
     /// Records a complete event.
     pub fn record(&self, ev: TraceEvent) {
         let Some(buf) = &self.0 else { return };
         let mut buf = buf.lock().expect("trace lock");
+        if let Some(observer) = buf.observer.as_mut() {
+            observer.observe(&ev);
+        }
         if buf.events.len() >= buf.cap {
             buf.dropped += 1;
         } else {
@@ -171,6 +243,9 @@ impl Tracer {
                 end: start,
                 value: 0,
                 ok: true,
+                id: 0,
+                cause: 0,
+                peer: NO_NODE,
             },
         }
     }
@@ -242,6 +317,24 @@ impl Span {
         self
     }
 
+    /// Sets the event's causal identity.
+    pub fn id(mut self, id: u64) -> Span {
+        self.ev.id = id;
+        self
+    }
+
+    /// Sets the causal predecessor link.
+    pub fn cause(mut self, cause: u64) -> Span {
+        self.ev.cause = cause;
+        self
+    }
+
+    /// Sets the hop's sending node.
+    pub fn peer(mut self, peer: u32) -> Span {
+        self.ev.peer = peer;
+        self
+    }
+
     /// Closes the span at `end` and records it.
     pub fn end_at(mut self, end: Micros) {
         self.ev.end = end;
@@ -273,9 +366,9 @@ fn escape_into(out: &mut String, s: &str) {
 /// followed by one event per line, fields in a fixed order — identical
 /// runs produce byte-identical output.
 pub fn write_jsonl(seed: u64, schedule: &str, dropped: u64, events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(64 + events.len() * 96);
+    let mut out = String::with_capacity(64 + events.len() * 128);
     out.push_str(&format!(
-        "{{\"trace\":\"algorand\",\"version\":1,\"seed\":{seed},\"schedule\":\""
+        "{{\"trace\":\"algorand\",\"version\":2,\"seed\":{seed},\"schedule\":\""
     ));
     escape_into(&mut out, schedule);
     out.push_str(&format!(
@@ -284,16 +377,17 @@ pub fn write_jsonl(seed: u64, schedule: &str, dropped: u64, events: &[TraceEvent
     ));
     for ev in events {
         out.push_str(&format!(
-            "{{\"kind\":\"{}\",\"node\":{},\"round\":{},\"step\":{},\"label\":\"",
+            "{{\"kind\":\"{}\",\"node\":{},\"peer\":{},\"round\":{},\"step\":{},\"label\":\"",
             ev.kind.as_str(),
             ev.node,
+            ev.peer,
             ev.round,
             ev.step
         ));
         escape_into(&mut out, &ev.label);
         out.push_str(&format!(
-            "\",\"start\":{},\"end\":{},\"value\":{},\"ok\":{}}}\n",
-            ev.start, ev.end, ev.value, ev.ok
+            "\",\"start\":{},\"end\":{},\"value\":{},\"ok\":{},\"id\":{},\"cause\":{}}}\n",
+            ev.start, ev.end, ev.value, ev.ok, ev.id, ev.cause
         ));
     }
     out
@@ -316,27 +410,44 @@ fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let at = line.find(&pat)? + pat.len();
     let rest = &line[at..];
-    let end = rest
-        .char_indices()
-        .scan(false, |in_str, (i, c)| {
-            if c == '"' {
-                *in_str = !*in_str;
+    // Walk to the value's terminating ',' or '}', honoring escaped
+    // quotes — a `\"` inside a string value must not close it.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
             }
-            if !*in_str && (c == ',' || c == '}') {
-                Some(Some(i))
-            } else {
-                Some(None)
-            }
-        })
-        .flatten()
-        .next()?;
-    Some(&rest[..end])
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ',' || c == '}' {
+            return Some(&rest[..i]);
+        }
+    }
+    None
 }
 
 fn field_u64(line: &str, key: &str) -> Result<u64, String> {
     field_raw(line, key)
         .and_then(|s| s.trim().parse().ok())
         .ok_or_else(|| format!("missing or bad field {key:?} in {line:?}"))
+}
+
+/// Like [`field_u64`] but tolerates an absent key (version-1 traces
+/// predate the causal fields).
+fn field_u64_or(line: &str, key: &str, default: u64) -> Result<u64, String> {
+    match field_raw(line, key) {
+        None => Ok(default),
+        Some(s) => s
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad field {key:?} in {line:?}")),
+    }
 }
 
 fn field_str(line: &str, key: &str) -> Result<String, String> {
@@ -346,11 +457,31 @@ fn field_str(line: &str, key: &str) -> Result<String, String> {
         .strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
         .ok_or_else(|| format!("field {key:?} is not a string in {line:?}"))?;
-    // The writer only escapes quote/backslash/newline/control chars.
-    Ok(inner
-        .replace("\\n", "\n")
-        .replace("\\\"", "\"")
-        .replace("\\\\", "\\"))
+    // Inverse of `escape_into`: one left-to-right pass, so a literal
+    // backslash followed by 'n' can't be confused with an `\n` escape.
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| format!("bad \\u escape in field {key:?} of {line:?}"))?;
+                out.push(code);
+            }
+            other => return Err(format!("bad escape {other:?} in field {key:?} of {line:?}")),
+        }
+    }
+    Ok(out)
 }
 
 /// Parses the JSONL produced by [`write_jsonl`].
@@ -387,6 +518,9 @@ pub fn parse_jsonl(input: &str) -> Result<Trace, String> {
             end: field_u64(line, "end")?,
             value: field_u64(line, "value")?,
             ok: field_raw(line, "ok").map(str::trim) == Some("true"),
+            id: field_u64_or(line, "id", 0)?,
+            cause: field_u64_or(line, "cause", 0)?,
+            peer: field_u64_or(line, "peer", NO_NODE as u64)? as u32,
         });
     }
     Ok(trace)
@@ -407,6 +541,9 @@ mod tests {
             end,
             value: 17,
             ok: true,
+            id: 0xdead_beef,
+            cause: 7,
+            peer: 4,
         }
     }
 
@@ -486,6 +623,7 @@ mod tests {
             SpanKind::BaStep,
             SpanKind::Sortition,
             SpanKind::Verify,
+            SpanKind::Tally,
             SpanKind::GossipHop,
             SpanKind::Catchup,
             SpanKind::Fault,
@@ -493,5 +631,45 @@ mod tests {
             assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
         }
         assert_eq!(SpanKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn version1_lines_parse_with_default_causal_fields() {
+        let v1 = "{\"trace\":\"algorand\",\"version\":1,\"seed\":3,\"schedule\":\"s\",\"events\":1,\"dropped\":0}\n\
+                  {\"kind\":\"verify\",\"node\":2,\"round\":5,\"step\":1,\"label\":\"vote\",\"start\":10,\"end\":10,\"value\":0,\"ok\":true}\n";
+        let parsed = parse_jsonl(v1).unwrap();
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.events[0].id, 0);
+        assert_eq!(parsed.events[0].cause, 0);
+        assert_eq!(parsed.events[0].peer, NO_NODE);
+    }
+
+    #[test]
+    fn causal_ids_are_stable_and_nonzero() {
+        assert_ne!(stable_id(&[0u8; 32]), 0);
+        assert_eq!(stable_id(&[9u8; 32]), stable_id(&[9u8; 32]));
+        assert_ne!(span_id(1, 2, 3, 1), 0);
+        assert_eq!(span_id(1, 2, 3, 1), span_id(1, 2, 3, 1));
+        assert_ne!(span_id(1, 2, 3, 1), span_id(1, 2, 3, 2));
+        assert_ne!(span_id(1, 2, 3, 1), span_id(2, 2, 3, 1));
+    }
+
+    #[test]
+    fn observer_sees_events_past_the_buffer_cap() {
+        struct Counter(Arc<Mutex<u64>>);
+        impl TraceObserver for Counter {
+            fn observe(&mut self, _ev: &TraceEvent) {
+                *self.0.lock().unwrap() += 1;
+            }
+        }
+        let seen = Arc::new(Mutex::new(0u64));
+        let t = Tracer::bounded(2);
+        t.set_observer(Box::new(Counter(seen.clone())));
+        for i in 0..5u64 {
+            t.span(SpanKind::Verify, 0, 1, i).instant();
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(*seen.lock().unwrap(), 5);
     }
 }

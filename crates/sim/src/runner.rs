@@ -16,7 +16,11 @@ use algorand_crypto::Keypair;
 use algorand_gossip::{RelayDecision, RelayMetrics, RelayState, Topology};
 use algorand_ledger::seed::selection_seed_round;
 use algorand_ledger::{Blockchain, Transaction};
-use algorand_obs::{write_jsonl, Histogram, Registry, SpanKind, TraceEvent, Tracer, NO_NODE};
+use algorand_obs::{
+    stable_id, write_jsonl, Histogram, MonitorConfig, MonitorHandle, MonitorReport, Registry,
+    SpanKind, TraceEvent, Tracer, NO_NODE,
+};
+use algorand_sortition::binomial::binomial_cdf;
 use algorand_txpool::PoolMetrics;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -79,6 +83,11 @@ pub struct SimConfig {
     /// write-only and consumes no randomness, so it cannot change the
     /// simulation's behavior: same seed ⇒ same chain digest either way.
     pub trace: bool,
+    /// Attach the online protocol-invariant monitor to the trace stream
+    /// (requires `trace`; see [`Simulation::monitor_report`]). The
+    /// monitor observes events before the buffer cap, so a truncated
+    /// trace still gets checked end to end.
+    pub monitor: bool,
 }
 
 impl SimConfig {
@@ -102,8 +111,49 @@ impl SimConfig {
             seed: 1,
             verify_pool_workers: 0,
             trace: false,
+            monitor: false,
         }
     }
+}
+
+/// Bytes sent per wire-message kind across every transmission of a run
+/// (announcement-sized block exchanges count under their kind).
+#[derive(Clone, Copy, Default)]
+struct KindBytes {
+    vote: u64,
+    priority: u64,
+    block: u64,
+    fork: u64,
+    tx: u64,
+    catchup: u64,
+}
+
+impl KindBytes {
+    /// `(label, bytes)` pairs in the fixed export order that keeps the
+    /// trace byte-stable.
+    fn summary(&self) -> [(&'static str, u64); 6] {
+        [
+            ("bytes_vote", self.vote),
+            ("bytes_priority", self.priority),
+            ("bytes_block", self.block),
+            ("bytes_fork", self.fork),
+            ("bytes_tx", self.tx),
+            ("bytes_catchup", self.catchup),
+        ]
+    }
+}
+
+/// Smallest `k` whose binomial upper tail `P[Binomial(W, τ/W) > k]` falls
+/// below ~1e-12 — the §7.5 bound the monitor enforces on the
+/// deduplicated committee weight of any (round, step).
+fn committee_upper_bound(total_weight: u64, tau: f64) -> u64 {
+    let w = total_weight.max(1);
+    let p = (tau / w as f64).min(1.0);
+    let mut k = (tau as u64).min(w);
+    while k < w && 1.0 - binomial_cdf(k, w, p) >= 1e-12 {
+        k += 1;
+    }
+    k
 }
 
 enum Slot {
@@ -240,6 +290,11 @@ pub struct Simulation {
     registry: Registry,
     /// The shared trace buffer (inert unless `cfg.trace`).
     tracer: Tracer,
+    /// The online invariant checker fed from the tracer's observer slot
+    /// (present only when `cfg.monitor`).
+    monitor: Option<MonitorHandle>,
+    /// Per-kind transmitted-byte totals, exported with the trace.
+    kind_bytes: KindBytes,
     /// Counters carried over from nodes replaced by crash/restart,
     /// keyed by node id.
     carry: HashMap<usize, NodeCarry>,
@@ -361,6 +416,18 @@ impl Simulation {
         } else {
             Tracer::disabled()
         };
+        let monitor = (cfg.monitor && cfg.trace).then(|| {
+            let total_weight = cfg.n_users as u64 * cfg.stake_per_user;
+            let handle = MonitorHandle::new(MonitorConfig {
+                committee_hi_step: committee_upper_bound(total_weight, cfg.params.ba.tau_step),
+                committee_hi_final: committee_upper_bound(total_weight, cfg.params.ba.tau_final),
+                max_future_gap: algorand_core::ingest::FUTURE_ROUND_WINDOW as u32,
+                max_future_buffer: algorand_core::round::FutureVotes::MAX_TOTAL as u64,
+                honest_nodes: (cfg.n_users - cfg.n_malicious) as u32,
+            });
+            tracer.set_observer(handle.observer());
+            handle
+        });
         let pool_metrics = PoolMetrics::registered(&registry);
         let n_honest = cfg.n_users - cfg.n_malicious;
         let nodes: Vec<Slot> = (0..cfg.n_users)
@@ -428,6 +495,8 @@ impl Simulation {
             partitions_activated: 0,
             registry,
             tracer,
+            monitor,
+            kind_bytes: KindBytes::default(),
             carry: HashMap::new(),
             cfg,
             started: false,
@@ -885,6 +954,7 @@ impl Simulation {
             .set(f.catchups_applied as i64);
         reg.gauge("net.total_bytes_sent")
             .set(self.net.total_bytes_sent() as i64);
+        reg.gauge("trace.dropped").set(self.tracer.dropped() as i64);
         // Round-completion latency across all nodes and rounds, µs.
         let mut lat = Histogram::new();
         for recs in self.combined_records() {
@@ -907,31 +977,48 @@ impl Simulation {
     pub fn export_trace(&self, schedule: &str) -> String {
         let mut events = self.tracer.events();
         let now = self.queue.now();
+        let summary = |node: u32, label: &'static str, value: u64| TraceEvent {
+            kind: SpanKind::GossipHop,
+            node,
+            round: 0,
+            step: 0,
+            label: label.into(),
+            start: 0,
+            end: now,
+            value,
+            ok: true,
+            id: 0,
+            cause: 0,
+            peer: NO_NODE,
+        };
         for i in 0..self.cfg.n_users {
-            events.push(TraceEvent {
-                kind: SpanKind::GossipHop,
-                node: i as u32,
-                round: 0,
-                step: 0,
-                label: "uplink_total".into(),
-                start: 0,
-                end: now,
-                value: self.net.bytes_sent(i),
-                ok: true,
-            });
-            events.push(TraceEvent {
-                kind: SpanKind::GossipHop,
-                node: i as u32,
-                round: 0,
-                step: 0,
-                label: "downlink_total".into(),
-                start: 0,
-                end: now,
-                value: self.net.bytes_received(i),
-                ok: true,
-            });
+            events.push(summary(i as u32, "uplink_total", self.net.bytes_sent(i)));
+            events.push(summary(
+                i as u32,
+                "downlink_total",
+                self.net.bytes_received(i),
+            ));
+        }
+        // Network-wide per-kind byte totals, in a fixed label order. The
+        // counters only accumulate while tracing, so an untraced export
+        // stays the plain per-node summary pairs.
+        if self.tracer.is_enabled() {
+            for (label, bytes) in self.kind_bytes.summary() {
+                events.push(summary(NO_NODE, label, bytes));
+            }
         }
         write_jsonl(self.cfg.seed, schedule, self.tracer.dropped(), &events)
+    }
+
+    /// The invariant monitor's report, if [`SimConfig::monitor`] attached
+    /// one to this run.
+    pub fn monitor_report(&self) -> Option<MonitorReport> {
+        self.monitor.as_ref().map(MonitorHandle::report)
+    }
+
+    /// Trace events dropped past the buffer cap (0 = complete trace).
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     // --- Internals -----------------------------------------------------------
@@ -1080,21 +1167,8 @@ impl Simulation {
             msg.size
         };
         if let Some(arrival) = self.net.transmit(from, to, size, now) {
-            // One gossip-hop span per full block-body transfer (the
-            // bandwidth-dominant hops; announcement-sized exchanges and
-            // vote traffic are summarized by the bandwidth totals in the
-            // exported trace instead, keeping the buffer within bounds).
-            if self.tracer.is_enabled() && msg.pull_based && size == msg.size {
-                let round = match &msg.wire {
-                    WireMessage::Block(b) => b.block.round,
-                    WireMessage::ForkProposal(f) => f.block.round,
-                    _ => 0,
-                };
-                self.tracer
-                    .span(SpanKind::GossipHop, to as u32, round, now)
-                    .label("block_body")
-                    .value(size as u64)
-                    .end_at(arrival);
+            if self.tracer.is_enabled() {
+                self.trace_hop(from, to, msg, size, now, arrival);
             }
             self.enqueue_prewarm(msg);
             self.queue.schedule(
@@ -1105,6 +1179,59 @@ impl Simulation {
                     msg: msg.clone(),
                 },
             );
+        }
+    }
+
+    /// Accumulates the per-kind byte counters and records one causally
+    /// stamped gossip-hop span per protocol-message transfer the
+    /// critical-path walker follows: votes, priorities, and *full*
+    /// block/fork bodies (an announcement-sized exchange means the
+    /// receiver already held the content, so it is not a content hop).
+    /// Transactions and catch-up traffic only count bytes.
+    fn trace_hop(
+        &mut self,
+        from: usize,
+        to: usize,
+        msg: &Arc<SimMsg>,
+        size: usize,
+        now: Micros,
+        arrival: Micros,
+    ) {
+        let full_body = size == msg.size;
+        let hop = match &msg.wire {
+            WireMessage::Vote(v) => {
+                self.kind_bytes.vote += size as u64;
+                Some(("vote", v.round))
+            }
+            WireMessage::Priority(p) => {
+                self.kind_bytes.priority += size as u64;
+                Some(("priority", p.round))
+            }
+            WireMessage::Block(b) => {
+                self.kind_bytes.block += size as u64;
+                full_body.then_some(("block_body", b.block.round))
+            }
+            WireMessage::ForkProposal(f) => {
+                self.kind_bytes.fork += size as u64;
+                full_body.then_some(("fork_body", f.block.round))
+            }
+            WireMessage::Transaction(_) => {
+                self.kind_bytes.tx += size as u64;
+                None
+            }
+            WireMessage::CatchupRequest { .. } | WireMessage::CatchupResponse(_) => {
+                self.kind_bytes.catchup += size as u64;
+                None
+            }
+        };
+        if let Some((label, round)) = hop {
+            self.tracer
+                .span(SpanKind::GossipHop, to as u32, round, now)
+                .label(label)
+                .id(stable_id(&msg.id))
+                .peer(from as u32)
+                .value(size as u64)
+                .end_at(arrival);
         }
     }
 

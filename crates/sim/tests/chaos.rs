@@ -15,6 +15,38 @@ use std::collections::HashMap;
 
 const SEC: u64 = 1_000_000;
 
+/// Attach the online invariant monitor (which rides the tracer's
+/// observer slot, so it sees every event even past the buffer cap).
+/// Every chaos schedule runs monitored: faults are exactly when the
+/// protocol invariants are under the most pressure.
+fn monitored(mut cfg: SimConfig) -> SimConfig {
+    cfg.trace = true;
+    cfg.monitor = true;
+    cfg
+}
+
+/// The monitor must have flagged nothing — and must actually have seen
+/// traffic (certificates, tallies, seed verdicts), so a silently
+/// disconnected monitor can't pass vacuously.
+fn assert_monitor_clean(sim: &Simulation) {
+    let report = sim.monitor_report().expect("monitor attached");
+    assert!(
+        report.observed.certificates > 0,
+        "monitor saw no certificates"
+    );
+    assert!(
+        report.observed.tally_adds > 0,
+        "monitor saw no vote tallies"
+    );
+    assert!(report.observed.seeds > 0, "monitor saw no seed verdicts");
+    assert_eq!(
+        report.total_violations(),
+        0,
+        "invariant violations under chaos: {:?}",
+        report.violations
+    );
+}
+
 /// Safety: no two honest users may have different *finalized* blocks at
 /// the same round, ever.
 fn assert_no_divergent_finality(sim: &Simulation, n_honest: usize) {
@@ -79,7 +111,7 @@ fn clean_partition_heal_converges() {
     let n = 16;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 11;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC);
     let clear = schedule.last_fault_clear();
     sim.set_fault_schedule(schedule);
@@ -91,6 +123,7 @@ fn clean_partition_heal_converges() {
     let report = sim.fault_report();
     assert_eq!(report.partitions_activated, 1);
     assert!(report.dropped_by_partition > 0, "partition never bit");
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -103,7 +136,7 @@ fn asymmetric_partition_heals() {
     let n = 12;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 12;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().asymmetric_partition(n, 10, 30 * SEC, 90 * SEC);
     let clear = schedule.last_fault_clear();
     sim.set_fault_schedule(schedule);
@@ -113,6 +146,7 @@ fn asymmetric_partition_heals() {
     assert_no_divergent_finality(&sim, n);
     assert_common_prefix(&sim, n, tip_before + 2);
     assert!(sim.fault_report().dropped_by_partition > 0);
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -123,7 +157,7 @@ fn thirty_percent_loss_keeps_liveness() {
     let n = 12;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 13;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().loss_window(0.30, 20 * SEC, 80 * SEC);
     let clear = schedule.last_fault_clear();
     sim.set_fault_schedule(schedule);
@@ -133,6 +167,7 @@ fn thirty_percent_loss_keeps_liveness() {
     let report = sim.fault_report();
     assert!(report.dropped_by_loss > 0, "loss window never bit");
     assert_eq!(report.restarts, 0);
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -144,7 +179,7 @@ fn crash_majority_restart_converges() {
     let n = 16;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 14;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let mut schedule = FaultSchedule::new();
     for node in 0..9 {
         schedule = schedule.crash_restart(node, 40 * SEC, 100 * SEC);
@@ -162,6 +197,7 @@ fn crash_majority_restart_converges() {
         report.timeout_escalations > 0,
         "survivors should have burned step timeouts while the majority was down"
     );
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -173,7 +209,7 @@ fn partition_with_equivocators_cannot_fork() {
     let mut cfg = SimConfig::new(n);
     cfg.n_malicious = 4; // 20% of stake, colluding equivocators.
     cfg.seed = 15;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC);
     let clear = schedule.last_fault_clear();
     sim.set_fault_schedule(schedule);
@@ -183,6 +219,7 @@ fn partition_with_equivocators_cannot_fork() {
     sim.run_until(clear + 240 * SEC);
     assert_no_divergent_finality(&sim, n_honest);
     assert_common_prefix(&sim, n_honest, tip_before + 2);
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -194,7 +231,7 @@ fn rolling_restarts_preserve_chain() {
     let n = 12;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 16;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let mut schedule = FaultSchedule::new();
     for node in 0..6 {
         let down = (20 + 15 * node as u64) * SEC;
@@ -206,6 +243,7 @@ fn rolling_restarts_preserve_chain() {
     assert_no_divergent_finality(&sim, n);
     assert_common_prefix(&sim, n, 6);
     assert_eq!(sim.fault_report().restarts, 6);
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -217,7 +255,7 @@ fn crashed_node_rejoins_via_catchup() {
     let n = 10;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 17;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().crash_restart(0, 30 * SEC, 90 * SEC);
     let clear = schedule.last_fault_clear();
     sim.set_fault_schedule(schedule);
@@ -240,6 +278,7 @@ fn crashed_node_rejoins_via_catchup() {
             .any(|r| r.round > tip_at_crash && r.round <= common),
         "restarted node never completed a live round after rejoining"
     );
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -250,7 +289,7 @@ fn clock_skew_and_delay_spike_tolerated() {
     let n = 12;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 18;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new()
         .at(
             5 * SEC,
@@ -279,6 +318,7 @@ fn clock_skew_and_delay_spike_tolerated() {
     sim.run_until(clear + 120 * SEC);
     assert_no_divergent_finality(&sim, n);
     assert_common_prefix(&sim, n, 5);
+    assert_monitor_clean(&sim);
 }
 
 #[test]
@@ -289,13 +329,14 @@ fn identical_seed_and_schedule_replay_identically() {
         let n = 10;
         let mut cfg = SimConfig::new(n);
         cfg.seed = 19;
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::new(monitored(cfg));
         let schedule = FaultSchedule::new()
             .bipartition(n, 5, 20 * SEC, 50 * SEC)
             .loss_window(0.15, 60 * SEC, 90 * SEC)
             .crash_restart(3, 95 * SEC, 115 * SEC);
         sim.set_fault_schedule(schedule);
         sim.run_until(220 * SEC);
+        assert_monitor_clean(&sim);
         (sim.chain_digest(), sim.now())
     };
     let (digest_a, now_a) = run();
@@ -313,7 +354,7 @@ fn restart_carries_precrash_counters_exactly_once() {
     let n = 10;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 17;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().crash_restart(0, 30 * SEC, 90 * SEC);
     let clear = schedule.last_fault_clear();
     sim.set_fault_schedule(schedule);
@@ -353,4 +394,5 @@ fn restart_carries_precrash_counters_exactly_once() {
         sim.pipeline_report().stages.ingested > live_only,
         "pre-crash pipeline counters lost from the aggregate"
     );
+    assert_monitor_clean(&sim);
 }

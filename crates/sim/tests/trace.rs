@@ -54,6 +54,40 @@ fn trace_export_is_deterministic_and_inert() {
         .filter(|e| e.kind == SpanKind::GossipHop && e.label.ends_with("_total"))
         .count();
     assert_eq!(bw, 16);
+    // …plus the network-wide per-kind byte counters, in fixed order.
+    let kinds: Vec<&str> = trace
+        .events
+        .iter()
+        .filter(|e| e.label.starts_with("bytes_"))
+        .map(|e| e.label.as_ref())
+        .collect();
+    assert_eq!(
+        kinds,
+        [
+            "bytes_vote",
+            "bytes_priority",
+            "bytes_block",
+            "bytes_fork",
+            "bytes_tx",
+            "bytes_catchup"
+        ]
+    );
+    // Votes and priorities moved bytes in any healthy run.
+    let bytes_of = |label: &str| {
+        trace
+            .events
+            .iter()
+            .find(|e| e.label == label)
+            .map_or(0, |e| e.value)
+    };
+    assert!(bytes_of("bytes_vote") > 0);
+    assert!(bytes_of("bytes_priority") > 0);
+    // Vote and priority gossip hops are now individually traced, with
+    // the sender stamped for the causal walk.
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| e.kind == SpanKind::GossipHop && e.label == "vote" && e.id != 0));
 }
 
 #[test]

@@ -13,9 +13,19 @@
 #      final-chain digests and recover within its horizon (see
 #      crates/bench/src/bin/chaos_determinism.rs),
 #   5. the trace-determinism gate: the same seed traced twice must
-#      export byte-identical trace JSONL, and tracing on/off must not
-#      change the chain digest (see crates/bench/src/bin/trace_report.rs),
-#   6. style gates: rustfmt and clippy with warnings denied.
+#      export byte-identical trace JSONL (with zero dropped events),
+#      and tracing on/off must not change the chain digest (see
+#      crates/bench/src/bin/trace_report.rs),
+#   6. the causal-profiler gate: the critical-path report renders
+#      byte-identically across reruns, every chain is contiguous, and
+#      every finalized round's chain explains >=95% of its measured
+#      latency (see crates/bench/src/bin/critical_path.rs),
+#   7. the invariant monitor: all chaos schedules run with the online
+#      monitor attached and must report zero violations (asserted
+#      inside the chaos suite of step 4), while the violation-injection
+#      self-test must flag every seeded violation class (see
+#      crates/sim/tests/monitor.rs),
+#   8. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -47,5 +57,11 @@ cargo run --release -p algorand-bench --bin chaos_determinism
 
 echo "== trace determinism gate =="
 cargo run --release -p algorand-bench --bin trace_report -- --check
+
+echo "== causal critical-path gate =="
+cargo run --release -p algorand-bench --bin critical_path -- --check
+
+echo "== invariant monitor: baseline + violation-injection self-test =="
+cargo test --release -q -p algorand-sim --test monitor
 
 echo "== CI OK =="
