@@ -1,0 +1,275 @@
+//! Localhost deployment gate: real processes must match the simulator.
+//!
+//! Launches N `algorand-node` processes over loopback TCP and checks the
+//! two properties the node subsystem exists to provide:
+//!
+//! 1. **Simulator equivalence** — with the same seed, keys, and
+//!    preloaded workload, all N processes finalize the *exact* chain
+//!    digest the discrete-event simulator produces. The sans-io core is
+//!    the same code in both worlds; this proves the transport, WAL and
+//!    clock plumbing around it preserve its behavior.
+//! 2. **Crash recovery** — a process `kill -9`'d mid-deployment and
+//!    restarted rejoins: it replays its WAL from disk, fetches what it
+//!    missed via blocksync catch-up batches, and finalizes the same
+//!    chain as the survivors.
+//!
+//! Exit code 0 only if every assertion holds, so `scripts/ci.sh` can
+//! gate on it. Configuration is compiled in (it *is* the test).
+
+use algorand_node::config::{derive_keypairs, workload_transactions};
+use algorand_node::NodeConfig;
+use algorand_sim::{SimConfig, Simulation};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+const N: usize = 5;
+const SEED: u64 = 7;
+const TX_COUNT: usize = 24;
+/// Phase A target: all five processes, digest checked against the sim.
+/// (Chains run a little past the target during the linger grace, so
+/// phase B's goals are set relative to where phase A actually ended.)
+const TARGET_A: u64 = 3;
+const STAKE: u64 = 10;
+
+fn main() {
+    let t0 = Instant::now();
+    let root = std::env::temp_dir().join(format!("algorand-localnet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create scratch dir");
+
+    // --- Reference run: the simulator, same seed/keys/workload. -------
+    let cfgs = node_configs(&root);
+    let reference = simulator_digest(&cfgs[0]);
+    println!("[localnet] simulator digest through round {TARGET_A}: {reference}");
+
+    // --- Phase A: five real processes must reproduce it. --------------
+    println!("[localnet] phase A: {N} processes -> round {TARGET_A}");
+    let mut cfgs = cfgs;
+    for cfg in &mut cfgs {
+        cfg.target_round = TARGET_A;
+        cfg.start_at_ms = unix_ms() + 6_000;
+    }
+    write_configs(&root, &cfgs);
+    let children: Vec<Child> = (0..N).map(|i| spawn_node(&root, i)).collect();
+    let summaries = wait_all(children, Duration::from_secs(180));
+    for (i, ok) in summaries.iter().enumerate() {
+        assert!(*ok, "phase A: node {i} exited unsuccessfully");
+    }
+    for (i, cfg) in cfgs.iter().enumerate() {
+        let digest = read_trimmed(&cfg.wal_dir.join("digest"));
+        assert_eq!(
+            digest, reference,
+            "phase A: node {i} digest disagrees with simulator"
+        );
+    }
+    println!("[localnet] phase A ok: all {N} digests match the simulator");
+
+    // --- Phase B: continue from the WALs; kill -9 one node mid-run. ---
+    // Thresholds are relative to the longest phase-A WAL so the stale
+    // status files (and linger overshoot) cannot satisfy them early.
+    let phase_a_tip = cfgs
+        .iter()
+        .map(|c| status_field(&c.wal_dir, "walled").unwrap_or(TARGET_A))
+        .max()
+        .unwrap();
+    let target_b = phase_a_tip + 5;
+    let kill_after = phase_a_tip + 2;
+    println!(
+        "[localnet] phase B: continue -> round {target_b}, kill -9 node {}",
+        N - 1
+    );
+    for cfg in &mut cfgs {
+        cfg.target_round = target_b;
+        cfg.linger_secs = 25;
+        cfg.start_at_ms = unix_ms() + 6_000;
+    }
+    write_configs(&root, &cfgs);
+    let mut children: Vec<Option<Child>> = (0..N).map(|i| Some(spawn_node(&root, i))).collect();
+
+    let victim = N - 1;
+    let victim_dir = cfgs[victim].wal_dir.clone();
+    // Let the victim make fresh progress past its phase-A WAL first, so
+    // the restart demonstrably replays *this* deployment's history too.
+    wait_until(
+        || status_field(&victim_dir, "walled").is_some_and(|w| w >= kill_after),
+        Duration::from_secs(120),
+        "victim to persist fresh phase-B rounds",
+    );
+    let mut child = children[victim].take().expect("victim running");
+    child.kill().expect("kill -9 victim"); // SIGKILL on unix.
+    let _ = child.wait();
+    // Stay dead for several rounds: a short outage rejoins through
+    // ordinary vote gossip, and only a real gap forces blocksync.
+    println!("[localnet] killed node {victim}; restarting in 20s");
+    std::thread::sleep(Duration::from_secs(20));
+    children[victim] = Some(spawn_node(&root, victim));
+
+    let summaries = wait_all(
+        children.into_iter().flatten().collect(),
+        Duration::from_secs(240),
+    );
+    for (i, ok) in summaries.iter().enumerate() {
+        assert!(*ok, "phase B: node {i} exited unsuccessfully");
+    }
+    let digests: Vec<String> = cfgs
+        .iter()
+        .map(|c| read_trimmed(&c.wal_dir.join("digest")))
+        .collect();
+    for (i, d) in digests.iter().enumerate() {
+        assert_eq!(
+            *d, digests[0],
+            "phase B: node {i} digest disagrees with node 0"
+        );
+    }
+    let replayed = status_field(&victim_dir, "replayed").unwrap_or(0);
+    let catchups = status_field(&victim_dir, "catchups").unwrap_or(0);
+    assert!(
+        replayed >= kill_after,
+        "victim should have replayed its WAL through round {kill_after}, got {replayed}"
+    );
+    assert!(
+        catchups > 0,
+        "victim should have applied blocksync catch-up entries"
+    );
+    println!(
+        "[localnet] phase B ok: victim replayed {replayed} rounds from its WAL, \
+         applied {catchups} catch-up entries, all digests agree"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!("[localnet] PASS in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Runs the simulator with the deployment's exact parameters, keys and
+/// workload, and returns its hex chain digest through [`TARGET_A`].
+fn simulator_digest(cfg: &NodeConfig) -> String {
+    let mut sim_cfg = SimConfig::new(N);
+    sim_cfg.seed = SEED;
+    sim_cfg.stake_per_user = STAKE;
+    sim_cfg.params = cfg.params();
+    let mut sim = Simulation::new(sim_cfg);
+    let keypairs = derive_keypairs(SEED, N);
+    sim.preload_transactions(&workload_transactions(SEED, &keypairs, STAKE, TX_COUNT));
+    sim.run_rounds(TARGET_A, 600_000_000);
+    let digest = sim
+        .honest_node(0)
+        .chain()
+        .digest_through(TARGET_A)
+        .expect("simulator reached the target round");
+    hex(&digest)
+}
+
+/// One config per node: a star of static peers around node 0, the rest
+/// of the mesh forming via gossip-learned peer exchange (`min_peers`
+/// holds consensus until it has).
+fn node_configs(root: &Path) -> Vec<NodeConfig> {
+    let port_base = 23_000 + (std::process::id() % 2_000) as u16;
+    (0..N)
+        .map(|i| NodeConfig {
+            index: i,
+            n_users: N,
+            stake_per_user: STAKE,
+            seed: SEED,
+            listen: format!("127.0.0.1:{}", port_base + i as u16),
+            peers: if i == 0 {
+                Vec::new()
+            } else {
+                vec![format!("127.0.0.1:{port_base}")]
+            },
+            wal_dir: root.join(format!("n{i}")),
+            deadline_secs: 150,
+            linger_secs: 6,
+            tx_count: TX_COUNT,
+            min_peers: N - 1,
+            ..NodeConfig::default()
+        })
+        .collect()
+}
+
+fn write_configs(root: &Path, cfgs: &[NodeConfig]) {
+    for (i, cfg) in cfgs.iter().enumerate() {
+        std::fs::write(root.join(format!("n{i}.conf")), cfg.render()).expect("write config");
+    }
+}
+
+fn spawn_node(root: &Path, i: usize) -> Child {
+    Command::new(node_binary())
+        .arg(root.join(format!("n{i}.conf")))
+        .spawn()
+        .expect("spawn algorand-node")
+}
+
+/// The `algorand-node` binary: `$ALGORAND_NODE_BIN` if set, else the
+/// sibling of this harness in the same cargo target directory.
+fn node_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("ALGORAND_NODE_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("algorand-node");
+    p
+}
+
+/// Waits for every child; true per child = exited with status 0.
+fn wait_all(children: Vec<Child>, timeout: Duration) -> Vec<bool> {
+    let deadline = Instant::now() + timeout;
+    let mut children: Vec<Option<Child>> = children.into_iter().map(Some).collect();
+    let mut ok = vec![false; children.len()];
+    while children.iter().any(Option::is_some) {
+        for (i, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot else { continue };
+            match child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    ok[i] = status.success();
+                    *slot = None;
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    *slot = None;
+                }
+                None => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    ok
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration, what: &str) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Parses one `key=value` field from a node's one-line status file.
+fn status_field(wal_dir: &Path, key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(wal_dir.join("status")).ok()?;
+    let fields: HashMap<&str, &str> = text
+        .split_whitespace()
+        .filter_map(|kv| kv.split_once('='))
+        .collect();
+    fields.get(key)?.parse().ok()
+}
+
+fn read_trimmed(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        .trim()
+        .to_string()
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock")
+        .as_millis() as u64
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

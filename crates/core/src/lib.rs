@@ -46,4 +46,4 @@ pub use pool::{VerifyJob, VerifyPool};
 pub use proposal::{BlockMessage, PriorityMessage};
 pub use recovery::ForkProposalMessage;
 pub use verify::{PipelineVerifier, VerifiedBlock, VerifiedForkProposal, VerifiedPriority};
-pub use wire::WireMessage;
+pub use wire::{CatchupBatch, WireDecodeError, WireKind, WireMessage};

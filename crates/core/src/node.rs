@@ -746,7 +746,11 @@ impl Node {
             seed,
             seed_proof: Some(seed_proof),
             proposer: Some(self.keypair.pk),
-            timestamp: now.max(prev.timestamp + 1),
+            timestamp: if self.params.canonical_timestamps {
+                prev.timestamp + 1
+            } else {
+                now.max(prev.timestamp + 1)
+            },
             txs,
             payload: vec![0u8; self.payload_bytes],
         }

@@ -18,7 +18,15 @@ pub struct CatchupBatch {
 
 impl CatchupBatch {
     /// Upper bound on entries accepted by the decoder.
-    const MAX_ENTRIES: usize = 1024;
+    pub const MAX_ENTRIES: usize = 1024;
+
+    /// Upper bound on the *bytes* a decoded batch may span (8 MiB).
+    ///
+    /// `MAX_ENTRIES` alone is no defence for a real socket listener:
+    /// 1024 blocks of 16 MiB payload each would commit the decoder to
+    /// gigabytes. The serving side sends a few rounds per response, so
+    /// any batch wider than this is hostile.
+    pub const MAX_WIRE_BYTES: usize = 8 << 20;
 
     /// Serialized size in bytes.
     pub fn wire_size(&self) -> usize {
@@ -40,6 +48,83 @@ impl CatchupBatch {
         sha256_concat(&refs)
     }
 }
+
+/// The kind of a wire message, as named by its tag byte — available even
+/// when the payload fails to decode, so transport logs can attribute
+/// failures to a message kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireKind {
+    /// Tag 1: a priority message.
+    Priority,
+    /// Tag 2: a block message.
+    Block,
+    /// Tag 3: a BA⋆ vote.
+    Vote,
+    /// Tag 4: a fork proposal.
+    ForkProposal,
+    /// Tag 5: a transaction.
+    Transaction,
+    /// Tag 6: a catch-up request.
+    CatchupRequest,
+    /// Tag 7: a catch-up response.
+    CatchupResponse,
+}
+
+impl WireKind {
+    /// Maps a tag byte to its kind, if known.
+    pub fn from_tag(tag: u8) -> Option<WireKind> {
+        Some(match tag {
+            1 => WireKind::Priority,
+            2 => WireKind::Block,
+            3 => WireKind::Vote,
+            4 => WireKind::ForkProposal,
+            5 => WireKind::Transaction,
+            6 => WireKind::CatchupRequest,
+            7 => WireKind::CatchupResponse,
+            _ => return None,
+        })
+    }
+
+    /// The kind's wire-log name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireKind::Priority => "priority",
+            WireKind::Block => "block",
+            WireKind::Vote => "vote",
+            WireKind::ForkProposal => "fork_proposal",
+            WireKind::Transaction => "transaction",
+            WireKind::CatchupRequest => "catchup_request",
+            WireKind::CatchupResponse => "catchup_response",
+        }
+    }
+}
+
+/// A decode failure attributed to the message kind (from the tag byte,
+/// when one was readable) and the byte offset the decoder had reached —
+/// what a transport needs to log a malformed frame usefully.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireDecodeError {
+    /// The kind named by the frame's tag byte, if the tag was readable
+    /// and known.
+    pub kind: Option<WireKind>,
+    /// Bytes consumed before the failure.
+    pub offset: usize,
+    /// The underlying codec error.
+    pub err: DecodeError,
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = self.kind.map_or("unknown", WireKind::name);
+        write!(
+            f,
+            "malformed {kind} message at byte {}: {}",
+            self.offset, self.err
+        )
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
 
 /// Any message exchanged over the gossip network.
 ///
@@ -191,15 +276,137 @@ impl WireMessage {
                 if n > CatchupBatch::MAX_ENTRIES {
                     return Err(DecodeError::Invalid);
                 }
-                let mut entries = Vec::with_capacity(n);
+                let start = r.offset();
+                let mut entries = Vec::with_capacity(n.min(64));
                 for _ in 0..n {
                     let block = Block::decode(r)?;
                     let cert = Certificate::decode(r)?;
+                    // Enforced as decoding proceeds, so an oversized batch
+                    // is abandoned at the boundary rather than after the
+                    // whole allocation is already made.
+                    if r.offset() - start > CatchupBatch::MAX_WIRE_BYTES {
+                        return Err(DecodeError::Invalid);
+                    }
                     entries.push((block, cert));
                 }
                 WireMessage::CatchupResponse(CatchupBatch { entries })
             }
             _ => return Err(DecodeError::Invalid),
         })
+    }
+
+    /// The kind of this message.
+    pub fn kind(&self) -> WireKind {
+        match self {
+            WireMessage::Priority(_) => WireKind::Priority,
+            WireMessage::Block(_) => WireKind::Block,
+            WireMessage::Vote(_) => WireKind::Vote,
+            WireMessage::ForkProposal(_) => WireKind::ForkProposal,
+            WireMessage::Transaction(_) => WireKind::Transaction,
+            WireMessage::CatchupRequest { .. } => WireKind::CatchupRequest,
+            WireMessage::CatchupResponse(_) => WireKind::CatchupResponse,
+        }
+    }
+
+    /// Decodes one whole frame (a socket transport's unit of delivery),
+    /// requiring every byte to be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireDecodeError`] carrying the message kind named by
+    /// the tag byte (when readable) and the byte offset the decoder had
+    /// reached, so the failure is attributable in transport logs.
+    pub fn decode_frame(bytes: &[u8]) -> Result<WireMessage, WireDecodeError> {
+        let kind = bytes.first().and_then(|&t| WireKind::from_tag(t));
+        let mut r = Reader::new(bytes);
+        let msg = WireMessage::decode(&mut r).map_err(|err| WireDecodeError {
+            kind,
+            offset: r.offset(),
+            err,
+        })?;
+        let offset = r.offset();
+        r.finish()
+            .map_err(|err| WireDecodeError { kind, offset, err })?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorand_ba::StepKind;
+
+    /// An entry whose block carries `payload` filler bytes, certified by
+    /// a structurally valid (empty-vote) certificate. Decode-layer tests
+    /// only need structure; nothing here is cryptographically checked.
+    fn entry(round: u64, payload: usize) -> (Block, Certificate) {
+        let mut block = Block::empty(round, [round as u8; 32], &[7u8; 32]);
+        block.payload = vec![0xAB; payload];
+        let cert = Certificate {
+            round,
+            step: StepKind::Final,
+            value: block.hash(),
+            votes: Vec::new(),
+        };
+        (block, cert)
+    }
+
+    #[test]
+    fn catchup_batch_roundtrips() {
+        let batch = CatchupBatch {
+            entries: (1..=3).map(|r| entry(r, 100)).collect(),
+        };
+        let bytes = WireMessage::CatchupResponse(batch).encoded();
+        let decoded = WireMessage::decode_frame(&bytes).expect("valid batch");
+        let WireMessage::CatchupResponse(b) = decoded else {
+            panic!("wrong kind");
+        };
+        assert_eq!(b.entries.len(), 3);
+        assert_eq!(b.entries[1].0.round, 2);
+    }
+
+    #[test]
+    fn oversized_catchup_batch_rejected_by_byte_bound() {
+        // 9 entries of ~1 MiB each stay far below MAX_ENTRIES but cross
+        // the byte bound — the OOM vector a real socket listener faces.
+        let batch = CatchupBatch {
+            entries: (1..=9).map(|r| entry(r, 1 << 20)).collect(),
+        };
+        let bytes = WireMessage::CatchupResponse(batch).encoded();
+        assert!(bytes.len() > CatchupBatch::MAX_WIRE_BYTES);
+        let err = WireMessage::decode_frame(&bytes).expect_err("must reject");
+        assert_eq!(err.kind, Some(WireKind::CatchupResponse));
+        assert_eq!(err.err, DecodeError::Invalid);
+        // The decoder abandons the batch at the entry that crossed the
+        // bound, not after consuming the whole input.
+        assert!(err.offset <= CatchupBatch::MAX_WIRE_BYTES + (2 << 20));
+    }
+
+    #[test]
+    fn entry_count_bound_still_enforced() {
+        let mut bytes = vec![7u8];
+        bytes.extend_from_slice(&(CatchupBatch::MAX_ENTRIES as u32 + 1).to_le_bytes());
+        let err = WireMessage::decode_frame(&bytes).expect_err("must reject");
+        assert_eq!(err.kind, Some(WireKind::CatchupResponse));
+        assert_eq!(err.err, DecodeError::Invalid);
+    }
+
+    #[test]
+    fn decode_failures_carry_kind_and_offset() {
+        // A truncated vote frame: tag byte for Vote, then nothing.
+        let err = WireMessage::decode_frame(&[3u8]).expect_err("truncated");
+        assert_eq!(err.kind, Some(WireKind::Vote));
+        assert_eq!(err.err, DecodeError::UnexpectedEnd);
+        assert_eq!(err.offset, 1);
+        assert!(err.to_string().contains("vote"));
+        // An unknown tag has no kind to attribute.
+        let err = WireMessage::decode_frame(&[99u8]).expect_err("bad tag");
+        assert_eq!(err.kind, None);
+        // Trailing garbage after a valid message is an error too.
+        let mut bytes = WireMessage::CatchupRequest { have: 5 }.encoded();
+        bytes.push(0);
+        let err = WireMessage::decode_frame(&bytes).expect_err("trailing");
+        assert_eq!(err.err, DecodeError::TrailingBytes);
+        assert_eq!(err.kind, Some(WireKind::CatchupRequest));
     }
 }

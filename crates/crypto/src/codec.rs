@@ -48,6 +48,13 @@ impl<'a> Reader<'a> {
         self.data.len() - self.pos
     }
 
+    /// Bytes consumed so far — the offset of the next read. Transport
+    /// layers report this alongside a [`DecodeError`] so a malformed
+    /// frame is attributable to a position in the received bytes.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
     /// Fails unless the input was fully consumed.
     pub fn finish(self) -> Result<(), DecodeError> {
         if self.remaining() == 0 {

@@ -189,6 +189,25 @@ impl Blockchain {
             .and_then(|h| self.all_blocks[h].certificate.as_ref())
     }
 
+    /// A digest of the canonical chain through `round`: the hash of the
+    /// concatenated block hashes for rounds `1..=round`. Two deployments
+    /// that agreed on the same blocks — a simulator run and a real
+    /// multi-process network — produce identical digests. `None` if the
+    /// chain has not reached `round` yet.
+    pub fn digest_through(&self, round: u64) -> Option<[u8; 32]> {
+        if self.tip().round < round {
+            return None;
+        }
+        let mut acc: Vec<u8> = Vec::with_capacity(32 * round as usize);
+        for r in 1..=round {
+            acc.extend_from_slice(self.canonical.get(r as usize)?);
+        }
+        Some(algorand_crypto::sha256_concat(&[
+            b"chain-digest-through",
+            &acc,
+        ]))
+    }
+
     /// Whether the canonical block at `round` is finalized.
     pub fn is_finalized(&self, round: u64) -> bool {
         self.canonical

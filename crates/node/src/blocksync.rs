@@ -1,0 +1,108 @@
+//! Blocksync: fetching deep history in bounded catch-up batches.
+//!
+//! Peers announce their finalized tip in STATUS frames. When ours is
+//! behind the best announced tip, we send a §8.3
+//! [`algorand_core::WireMessage::CatchupRequest`] to the most advanced
+//! peer and let the existing [`algorand_core::CatchupBatch`] machinery —
+//! bounded to a few rounds per response, every certificate re-validated
+//! on receipt — walk us forward. A cooldown keeps a deeply-behind node
+//! from spamming requests faster than responses can land; because each
+//! response advances our tip, the next request (after the cooldown)
+//! naturally asks from further along, paging through history.
+
+use crate::transport::PeerId;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Minimum spacing between catch-up requests. Generous against a
+/// localhost round-trip, small against the multi-second λ timeouts the
+/// node is otherwise waiting on.
+pub const REQUEST_COOLDOWN: Duration = Duration::from_millis(300);
+
+/// Tracks peer tips and decides when (and whom) to ask for history.
+pub struct Blocksync {
+    tips: HashMap<PeerId, u64>,
+    last_request: Option<Instant>,
+    requests_sent: u64,
+}
+
+impl Blocksync {
+    /// Fresh state: no known peers, no outstanding cooldown.
+    pub fn new() -> Blocksync {
+        Blocksync {
+            tips: HashMap::new(),
+            last_request: None,
+            requests_sent: 0,
+        }
+    }
+
+    /// Records a STATUS announcement.
+    pub fn note_status(&mut self, peer: PeerId, tip: u64) {
+        self.tips.insert(peer, tip);
+    }
+
+    /// Drops state for a dead connection (its tip is no longer
+    /// reachable through that id).
+    pub fn forget(&mut self, peer: PeerId) {
+        self.tips.remove(&peer);
+    }
+
+    /// The best tip any peer has announced.
+    pub fn best_tip(&self) -> u64 {
+        self.tips.values().copied().max().unwrap_or(0)
+    }
+
+    /// If we are behind and off cooldown, the peer to ask. The caller
+    /// sends `CatchupRequest { have: local_tip }` to it.
+    pub fn poll(&mut self, local_tip: u64, now: Instant) -> Option<PeerId> {
+        let (&peer, &tip) = self.tips.iter().max_by_key(|(_, &tip)| tip)?;
+        if tip <= local_tip {
+            return None;
+        }
+        if let Some(last) = self.last_request {
+            if now.duration_since(last) < REQUEST_COOLDOWN {
+                return None;
+            }
+        }
+        self.last_request = Some(now);
+        self.requests_sent += 1;
+        Some(peer)
+    }
+
+    /// Catch-up requests issued so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+}
+
+impl Default for Blocksync {
+    fn default() -> Blocksync {
+        Blocksync::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asks_most_advanced_peer_with_cooldown() {
+        let mut bs = Blocksync::new();
+        let t0 = Instant::now();
+        assert_eq!(bs.poll(0, t0), None); // No peers known.
+
+        bs.note_status(1, 3);
+        bs.note_status(2, 9);
+        assert_eq!(bs.poll(5, t0), Some(2));
+        // Cooldown suppresses an immediate repeat…
+        assert_eq!(bs.poll(5, t0 + Duration::from_millis(10)), None);
+        // …but not a request after it elapses.
+        assert_eq!(bs.poll(5, t0 + REQUEST_COOLDOWN), Some(2));
+        // Caught up: nothing to ask.
+        assert_eq!(bs.poll(9, t0 + 2 * REQUEST_COOLDOWN), None);
+
+        bs.forget(2);
+        assert_eq!(bs.best_tip(), 3);
+        assert_eq!(bs.requests_sent(), 2);
+    }
+}

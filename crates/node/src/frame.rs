@@ -1,0 +1,172 @@
+//! Length-delimited framing for the TCP transport.
+//!
+//! TCP is a byte stream; the wire codec wants whole messages. Every
+//! frame on a peer connection is:
+//!
+//! ```text
+//! [u32 len (LE)] [u8 kind] [payload: len-1 bytes]
+//! ```
+//!
+//! Kinds:
+//!
+//! * [`HELLO`] — first frame on every connection; payload is the
+//!   sender's advertised listen address (UTF-8), so an *inbound*
+//!   connection can be associated with a dialable address for peer
+//!   exchange.
+//! * [`GOSSIP`] — payload is one [`algorand_core::WireMessage`] encoding,
+//!   exactly the bytes the simulator would put on a virtual link.
+//! * [`PEERS`] — payload is a list of listen addresses
+//!   (`u32 count`, then length-prefixed UTF-8 strings): gossip-learned
+//!   peer exchange, §4's relay discovery stand-in.
+//! * [`STATUS`] — payload is a `u64` tip round; feeds
+//!   [`crate::blocksync`]'s choice of catch-up server.
+//!
+//! The length bound is the transport's OOM defense: a malicious or
+//! corrupt peer can make us read at most [`MAX_FRAME`] bytes before the
+//! codec (with its own [`algorand_core::CatchupBatch`] byte bound)
+//! passes judgement.
+
+use std::io::{self, Read, Write};
+
+/// Handshake frame carrying the sender's advertised listen address.
+pub const HELLO: u8 = 1;
+/// One encoded [`algorand_core::WireMessage`].
+pub const GOSSIP: u8 = 2;
+/// Peer-exchange frame listing known listen addresses.
+pub const PEERS: u8 = 3;
+/// Tip-round announcement for blocksync server selection.
+pub const STATUS: u8 = 4;
+
+/// Largest frame a peer can make us buffer (includes the kind byte).
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(kind, payload)?)
+}
+
+/// Encodes one frame to bytes (for handing to a send queue whole).
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_FRAME`].
+pub fn encode_frame(kind: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
+    let len = payload.len() + 1;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds {MAX_FRAME}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Reads one frame, blocking until it is complete.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including clean EOF as
+/// [`io::ErrorKind::UnexpectedEof`]); rejects zero-length and oversized
+/// frames so a garbage length prefix cannot trigger a huge allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside 1..={MAX_FRAME}"),
+        ));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut payload = vec![0u8; len - 1];
+    r.read_exact(&mut payload)?;
+    Ok((kind[0], payload))
+}
+
+/// Encodes a [`PEERS`] payload.
+pub fn encode_peers(addrs: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+    for a in addrs {
+        let b = a.as_bytes();
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+/// Decodes a [`PEERS`] payload; `None` on any malformation.
+pub fn decode_peers(payload: &[u8]) -> Option<Vec<String>> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = payload.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    if count > 1024 {
+        return None; // Nobody honest advertises a thousand peers here.
+    }
+    let mut addrs = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        if len > 256 {
+            return None;
+        }
+        let s = std::str::from_utf8(take(&mut pos, len)?).ok()?;
+        addrs.push(s.to_string());
+    }
+    if pos != payload.len() {
+        return None;
+    }
+    Some(addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, GOSSIP, b"hello gossip").unwrap();
+        write_frame(&mut buf, STATUS, &7u64.to_le_bytes()).unwrap();
+        let mut cur = Cursor::new(buf);
+        let (k1, p1) = read_frame(&mut cur).unwrap();
+        let (k2, p2) = read_frame(&mut cur).unwrap();
+        assert_eq!((k1, p1.as_slice()), (GOSSIP, b"hello gossip".as_slice()));
+        assert_eq!((k2, p2.as_slice()), (STATUS, 7u64.to_le_bytes().as_slice()));
+        assert_eq!(
+            read_frame(&mut cur).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_rejected() {
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut Cursor::new(huge.to_vec())).is_err());
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut Cursor::new(zero.to_vec())).is_err());
+    }
+
+    #[test]
+    fn peers_roundtrip_and_reject_garbage() {
+        let addrs = vec!["127.0.0.1:9000".to_string(), "10.0.0.2:4160".to_string()];
+        let enc = encode_peers(&addrs);
+        assert_eq!(decode_peers(&enc).unwrap(), addrs);
+        assert!(decode_peers(&enc[..enc.len() - 1]).is_none());
+        assert!(decode_peers(&[0xFF; 4]).is_none());
+    }
+}

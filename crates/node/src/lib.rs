@@ -1,0 +1,54 @@
+//! A real Algorand node process around the sans-io core.
+//!
+//! The paper's §10 evaluation runs Algorand as 1,000 real processes on
+//! EC2 VMs; everything in this repository up to now drove
+//! [`algorand_core::Node`] from the deterministic simulator instead. This
+//! crate is the first production-shaped layer: the *same* sans-io node,
+//! driven by real sockets and a real clock.
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────┐
+//!            │                 runtime                    │
+//!            │  ┌──────────┐   events    ┌─────────────┐  │
+//!  TCP ──────┼─►│ transport├────────────►│  core::Node │  │
+//!  peers ◄───┼──┤ (threads)│◄────────────┤  (sans-io)  │  │
+//!            │  └──────────┘   gossip    └──────┬──────┘  │
+//!            │   ▲   hello/peers/status         │ agreed  │
+//!            │   │                              ▼ rounds  │
+//!            │  ┌┴─────────┐               ┌──────────┐   │
+//!            │  │ blocksync│               │   WAL    │   │
+//!            │  └──────────┘               └──────────┘   │
+//!            └────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`transport`] — threaded TCP speaking the existing
+//!   [`algorand_core::wire`] codec inside length-delimited frames, with
+//!   static peers plus gossip-learned peer exchange and per-peer bounded
+//!   send queues (backpressure drops, never blocks consensus);
+//! * [`wal`] — a CRC-guarded write-ahead log of finalized
+//!   `(block, certificate)` pairs and periodic
+//!   [`algorand_core::Node::snapshot`] checkpoints, with truncated-tail
+//!   recovery, so `kill -9` + restart replays from disk;
+//! * [`blocksync`] — fetches deep history from the most advanced peer in
+//!   bounded §8.3 catch-up batches after a restart or fresh join;
+//! * [`config`] — the node's config file (keys, peers, genesis, WAL dir)
+//!   and the deterministic key/workload derivations shared with the
+//!   simulator so a localhost deployment finalizes the *same chain
+//!   digest* as `sim::runner` under the same seed;
+//! * [`runtime`] — the single-threaded event loop tying it together, and
+//!   the `algorand-node` binary's whole substance.
+//!
+//! The split keeps the property the CADP formal-model line of work
+//! emphasizes: the consensus core never learns whether its driver is a
+//! simulator or a socket.
+
+pub mod blocksync;
+pub mod config;
+pub mod frame;
+pub mod runtime;
+pub mod transport;
+pub mod wal;
+
+pub use config::NodeConfig;
+pub use runtime::{RunSummary, Runtime};
+pub use wal::{Wal, WalReplay};

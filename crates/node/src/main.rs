@@ -1,0 +1,62 @@
+//! `algorand-node` — run one Algorand node process from a config file.
+//!
+//! ```text
+//! algorand-node path/to/node.conf
+//! ```
+//!
+//! The process joins the peers named in the config, participates in
+//! consensus (replaying its WAL first if one exists), and exits 0 once
+//! the configured `target_round` is finalized — writing `digest`,
+//! `status`, `metrics.txt` and optionally `trace.jsonl` into the WAL
+//! directory. With `target_round = 0` it runs until `deadline_secs`.
+
+use algorand_node::{NodeConfig, Runtime};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: algorand-node <config-file>");
+        return ExitCode::from(2);
+    };
+    let cfg = match NodeConfig::load(std::path::Path::new(&path)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("algorand-node: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let index = cfg.index;
+    let mut runtime = match Runtime::new(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("algorand-node: startup failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match runtime.run() {
+        Ok(summary) => {
+            println!(
+                "[node {index}] round {}/{} replayed={} catchups={} sync_requests={} \
+                 drops={} decode_failures={} digest={}",
+                summary.reached_round,
+                summary.target_round,
+                summary.wal_replayed_rounds,
+                summary.catchups_applied,
+                summary.sync_requests,
+                summary.transport.send_drops,
+                summary.decode_failures,
+                summary.digest.as_deref().unwrap_or("-"),
+            );
+            if summary.success() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("algorand-node: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

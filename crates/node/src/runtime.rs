@@ -1,0 +1,451 @@
+//! The node's event loop: sockets and a wall clock driving the sans-io
+//! core.
+//!
+//! One thread owns the [`algorand_core::Node`]; the transport's reader
+//! threads feed it through a channel. Each iteration waits for the next
+//! inbound frame or the core's own deadline — whichever is sooner —
+//! then:
+//!
+//! 1. decodes and dispatches the frame (counting and attributing decode
+//!    failures by message kind and byte offset),
+//! 2. applies the §4 relay rules the simulator applies (content dedup,
+//!    one-message-per-key, §6 discard rules) before re-gossiping,
+//! 3. persists any newly agreed round to the WAL before announcing a
+//!    higher tip,
+//! 4. answers blocksync (STATUS tracking, catch-up requests when
+//!    behind).
+//!
+//! Exit: once the chain reaches `target_round` the loop lingers a
+//! configured grace period — still serving votes and catch-up batches so
+//! stragglers can finish — then checkpoints, writes its digest/status/
+//! trace/metrics files into the WAL directory, and returns.
+
+use crate::blocksync::Blocksync;
+use crate::config::NodeConfig;
+use crate::transport::{Transport, TransportEvent, TransportStats};
+use crate::wal::Wal;
+use algorand_ba::Micros;
+use algorand_core::{Node, PipelineVerifier, WireMessage};
+use algorand_gossip::{RelayDecision, RelayState};
+use algorand_obs::{write_jsonl, Registry, Tracer};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Trace-buffer cap when `trace = 1` (matches the simulator's default
+/// order of magnitude; bounded so long runs cannot balloon).
+const TRACE_CAP: usize = 200_000;
+
+/// How often we announce our tip and poll blocksync even when idle.
+const STATUS_TICK: Duration = Duration::from_millis(500);
+
+/// Longest single wait: keeps status/blocksync responsive regardless of
+/// how far away the core's next deadline is.
+const MAX_WAIT: Duration = Duration::from_millis(200);
+
+/// What a completed run did, for the binary's report and the harness.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// The configured goal round (0 = none).
+    pub target_round: u64,
+    /// The finalized tip when the loop exited.
+    pub reached_round: u64,
+    /// Hex chain digest through `target_round`, if reached.
+    pub digest: Option<String>,
+    /// Rounds recovered from the WAL before joining the network.
+    pub wal_replayed_rounds: u64,
+    /// Catch-up batch entries the core applied (blocksync progress).
+    pub catchups_applied: usize,
+    /// Catch-up requests blocksync issued.
+    pub sync_requests: u64,
+    /// Frames that failed wire decoding (each logged with kind+offset).
+    pub decode_failures: u64,
+    /// True if the deadline expired before the target was reached.
+    pub timed_out: bool,
+    /// Transport counters at exit.
+    pub transport: TransportStats,
+}
+
+impl RunSummary {
+    /// True when the run did what it was asked to.
+    pub fn success(&self) -> bool {
+        self.target_round == 0 || (!self.timed_out && self.reached_round >= self.target_round)
+    }
+}
+
+/// One node process: core, WAL, transport, blocksync.
+pub struct Runtime {
+    cfg: NodeConfig,
+    node: Node,
+    wal: Wal,
+    transport: Transport,
+    relay: RelayState,
+    sync: Blocksync,
+    registry: Registry,
+    tracer: Tracer,
+    /// Highest round already persisted to the WAL.
+    walled_through: u64,
+    wal_replayed_rounds: u64,
+    decode_failures: u64,
+    started: Instant,
+}
+
+impl Runtime {
+    /// Opens the WAL (replaying any prior life), restores or creates the
+    /// core node, preloads the deterministic workload, and binds the
+    /// transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/transport I/O failures.
+    pub fn new(cfg: NodeConfig) -> io::Result<Runtime> {
+        std::fs::create_dir_all(&cfg.wal_dir)?;
+        let (wal, replay) = Wal::open(&cfg.wal_dir.join("node.wal"))?;
+
+        let params = cfg.params();
+        let verifier = Arc::new(PipelineVerifier::new());
+        let mut node = if replay.tip > 0 {
+            Node::restore(
+                cfg.keypair(),
+                cfg.genesis(),
+                params,
+                verifier,
+                &replay.snapshot,
+                0,
+            )
+        } else {
+            Node::new(cfg.keypair(), cfg.genesis(), params, verifier)
+        };
+        let wal_replayed_rounds = node.chain().tip().round;
+
+        // The deterministic shared workload: every process (and the
+        // simulator's reference run) admits the same transactions before
+        // round 1, so block assembly is a pure function of chain state.
+        // After a WAL restore the accounts state already reflects
+        // committed transactions and the pool re-admits only what is
+        // still pending.
+        let accounts = node.chain().accounts().clone();
+        for tx in cfg.workload() {
+            let _ = node.pool.admit(tx, &accounts);
+        }
+
+        let tracer = if cfg.trace {
+            Tracer::bounded(TRACE_CAP)
+        } else {
+            Tracer::disabled()
+        };
+        if tracer.is_enabled() {
+            node.set_tracer(tracer.clone(), cfg.index as u32);
+        }
+
+        let transport = Transport::start(&cfg.listen, &cfg.peers)?;
+
+        Ok(Runtime {
+            cfg,
+            node,
+            wal,
+            transport,
+            relay: RelayState::new(),
+            sync: Blocksync::new(),
+            registry: Registry::new(),
+            tracer,
+            walled_through: wal_replayed_rounds,
+            wal_replayed_rounds,
+            decode_failures: 0,
+            started: Instant::now(),
+        })
+    }
+
+    /// Microseconds since this process started — the core's clock. WAL
+    /// restore happens at 0, so a restarted process's clock restarts
+    /// too; canonical timestamps keep block content clock-independent.
+    fn now(&self) -> Micros {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Runs to completion (target reached + linger, or deadline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL and export I/O failures. Network failures are not
+    /// errors — peers come and go; the deadline is the backstop.
+    pub fn run(&mut self) -> io::Result<RunSummary> {
+        self.await_start_barriers();
+        // The consensus clock starts *after* the barriers so every
+        // process opens round 1 at local time ≈ 0, wall-aligned with
+        // its peers; the deadline budget is all consensus time.
+        self.started = Instant::now();
+        let deadline = self.started + Duration::from_secs(self.cfg.deadline_secs);
+        let outputs = self.node.start(self.now());
+        self.dispatch(outputs, None);
+
+        let mut next_status = self.started;
+        let mut linger_until: Option<Instant> = None;
+        let timed_out = loop {
+            let wall = Instant::now();
+            if wall >= deadline {
+                break self.target_pending();
+            }
+            if let Some(t) = linger_until {
+                if wall >= t {
+                    break false;
+                }
+            }
+
+            let wait = self.next_wait(wall, next_status, deadline);
+            match self.transport.recv_timeout(wait) {
+                Some(TransportEvent::Gossip { from, bytes }) => self.on_gossip(from, &bytes),
+                Some(TransportEvent::Status { from, tip }) => self.sync.note_status(from, tip),
+                None => {}
+            }
+
+            // Core timers (step timeouts, recovery, watchdog).
+            let now = self.now();
+            if self.node.next_deadline().is_some_and(|d| d <= now) {
+                let outputs = self.node.on_tick(now);
+                self.dispatch(outputs, None);
+            }
+
+            self.persist_new_rounds()?;
+            self.relay.prune(self.node.current_round());
+
+            let wall = Instant::now();
+            if wall >= next_status {
+                next_status = wall + STATUS_TICK;
+                self.transport
+                    .broadcast_status(self.node.chain().tip().round);
+                self.write_status_file()?;
+            }
+            if let Some(peer) = self.sync.poll(self.node.chain().tip().round, wall) {
+                let req = WireMessage::CatchupRequest {
+                    have: self.node.chain().tip().round,
+                };
+                self.transport.send_gossip_to(peer, &req.encoded());
+            }
+
+            if linger_until.is_none()
+                && self.cfg.target_round > 0
+                && self.node.chain().tip().round >= self.cfg.target_round
+            {
+                linger_until = Some(Instant::now() + Duration::from_secs(self.cfg.linger_secs));
+            }
+        };
+
+        self.finish(timed_out)
+    }
+
+    /// Holds consensus back until the mesh is formed (`min_peers` live
+    /// connections — gossip into an empty mesh is simply lost) and the
+    /// shared `start_at_ms` wall-clock instant has passed, which aligns
+    /// co-hosted processes' round-1 openings to within milliseconds.
+    /// Both waits are bounded; a degraded start beats no start.
+    fn await_start_barriers(&self) {
+        let connect_deadline = Instant::now() + Duration::from_secs(self.cfg.deadline_secs.min(30));
+        while self.transport.peer_count() < self.cfg.min_peers && Instant::now() < connect_deadline
+        {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        if self.cfg.start_at_ms > 0 {
+            let barrier_cap = Instant::now() + Duration::from_secs(60);
+            loop {
+                let now_ms = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(u64::MAX, |d| d.as_millis() as u64);
+                if now_ms >= self.cfg.start_at_ms || Instant::now() >= barrier_cap {
+                    break;
+                }
+                let wait = (self.cfg.start_at_ms - now_ms).min(20);
+                std::thread::sleep(Duration::from_millis(wait.max(1)));
+            }
+        }
+    }
+
+    fn target_pending(&self) -> bool {
+        self.cfg.target_round > 0 && self.node.chain().tip().round < self.cfg.target_round
+    }
+
+    fn next_wait(&self, wall: Instant, next_status: Instant, deadline: Instant) -> Duration {
+        let mut wait = MAX_WAIT;
+        if let Some(d) = self.node.next_deadline() {
+            let now = self.now();
+            wait = wait.min(Duration::from_micros(d.saturating_sub(now)));
+        }
+        wait = wait.min(next_status.saturating_duration_since(wall));
+        wait = wait.min(deadline.saturating_duration_since(wall));
+        wait.max(Duration::from_millis(1))
+    }
+
+    /// Handles one inbound gossip frame end to end.
+    fn on_gossip(&mut self, from: crate::transport::PeerId, bytes: &[u8]) {
+        let msg = match WireMessage::decode_frame(bytes) {
+            Ok(msg) => msg,
+            Err(e) => {
+                // The satellite payoff: a malformed frame names its
+                // message kind and byte offset, attributed to a peer.
+                self.decode_failures += 1;
+                self.registry.counter("node_decode_failures").inc();
+                eprintln!("[node {}] peer {from}: {e}", self.cfg.index);
+                return;
+            }
+        };
+        let decision = self.relay.classify(msg.message_id(), msg.relay_slot());
+        if decision == RelayDecision::Duplicate {
+            return;
+        }
+        let outputs = self.node.on_message(&msg, self.now());
+
+        // §6 discard rules, mirrored from the simulator: losing block
+        // bodies, rejected transactions, and invalid votes stop here.
+        let discard = match &msg {
+            WireMessage::Block(b) => !self.node.should_relay_block(b),
+            WireMessage::Transaction(tx) => !self.node.should_relay_transaction(tx),
+            WireMessage::Vote(v) => !self.node.should_relay_vote(v),
+            // Catch-up traffic is point-to-point on this transport: the
+            // requester asked *us*, and our response goes only to them.
+            WireMessage::CatchupRequest { .. } | WireMessage::CatchupResponse(_) => true,
+            _ => false,
+        };
+        if decision == RelayDecision::Relay && !discard {
+            self.transport.broadcast_gossip(bytes, Some(from));
+        }
+        self.dispatch(outputs, Some(from));
+    }
+
+    /// Routes core outputs: catch-up responses back to the requester,
+    /// everything else to all peers (marked seen so echoes dedup).
+    fn dispatch(&mut self, outputs: Vec<WireMessage>, reply_to: Option<crate::transport::PeerId>) {
+        for out in outputs {
+            let bytes = out.encoded();
+            match (&out, reply_to) {
+                (WireMessage::CatchupResponse(_), Some(peer)) => {
+                    self.transport.send_gossip_to(peer, &bytes);
+                }
+                _ => {
+                    self.relay.classify(out.message_id(), out.relay_slot());
+                    self.transport.broadcast_gossip(&bytes, None);
+                }
+            }
+        }
+    }
+
+    /// Appends every newly agreed round to the WAL (and periodic
+    /// checkpoints) so a `kill -9` from here on cannot lose them.
+    fn persist_new_rounds(&mut self) -> io::Result<()> {
+        let tip = self.node.chain().tip().round;
+        while self.walled_through < tip {
+            let r = self.walled_through + 1;
+            let (Some(block), Some(cert)) = (
+                self.node.chain().block_at(r),
+                self.node.chain().certificate_at(r),
+            ) else {
+                break;
+            };
+            self.wal.append_entry(r, block, cert)?;
+            self.walled_through = r;
+            self.registry.counter("node_wal_entries").inc();
+            if self.cfg.checkpoint_interval > 0 && r.is_multiple_of(self.cfg.checkpoint_interval) {
+                self.wal.append_checkpoint(&self.node.snapshot())?;
+                self.registry.counter("node_wal_checkpoints").inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites `status` in the WAL dir: one line the harness can poll.
+    fn write_status_file(&self) -> io::Result<()> {
+        let line = format!(
+            "round={} walled={} replayed={} catchups={} peers={} decode_failures={}\n",
+            self.node.chain().tip().round,
+            self.walled_through,
+            self.wal_replayed_rounds,
+            self.node.catchups_applied(),
+            self.transport.peer_count(),
+            self.decode_failures,
+        );
+        write_atomic(&self.cfg.wal_dir.join("status"), line.as_bytes())
+    }
+
+    /// Final checkpoint plus digest/status/trace/metrics exports.
+    fn finish(&mut self, timed_out: bool) -> io::Result<RunSummary> {
+        self.persist_new_rounds()?;
+        self.wal.append_checkpoint(&self.node.snapshot())?;
+
+        let reached = self.node.chain().tip().round;
+        let digest = if self.cfg.target_round > 0 {
+            self.node
+                .chain()
+                .digest_through(self.cfg.target_round)
+                .map(|d| hex(&d))
+        } else {
+            None
+        };
+        if let Some(d) = &digest {
+            write_atomic(
+                &self.cfg.wal_dir.join("digest"),
+                format!("{d}\n").as_bytes(),
+            )?;
+        }
+        self.write_status_file()?;
+
+        let t = self.transport.stats();
+        let g = |name: &str, v: u64| self.registry.gauge(name).set(v as i64);
+        g("node_frames_sent", t.frames_sent);
+        g("node_frames_received", t.frames_received);
+        g("node_bytes_sent", t.bytes_sent);
+        g("node_bytes_received", t.bytes_received);
+        g("node_send_drops", t.send_drops);
+        g("node_connections", t.connections);
+        g("node_tip_round", reached);
+        g("node_wal_replayed_rounds", self.wal_replayed_rounds);
+        g("node_catchups_applied", self.node.catchups_applied() as u64);
+        g("node_sync_requests", self.sync.requests_sent());
+        write_atomic(
+            &self.cfg.wal_dir.join("metrics.txt"),
+            self.registry.render().as_bytes(),
+        )?;
+
+        if self.tracer.is_enabled() {
+            let jsonl = write_jsonl(
+                self.cfg.seed,
+                "localnet",
+                self.tracer.dropped(),
+                &self.tracer.events(),
+            );
+            write_atomic(&self.cfg.wal_dir.join("trace.jsonl"), jsonl.as_bytes())?;
+        }
+
+        self.transport.shutdown();
+        Ok(RunSummary {
+            target_round: self.cfg.target_round,
+            reached_round: reached,
+            digest,
+            wal_replayed_rounds: self.wal_replayed_rounds,
+            catchups_applied: self.node.catchups_applied(),
+            sync_requests: self.sync.requests_sent(),
+            decode_failures: self.decode_failures,
+            timed_out,
+            transport: t,
+        })
+    }
+}
+
+/// Write-then-rename so harness readers never see a half-written file.
+fn write_atomic(path: &PathBuf, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Lowercase hex.
+pub fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}

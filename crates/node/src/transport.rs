@@ -1,0 +1,538 @@
+//! Threaded TCP transport with static peers, peer exchange, and
+//! per-peer bounded send queues.
+//!
+//! Each connection gets a reader thread (parses [`crate::frame`] frames,
+//! forwards gossip and status to the runtime over a channel) and a
+//! writer thread (drains a bounded queue onto the socket). The consensus
+//! loop never touches a socket: sends are `try_send` onto the queue and
+//! *drop* when a peer's queue is full — a slow peer costs itself
+//! messages (it can recover via blocksync) rather than stalling
+//! agreement, the same pressure-shedding posture the paper's gossip
+//! network takes.
+//!
+//! Connectivity is static peers plus gossip-learned peer exchange: every
+//! connection starts with a HELLO advertising the sender's listen
+//! address, peers periodically swap their known-address sets, and a
+//! maintenance thread keeps dialing any known address that lacks a live
+//! connection. Start five processes each knowing only one other and the
+//! deployment converges to full connectivity.
+
+use crate::frame;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Identifies one live connection (not a node: a reconnect gets a new id).
+pub type PeerId = u64;
+
+/// Outstanding frames a peer's send queue holds before we drop on it.
+const SEND_QUEUE: usize = 1024;
+/// Inbound frames buffered for the runtime before readers block (which
+/// in turn backpressures the kernel socket, then the sender).
+const EVENT_QUEUE: usize = 4096;
+/// Maintenance cadence: redial pass every tick, peer exchange every 4th.
+const MAINTENANCE_TICK: Duration = Duration::from_millis(500);
+
+/// What the transport hands the consensus loop.
+#[derive(Debug)]
+pub enum TransportEvent {
+    /// One encoded [`algorand_core::WireMessage`] from a peer.
+    Gossip {
+        /// Connection it arrived on (for reply routing and logs).
+        from: PeerId,
+        /// The raw wire bytes, undecoded — the runtime owns decode so
+        /// failures are counted and attributed in one place.
+        bytes: Vec<u8>,
+    },
+    /// A peer announced its tip round.
+    Status {
+        /// Connection it arrived on.
+        from: PeerId,
+        /// The peer's finalized tip.
+        tip: u64,
+    },
+}
+
+/// Monotonic counters, snapshotted for metrics export.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Frames written to sockets.
+    pub frames_sent: u64,
+    /// Frames parsed off sockets.
+    pub frames_received: u64,
+    /// Bytes written to sockets.
+    pub bytes_sent: u64,
+    /// Bytes parsed off sockets.
+    pub bytes_received: u64,
+    /// Frames dropped because a peer's send queue was full.
+    pub send_drops: u64,
+    /// Connections established (both directions, lifetime).
+    pub connections: u64,
+}
+
+struct Peer {
+    queue: SyncSender<Arc<Vec<u8>>>,
+    /// Clone of the socket so [`Transport::shutdown`] can unblock the
+    /// reader thread.
+    stream: TcpStream,
+    /// The peer's advertised listen address, once its HELLO arrives.
+    addr: Option<String>,
+}
+
+struct Shared {
+    advertised: String,
+    peers: Mutex<HashMap<PeerId, Peer>>,
+    /// Dialable listen addresses learned from config or peer exchange.
+    known: Mutex<HashSet<String>>,
+    /// Addresses with a dial attempt in flight.
+    dialing: Mutex<HashSet<String>>,
+    /// Advertised addresses with a live connection.
+    connected: Mutex<HashSet<String>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    events: SyncSender<TransportEvent>,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    send_drops: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// The node's TCP fabric. Dropping it does *not* stop the threads; call
+/// [`Transport::shutdown`].
+pub struct Transport {
+    shared: Arc<Shared>,
+    events: Receiver<TransportEvent>,
+    local_addr: String,
+}
+
+impl Transport {
+    /// Binds `listen`, connects to `static_peers` (retrying forever —
+    /// deployment processes start in arbitrary order), and starts the
+    /// maintenance thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the listen socket cannot be bound.
+    pub fn start(listen: &str, static_peers: &[String]) -> io::Result<Transport> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?.to_string();
+        // What peers should dial back: the configured string, unless it
+        // asked for an ephemeral port, in which case the resolved one.
+        let advertised = if listen.ends_with(":0") {
+            local_addr.clone()
+        } else {
+            listen.to_string()
+        };
+        let (events_tx, events_rx) = mpsc::sync_channel(EVENT_QUEUE);
+        let shared = Arc::new(Shared {
+            advertised,
+            peers: Mutex::new(HashMap::new()),
+            known: Mutex::new(static_peers.iter().cloned().collect()),
+            dialing: Mutex::new(HashSet::new()),
+            connected: Mutex::new(HashSet::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            events: events_tx,
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            send_drops: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        let maint_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("maintenance".into())
+            .spawn(move || maintenance_loop(&maint_shared))?;
+
+        Ok(Transport {
+            shared,
+            events: events_rx,
+            local_addr,
+        })
+    }
+
+    /// The bound listen address (resolved, e.g. with a real port for `:0`).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Waits up to `timeout` for the next inbound event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<TransportEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Queues a gossip frame to every live peer except `except`.
+    /// Returns how many peers it was queued to.
+    pub fn broadcast_gossip(&self, wire_bytes: &[u8], except: Option<PeerId>) -> usize {
+        self.broadcast_frame(frame::GOSSIP, wire_bytes, except)
+    }
+
+    /// Queues a gossip frame to one peer (reply routing: catch-up
+    /// responses go only to the requester).
+    pub fn send_gossip_to(&self, peer: PeerId, wire_bytes: &[u8]) -> bool {
+        let Ok(framed) = frame::encode_frame(frame::GOSSIP, wire_bytes) else {
+            return false;
+        };
+        let framed = Arc::new(framed);
+        let peers = self.shared.peers.lock().unwrap();
+        peers
+            .get(&peer)
+            .is_some_and(|p| enqueue(&self.shared, p, &framed))
+    }
+
+    /// Announces our finalized tip to every peer.
+    pub fn broadcast_status(&self, tip: u64) -> usize {
+        self.broadcast_frame(frame::STATUS, &tip.to_le_bytes(), None)
+    }
+
+    fn broadcast_frame(&self, kind: u8, payload: &[u8], except: Option<PeerId>) -> usize {
+        let Ok(framed) = frame::encode_frame(kind, payload) else {
+            return 0;
+        };
+        let framed = Arc::new(framed);
+        let peers = self.shared.peers.lock().unwrap();
+        let mut queued = 0;
+        for (&id, peer) in peers.iter() {
+            if Some(id) == except {
+                continue;
+            }
+            if enqueue(&self.shared, peer, &framed) {
+                queued += 1;
+            }
+        }
+        queued
+    }
+
+    /// Live connection count.
+    pub fn peer_count(&self) -> usize {
+        self.shared.peers.lock().unwrap().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TransportStats {
+        let s = &self.shared;
+        TransportStats {
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+            send_drops: s.send_drops.load(Ordering::Relaxed),
+            connections: s.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, closes every connection, and unblocks all
+    /// transport threads so they exit.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocked accept() with a throwaway connection.
+        let _ = TcpStream::connect(&self.local_addr);
+        let peers = self.shared.peers.lock().unwrap();
+        for peer in peers.values() {
+            let _ = peer.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+fn enqueue(shared: &Shared, peer: &Peer, framed: &Arc<Vec<u8>>) -> bool {
+    match peer.queue.try_send(Arc::clone(framed)) {
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) => {
+            shared.send_drops.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok((stream, _)) = conn {
+            spawn_connection(stream, Arc::clone(shared), None);
+        }
+    }
+}
+
+/// Redials missing peers every tick and runs peer exchange every fourth.
+fn maintenance_loop(shared: &Arc<Shared>) {
+    let mut tick = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(MAINTENANCE_TICK);
+        tick += 1;
+
+        let targets: Vec<String> = {
+            let known = shared.known.lock().unwrap();
+            let connected = shared.connected.lock().unwrap();
+            let dialing = shared.dialing.lock().unwrap();
+            known
+                .iter()
+                .filter(|a| {
+                    **a != shared.advertised && !connected.contains(*a) && !dialing.contains(*a)
+                })
+                .cloned()
+                .collect()
+        };
+        for addr in targets {
+            shared.dialing.lock().unwrap().insert(addr.clone());
+            let dial_shared = Arc::clone(shared);
+            let _ = std::thread::Builder::new()
+                .name(format!("dial-{addr}"))
+                .spawn(move || {
+                    let result = TcpStream::connect(&addr);
+                    dial_shared.dialing.lock().unwrap().remove(&addr);
+                    if let Ok(stream) = result {
+                        spawn_connection(stream, dial_shared, Some(addr));
+                    }
+                });
+        }
+
+        if tick.is_multiple_of(4) {
+            let mut addrs: Vec<String> = {
+                let known = shared.known.lock().unwrap();
+                known.iter().cloned().collect()
+            };
+            addrs.push(shared.advertised.clone());
+            addrs.sort();
+            addrs.dedup();
+            let payload = frame::encode_peers(&addrs);
+            if let Ok(framed) = frame::encode_frame(frame::PEERS, &payload) {
+                let framed = Arc::new(framed);
+                let peers = shared.peers.lock().unwrap();
+                for peer in peers.values() {
+                    enqueue(shared, peer, &framed);
+                }
+            }
+        }
+    }
+}
+
+/// Registers the connection and starts its reader and writer threads.
+fn spawn_connection(stream: TcpStream, shared: Arc<Shared>, remote_addr: Option<String>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    let (queue_tx, queue_rx) = mpsc::sync_channel::<Arc<Vec<u8>>>(SEND_QUEUE);
+    if let Some(addr) = &remote_addr {
+        shared.connected.lock().unwrap().insert(addr.clone());
+    }
+    {
+        let Ok(shutdown_half) = stream.try_clone() else {
+            return;
+        };
+        let mut peers = shared.peers.lock().unwrap();
+        peers.insert(
+            id,
+            Peer {
+                queue: queue_tx.clone(),
+                stream: shutdown_half,
+                addr: remote_addr.clone(),
+            },
+        );
+    }
+
+    // First frame on every connection: our dialable address.
+    if let Ok(hello) = frame::encode_frame(frame::HELLO, shared.advertised.as_bytes()) {
+        let _ = queue_tx.try_send(Arc::new(hello));
+    }
+
+    let writer_shared = Arc::clone(&shared);
+    let _ = std::thread::Builder::new()
+        .name(format!("writer-{id}"))
+        .spawn(move || writer_loop(write_half, &queue_rx, &writer_shared));
+
+    let reader_shared = Arc::clone(&shared);
+    let _ = std::thread::Builder::new()
+        .name(format!("reader-{id}"))
+        .spawn(move || {
+            reader_loop(stream, id, &reader_shared);
+            // Reader exit means the connection is dead: deregister.
+            let removed = reader_shared.peers.lock().unwrap().remove(&id);
+            if let Some(addr) = removed.and_then(|p| p.addr) {
+                reader_shared.connected.lock().unwrap().remove(&addr);
+            }
+        });
+}
+
+fn writer_loop(mut stream: TcpStream, queue: &Receiver<Arc<Vec<u8>>>, shared: &Shared) {
+    while let Ok(framed) = queue.recv() {
+        if stream.write_all(&framed).is_err() {
+            return;
+        }
+        shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+        shared
+            .bytes_sent
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+    }
+}
+
+fn reader_loop(stream: TcpStream, id: PeerId, shared: &Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let Ok((kind, payload)) = frame::read_frame(&mut reader) else {
+            return;
+        };
+        shared.frames_received.fetch_add(1, Ordering::Relaxed);
+        shared
+            .bytes_received
+            .fetch_add(5 + payload.len() as u64, Ordering::Relaxed);
+        match kind {
+            frame::HELLO => {
+                let Ok(addr) = String::from_utf8(payload) else {
+                    return;
+                };
+                if let Some(peer) = shared.peers.lock().unwrap().get_mut(&id) {
+                    peer.addr = Some(addr.clone());
+                }
+                shared.connected.lock().unwrap().insert(addr.clone());
+                if addr != shared.advertised {
+                    shared.known.lock().unwrap().insert(addr);
+                }
+            }
+            frame::PEERS => {
+                let Some(addrs) = frame::decode_peers(&payload) else {
+                    return; // Malformed peer exchange: drop the peer.
+                };
+                let mut known = shared.known.lock().unwrap();
+                for addr in addrs {
+                    if addr != shared.advertised {
+                        known.insert(addr);
+                    }
+                }
+                // The maintenance loop dials anything new next tick.
+            }
+            frame::GOSSIP => {
+                // Blocking send: a full runtime queue backpressures this
+                // connection (and, via TCP, its sender) instead of
+                // ballooning memory.
+                if shared
+                    .events
+                    .send(TransportEvent::Gossip {
+                        from: id,
+                        bytes: payload,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            frame::STATUS => {
+                let Ok(raw) = <[u8; 8]>::try_from(payload.as_slice()) else {
+                    return;
+                };
+                let tip = u64::from_le_bytes(raw);
+                if shared
+                    .events
+                    .send(TransportEvent::Status { from: id, tip })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            _ => return, // Unknown frame kind: drop the peer.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+        for _ in 0..200 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn gossip_status_and_peer_exchange_flow() {
+        // a knows b; c knows only b. Peer exchange must connect a and c.
+        let a = Transport::start("127.0.0.1:0", &[]).unwrap();
+        let b = Transport::start("127.0.0.1:0", &[a.local_addr().to_string()]).unwrap();
+        let c = Transport::start("127.0.0.1:0", &[b.local_addr().to_string()]).unwrap();
+
+        wait_for(|| a.peer_count() >= 2 && c.peer_count() >= 2, "full mesh");
+
+        // Gossip from a reaches both b and c.
+        assert!(a.broadcast_gossip(b"payload-one", None) >= 2);
+        for (name, t) in [("b", &b), ("c", &c)] {
+            let got = loop {
+                match t.recv_timeout(Duration::from_secs(5)) {
+                    Some(TransportEvent::Gossip { bytes, .. }) => break bytes,
+                    Some(TransportEvent::Status { .. }) => continue,
+                    None => panic!("no gossip at {name}"),
+                }
+            };
+            assert_eq!(got, b"payload-one");
+        }
+
+        // Status frames carry the tip.
+        assert!(b.broadcast_status(41) >= 2);
+        let tip = loop {
+            match a.recv_timeout(Duration::from_secs(5)) {
+                Some(TransportEvent::Status { tip, .. }) => break tip,
+                Some(TransportEvent::Gossip { .. }) => continue,
+                None => panic!("no status at a"),
+            }
+        };
+        assert_eq!(tip, 41);
+        assert!(a.stats().frames_received > 0);
+
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn reply_goes_only_to_sender() {
+        let a = Transport::start("127.0.0.1:0", &[]).unwrap();
+        let b = Transport::start("127.0.0.1:0", &[a.local_addr().to_string()]).unwrap();
+        wait_for(|| a.peer_count() >= 1 && b.peer_count() >= 1, "a-b link");
+
+        b.broadcast_gossip(b"request", None);
+        let from = loop {
+            match a.recv_timeout(Duration::from_secs(5)) {
+                Some(TransportEvent::Gossip { from, bytes }) => {
+                    assert_eq!(bytes, b"request");
+                    break from;
+                }
+                Some(TransportEvent::Status { .. }) => continue,
+                None => panic!("request not delivered"),
+            }
+        };
+        assert!(a.send_gossip_to(from, b"response"));
+        let got = loop {
+            match b.recv_timeout(Duration::from_secs(5)) {
+                Some(TransportEvent::Gossip { bytes, .. }) => break bytes,
+                Some(TransportEvent::Status { .. }) => continue,
+                None => panic!("response not delivered"),
+            }
+        };
+        assert_eq!(got, b"response");
+        a.shutdown();
+        b.shutdown();
+    }
+}

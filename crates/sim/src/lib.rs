@@ -24,7 +24,7 @@ pub use event::{Event, EventQueue, Micros};
 pub use faults::{FaultAction, FaultEvent, FaultSchedule};
 pub use metrics::{round_stats, Percentiles, RoundStats};
 pub use network::{NetConfig, Network, PartitionSpec};
-pub use runner::{FaultReport, PipelineReport, SimConfig, Simulation, TxStats};
+pub use runner::{FaultReport, PipelineReport, SimConfig, Simulation, TxStats, GENESIS_SEED};
 
 // The shared observability layer (tracing + metrics registry), re-exported
 // so harnesses driving the simulator need not depend on the crate directly.

@@ -30,8 +30,10 @@ use std::sync::Arc;
 /// Verification jobs buffered before a batch is handed to the pool.
 const PREWARM_BATCH: usize = 32;
 
-/// Genesis seed shared by every node (and by restarts).
-const GENESIS_SEED: [u8; 32] = [0x47u8; 32];
+/// Genesis seed shared by every node (and by restarts). Public so the
+/// real-process harness (`crates/node`) can boot the *same* genesis and
+/// cross-check chain digests against the simulator.
+pub const GENESIS_SEED: [u8; 32] = [0x47u8; 32];
 
 /// Bound on buffered trace events per run (~100 bytes each); past it
 /// events are counted as dropped rather than growing memory unbounded.
@@ -560,6 +562,25 @@ impl Simulation {
     /// transactions in tests and benches).
     pub fn keypair(&self, i: usize) -> &Keypair {
         &self.keypairs[i]
+    }
+
+    /// Admits `txs` directly into every node's mempool, bypassing gossip.
+    ///
+    /// This models a pre-agreed workload that every deployment loads
+    /// identically before round 1 — the fixture the real-process harness
+    /// uses to cross-check chain digests: with identical pools at every
+    /// proposer, block assembly is a pure function of the chain seed.
+    pub fn preload_transactions(&mut self, txs: &[Transaction]) {
+        for slot in &mut self.nodes {
+            let node = match slot {
+                Slot::Honest(n) => n.as_mut(),
+                Slot::Malicious(m) => m.inner_mut(),
+            };
+            let accounts = node.chain().accounts().clone();
+            for tx in txs {
+                let _ = node.pool.admit(tx.clone(), &accounts);
+            }
+        }
     }
 
     /// Starts every node at time 0.

@@ -25,7 +25,12 @@
 #      inside the chaos suite of step 4), while the violation-injection
 #      self-test must flag every seeded violation class (see
 #      crates/sim/tests/monitor.rs),
-#   8. style gates: rustfmt and clippy with warnings denied.
+#   8. the localnet gate: five real `algorand-node` processes over
+#      loopback TCP must finalize the exact chain digest the simulator
+#      produces for the same seed, and a kill -9'd process must rejoin
+#      via WAL replay plus blocksync (see
+#      crates/bench/src/bin/localnet.rs),
+#   9. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -63,5 +68,9 @@ cargo run --release -p algorand-bench --bin critical_path -- --check
 
 echo "== invariant monitor: baseline + violation-injection self-test =="
 cargo test --release -q -p algorand-sim --test monitor
+
+echo "== localnet: 5 real processes vs simulator digest, kill -9 rejoin =="
+cargo build --release -q -p algorand-node
+cargo run --release -p algorand-bench --bin localnet
 
 echo "== CI OK =="
