@@ -1,0 +1,155 @@
+//! Worker-count determinism gate for the parallel discrete-event engine.
+//!
+//! Runs every scripted chaos scenario from the chaos suite on the
+//! parallel engine at 1, 2, and 4 workers with the same `(seed,
+//! schedule)` and demands **byte-identical** final-chain digests,
+//! invariant-monitor verdicts, and exported trace JSONL. This is the
+//! engine's core contract: worker threads change wall-clock, never
+//! results — every shared-state effect runs in a sequential phase in
+//! canonical `(time, class, seq)` order.
+//!
+//! Exit code is non-zero on any divergence, so CI gates on it.
+
+use algorand_sim::{DesConfig, FaultSchedule, Micros, ParallelSim, SimConfig};
+use std::process::ExitCode;
+
+const SEC: Micros = 1_000_000;
+
+struct Scenario {
+    name: &'static str,
+    n: usize,
+    n_malicious: usize,
+    seed: u64,
+    schedule: fn(usize) -> FaultSchedule,
+    horizon: Micros,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "partition/heal (sym)",
+            n: 16,
+            n_malicious: 0,
+            seed: 11,
+            schedule: |n| FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC),
+            horizon: 200 * SEC,
+        },
+        Scenario {
+            name: "partition (asym)",
+            n: 12,
+            n_malicious: 0,
+            seed: 12,
+            schedule: |n| FaultSchedule::new().asymmetric_partition(n, 10, 30 * SEC, 90 * SEC),
+            horizon: 180 * SEC,
+        },
+        Scenario {
+            name: "30% loss window",
+            n: 12,
+            n_malicious: 0,
+            seed: 13,
+            schedule: |_| FaultSchedule::new().loss_window(0.30, 20 * SEC, 80 * SEC),
+            horizon: 150 * SEC,
+        },
+        Scenario {
+            name: "crash majority 9/16",
+            n: 16,
+            n_malicious: 0,
+            seed: 14,
+            schedule: |_| {
+                let mut s = FaultSchedule::new();
+                for node in 0..9 {
+                    s = s.crash_restart(node, 40 * SEC, 100 * SEC);
+                }
+                s
+            },
+            horizon: 220 * SEC,
+        },
+        Scenario {
+            name: "partition + equivocators",
+            n: 20,
+            n_malicious: 4,
+            seed: 15,
+            schedule: |n| FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC),
+            horizon: 200 * SEC,
+        },
+        Scenario {
+            name: "rolling restarts 6/12",
+            n: 12,
+            n_malicious: 0,
+            seed: 16,
+            schedule: |_| {
+                let mut s = FaultSchedule::new();
+                for node in 0..6 {
+                    let down = (20 + 15 * node as u64) * SEC;
+                    s = s.crash_restart(node, down, down + 30 * SEC);
+                }
+                s
+            },
+            horizon: 180 * SEC,
+        },
+    ]
+}
+
+/// One traced, monitored run at the given worker count.
+fn run_once(s: &Scenario, workers: usize) -> ([u8; 32], String, String) {
+    let mut cfg = SimConfig::new(s.n);
+    cfg.n_malicious = s.n_malicious;
+    cfg.seed = s.seed;
+    cfg.trace = true;
+    cfg.monitor = true;
+    let mut sim = ParallelSim::new(DesConfig {
+        sim: cfg,
+        workers,
+        trace_node_budget: 0,
+    });
+    sim.set_fault_schedule((s.schedule)(s.n));
+    sim.run_until(s.horizon);
+    let digest = sim.chain_digest();
+    let monitor = format!("{}", sim.monitor_report().expect("monitor attached"));
+    let trace = sim.export_trace(s.name);
+    (digest, monitor, trace)
+}
+
+fn hex8(d: &[u8; 32]) -> String {
+    d[..4].iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn main() -> ExitCode {
+    println!("parallel-engine determinism: digests, monitor verdicts, traces vs worker count");
+    println!();
+    let mut failed = false;
+    for s in scenarios() {
+        let (d1, m1, t1) = run_once(&s, 1);
+        let mut verdict = "identical";
+        for workers in [2usize, 4] {
+            let (d, m, t) = run_once(&s, workers);
+            if d != d1 {
+                verdict = "DIGEST DIVERGED";
+            } else if m != m1 {
+                verdict = "MONITOR DIVERGED";
+            } else if t != t1 {
+                verdict = "TRACE DIVERGED";
+            }
+        }
+        let clean = m1.starts_with("invariant monitor: 0 violation");
+        println!(
+            "{:<26} n={:<3} digest={} trace={:>8} B workers 1/2/4: {}{}",
+            s.name,
+            s.n,
+            hex8(&d1),
+            t1.len(),
+            verdict,
+            if clean { "" } else { " [monitor violations]" },
+        );
+        if verdict != "identical" || !clean {
+            failed = true;
+        }
+    }
+    println!();
+    if failed {
+        println!("FAIL: results depend on worker count (or invariants violated)");
+        return ExitCode::FAILURE;
+    }
+    println!("OK: every scenario is byte-identical at 1, 2, and 4 workers");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! Scratch profiling probe for the parallel engine (not a CI gate).
+
+use algorand_sim::{DesConfig, Micros, ParallelSim, SimConfig, Simulation};
+use std::time::Instant;
+
+const SEC: Micros = 1_000_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let engine = args.get(3).map(String::as_str).unwrap_or("des");
+    let t0 = Instant::now();
+    match engine {
+        "old" => {
+            let mut sim = Simulation::new(SimConfig::new(n));
+            eprintln!("[probe] constructed in {:.2}s", t0.elapsed().as_secs_f64());
+            for t in 1..=secs {
+                sim.run_until(t * SEC);
+                eprintln!(
+                    "[probe] old n={n} virtual {t}s tip={} wall {:.2}s",
+                    sim.honest_node(0).chain().tip().round,
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+        }
+        _ => {
+            let mut sim = ParallelSim::new(DesConfig {
+                sim: SimConfig::new(n),
+                workers: 1,
+                trace_node_budget: 0,
+            });
+            eprintln!("[probe] constructed in {:.2}s", t0.elapsed().as_secs_f64());
+            for t in 1..=secs {
+                sim.run_until(t * SEC);
+                eprintln!(
+                    "[probe] des n={n} virtual {t}s tip={} wall {:.2}s",
+                    sim.tip_round(0),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+}

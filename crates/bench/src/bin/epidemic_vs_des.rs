@@ -1,0 +1,116 @@
+//! Validates the analytic epidemic model against the real
+//! discrete-event engine at overlapping network sizes.
+//!
+//! The paper's Figure 6 extrapolates to 500,000 users with an epidemic
+//! (hop-count) model; this repo uses [`algorand_sim::EpidemicConfig`]
+//! for the same shortcut. The model's only honest defense is agreement
+//! with the real engine where both can run — so this bench runs
+//! 100–1,000 real protocol nodes through the parallel engine, measures
+//! mean finalization latency over the first rounds, and tabulates the
+//! delta against the model evaluated at the simulator's operating point
+//! (20 Mbit/s uplinks, ~75 ms mean inter-city latency, fan-out 4, the
+//! scaled committee parameters).
+//!
+//! Output feeds `results/epidemic_vs_des.txt`. The gate: every size must
+//! agree within a factor of 4 (the model is closed-form; a larger gap
+//! means either the model or the engine is misconfigured).
+
+use algorand_core::AlgorandParams;
+use algorand_sim::{DesConfig, EpidemicConfig, Micros, ParallelSim, SimConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const SEC: Micros = 1_000_000;
+const ROUNDS: usize = 3;
+
+/// The epidemic model re-parameterized to the simulator's network,
+/// rather than figure6's EC2 packing (500 users per 1 Gbit/s NIC).
+fn model_at(n: usize, params: &AlgorandParams) -> EpidemicConfig {
+    let mut m = EpidemicConfig::figure6(n);
+    m.bandwidth_bps = 20e6;
+    m.mean_latency_s = 0.075;
+    m.fanout = 4;
+    m.block_bytes = 2_000;
+    m.tau_step = params.ba.tau_step;
+    m.threshold = params.ba.t_step;
+    m
+}
+
+fn measure_des(n: usize) -> Option<f64> {
+    let mut cfg = SimConfig::new(n);
+    cfg.seed = 600 + n as u64;
+    let mut sim = ParallelSim::new(DesConfig {
+        sim: cfg,
+        workers: 4,
+        trace_node_budget: 0,
+    });
+    sim.run_rounds(ROUNDS as u64, 300 * SEC);
+    let records = sim.combined_records();
+    if records[0].len() < ROUNDS {
+        return None;
+    }
+    Some(
+        records[0]
+            .iter()
+            .take(ROUNDS)
+            .map(|r| (r.finished - r.started) as f64 / 1e6)
+            .sum::<f64>()
+            / ROUNDS as f64,
+    )
+}
+
+fn main() -> ExitCode {
+    let sizes = [100usize, 200, 500, 1_000];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "epidemic model vs real DES: mean finalization latency of the first {ROUNDS} rounds"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>9}  {:>9}  {:>7}  {:>6}",
+        "users", "des (s)", "model (s)", "delta", "ratio"
+    );
+    let mut ok = true;
+    for n in sizes {
+        let params = AlgorandParams::scaled(n);
+        let predicted = model_at(n, &params).round_latency_s(&params);
+        match measure_des(n) {
+            Some(measured) => {
+                let ratio = measured / predicted;
+                let _ = writeln!(
+                    out,
+                    "{n:>6}  {measured:>9.2}  {predicted:>9.2}  {:>+6.1}%  {ratio:>6.2}",
+                    (measured - predicted) / predicted * 100.0
+                );
+                if !(0.25..=4.0).contains(&ratio) {
+                    ok = false;
+                }
+            }
+            None => {
+                let _ = writeln!(out, "{n:>6}  FAILED: fewer than {ROUNDS} rounds finalized");
+                ok = false;
+            }
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "model operating point: 20 Mbit/s uplinks, 75 ms mean latency, fan-out 4, 2 KB blocks"
+    );
+    let _ = writeln!(
+        out,
+        "gate (each size within 4x of the model): {}",
+        if ok { "OK" } else { "FAILED" }
+    );
+    print!("{out}");
+    if let Err(e) = std::fs::write("results/epidemic_vs_des.txt", &out) {
+        eprintln!("warning: could not write results/epidemic_vs_des.txt: {e}");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

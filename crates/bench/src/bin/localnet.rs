@@ -49,10 +49,9 @@ fn main() {
     let mut cfgs = cfgs;
     for cfg in &mut cfgs {
         cfg.target_round = TARGET_A;
-        cfg.start_at_ms = unix_ms() + 6_000;
+        cfg.start_at_ms = unix_ms() + 8_000;
     }
-    write_configs(&root, &cfgs);
-    let children: Vec<Child> = (0..N).map(|i| spawn_node(&root, i)).collect();
+    let children = spawn_all(&root, &mut cfgs);
     let summaries = wait_all(children, Duration::from_secs(180));
     for (i, ok) in summaries.iter().enumerate() {
         assert!(*ok, "phase A: node {i} exited unsuccessfully");
@@ -83,10 +82,10 @@ fn main() {
     for cfg in &mut cfgs {
         cfg.target_round = target_b;
         cfg.linger_secs = 25;
-        cfg.start_at_ms = unix_ms() + 6_000;
+        cfg.start_at_ms = unix_ms() + 8_000;
     }
-    write_configs(&root, &cfgs);
-    let mut children: Vec<Option<Child>> = (0..N).map(|i| Some(spawn_node(&root, i))).collect();
+    let mut children: Vec<Option<Child>> =
+        spawn_all(&root, &mut cfgs).into_iter().map(Some).collect();
 
     let victim = N - 1;
     let victim_dir = cfgs[victim].wal_dir.clone();
@@ -163,21 +162,19 @@ fn simulator_digest(cfg: &NodeConfig) -> String {
 
 /// One config per node: a star of static peers around node 0, the rest
 /// of the mesh forming via gossip-learned peer exchange (`min_peers`
-/// holds consensus until it has).
+/// holds consensus until it has). Every node binds an ephemeral port
+/// (`127.0.0.1:0`); real ports are exchanged at spawn time via each
+/// process's published `addr` file, so concurrent harness runs can
+/// never collide on a fixed port range.
 fn node_configs(root: &Path) -> Vec<NodeConfig> {
-    let port_base = 23_000 + (std::process::id() % 2_000) as u16;
     (0..N)
         .map(|i| NodeConfig {
             index: i,
             n_users: N,
             stake_per_user: STAKE,
             seed: SEED,
-            listen: format!("127.0.0.1:{}", port_base + i as u16),
-            peers: if i == 0 {
-                Vec::new()
-            } else {
-                vec![format!("127.0.0.1:{port_base}")]
-            },
+            listen: "127.0.0.1:0".into(),
+            peers: Vec::new(), // Filled with node 0's resolved address at spawn.
             wal_dir: root.join(format!("n{i}")),
             deadline_secs: 150,
             linger_secs: 6,
@@ -188,10 +185,30 @@ fn node_configs(root: &Path) -> Vec<NodeConfig> {
         .collect()
 }
 
-fn write_configs(root: &Path, cfgs: &[NodeConfig]) {
-    for (i, cfg) in cfgs.iter().enumerate() {
+/// Spawns the deployment with ephemeral-port exchange: node 0 starts
+/// first on `:0` and publishes its resolved address to `n0/addr`; the
+/// other configs are then written with that real endpoint as their
+/// static peer and spawned. The start-time barrier in the configs keeps
+/// consensus clocks aligned despite the stagger.
+fn spawn_all(root: &Path, cfgs: &mut [NodeConfig]) -> Vec<Child> {
+    // A stale addr file from an earlier phase must not be read back.
+    let _ = std::fs::remove_file(cfgs[0].wal_dir.join("addr"));
+    std::fs::write(root.join("n0.conf"), cfgs[0].render()).expect("write config");
+    let mut children = vec![spawn_node(root, 0)];
+    let addr_file = cfgs[0].wal_dir.join("addr");
+    wait_until(
+        || addr_file.exists(),
+        Duration::from_secs(30),
+        "node 0 to publish its resolved address",
+    );
+    let hub = read_trimmed(&addr_file);
+    println!("[localnet] node 0 bound {hub}");
+    for (i, cfg) in cfgs.iter_mut().enumerate().skip(1) {
+        cfg.peers = vec![hub.clone()];
         std::fs::write(root.join(format!("n{i}.conf")), cfg.render()).expect("write config");
+        children.push(spawn_node(root, i));
     }
+    children
 }
 
 fn spawn_node(root: &Path, i: usize) -> Child {

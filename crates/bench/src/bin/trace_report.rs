@@ -15,13 +15,15 @@
 //!
 //! `--check` runs the determinism gate instead: the same `(seed,
 //! schedule)` traced twice must export byte-identical JSONL and chain
-//! digests, and tracing itself must not change the digest of an
-//! untraced run. Exit code is non-zero on any mismatch, so CI gates on
-//! it.
+//! digests, tracing itself must not change the digest of an untraced
+//! run, and the parallel engine's budget-trimmed export must be
+//! deterministic with exact `trimmed` accounting (deliberate trimming
+//! is fine; silent truncation is not). Exit code is non-zero on any
+//! mismatch, so CI gates on it.
 
 use algorand_bench::T_CAP;
 use algorand_obs::{parse_jsonl, Percentiles, SpanKind, Trace, TraceEvent};
-use algorand_sim::{FaultSchedule, Micros, SimConfig, Simulation};
+use algorand_sim::{DesConfig, FaultSchedule, Micros, ParallelSim, SimConfig, Simulation};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -54,6 +56,21 @@ fn run_workload(trace: bool) -> Simulation {
     let mut sim = Simulation::new(workload_cfg(trace));
     sim.run_rounds(8, T_CAP);
     sim
+}
+
+/// A short run on the parallel engine under a deliberately tiny
+/// per-node retention budget, so the export exercises the trimmed path.
+fn run_trimmed() -> String {
+    let mut cfg = SimConfig::new(12);
+    cfg.seed = 31;
+    cfg.trace = true;
+    let mut sim = ParallelSim::new(DesConfig {
+        sim: cfg,
+        workers: 2,
+        trace_node_budget: 32,
+    });
+    sim.run_until(45 * SEC);
+    sim.export_trace("trimmed-check")
 }
 
 fn run_chaos() -> Simulation {
@@ -360,13 +377,48 @@ fn check() -> ExitCode {
         println!("trace check: tracing on/off leaves the chain digest unchanged");
     }
     // A truncated trace silently undercounts every per-span section, so
-    // the gate treats it as a failure rather than a warning.
+    // the gate treats it as a failure rather than a warning. Deliberate
+    // per-node *trimming* (the parallel engine's retention budget) is
+    // different: it is accounted in the export header and checked below.
     let dropped = a.trace_dropped().max(b.trace_dropped());
     if dropped > 0 {
         println!("trace check: FAILED (trace truncated: {dropped} events dropped)");
         ok = false;
     } else {
         println!("trace check: no dropped events (trace is complete)");
+    }
+
+    // The budgeted parallel engine: the retained prefix must itself be
+    // deterministic JSONL, parse cleanly, and carry exact `trimmed`
+    // accounting — trimming must never read as silent truncation.
+    let trimmed_a = run_trimmed();
+    let trimmed_b = run_trimmed();
+    if trimmed_a != trimmed_b {
+        println!("trace check: FAILED (trimmed exports diverged across reruns)");
+        ok = false;
+    } else {
+        match parse_jsonl(&trimmed_a) {
+            Ok(trace) if trace.dropped == 0 && trace.trimmed > 0 => {
+                println!(
+                    "trace check: trimmed export deterministic and accounted \
+                     ({} events retained, {} trimmed)",
+                    trace.events.len(),
+                    trace.trimmed
+                );
+            }
+            Ok(trace) => {
+                println!(
+                    "trace check: FAILED (budgeted run: dropped={} trimmed={}, \
+                     expected 0 dropped and >0 trimmed)",
+                    trace.dropped, trace.trimmed
+                );
+                ok = false;
+            }
+            Err(e) => {
+                println!("trace check: FAILED (trimmed export does not parse: {e})");
+                ok = false;
+            }
+        }
     }
     if ok {
         println!("trace check: OK");

@@ -137,6 +137,18 @@ pub struct Node {
     ba_input: [u8; 32],
 }
 
+/// [`Node`] is the unit of parallelism for the discrete-event engine:
+/// a node owns its chain, mempool, and round state outright, and every
+/// shared handle it holds ([`PipelineVerifier`]'s cache, the tracer
+/// buffer, pool metrics) is `Send`. Worker threads may therefore process
+/// disjoint nodes concurrently. This assertion is the compile-time
+/// contract; losing `Send` (e.g. by adding an `Rc` field) breaks the
+/// parallel simulator and fails right here.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Node>();
+};
+
 impl Node {
     /// Creates a node over an existing chain view. Call
     /// [`Node::start`] to begin participating.

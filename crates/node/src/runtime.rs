@@ -140,6 +140,11 @@ impl Runtime {
         }
 
         let transport = Transport::start(&cfg.listen, &cfg.peers)?;
+        // Publish the *resolved* listen address (meaningful when the
+        // config asked for an ephemeral `:0` port) so a deployment
+        // harness can read each process's real endpoint and hand it to
+        // later-started peers.
+        write_atomic(&cfg.wal_dir.join("addr"), transport.local_addr().as_bytes())?;
 
         Ok(Runtime {
             cfg,

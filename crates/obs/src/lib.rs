@@ -41,8 +41,8 @@ pub use hist::{Histogram, Percentiles};
 pub use monitor::{InvariantMonitor, MonitorConfig, MonitorHandle, MonitorReport};
 pub use registry::{Counter, Gauge, HistHandle, Registry};
 pub use trace::{
-    parse_jsonl, span_id, stable_id, write_jsonl, Micros, Span, SpanKind, Trace, TraceEvent,
-    TraceObserver, Tracer, NO_NODE,
+    parse_jsonl, span_id, stable_id, write_jsonl, write_jsonl_trimmed, Micros, Span, SpanKind,
+    Trace, TraceEvent, TraceObserver, Tracer, NO_NODE,
 };
 
 #[cfg(test)]

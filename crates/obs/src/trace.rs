@@ -10,10 +10,14 @@
 //!
 //! Determinism: recording only *reads* values the simulation already
 //! computed — it never draws randomness, never reorders events, and the
-//! instrumented hot paths are no-ops when the tracer is disabled. All
-//! recording happens from the single-threaded simulation loop, so the
-//! buffer order is a pure function of `(seed, schedule)` and the export is
-//! byte-stable — the property the CI trace-determinism gate asserts.
+//! instrumented hot paths are no-ops when the tracer is disabled. In the
+//! single-threaded simulation loop, buffer order is a pure function of
+//! `(seed, schedule)` and the export is byte-stable — the property the
+//! CI trace-determinism gate asserts. The parallel DES engine instead
+//! gives every node its own tracer and stamps each event with a canonical
+//! *order hint* ([`Tracer::set_order_hint`]); merging per-node buffers by
+//! hint reproduces one canonical order no matter how many worker threads
+//! ran, so the export stays byte-stable across worker counts.
 
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
@@ -172,6 +176,12 @@ pub trait TraceObserver: Send {
 
 struct Buffer {
     events: Vec<TraceEvent>,
+    /// Canonical-order keys assigned by the parallel DES engine, one per
+    /// buffered event (see [`Tracer::set_order_hint`]). All zeros in
+    /// single-threaded use, where buffer order *is* canonical order.
+    hints: Vec<u64>,
+    /// The hint stamped onto the next recorded events.
+    hint: u64,
     cap: usize,
     dropped: u64,
     observer: Option<Box<dyn TraceObserver>>,
@@ -194,6 +204,8 @@ impl Tracer {
     pub fn bounded(cap: usize) -> Tracer {
         Tracer(Some(Arc::new(Mutex::new(Buffer {
             events: Vec::new(),
+            hints: Vec::new(),
+            hint: 0,
             cap,
             dropped: 0,
             observer: None,
@@ -223,8 +235,35 @@ impl Tracer {
         if buf.events.len() >= buf.cap {
             buf.dropped += 1;
         } else {
+            let hint = buf.hint;
             buf.events.push(ev);
+            buf.hints.push(hint);
         }
+    }
+
+    /// Stamps every subsequently recorded event with `hint`, a canonical
+    /// ordering key. The parallel DES engine sets this before handing an
+    /// event to a node so per-node buffers can later be merged into the
+    /// exact order a single-threaded run would have produced, regardless
+    /// of worker count or thread interleaving. Single-threaded users
+    /// never call this and rely on buffer order alone.
+    pub fn set_order_hint(&self, hint: u64) {
+        if let Some(buf) = &self.0 {
+            buf.lock().expect("trace lock").hint = hint;
+        }
+    }
+
+    /// Drains the buffered events together with their order hints,
+    /// leaving the cumulative `dropped` count in place. Used by the
+    /// parallel DES engine to empty per-node buffers at every barrier.
+    pub fn drain_with_hints(&self) -> Vec<(u64, TraceEvent)> {
+        let Some(buf) = &self.0 else {
+            return Vec::new();
+        };
+        let mut buf = buf.lock().expect("trace lock");
+        let events = std::mem::take(&mut buf.events);
+        let hints = std::mem::take(&mut buf.hints);
+        hints.into_iter().zip(events).collect()
     }
 
     /// Opens a span guard at `start`. Builder methods fill in the fields;
@@ -366,15 +405,39 @@ fn escape_into(out: &mut String, s: &str) {
 /// followed by one event per line, fields in a fixed order — identical
 /// runs produce byte-identical output.
 pub fn write_jsonl(seed: u64, schedule: &str, dropped: u64, events: &[TraceEvent]) -> String {
+    write_jsonl_trimmed(seed, schedule, dropped, 0, events)
+}
+
+/// Like [`write_jsonl`], with the per-node-budget `trimmed` count in the
+/// header. `dropped` means the buffer overflowed and the trace is
+/// unusable for completeness checks; `trimmed` means a configured
+/// per-node budget deliberately retained a prefix per node, with the
+/// excess accounted here — the retained prefix is still canonical and
+/// byte-stable. The field is emitted only when non-zero, so untrimmed
+/// exports stay byte-identical to the version-2 format.
+pub fn write_jsonl_trimmed(
+    seed: u64,
+    schedule: &str,
+    dropped: u64,
+    trimmed: u64,
+    events: &[TraceEvent],
+) -> String {
     let mut out = String::with_capacity(64 + events.len() * 128);
     out.push_str(&format!(
         "{{\"trace\":\"algorand\",\"version\":2,\"seed\":{seed},\"schedule\":\""
     ));
     escape_into(&mut out, schedule);
-    out.push_str(&format!(
-        "\",\"events\":{},\"dropped\":{dropped}}}\n",
-        events.len()
-    ));
+    if trimmed > 0 {
+        out.push_str(&format!(
+            "\",\"events\":{},\"dropped\":{dropped},\"trimmed\":{trimmed}}}\n",
+            events.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "\",\"events\":{},\"dropped\":{dropped}}}\n",
+            events.len()
+        ));
+    }
     for ev in events {
         out.push_str(&format!(
             "{{\"kind\":\"{}\",\"node\":{},\"peer\":{},\"round\":{},\"step\":{},\"label\":\"",
@@ -402,6 +465,10 @@ pub struct Trace {
     pub schedule: String,
     /// Events dropped at record time (buffer cap).
     pub dropped: u64,
+    /// Events deliberately trimmed by a per-node budget (the retained
+    /// prefix per node is complete and canonical; see
+    /// [`write_jsonl_trimmed`]).
+    pub trimmed: u64,
     /// The recorded events, in recording order.
     pub events: Vec<TraceEvent>,
 }
@@ -499,6 +566,7 @@ pub fn parse_jsonl(input: &str) -> Result<Trace, String> {
         seed: field_u64(header, "seed")?,
         schedule: field_str(header, "schedule")?,
         dropped: field_u64(header, "dropped")?,
+        trimmed: field_u64_or(header, "trimmed", 0)?,
         events: Vec::new(),
     };
     for line in lines {
@@ -652,6 +720,37 @@ mod tests {
         assert_eq!(span_id(1, 2, 3, 1), span_id(1, 2, 3, 1));
         assert_ne!(span_id(1, 2, 3, 1), span_id(1, 2, 3, 2));
         assert_ne!(span_id(1, 2, 3, 1), span_id(2, 2, 3, 1));
+    }
+
+    #[test]
+    fn order_hints_stamp_and_drain() {
+        let t = Tracer::bounded(16);
+        t.set_order_hint(7);
+        t.span(SpanKind::Verify, 0, 1, 10).instant();
+        t.set_order_hint(3);
+        t.span(SpanKind::Verify, 0, 1, 20).instant();
+        let drained = t.drain_with_hints();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 7);
+        assert_eq!(drained[1].0, 3);
+        // The buffer is empty afterwards; dropped stays cumulative.
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        t.span(SpanKind::Verify, 0, 1, 30).instant();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn trimmed_header_roundtrips_and_defaults_to_zero() {
+        let events = vec![ev(SpanKind::Round, 0, 0, 5)];
+        let with = write_jsonl_trimmed(1, "s", 0, 9, &events);
+        let parsed = parse_jsonl(&with).unwrap();
+        assert_eq!(parsed.trimmed, 9);
+        assert_eq!(parsed.dropped, 0);
+        // Untrimmed exports keep the exact version-2 header bytes.
+        let without = write_jsonl_trimmed(1, "s", 0, 0, &events);
+        assert_eq!(without, write_jsonl(1, "s", 0, &events));
+        assert_eq!(parse_jsonl(&without).unwrap().trimmed, 0);
     }
 
     #[test]

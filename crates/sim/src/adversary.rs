@@ -10,9 +10,8 @@
 use algorand_ba::VoteMessage;
 use algorand_core::{BlockMessage, Node, PriorityMessage, WireMessage};
 use algorand_crypto::Keypair;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// How an outgoing message should be distributed.
 #[derive(Clone, Debug)]
@@ -26,6 +25,11 @@ pub enum Outgoing {
 }
 
 /// State shared by all malicious nodes (they collude, §10.4).
+///
+/// Behind `Arc<Mutex>` so malicious nodes can live on DES worker
+/// threads; the engine keeps every malicious node in one work unit, so
+/// coalition state is always mutated in canonical event order and runs
+/// stay deterministic at any worker count.
 #[derive(Default)]
 pub struct AdversaryShared {
     /// Per round: the pair of equivocated block hashes, once some malicious
@@ -53,7 +57,7 @@ pub struct MaliciousNode {
     inner: Node,
     keypair: Keypair,
     kind: AdversaryKind,
-    shared: Rc<RefCell<AdversaryShared>>,
+    shared: Arc<Mutex<AdversaryShared>>,
 }
 
 impl MaliciousNode {
@@ -64,7 +68,7 @@ impl MaliciousNode {
     pub fn new(
         inner: Node,
         keypair: Keypair,
-        shared: Rc<RefCell<AdversaryShared>>,
+        shared: Arc<Mutex<AdversaryShared>>,
     ) -> MaliciousNode {
         Self::with_kind(inner, keypair, AdversaryKind::Equivocator, shared)
     }
@@ -74,7 +78,7 @@ impl MaliciousNode {
         inner: Node,
         keypair: Keypair,
         kind: AdversaryKind,
-        shared: Rc<RefCell<AdversaryShared>>,
+        shared: Arc<Mutex<AdversaryShared>>,
     ) -> MaliciousNode {
         debug_assert_eq!(inner.public_key(), keypair.pk);
         MaliciousNode {
@@ -130,7 +134,7 @@ impl MaliciousNode {
                     let withheld = matches!(m, WireMessage::Block(b)
                         if b.block.proposer == Some(self.inner.public_key()));
                     if withheld {
-                        self.shared.borrow_mut().withheld_blocks += 1;
+                        self.shared.lock().expect("adversary lock").withheld_blocks += 1;
                     }
                     !withheld
                 })
@@ -153,7 +157,8 @@ impl MaliciousNode {
             let other_hash = other.hash();
             let round = other.round;
             self.shared
-                .borrow_mut()
+                .lock()
+                .expect("adversary lock")
                 .equivocations
                 .insert(round, (b.block.hash(), other_hash));
             let prio_a = PriorityMessage::sign(
@@ -202,7 +207,7 @@ impl MaliciousNode {
     /// Committee votes: vote for *both* equivocated blocks, one to each
     /// half of the network.
     fn rewrite_vote(&self, v: VoteMessage) -> Outgoing {
-        let shared = self.shared.borrow();
+        let shared = self.shared.lock().expect("adversary lock");
         let Some((a, b)) = shared.equivocations.get(&v.round) else {
             return Outgoing::Broadcast(WireMessage::Vote(v));
         };

@@ -1,0 +1,254 @@
+//! Sharded event queues with a shard-count-independent pop order.
+//!
+//! The parallel engine partitions future events across shards (node id
+//! modulo shard count) so that scheduling and window extraction touch
+//! small heaps instead of one global one. Correctness does not depend on
+//! the partition: every event carries an [`OrderKey`] that is globally
+//! unique and assigned only in sequential engine phases, and
+//! [`ShardedQueue::pop_window`] merges the per-shard drains back into
+//! exactly the order a single heap would produce. The property test
+//! below (and `tests/des.rs`) pins that invariant for 1, 2, and 8
+//! shards.
+
+use crate::event::Micros;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ordering class for deliveries: at the same instant, a message
+/// delivery is processed before a timer wake (a fixed, documented rule —
+/// what matters is that it is independent of shard count).
+pub const CLASS_DELIVER: u8 = 0;
+/// Ordering class for timer wakes.
+pub const CLASS_WAKE: u8 = 1;
+
+/// Canonical, shard-stable ordering key: `(time, class, tiebreak)`.
+///
+/// Delivery tiebreaks are engine-global sequence numbers handed out in
+/// the sequential barrier phase (sends are serialized there in canonical
+/// order); wake tiebreaks are node ids. Both are independent of how the
+/// queue is sharded and of worker-thread interleaving, so the sorted pop
+/// order is too.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct OrderKey {
+    /// Virtual time of the event.
+    pub time: Micros,
+    /// [`CLASS_DELIVER`] or [`CLASS_WAKE`].
+    pub class: u8,
+    /// Engine-global delivery sequence number, or the waking node id.
+    pub tiebreak: u64,
+}
+
+struct Entry<T> {
+    key: OrderKey,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A future-event set partitioned by node across `n_shards` binary
+/// heaps, with payloads stored inline (no side-table indirection).
+pub struct ShardedQueue<T> {
+    shards: Vec<BinaryHeap<Reverse<Entry<T>>>>,
+    len: usize,
+}
+
+impl<T> ShardedQueue<T> {
+    /// An empty queue over `n_shards` shards (at least 1).
+    pub fn new(n_shards: usize) -> ShardedQueue<T> {
+        let n = n_shards.max(1);
+        ShardedQueue {
+            shards: (0..n).map(|_| BinaryHeap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules an event for `node` under `key`.
+    pub fn schedule(&mut self, node: usize, key: OrderKey, item: T) {
+        let shard = node % self.shards.len();
+        self.shards[shard].push(Reverse(Entry { key, item }));
+        self.len += 1;
+    }
+
+    /// The earliest pending event time across all shards.
+    pub fn next_time(&self) -> Option<Micros> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.peek().map(|Reverse(e)| e.key.time))
+            .min()
+    }
+
+    /// Drains every event with `time < end` from all shards and returns
+    /// them sorted by [`OrderKey`] — the same sequence a single global
+    /// heap would pop, whatever the shard count.
+    pub fn pop_window(&mut self, end: Micros) -> Vec<(OrderKey, T)> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            while shard.peek().is_some_and(|Reverse(e)| e.key.time < end) {
+                let Reverse(e) = shard.pop().expect("peeked");
+                out.push((e.key, e.item));
+            }
+        }
+        self.len -= out.len();
+        // Each shard drains in key order; a final sort merges the runs.
+        // Keys are globally unique, so the order is total.
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorand_crypto::rng::Rng;
+
+    /// Builds a randomized batch of (node, key) pairs with unique keys,
+    /// mimicking the engine's mix of delivery and wake events.
+    fn random_batch(seed: u64, n: usize) -> Vec<(usize, OrderKey)> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let node = rng.gen_range_usize(97);
+                let time = rng.gen_range_u64(1_000);
+                let class = if rng.gen_range_u64(2) == 0 {
+                    CLASS_DELIVER
+                } else {
+                    CLASS_WAKE
+                };
+                // Unique tiebreak makes the key total, as in the engine
+                // (delivery seqs are globally unique; wakes are deduped
+                // per node before scheduling).
+                (
+                    node,
+                    OrderKey {
+                        time,
+                        class,
+                        tiebreak: i as u64,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn drain_with_shards(batch: &[(usize, OrderKey)], n_shards: usize) -> Vec<OrderKey> {
+        let mut q = ShardedQueue::new(n_shards);
+        for &(node, key) in batch {
+            q.schedule(node, key, node);
+        }
+        let mut out = Vec::new();
+        // Drain in several windows to exercise partial pops too.
+        for end in [250, 500, 750, u64::MAX] {
+            for (k, item) in q.pop_window(end) {
+                assert_eq!(item % n_shards.max(1), k_shard(k, item, n_shards));
+                out.push(k);
+            }
+        }
+        assert!(q.is_empty());
+        out
+    }
+
+    fn k_shard(_k: OrderKey, node: usize, n_shards: usize) -> usize {
+        node % n_shards.max(1)
+    }
+
+    #[test]
+    fn pop_order_is_identical_across_1_2_and_8_shards() {
+        for seed in [7u64, 21, 1234, 9_999] {
+            let batch = random_batch(seed, 500);
+            let one = drain_with_shards(&batch, 1);
+            let two = drain_with_shards(&batch, 2);
+            let eight = drain_with_shards(&batch, 8);
+            assert_eq!(one, two, "seed {seed}: 1 vs 2 shards");
+            assert_eq!(one, eight, "seed {seed}: 1 vs 8 shards");
+            // And the merged order is the canonical sorted order.
+            let mut sorted = one.clone();
+            sorted.sort();
+            assert_eq!(one, sorted, "seed {seed}: canonical order");
+        }
+    }
+
+    #[test]
+    fn deliveries_sort_before_wakes_at_the_same_instant() {
+        let mut q = ShardedQueue::new(4);
+        q.schedule(
+            3,
+            OrderKey {
+                time: 10,
+                class: CLASS_WAKE,
+                tiebreak: 3,
+            },
+            "wake",
+        );
+        q.schedule(
+            5,
+            OrderKey {
+                time: 10,
+                class: CLASS_DELIVER,
+                tiebreak: 99,
+            },
+            "deliver",
+        );
+        let popped = q.pop_window(11);
+        assert_eq!(
+            popped.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+            vec!["deliver", "wake"]
+        );
+    }
+
+    #[test]
+    fn next_time_spans_all_shards() {
+        let mut q: ShardedQueue<()> = ShardedQueue::new(3);
+        assert_eq!(q.next_time(), None);
+        q.schedule(
+            0,
+            OrderKey {
+                time: 50,
+                class: CLASS_DELIVER,
+                tiebreak: 0,
+            },
+            (),
+        );
+        q.schedule(
+            2,
+            OrderKey {
+                time: 20,
+                class: CLASS_WAKE,
+                tiebreak: 2,
+            },
+            (),
+        );
+        assert_eq!(q.next_time(), Some(20));
+        // Window end is exclusive.
+        assert_eq!(q.pop_window(20).len(), 0);
+        assert_eq!(q.pop_window(51).len(), 2);
+    }
+}

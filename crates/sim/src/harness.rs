@@ -1,0 +1,937 @@
+//! Engine-agnostic simulation harness: configuration, node slots,
+//! in-flight messages, the open-loop workload, carried counters, and the
+//! aggregate reports.
+//!
+//! Two engines drive this layer: the original single-threaded
+//! [`crate::runner::Simulation`] (one global event queue, the oracle the
+//! chaos/replay gates pin) and the conservative parallel
+//! [`crate::des::ParallelSim`] (sharded queues, lookahead windows). Both
+//! build the same node population, inject the same workload, and report
+//! through the same aggregation helpers, so their results are directly
+//! comparable.
+
+use crate::adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
+use crate::event::Micros;
+use crate::metrics::Percentiles;
+use crate::network::{NetConfig, Network};
+use algorand_ba::{RoundWeights, StepKind, VoteContext};
+use algorand_core::{
+    AlgorandParams, Node, PipelineStats, PipelineVerifier, RoundRecord, VerifyJob, VerifyPool,
+    WireMessage,
+};
+use algorand_crypto::rng::Rng;
+use algorand_crypto::Keypair;
+use algorand_ledger::seed::selection_seed_round;
+use algorand_ledger::{Blockchain, Transaction};
+use algorand_obs::{MonitorConfig, Tracer};
+use algorand_sortition::binomial::binomial_cdf;
+use algorand_txpool::PoolMetrics;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// Verification jobs buffered before a batch is handed to the pool.
+pub(crate) const PREWARM_BATCH: usize = 32;
+
+/// Genesis seed shared by every node (and by restarts). Public so the
+/// real-process harness (`crates/node`) can boot the *same* genesis and
+/// cross-check chain digests against the simulator.
+pub const GENESIS_SEED: [u8; 32] = [0x47u8; 32];
+
+/// Bound on buffered trace events per run (~100 bytes each); past it
+/// events are counted as dropped rather than growing memory unbounded.
+pub(crate) const TRACE_CAP: usize = 1 << 21;
+
+/// Bytes for a block announcement (hash + round + priority material).
+pub(crate) const ANNOUNCE_SIZE: usize = 300;
+
+/// Configuration for one simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of *malicious* users (taken from the end of the index
+    /// space); their stake is the same as everyone else's.
+    pub n_malicious: usize,
+    /// The attack the malicious users mount.
+    pub adversary_kind: AdversaryKind,
+    /// Protocol parameters (typically [`AlgorandParams::scaled`]).
+    pub params: AlgorandParams,
+    /// Transport configuration.
+    pub net: NetConfig,
+    /// Gossip out-degree (paper: 4).
+    pub out_degree: usize,
+    /// Synthetic payload bytes per proposed block.
+    pub payload_bytes: usize,
+    /// Open-loop workload: transactions injected per second across the
+    /// network (0 disables the traffic source).
+    pub tx_rate: f64,
+    /// Total transactions the workload injects before going quiet.
+    pub tx_total: usize,
+    /// Byte budget for the transaction list of each proposed block.
+    pub block_tx_bytes: usize,
+    /// Currency units per user (equal split, as in §10).
+    pub stake_per_user: u64,
+    /// Relay every block regardless of priority (ablation of §6's
+    /// highest-priority discard rule; the paper behaviour is `false`).
+    pub relay_all_blocks: bool,
+    /// How often each user re-draws its gossip peers (§8.4: "Algorand
+    /// replaces gossip peers each round", which also heals nodes stuck in
+    /// a disconnected component). 0 disables churn.
+    pub peer_churn_interval: u64,
+    /// Seed for topology and deterministic keys.
+    pub seed: u64,
+    /// Worker threads for the parallel verify pool (0 = serial; behavior
+    /// is byte-identical either way — the pool only pre-warms the shared
+    /// verification cache ahead of each delivery, never reordering
+    /// events).
+    pub verify_pool_workers: usize,
+    /// Record structured trace spans into the bounded in-memory buffer
+    /// (exported with `export_trace`). Tracing is write-only and consumes
+    /// no randomness, so it cannot change the simulation's behavior:
+    /// same seed ⇒ same chain digest either way.
+    pub trace: bool,
+    /// Attach the online protocol-invariant monitor to the trace stream
+    /// (requires `trace`). The monitor observes events before the buffer
+    /// cap, so a truncated trace still gets checked end to end.
+    pub monitor: bool,
+}
+
+impl SimConfig {
+    /// A sensible default configuration for `n` users.
+    pub fn new(n: usize) -> SimConfig {
+        SimConfig {
+            n_users: n,
+            n_malicious: 0,
+            adversary_kind: AdversaryKind::default(),
+            params: AlgorandParams::scaled(n),
+            net: NetConfig::default(),
+            out_degree: 4,
+            payload_bytes: 0,
+            tx_rate: 0.0,
+            tx_total: 0,
+            block_tx_bytes: 1 << 20,
+            stake_per_user: 10,
+            relay_all_blocks: false,
+            // Default: re-draw peers roughly once per expected round.
+            peer_churn_interval: 15_000_000,
+            seed: 1,
+            verify_pool_workers: 0,
+            trace: false,
+            monitor: false,
+        }
+    }
+
+    /// The deterministic keypair of every user.
+    pub(crate) fn build_keypairs(&self) -> Vec<Keypair> {
+        (0..self.n_users)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[..8].copy_from_slice(&(self.seed ^ 0x5eed).to_le_bytes());
+                seed[8..16].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+                Keypair::from_seed(seed)
+            })
+            .collect()
+    }
+
+    /// The monitor thresholds this population implies (§7.5 tail bounds).
+    pub(crate) fn monitor_config(&self) -> MonitorConfig {
+        let total_weight = self.n_users as u64 * self.stake_per_user;
+        MonitorConfig {
+            committee_hi_step: committee_upper_bound(total_weight, self.params.ba.tau_step),
+            committee_hi_final: committee_upper_bound(total_weight, self.params.ba.tau_final),
+            max_future_gap: algorand_core::ingest::FUTURE_ROUND_WINDOW as u32,
+            max_future_buffer: algorand_core::round::FutureVotes::MAX_TOTAL as u64,
+            honest_nodes: (self.n_users - self.n_malicious) as u32,
+        }
+    }
+}
+
+/// Builds the node population: equal genesis stake, deterministic keys,
+/// malicious users at the end of the index space. `tracer_for` supplies
+/// each node's recording handle — the single-threaded runner hands every
+/// node the same shared tracer, the parallel engine one private buffer
+/// per node (merged canonically at barriers).
+pub(crate) fn build_slots(
+    cfg: &SimConfig,
+    keypairs: &[Keypair],
+    verifier: &Arc<PipelineVerifier>,
+    adversary: &Arc<Mutex<AdversaryShared>>,
+    pool_metrics: &PoolMetrics,
+    mut tracer_for: impl FnMut(usize) -> Tracer,
+) -> Vec<Slot> {
+    let alloc: Vec<_> = keypairs
+        .iter()
+        .map(|k| (k.pk, cfg.stake_per_user))
+        .collect();
+    let n_honest = cfg.n_users - cfg.n_malicious;
+    (0..cfg.n_users)
+        .map(|i| {
+            let chain = Blockchain::new(cfg.params.chain, alloc.iter().copied(), GENESIS_SEED);
+            let mut node = Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
+            node.payload_bytes = cfg.payload_bytes;
+            node.block_tx_bytes = cfg.block_tx_bytes;
+            node.set_tracer(tracer_for(i), i as u32);
+            node.pool.set_metrics(pool_metrics.clone());
+            if i < n_honest {
+                Slot::Honest(Box::new(node))
+            } else {
+                Slot::Malicious(Box::new(MaliciousNode::with_kind(
+                    node,
+                    keypairs[i].clone(),
+                    cfg.adversary_kind,
+                    adversary.clone(),
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Bytes sent per wire-message kind across every transmission of a run
+/// (announcement-sized block exchanges count under their kind).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct KindBytes {
+    pub vote: u64,
+    pub priority: u64,
+    pub block: u64,
+    pub fork: u64,
+    pub tx: u64,
+    pub catchup: u64,
+}
+
+impl KindBytes {
+    /// `(label, bytes)` pairs in the fixed export order that keeps the
+    /// trace byte-stable.
+    pub(crate) fn summary(&self) -> [(&'static str, u64); 6] {
+        [
+            ("bytes_vote", self.vote),
+            ("bytes_priority", self.priority),
+            ("bytes_block", self.block),
+            ("bytes_fork", self.fork),
+            ("bytes_tx", self.tx),
+            ("bytes_catchup", self.catchup),
+        ]
+    }
+}
+
+/// Smallest `k` whose binomial upper tail `P[Binomial(W, τ/W) > k]` falls
+/// below ~1e-12 — the §7.5 bound the monitor enforces on the
+/// deduplicated committee weight of any (round, step).
+pub(crate) fn committee_upper_bound(total_weight: u64, tau: f64) -> u64 {
+    let w = total_weight.max(1);
+    let p = (tau / w as f64).min(1.0);
+    let mut k = (tau as u64).min(w);
+    while k < w && 1.0 - binomial_cdf(k, w, p) >= 1e-12 {
+        k += 1;
+    }
+    k
+}
+
+/// One node slot: the honest protocol, or its adversarial wrapper.
+pub(crate) enum Slot {
+    Honest(Box<Node>),
+    Malicious(Box<MaliciousNode>),
+}
+
+impl Slot {
+    /// The inner protocol node, whichever wrapper holds it.
+    pub(crate) fn node(&self) -> &Node {
+        match self {
+            Slot::Honest(n) => n,
+            Slot::Malicious(m) => m.inner(),
+        }
+    }
+
+    /// Mutable inner protocol node.
+    pub(crate) fn node_mut(&mut self) -> &mut Node {
+        match self {
+            Slot::Honest(n) => n,
+            Slot::Malicious(m) => m.inner_mut(),
+        }
+    }
+
+    /// The honest node, if this slot is honest.
+    pub(crate) fn honest(&self) -> Option<&Node> {
+        match self {
+            Slot::Honest(n) => Some(n),
+            Slot::Malicious(_) => None,
+        }
+    }
+
+    pub(crate) fn next_deadline(&self) -> Option<Micros> {
+        match self {
+            Slot::Honest(n) => n.next_deadline(),
+            Slot::Malicious(m) => m.next_deadline(),
+        }
+    }
+
+    pub(crate) fn start(&mut self, now: Micros) -> Vec<Outgoing> {
+        match self {
+            Slot::Honest(n) => wrap_broadcast(n.start(now)),
+            Slot::Malicious(m) => m.start(now),
+        }
+    }
+
+    pub(crate) fn on_tick(&mut self, now: Micros) -> Vec<Outgoing> {
+        match self {
+            Slot::Honest(n) => wrap_broadcast(n.on_tick(now)),
+            Slot::Malicious(m) => m.on_tick(now),
+        }
+    }
+
+    pub(crate) fn on_message(&mut self, msg: &WireMessage, now: Micros) -> Vec<Outgoing> {
+        match self {
+            Slot::Honest(n) => wrap_broadcast(n.on_message(msg, now)),
+            Slot::Malicious(m) => m.on_message(msg, now),
+        }
+    }
+
+    /// §6 discard rules: whether the node declines to relay this message
+    /// onward (malicious nodes relay everything).
+    pub(crate) fn discards(&self, msg: &WireMessage, relay_all_blocks: bool) -> bool {
+        let Slot::Honest(n) = self else { return false };
+        match msg {
+            WireMessage::Block(b) => !relay_all_blocks && !n.should_relay_block(b),
+            WireMessage::Transaction(tx) => !n.should_relay_transaction(tx),
+            WireMessage::Vote(v) => !n.should_relay_vote(v),
+            _ => false,
+        }
+    }
+}
+
+/// A message in flight, with precomputed id/slot/size so relaying costs
+/// O(1) per hop.
+pub struct SimMsg {
+    pub(crate) wire: WireMessage,
+    pub(crate) id: [u8; 32],
+    pub(crate) relay_slot: Option<([u8; 32], u64, u32)>,
+    pub(crate) size: usize,
+    /// Large bodies (blocks) are transferred pull-style: if the receiver
+    /// already announced holding the content, only an announcement-sized
+    /// exchange crosses the wire. Mirrors TCP gossip implementations
+    /// (and Bitcoin's inv/getdata), whose measured cost the paper cites:
+    /// ~2 body copies per node rather than one per edge.
+    pub(crate) pull_based: bool,
+}
+
+impl SimMsg {
+    pub(crate) fn new(wire: WireMessage) -> Arc<SimMsg> {
+        let pull_based = matches!(wire, WireMessage::Block(_) | WireMessage::ForkProposal(_));
+        Arc::new(SimMsg {
+            id: wire.message_id(),
+            relay_slot: wire.relay_slot(),
+            size: wire.wire_size(),
+            wire,
+            pull_based,
+        })
+    }
+}
+
+/// One injected workload transaction, for latency accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct TxRecord {
+    /// The transaction hash.
+    pub id: [u8; 32],
+    /// Index of the (honest) sending user.
+    pub sender: usize,
+    /// Virtual time the transaction entered the sender's node.
+    pub submitted: Micros,
+}
+
+/// End-to-end transaction metrics from one workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct TxStats {
+    /// Transactions the workload injected.
+    pub injected: usize,
+    /// Injected transactions that appear in the finalized/agreed chain.
+    pub committed: usize,
+    /// Chain slots holding a transaction hash more than once (must be 0).
+    pub duplicate_commits: usize,
+    /// Committed transactions per virtual second, submission of the first
+    /// to commit of the last.
+    pub tx_per_sec: f64,
+    /// Per-transaction finalization latency in seconds (submission at the
+    /// sender to round completion at the sender), if any committed.
+    pub latency: Option<Percentiles>,
+}
+
+/// What the workload decided to do at one injection tick.
+pub(crate) enum InjectStep {
+    /// Spendable stake exhausted: the source goes quiet early.
+    Quiet,
+    /// Eligible stake exists but its holders are down: skip this tick
+    /// and try again after the crash window.
+    Retry,
+    /// Inject one payment.
+    Pay {
+        sender: usize,
+        to: usize,
+        amount: u64,
+    },
+}
+
+/// The open-loop traffic source: random honest-to-honest payments at a
+/// fixed rate.
+///
+/// It tracks a conservative `spendable` balance per user — genesis stake
+/// minus everything already injected, never counting in-flight income —
+/// so every transaction it emits is guaranteed to stay applicable
+/// whenever it commits, as long as each sender's nonces commit in order
+/// (which per-sender nonce chains enforce).
+pub(crate) struct Workload {
+    rng: Rng,
+    spendable: Vec<u64>,
+    nonces: Vec<u64>,
+    pub(crate) injected: Vec<TxRecord>,
+    pub(crate) remaining: usize,
+    pub(crate) interval: Micros,
+}
+
+impl Workload {
+    /// Builds the traffic source if the config enables one.
+    pub(crate) fn from_config(cfg: &SimConfig) -> Option<Workload> {
+        let n_honest = cfg.n_users - cfg.n_malicious;
+        (cfg.tx_rate > 0.0 && cfg.tx_total > 0).then(|| Workload {
+            rng: Rng::seed_from_u64(cfg.seed ^ 0x7AF0AD),
+            spendable: vec![cfg.stake_per_user; n_honest],
+            nonces: vec![0; n_honest],
+            injected: Vec::with_capacity(cfg.tx_total),
+            remaining: cfg.tx_total,
+            interval: ((1_000_000.0 / cfg.tx_rate) as Micros).max(1),
+        })
+    }
+
+    /// Picks the next payment (sender, recipient, amount) or reports why
+    /// none can be injected right now. Draws from the workload RNG in a
+    /// fixed order, so the plan — and therefore the whole run — is a
+    /// deterministic function of the config seed and crash state.
+    pub(crate) fn plan(&mut self, crashed: &[bool]) -> InjectStep {
+        let n_honest = self.spendable.len();
+        let richest = self.spendable.iter().copied().max().unwrap_or(0);
+        if richest == 0 {
+            self.remaining = 0;
+            return InjectStep::Quiet;
+        }
+        // Clamp so a large draw cannot end the workload while smaller
+        // payments are still affordable somewhere.
+        let amount = (1 + self.rng.gen_range_u64(3)).min(richest);
+        let mut sender = None;
+        for _ in 0..8 {
+            let c = self.rng.gen_range_usize(n_honest);
+            if !crashed[c] && self.spendable[c] >= amount {
+                sender = Some(c);
+                break;
+            }
+        }
+        let sender =
+            sender.or_else(|| (0..n_honest).find(|&i| !crashed[i] && self.spendable[i] >= amount));
+        let Some(s) = sender else {
+            if (0..n_honest).any(|i| self.spendable[i] >= amount) {
+                return InjectStep::Retry;
+            }
+            self.remaining = 0;
+            return InjectStep::Quiet;
+        };
+        let mut to = self.rng.gen_range_usize(n_honest);
+        if to == s {
+            to = (to + 1) % n_honest;
+        }
+        InjectStep::Pay {
+            sender: s,
+            to,
+            amount,
+        }
+    }
+
+    /// The payment message for one planned injection (nonce chained per
+    /// sender).
+    pub(crate) fn payment(
+        &self,
+        keypairs: &[Keypair],
+        sender: usize,
+        to: usize,
+        amount: u64,
+    ) -> Transaction {
+        Transaction::payment(
+            &keypairs[sender],
+            keypairs[to].pk,
+            amount,
+            self.nonces[sender] + 1,
+        )
+    }
+
+    /// Commits a planned payment the sender's node accepted.
+    pub(crate) fn commit(&mut self, sender: usize, amount: u64, record: TxRecord) {
+        self.spendable[sender] -= amount;
+        self.nonces[sender] += 1;
+        self.remaining -= 1;
+        self.injected.push(record);
+    }
+}
+
+/// Counters a node accumulated before a crash/restart cycle replaced
+/// it. Aggregating reports add these exactly once per node id, so a
+/// crashed-then-restarted node's history is neither lost (the old bug:
+/// the replacement node restarts every counter at zero) nor
+/// double-counted (stats are folded in only when the old node object is
+/// dropped at restart, never while it still sits in its slot).
+#[derive(Default)]
+pub(crate) struct NodeCarry {
+    pub pipeline: PipelineStats,
+    pub records: Vec<RoundRecord>,
+    pub timeout_escalations: u64,
+    pub watchdog_catchups: usize,
+    pub recoveries_completed: usize,
+    pub catchups_applied: usize,
+}
+
+impl NodeCarry {
+    /// Folds a dying node's counters in before its slot is overwritten.
+    pub(crate) fn fold_from(&mut self, node: &Node) {
+        self.pipeline.merge(&node.pipeline_stats());
+        self.records.extend_from_slice(node.records());
+        self.timeout_escalations += node.timeout_escalations();
+        self.watchdog_catchups += node.watchdog_catchups();
+        self.recoveries_completed += node.recoveries_completed();
+        self.catchups_applied += node.catchups_applied();
+    }
+}
+
+/// Aggregated staged-pipeline counters for one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineReport {
+    /// Per-stage counters summed over all honest nodes.
+    pub stages: PipelineStats,
+    /// Hits on the process-wide verification cache.
+    pub cache_hits: u64,
+    /// Misses (full verifications) on the process-wide cache.
+    pub cache_misses: u64,
+    /// Distinct vote verifications performed.
+    pub unique_votes: usize,
+    /// Distinct priority/block/fork-proposal verifications performed.
+    pub unique_proposals: usize,
+    /// Verify-pool worker threads (0 = serial).
+    pub pool_workers: usize,
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pipeline: ingested={} rejected_ingest={} buffered_early={} buffered_future={}",
+            self.stages.ingested,
+            self.stages.rejected_ingest,
+            self.stages.buffered_early,
+            self.stages.buffered_future,
+        )?;
+        writeln!(
+            f,
+            "verify:   verified={} rejected={} cache_hits={} cache_misses={} unique_votes={} unique_proposals={}",
+            self.stages.verified,
+            self.stages.rejected_verify,
+            self.cache_hits,
+            self.cache_misses,
+            self.unique_votes,
+            self.unique_proposals,
+        )?;
+        write!(
+            f,
+            "emit:     emitted={} pool_workers={}",
+            self.stages.emitted, self.pool_workers
+        )
+    }
+}
+
+/// Fault-injection and recovery counters for one simulation run, the
+/// observability half of the chaos harness.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultReport {
+    /// Partitions installed by the fault schedule.
+    pub partitions_activated: usize,
+    /// Node restarts completed.
+    pub restarts: usize,
+    /// Sends dropped by the caller-installed filter.
+    pub dropped_by_filter: u64,
+    /// Sends dropped by scripted partitions.
+    pub dropped_by_partition: u64,
+    /// Sends dropped by random packet loss.
+    pub dropped_by_loss: u64,
+    /// BA⋆ step-timeout escalations summed over honest nodes.
+    pub timeout_escalations: u64,
+    /// Watchdog-initiated catch-up requests summed over honest nodes.
+    pub watchdog_catchups: usize,
+    /// §8.2 fork recoveries completed, summed over honest nodes.
+    pub recoveries_completed: usize,
+    /// Rounds adopted via §8.3 catch-up, summed over honest nodes.
+    pub catchups_applied: usize,
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "faults:   partitions={} restarts={} dropped(filter/partition/loss)={}/{}/{}",
+            self.partitions_activated,
+            self.restarts,
+            self.dropped_by_filter,
+            self.dropped_by_partition,
+            self.dropped_by_loss,
+        )?;
+        write!(
+            f,
+            "recovery: timeout_escalations={} watchdog_catchups={} fork_recoveries={} catchups={}",
+            self.timeout_escalations,
+            self.watchdog_catchups,
+            self.recoveries_completed,
+            self.catchups_applied,
+        )
+    }
+}
+
+pub(crate) fn wrap_broadcast(msgs: Vec<WireMessage>) -> Vec<Outgoing> {
+    msgs.into_iter().map(Outgoing::Broadcast).collect()
+}
+
+// --- Aggregation helpers shared by both engines --------------------------
+
+/// A digest of every honest node's canonical chain, for the determinism
+/// check: identical `(seed, schedule)` runs must produce identical
+/// digests.
+pub(crate) fn chain_digest(slots: &[&Slot]) -> [u8; 32] {
+    let mut acc: Vec<u8> = Vec::new();
+    for slot in slots {
+        let Some(n) = slot.honest() else { continue };
+        let chain = n.chain();
+        for r in 1..=chain.tip().round {
+            if let Some(b) = chain.block_at(r) {
+                acc.extend_from_slice(&b.hash());
+            }
+        }
+        acc.push(0xFF); // Node separator.
+    }
+    algorand_crypto::sha256_concat(&[b"chain-digest", &acc])
+}
+
+/// Per-honest-node round records *including* those a node measured
+/// before a crash/restart cycle replaced it, deduplicated by round per
+/// node (a record carried from before the crash wins over a hypothetical
+/// re-measurement after it).
+pub(crate) fn combined_records(
+    slots: &[&Slot],
+    carry: &HashMap<usize, NodeCarry>,
+) -> Vec<Vec<RoundRecord>> {
+    let mut out = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        let Some(n) = slot.honest() else { continue };
+        let mut seen = HashSet::new();
+        let mut recs = Vec::new();
+        if let Some(c) = carry.get(&i) {
+            for r in &c.records {
+                if seen.insert(r.round) {
+                    recs.push(*r);
+                }
+            }
+        }
+        for r in n.records() {
+            if seen.insert(r.round) {
+                recs.push(*r);
+            }
+        }
+        out.push(recs);
+    }
+    out
+}
+
+/// Aggregated staged-pipeline counters across honest nodes plus the
+/// process-wide cache, for the metrics report.
+pub(crate) fn pipeline_report(
+    slots: &[&Slot],
+    carry: &HashMap<usize, NodeCarry>,
+    verifier: &PipelineVerifier,
+    pool: &VerifyPool,
+) -> PipelineReport {
+    let mut stages = PipelineStats::default();
+    for slot in slots {
+        stages.merge(&slot.node().pipeline_stats());
+    }
+    // Counters from nodes replaced by crash/restart, once per node id.
+    for c in carry.values() {
+        stages.merge(&c.pipeline);
+    }
+    PipelineReport {
+        stages,
+        cache_hits: verifier.cache_hits(),
+        cache_misses: verifier.cache_misses(),
+        unique_votes: verifier.unique_vote_verifications(),
+        unique_proposals: verifier.unique_proposal_verifications(),
+        pool_workers: pool.workers(),
+    }
+}
+
+/// Fault-injection and recovery counters for one run.
+pub(crate) fn fault_report(
+    slots: &[&Slot],
+    carry: &HashMap<usize, NodeCarry>,
+    net: &Network,
+    partitions_activated: usize,
+    restarts: usize,
+) -> FaultReport {
+    let mut report = FaultReport {
+        partitions_activated,
+        restarts,
+        dropped_by_filter: net.dropped_by_filter(),
+        dropped_by_partition: net.dropped_by_partition(),
+        dropped_by_loss: net.dropped_by_loss(),
+        timeout_escalations: 0,
+        watchdog_catchups: 0,
+        recoveries_completed: 0,
+        catchups_applied: 0,
+    };
+    for slot in slots {
+        let Some(n) = slot.honest() else { continue };
+        report.timeout_escalations += n.timeout_escalations();
+        report.watchdog_catchups += n.watchdog_catchups();
+        report.recoveries_completed += n.recoveries_completed();
+        report.catchups_applied += n.catchups_applied();
+    }
+    // Counters from nodes replaced by crash/restart, once per node id.
+    for c in carry.values() {
+        report.timeout_escalations += c.timeout_escalations;
+        report.watchdog_catchups += c.watchdog_catchups;
+        report.recoveries_completed += c.recoveries_completed;
+        report.catchups_applied += c.catchups_applied;
+    }
+    report
+}
+
+/// End-to-end transaction metrics for the workload (if one ran).
+///
+/// Commitment is judged against honest node 0's chain (all honest chains
+/// agree on the common prefix — asserted elsewhere); latency is
+/// submission at the sender to the *sender's* completion of the
+/// committing round, falling back to any honest node's record when the
+/// sender adopted that round via catch-up.
+pub(crate) fn tx_stats(
+    injected: &[TxRecord],
+    chain: &Blockchain,
+    combined: &[Vec<RoundRecord>],
+) -> TxStats {
+    let mut commit_round = HashMap::new();
+    let mut duplicate_commits = 0usize;
+    for r in 1..=chain.tip().round {
+        let Some(block) = chain.block_at(r) else {
+            continue;
+        };
+        for tx in &block.txs {
+            if commit_round.insert(tx.id(), r).is_some() {
+                duplicate_commits += 1;
+            }
+        }
+    }
+    let mut latencies = Vec::new();
+    let mut committed = 0usize;
+    let mut first_submit = Micros::MAX;
+    let mut last_commit: Micros = 0;
+    for rec in injected {
+        let Some(&round) = commit_round.get(&rec.id) else {
+            continue;
+        };
+        committed += 1;
+        let finished = combined
+            .get(rec.sender)
+            .and_then(|rs| rs.iter().find(|x| x.round == round))
+            .map(|x| x.finished)
+            .or_else(|| {
+                combined
+                    .iter()
+                    .flat_map(|rs| rs.iter())
+                    .find(|x| x.round == round)
+                    .map(|x| x.finished)
+            });
+        if let Some(f) = finished {
+            latencies.push(f.saturating_sub(rec.submitted) as f64 / 1e6);
+            first_submit = first_submit.min(rec.submitted);
+            last_commit = last_commit.max(f);
+        }
+    }
+    let tx_per_sec = if last_commit > first_submit {
+        committed as f64 / ((last_commit - first_submit) as f64 / 1e6)
+    } else {
+        0.0
+    };
+    TxStats {
+        injected: injected.len(),
+        committed,
+        duplicate_commits,
+        tx_per_sec,
+        latency: (!latencies.is_empty()).then(|| Percentiles::of(&latencies)),
+    }
+}
+
+// --- Batch verification pre-warm -----------------------------------------
+
+/// Hands in-flight messages to the [`VerifyPool`] in batches so the
+/// process-wide verification cache is warm before delivery. Each message
+/// is verified once no matter how many nodes it is in flight to.
+///
+/// Determinism: jobs only populate the `(message id, seed)`-keyed cache,
+/// whose verdicts are pure functions of their key. Event order is
+/// untouched, and a job built under a stale context lands on a key no
+/// consumer asks for — wasted work, never a wrong answer.
+pub(crate) struct Prewarmer {
+    /// Message ids already queued for pre-warming (first transmit wins).
+    prewarmed: HashSet<[u8; 32]>,
+    /// Weight snapshots reused across a round's pre-warm jobs.
+    weights: HashMap<u64, Arc<RoundWeights>>,
+    /// Verification jobs awaiting a batch hand-off to the pool.
+    pending: Vec<VerifyJob>,
+}
+
+impl Prewarmer {
+    pub(crate) fn new() -> Prewarmer {
+        Prewarmer {
+            prewarmed: HashSet::new(),
+            weights: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queues a message for cache pre-warming, flushing a full batch to
+    /// the pool. `chain` is the context oracle (honest node 0's chain).
+    pub(crate) fn enqueue(
+        &mut self,
+        msg: &SimMsg,
+        chain: &Blockchain,
+        params: &AlgorandParams,
+        pool: &VerifyPool,
+        verifier: &Arc<PipelineVerifier>,
+    ) {
+        if pool.workers() == 0 || !self.prewarmed.insert(msg.id) {
+            return;
+        }
+        if let Some(job) = self.job(&msg.wire, chain, params) {
+            self.pending.push(job);
+            if self.pending.len() >= PREWARM_BATCH {
+                let jobs = std::mem::take(&mut self.pending);
+                pool.verify_batch(verifier, jobs);
+            }
+        }
+    }
+
+    /// Builds the verification job for an in-flight message. Messages
+    /// whose context is not yet derivable exactly (selection seed still
+    /// in the future) are skipped — the consuming node verifies those
+    /// inline.
+    fn job(
+        &mut self,
+        wire: &WireMessage,
+        chain: &Blockchain,
+        params: &AlgorandParams,
+    ) -> Option<VerifyJob> {
+        let tip = chain.tip().round;
+        let interval = params.chain.seed_refresh_interval;
+        let round = match wire {
+            WireMessage::Vote(v) => v.round,
+            WireMessage::Priority(p) => p.round,
+            WireMessage::Block(b) => b.block.round,
+            _ => return None,
+        };
+        if selection_seed_round(round, interval) > tip {
+            return None;
+        }
+        let seed = chain.selection_seed(round);
+        let weights = match self.weights.get(&round) {
+            Some(w) => w.clone(),
+            None => {
+                let w = Arc::new(chain.weights_for_round(round));
+                self.weights.insert(round, w.clone());
+                self.weights.retain(|&r, _| r + 8 > round);
+                w
+            }
+        };
+        Some(match wire {
+            WireMessage::Vote(v) => VerifyJob::Vote {
+                msg: v.clone(),
+                ctx: VoteContext {
+                    round,
+                    seed,
+                    tau: params.ba.tau_for(v.step == StepKind::Final),
+                },
+                weights,
+            },
+            WireMessage::Priority(p) => VerifyJob::Priority {
+                msg: p.clone(),
+                seed,
+                weights,
+                tau: params.tau_proposer,
+            },
+            WireMessage::Block(b) => VerifyJob::Block {
+                msg: b.clone(),
+                seed,
+                weights,
+                tau: params.tau_proposer,
+            },
+            _ => unreachable!("round extraction above filtered the rest"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committee_bound_is_at_least_tau() {
+        assert!(committee_upper_bound(10_000, 250.0) >= 250);
+        assert!(committee_upper_bound(10_000, 250.0) < 10_000);
+    }
+
+    #[test]
+    fn workload_plan_is_deterministic() {
+        let mut cfg = SimConfig::new(8);
+        cfg.tx_rate = 10.0;
+        cfg.tx_total = 5;
+        let crashed = vec![false; 8];
+        let mut a = Workload::from_config(&cfg).unwrap();
+        let mut b = Workload::from_config(&cfg).unwrap();
+        for _ in 0..5 {
+            match (a.plan(&crashed), b.plan(&crashed)) {
+                (
+                    InjectStep::Pay {
+                        sender: s1,
+                        to: t1,
+                        amount: a1,
+                    },
+                    InjectStep::Pay {
+                        sender: s2,
+                        to: t2,
+                        amount: a2,
+                    },
+                ) => {
+                    assert_eq!((s1, t1, a1), (s2, t2, a2));
+                    let kp = cfg.build_keypairs();
+                    let tx = a.payment(&kp, s1, t1, a1);
+                    a.commit(
+                        s1,
+                        a1,
+                        TxRecord {
+                            id: tx.id(),
+                            sender: s1,
+                            submitted: 0,
+                        },
+                    );
+                    b.commit(
+                        s2,
+                        a2,
+                        TxRecord {
+                            id: tx.id(),
+                            sender: s2,
+                            submitted: 0,
+                        },
+                    );
+                }
+                _ => panic!("plans diverged"),
+            }
+        }
+        assert_eq!(a.remaining, 0);
+    }
+}

@@ -90,6 +90,19 @@ impl LatencyMatrix {
     pub fn one_way(&self, from_city: usize, to_city: usize) -> Micros {
         self.micros[from_city][to_city]
     }
+
+    /// The smallest one-way latency over all city pairs — the lookahead
+    /// contract the conservative parallel DES engine builds on: no
+    /// message sent at time `t` can arrive before `t + min_one_way()`
+    /// (before jitter; see [`crate::network::Network::min_delay`] for the
+    /// jitter- and fault-adjusted bound).
+    pub fn min_one_way(&self) -> Micros {
+        self.micros
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .min()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +128,17 @@ mod tests {
     fn same_city_is_fast() {
         let m = LatencyMatrix::new();
         assert_eq!(m.one_way(3, 3), 1_000);
+    }
+
+    #[test]
+    fn min_one_way_is_the_same_city_latency() {
+        let m = LatencyMatrix::new();
+        assert_eq!(m.min_one_way(), 1_000);
+        for i in 0..m.n_cities() {
+            for j in 0..m.n_cities() {
+                assert!(m.one_way(i, j) >= m.min_one_way());
+            }
+        }
     }
 
     #[test]

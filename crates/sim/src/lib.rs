@@ -10,21 +10,25 @@
 //! analytic epidemic model mirrors the paper's own shortcuts.
 
 pub mod adversary;
+pub mod des;
 pub mod epidemic;
 pub mod event;
 pub mod faults;
+pub mod harness;
 pub mod latency;
 pub mod metrics;
 pub mod network;
 pub mod runner;
 
 pub use adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
+pub use des::{DesConfig, ParallelSim};
 pub use epidemic::EpidemicConfig;
 pub use event::{Event, EventQueue, Micros};
 pub use faults::{FaultAction, FaultEvent, FaultSchedule};
+pub use harness::{FaultReport, PipelineReport, SimConfig, TxRecord, TxStats, GENESIS_SEED};
 pub use metrics::{round_stats, Percentiles, RoundStats};
 pub use network::{NetConfig, Network, PartitionSpec};
-pub use runner::{FaultReport, PipelineReport, SimConfig, Simulation, TxStats, GENESIS_SEED};
+pub use runner::Simulation;
 
 // The shared observability layer (tracing + metrics registry), re-exported
 // so harnesses driving the simulator need not depend on the crate directly.

@@ -198,6 +198,27 @@ impl Network {
         Some(self.uplink_free[from] + lat)
     }
 
+    /// A lower bound on the delay between any send and its arrival under
+    /// the *current* network conditions — the conservative-lookahead
+    /// contract of the parallel DES engine: a message entering the
+    /// network at time `t` is delivered no earlier than
+    /// `t + min_delay()`. Accounts for downward jitter and for the
+    /// active delay spike, with a small margin for the integer flooring
+    /// the transmit path applies. Serialization and uplink queueing only
+    /// add delay, so they never lower the bound. Network conditions only
+    /// change at scripted fault instants, which the DES engine treats as
+    /// window barriers, so the bound is stable within any one window.
+    /// Always at least 1 µs.
+    pub fn min_delay(&self) -> Micros {
+        let base = self.latency.min_one_way() as f64;
+        let jittered = base * (1.0 - self.cfg.jitter_frac).clamp(0.0, 1.0);
+        let spiked = match self.delay_spike {
+            Some((factor, extra)) => jittered * factor.max(0.0) + extra as f64,
+            None => jittered,
+        };
+        (spiked.floor() as Micros).saturating_sub(2).max(1)
+    }
+
     /// Total bytes sent by a node.
     pub fn bytes_sent(&self, node: usize) -> u64 {
         self.bytes_sent[node]
@@ -349,6 +370,27 @@ mod tests {
         assert!(net.transmit(0, 2, 10, 0).is_some());
         assert!(net.transmit(2, 0, 10, 0).is_none());
         assert_eq!(net.dropped_by_partition(), 1);
+    }
+
+    #[test]
+    fn min_delay_lower_bounds_every_arrival() {
+        let mut net = Network::new(20, NetConfig::default());
+        for spike in [None, Some((3.0, 50_000)), Some((0.5, 0))] {
+            net.set_delay_spike(spike);
+            let bound = net.min_delay();
+            assert!(bound >= 1);
+            for from in 0..20 {
+                for to in 0..20 {
+                    let now = net.uplink_free[from];
+                    if let Some(arrival) = net.transmit(from, to, 1, now) {
+                        assert!(
+                            arrival >= now + bound,
+                            "spike {spike:?}: {from}->{to} arrived {arrival} < {now}+{bound}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

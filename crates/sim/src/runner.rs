@@ -1,259 +1,36 @@
-//! The simulation runner: N Algorand users over a gossip network in
-//! virtual time — the stand-in for the paper's 1,000-VM EC2 testbed.
+//! The single-threaded simulation runner: N Algorand users over a gossip
+//! network in virtual time — the stand-in for the paper's 1,000-VM EC2
+//! testbed, and the replay oracle the chaos/determinism gates pin.
+//!
+//! Population building, workload, carried counters, and report
+//! aggregation live in [`crate::harness`], shared with the parallel
+//! discrete-event engine ([`crate::des`]). This module owns the *serial*
+//! schedule: one global event queue popped in `(time, insertion)` order.
 
-use crate::adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
+use crate::adversary::{AdversaryShared, Outgoing};
 use crate::event::{Event, EventQueue, Micros};
 use crate::faults::{FaultAction, FaultEvent, FaultSchedule};
-use crate::metrics::{round_stats, Percentiles, RoundStats};
-use crate::network::{Filter, NetConfig, Network};
-use algorand_ba::{RoundWeights, StepKind, VoteContext};
-use algorand_core::{
-    AlgorandParams, Node, PipelineStats, PipelineVerifier, RoundRecord, VerifyJob, VerifyPool,
-    WireMessage,
+use crate::harness::{
+    self, InjectStep, KindBytes, NodeCarry, Prewarmer, Slot, Workload, ANNOUNCE_SIZE, TRACE_CAP,
 };
+use crate::metrics::{round_stats, RoundStats};
+use crate::network::{Filter, Network};
+use algorand_core::{Node, PipelineVerifier, RoundRecord, VerifyPool, WireMessage};
 use algorand_crypto::rng::Rng;
 use algorand_crypto::Keypair;
 use algorand_gossip::{RelayDecision, RelayMetrics, RelayState, Topology};
-use algorand_ledger::seed::selection_seed_round;
 use algorand_ledger::{Blockchain, Transaction};
 use algorand_obs::{
-    stable_id, write_jsonl, Histogram, MonitorConfig, MonitorHandle, MonitorReport, Registry,
-    SpanKind, TraceEvent, Tracer, NO_NODE,
+    stable_id, write_jsonl, Histogram, MonitorHandle, MonitorReport, Registry, SpanKind,
+    TraceEvent, Tracer, NO_NODE,
 };
-use algorand_sortition::binomial::binomial_cdf;
 use algorand_txpool::PoolMetrics;
-use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-/// Verification jobs buffered before a batch is handed to the pool.
-const PREWARM_BATCH: usize = 32;
-
-/// Genesis seed shared by every node (and by restarts). Public so the
-/// real-process harness (`crates/node`) can boot the *same* genesis and
-/// cross-check chain digests against the simulator.
-pub const GENESIS_SEED: [u8; 32] = [0x47u8; 32];
-
-/// Bound on buffered trace events per run (~100 bytes each); past it
-/// events are counted as dropped rather than growing memory unbounded.
-const TRACE_CAP: usize = 1 << 21;
-
-/// Configuration for one simulation.
-#[derive(Clone, Debug)]
-pub struct SimConfig {
-    /// Number of users.
-    pub n_users: usize,
-    /// Number of *malicious* users (taken from the end of the index
-    /// space); their stake is the same as everyone else's.
-    pub n_malicious: usize,
-    /// The attack the malicious users mount.
-    pub adversary_kind: AdversaryKind,
-    /// Protocol parameters (typically [`AlgorandParams::scaled`]).
-    pub params: AlgorandParams,
-    /// Transport configuration.
-    pub net: NetConfig,
-    /// Gossip out-degree (paper: 4).
-    pub out_degree: usize,
-    /// Synthetic payload bytes per proposed block.
-    pub payload_bytes: usize,
-    /// Open-loop workload: transactions injected per second across the
-    /// network (0 disables the traffic source).
-    pub tx_rate: f64,
-    /// Total transactions the workload injects before going quiet.
-    pub tx_total: usize,
-    /// Byte budget for the transaction list of each proposed block.
-    pub block_tx_bytes: usize,
-    /// Currency units per user (equal split, as in §10).
-    pub stake_per_user: u64,
-    /// Relay every block regardless of priority (ablation of §6's
-    /// highest-priority discard rule; the paper behaviour is `false`).
-    pub relay_all_blocks: bool,
-    /// How often each user re-draws its gossip peers (§8.4: "Algorand
-    /// replaces gossip peers each round", which also heals nodes stuck in
-    /// a disconnected component). 0 disables churn.
-    pub peer_churn_interval: u64,
-    /// Seed for topology and deterministic keys.
-    pub seed: u64,
-    /// Worker threads for the parallel verify pool (0 = serial; behavior
-    /// is byte-identical either way — the pool only pre-warms the shared
-    /// verification cache ahead of each delivery, never reordering
-    /// events).
-    pub verify_pool_workers: usize,
-    /// Record structured trace spans into the bounded in-memory buffer
-    /// (exported with [`Simulation::export_trace`]). Tracing is
-    /// write-only and consumes no randomness, so it cannot change the
-    /// simulation's behavior: same seed ⇒ same chain digest either way.
-    pub trace: bool,
-    /// Attach the online protocol-invariant monitor to the trace stream
-    /// (requires `trace`; see [`Simulation::monitor_report`]). The
-    /// monitor observes events before the buffer cap, so a truncated
-    /// trace still gets checked end to end.
-    pub monitor: bool,
-}
-
-impl SimConfig {
-    /// A sensible default configuration for `n` users.
-    pub fn new(n: usize) -> SimConfig {
-        SimConfig {
-            n_users: n,
-            n_malicious: 0,
-            adversary_kind: AdversaryKind::default(),
-            params: AlgorandParams::scaled(n),
-            net: NetConfig::default(),
-            out_degree: 4,
-            payload_bytes: 0,
-            tx_rate: 0.0,
-            tx_total: 0,
-            block_tx_bytes: 1 << 20,
-            stake_per_user: 10,
-            relay_all_blocks: false,
-            // Default: re-draw peers roughly once per expected round.
-            peer_churn_interval: 15_000_000,
-            seed: 1,
-            verify_pool_workers: 0,
-            trace: false,
-            monitor: false,
-        }
-    }
-}
-
-/// Bytes sent per wire-message kind across every transmission of a run
-/// (announcement-sized block exchanges count under their kind).
-#[derive(Clone, Copy, Default)]
-struct KindBytes {
-    vote: u64,
-    priority: u64,
-    block: u64,
-    fork: u64,
-    tx: u64,
-    catchup: u64,
-}
-
-impl KindBytes {
-    /// `(label, bytes)` pairs in the fixed export order that keeps the
-    /// trace byte-stable.
-    fn summary(&self) -> [(&'static str, u64); 6] {
-        [
-            ("bytes_vote", self.vote),
-            ("bytes_priority", self.priority),
-            ("bytes_block", self.block),
-            ("bytes_fork", self.fork),
-            ("bytes_tx", self.tx),
-            ("bytes_catchup", self.catchup),
-        ]
-    }
-}
-
-/// Smallest `k` whose binomial upper tail `P[Binomial(W, τ/W) > k]` falls
-/// below ~1e-12 — the §7.5 bound the monitor enforces on the
-/// deduplicated committee weight of any (round, step).
-fn committee_upper_bound(total_weight: u64, tau: f64) -> u64 {
-    let w = total_weight.max(1);
-    let p = (tau / w as f64).min(1.0);
-    let mut k = (tau as u64).min(w);
-    while k < w && 1.0 - binomial_cdf(k, w, p) >= 1e-12 {
-        k += 1;
-    }
-    k
-}
-
-enum Slot {
-    Honest(Box<Node>),
-    Malicious(Box<MaliciousNode>),
-}
-
-/// A message in flight, with precomputed id/slot/size so relaying costs
-/// O(1) per hop.
-pub struct SimMsg {
-    wire: WireMessage,
-    id: [u8; 32],
-    relay_slot: Option<([u8; 32], u64, u32)>,
-    size: usize,
-    /// Large bodies (blocks) are transferred pull-style: if the receiver
-    /// already announced holding the content, only an announcement-sized
-    /// exchange crosses the wire. Mirrors TCP gossip implementations
-    /// (and Bitcoin's inv/getdata), whose measured cost the paper cites:
-    /// ~2 body copies per node rather than one per edge.
-    pull_based: bool,
-}
-
-/// Bytes for a block announcement (hash + round + priority material).
-const ANNOUNCE_SIZE: usize = 300;
-
-/// One injected workload transaction, for latency accounting.
-#[derive(Clone, Copy, Debug)]
-pub struct TxRecord {
-    /// The transaction hash.
-    pub id: [u8; 32],
-    /// Index of the (honest) sending user.
-    pub sender: usize,
-    /// Virtual time the transaction entered the sender's node.
-    pub submitted: Micros,
-}
-
-/// The open-loop traffic source: random honest-to-honest payments at a
-/// fixed rate.
-///
-/// It tracks a conservative `spendable` balance per user — genesis stake
-/// minus everything already injected, never counting in-flight income —
-/// so every transaction it emits is guaranteed to stay applicable
-/// whenever it commits, as long as each sender's nonces commit in order
-/// (which per-sender nonce chains enforce).
-struct Workload {
-    rng: Rng,
-    spendable: Vec<u64>,
-    nonces: Vec<u64>,
-    injected: Vec<TxRecord>,
-    remaining: usize,
-    interval: Micros,
-}
-
-/// End-to-end transaction metrics from one workload run.
-#[derive(Clone, Copy, Debug)]
-pub struct TxStats {
-    /// Transactions the workload injected.
-    pub injected: usize,
-    /// Injected transactions that appear in the finalized/agreed chain.
-    pub committed: usize,
-    /// Chain slots holding a transaction hash more than once (must be 0).
-    pub duplicate_commits: usize,
-    /// Committed transactions per virtual second, submission of the first
-    /// to commit of the last.
-    pub tx_per_sec: f64,
-    /// Per-transaction finalization latency in seconds (submission at the
-    /// sender to round completion at the sender), if any committed.
-    pub latency: Option<Percentiles>,
-}
-
-impl SimMsg {
-    fn new(wire: WireMessage) -> Arc<SimMsg> {
-        let pull_based = matches!(wire, WireMessage::Block(_) | WireMessage::ForkProposal(_));
-        Arc::new(SimMsg {
-            id: wire.message_id(),
-            relay_slot: wire.relay_slot(),
-            size: wire.wire_size(),
-            wire,
-            pull_based,
-        })
-    }
-}
-
-/// Counters a node accumulated before a crash/restart cycle replaced
-/// it. Aggregating reports add these exactly once per node id, so a
-/// crashed-then-restarted node's history is neither lost (the old bug:
-/// the replacement node restarts every counter at zero) nor
-/// double-counted (stats are folded in only when the old node object is
-/// dropped at restart, never while it still sits in its slot).
-#[derive(Default)]
-struct NodeCarry {
-    pipeline: PipelineStats,
-    records: Vec<RoundRecord>,
-    timeout_escalations: u64,
-    watchdog_catchups: usize,
-    recoveries_completed: usize,
-    catchups_applied: usize,
-}
+pub use crate::harness::{
+    FaultReport, PipelineReport, SimConfig, SimMsg, TxRecord, TxStats, GENESIS_SEED,
+};
 
 /// The simulation.
 pub struct Simulation {
@@ -269,13 +46,9 @@ pub struct Simulation {
     churn_epoch: u64,
     verifier: Arc<PipelineVerifier>,
     pool: VerifyPool,
-    /// Verification jobs awaiting a batch hand-off to the pool.
-    pending_verify: Vec<VerifyJob>,
-    /// Message ids already queued for pre-warming (first transmit wins).
-    prewarmed: HashSet<[u8; 32]>,
-    /// Weight snapshots reused across a round's pre-warm jobs.
-    prewarm_weights: HashMap<u64, Arc<RoundWeights>>,
-    adversary: Rc<RefCell<AdversaryShared>>,
+    /// Batch hand-off of in-flight messages to the verify pool.
+    prewarm: Prewarmer,
+    adversary: Arc<Mutex<AdversaryShared>>,
     workload: Option<Workload>,
     started: bool,
     /// Scripted faults, indexed by queued `Event::Fault`s.
@@ -302,116 +75,13 @@ pub struct Simulation {
     carry: HashMap<usize, NodeCarry>,
 }
 
-/// Aggregated staged-pipeline counters for one simulation run.
-#[derive(Clone, Copy, Debug)]
-pub struct PipelineReport {
-    /// Per-stage counters summed over all honest nodes.
-    pub stages: PipelineStats,
-    /// Hits on the process-wide verification cache.
-    pub cache_hits: u64,
-    /// Misses (full verifications) on the process-wide cache.
-    pub cache_misses: u64,
-    /// Distinct vote verifications performed.
-    pub unique_votes: usize,
-    /// Distinct priority/block/fork-proposal verifications performed.
-    pub unique_proposals: usize,
-    /// Verify-pool worker threads (0 = serial).
-    pub pool_workers: usize,
-}
-
-impl std::fmt::Display for PipelineReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "pipeline: ingested={} rejected_ingest={} buffered_early={} buffered_future={}",
-            self.stages.ingested,
-            self.stages.rejected_ingest,
-            self.stages.buffered_early,
-            self.stages.buffered_future,
-        )?;
-        writeln!(
-            f,
-            "verify:   verified={} rejected={} cache_hits={} cache_misses={} unique_votes={} unique_proposals={}",
-            self.stages.verified,
-            self.stages.rejected_verify,
-            self.cache_hits,
-            self.cache_misses,
-            self.unique_votes,
-            self.unique_proposals,
-        )?;
-        write!(
-            f,
-            "emit:     emitted={} pool_workers={}",
-            self.stages.emitted, self.pool_workers
-        )
-    }
-}
-
-/// Fault-injection and recovery counters for one simulation run, the
-/// observability half of the chaos harness.
-#[derive(Clone, Copy, Debug)]
-pub struct FaultReport {
-    /// Partitions installed by the fault schedule.
-    pub partitions_activated: usize,
-    /// Node restarts completed.
-    pub restarts: usize,
-    /// Sends dropped by the caller-installed filter.
-    pub dropped_by_filter: u64,
-    /// Sends dropped by scripted partitions.
-    pub dropped_by_partition: u64,
-    /// Sends dropped by random packet loss.
-    pub dropped_by_loss: u64,
-    /// BA⋆ step-timeout escalations summed over honest nodes.
-    pub timeout_escalations: u64,
-    /// Watchdog-initiated catch-up requests summed over honest nodes.
-    pub watchdog_catchups: usize,
-    /// §8.2 fork recoveries completed, summed over honest nodes.
-    pub recoveries_completed: usize,
-    /// Rounds adopted via §8.3 catch-up, summed over honest nodes.
-    pub catchups_applied: usize,
-}
-
-impl std::fmt::Display for FaultReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "faults:   partitions={} restarts={} dropped(filter/partition/loss)={}/{}/{}",
-            self.partitions_activated,
-            self.restarts,
-            self.dropped_by_filter,
-            self.dropped_by_partition,
-            self.dropped_by_loss,
-        )?;
-        write!(
-            f,
-            "recovery: timeout_escalations={} watchdog_catchups={} fork_recoveries={} catchups={}",
-            self.timeout_escalations,
-            self.watchdog_catchups,
-            self.recoveries_completed,
-            self.catchups_applied,
-        )
-    }
-}
-
 impl Simulation {
     /// Builds the simulation: deterministic keys, equal genesis stake, a
     /// weighted gossip topology, and one node per user.
     pub fn new(cfg: SimConfig) -> Simulation {
-        let keypairs: Vec<Keypair> = (0..cfg.n_users)
-            .map(|i| {
-                let mut seed = [0u8; 32];
-                seed[..8].copy_from_slice(&(cfg.seed ^ 0x5eed).to_le_bytes());
-                seed[8..16].copy_from_slice(&(i as u64 + 1).to_le_bytes());
-                Keypair::from_seed(seed)
-            })
-            .collect();
-        let alloc: Vec<_> = keypairs
-            .iter()
-            .map(|k| (k.pk, cfg.stake_per_user))
-            .collect();
-        let genesis_seed = GENESIS_SEED;
+        let keypairs = cfg.build_keypairs();
         let verifier = Arc::new(PipelineVerifier::new());
-        let adversary = Rc::new(RefCell::new(AdversaryShared::default()));
+        let adversary = Arc::new(Mutex::new(AdversaryShared::default()));
         let registry = Registry::new();
         let tracer = if cfg.trace {
             Tracer::bounded(TRACE_CAP)
@@ -419,39 +89,19 @@ impl Simulation {
             Tracer::disabled()
         };
         let monitor = (cfg.monitor && cfg.trace).then(|| {
-            let total_weight = cfg.n_users as u64 * cfg.stake_per_user;
-            let handle = MonitorHandle::new(MonitorConfig {
-                committee_hi_step: committee_upper_bound(total_weight, cfg.params.ba.tau_step),
-                committee_hi_final: committee_upper_bound(total_weight, cfg.params.ba.tau_final),
-                max_future_gap: algorand_core::ingest::FUTURE_ROUND_WINDOW as u32,
-                max_future_buffer: algorand_core::round::FutureVotes::MAX_TOTAL as u64,
-                honest_nodes: (cfg.n_users - cfg.n_malicious) as u32,
-            });
+            let handle = MonitorHandle::new(cfg.monitor_config());
             tracer.set_observer(handle.observer());
             handle
         });
         let pool_metrics = PoolMetrics::registered(&registry);
-        let n_honest = cfg.n_users - cfg.n_malicious;
-        let nodes: Vec<Slot> = (0..cfg.n_users)
-            .map(|i| {
-                let chain = Blockchain::new(cfg.params.chain, alloc.iter().copied(), genesis_seed);
-                let mut node = Node::new(keypairs[i].clone(), chain, cfg.params, verifier.clone());
-                node.payload_bytes = cfg.payload_bytes;
-                node.block_tx_bytes = cfg.block_tx_bytes;
-                node.set_tracer(tracer.clone(), i as u32);
-                node.pool.set_metrics(pool_metrics.clone());
-                if i < n_honest {
-                    Slot::Honest(Box::new(node))
-                } else {
-                    Slot::Malicious(Box::new(MaliciousNode::with_kind(
-                        node,
-                        keypairs[i].clone(),
-                        cfg.adversary_kind,
-                        adversary.clone(),
-                    )))
-                }
-            })
-            .collect();
+        let nodes = harness::build_slots(
+            &cfg,
+            &keypairs,
+            &verifier,
+            &adversary,
+            &pool_metrics,
+            |_| tracer.clone(),
+        );
         let mut topo_rng = Rng::seed_from_u64(cfg.seed);
         let weights = vec![cfg.stake_per_user; cfg.n_users];
         let topology = Topology::weighted(cfg.n_users, cfg.out_degree, &weights, &mut topo_rng);
@@ -460,14 +110,7 @@ impl Simulation {
             .map(|_| RelayState::with_metrics(relay_metrics.clone()))
             .collect();
         let net = Network::new(cfg.n_users, cfg.net.clone());
-        let workload = (cfg.tx_rate > 0.0 && cfg.tx_total > 0).then(|| Workload {
-            rng: Rng::seed_from_u64(cfg.seed ^ 0x7AF0AD),
-            spendable: vec![cfg.stake_per_user; n_honest],
-            nonces: vec![0; n_honest],
-            injected: Vec::with_capacity(cfg.tx_total),
-            remaining: cfg.tx_total,
-            interval: ((1_000_000.0 / cfg.tx_rate) as Micros).max(1),
-        });
+        let workload = Workload::from_config(&cfg);
         Simulation {
             nodes,
             keypairs,
@@ -484,9 +127,7 @@ impl Simulation {
             churn_epoch: 0,
             verifier,
             pool: VerifyPool::new(cfg.verify_pool_workers),
-            pending_verify: Vec::new(),
-            prewarmed: HashSet::new(),
-            prewarm_weights: HashMap::new(),
+            prewarm: Prewarmer::new(),
             adversary,
             workload,
             faults: Vec::new(),
@@ -531,10 +172,7 @@ impl Simulation {
     /// Submits a transaction via node `node`, gossiping it to the network
     /// exactly as a user's client would (§4).
     pub fn submit_transaction(&mut self, node: usize, tx: Transaction) {
-        let msg = match &mut self.nodes[node] {
-            Slot::Honest(n) => n.submit_transaction(tx),
-            Slot::Malicious(m) => m.inner_mut().submit_transaction(tx),
-        };
+        let msg = self.nodes[node].node_mut().submit_transaction(tx);
         if let Some(msg) = msg {
             self.dispatch(node, vec![Outgoing::Broadcast(msg)]);
         }
@@ -572,10 +210,7 @@ impl Simulation {
     /// proposer, block assembly is a pure function of the chain seed.
     pub fn preload_transactions(&mut self, txs: &[Transaction]) {
         for slot in &mut self.nodes {
-            let node = match slot {
-                Slot::Honest(n) => n.as_mut(),
-                Slot::Malicious(m) => m.inner_mut(),
-            };
+            let node = slot.node_mut();
             let accounts = node.chain().accounts().clone();
             for tx in txs {
                 let _ = node.pool.admit(tx.clone(), &accounts);
@@ -588,10 +223,7 @@ impl Simulation {
         assert!(!self.started, "already started");
         self.started = true;
         for i in 0..self.nodes.len() {
-            let outgoing = match &mut self.nodes[i] {
-                Slot::Honest(n) => wrap_broadcast(n.start(0)),
-                Slot::Malicious(m) => m.start(0),
-            };
+            let outgoing = self.nodes[i].start(0);
             self.dispatch(i, outgoing);
             self.reschedule_wake(i);
         }
@@ -626,10 +258,7 @@ impl Simulation {
                     }
                     self.next_wake[node] = u64::MAX;
                     let local = self.local_now(node, now);
-                    let outgoing = match &mut self.nodes[node] {
-                        Slot::Honest(n) => wrap_broadcast(n.on_tick(local)),
-                        Slot::Malicious(m) => m.on_tick(local),
-                    };
+                    let outgoing = self.nodes[node].on_tick(local);
                     self.dispatch(node, outgoing);
                     self.prune_relay(node);
                     self.reschedule_wake(node);
@@ -643,27 +272,12 @@ impl Simulation {
                         continue;
                     }
                     let now_t = self.local_now(to, now);
-                    let outgoing = match &mut self.nodes[to] {
-                        Slot::Honest(n) => wrap_broadcast(n.on_message(&msg.wire, now_t)),
-                        Slot::Malicious(m) => m.on_message(&msg.wire, now_t),
-                    };
+                    let outgoing = self.nodes[to].on_message(&msg.wire, now_t);
                     // §6: honest users discard block bodies that are not
                     // the highest-priority proposal they have seen; a
                     // transaction spreads only while its receiver still
                     // pools it (rejects and evictions die out here).
-                    let discard = match (&msg.wire, &self.nodes[to]) {
-                        (WireMessage::Block(b), Slot::Honest(n)) => {
-                            !self.cfg.relay_all_blocks && !n.should_relay_block(b)
-                        }
-                        (WireMessage::Transaction(tx), Slot::Honest(n)) => {
-                            !n.should_relay_transaction(tx)
-                        }
-                        // Votes the receiver just found invalid stop here;
-                        // the relay consults the shared verify cache
-                        // instead of re-verifying.
-                        (WireMessage::Vote(v), Slot::Honest(n)) => !n.should_relay_vote(v),
-                        _ => false,
-                    };
+                    let discard = self.nodes[to].discards(&msg.wire, self.cfg.relay_all_blocks);
                     if decision == RelayDecision::Relay && !discard {
                         self.forward(to, &msg, Some(from), now_t);
                     }
@@ -692,12 +306,8 @@ impl Simulation {
         }
         loop {
             let all_done = self.nodes.iter().enumerate().all(|(i, slot)| {
-                let node = match slot {
-                    Slot::Honest(n) => n.as_ref(),
-                    Slot::Malicious(m) => m.inner(),
-                };
                 // A crashed node cannot make progress; it is not waited on.
-                self.crashed[i] || node.chain().tip().round >= rounds
+                self.crashed[i] || slot.node().chain().tip().round >= rounds
             });
             if all_done {
                 return;
@@ -718,10 +328,7 @@ impl Simulation {
     pub fn honest_records(&self) -> Vec<&[RoundRecord]> {
         self.nodes
             .iter()
-            .filter_map(|s| match s {
-                Slot::Honest(n) => Some(n.records()),
-                Slot::Malicious(_) => None,
-            })
+            .filter_map(|s| s.honest().map(Node::records))
             .collect()
     }
 
@@ -730,26 +337,8 @@ impl Simulation {
     /// per node (a record carried from before the crash wins over a
     /// hypothetical re-measurement after it).
     pub fn combined_records(&self) -> Vec<Vec<RoundRecord>> {
-        let mut out = Vec::new();
-        for (i, slot) in self.nodes.iter().enumerate() {
-            let Slot::Honest(n) = slot else { continue };
-            let mut seen = HashSet::new();
-            let mut recs = Vec::new();
-            if let Some(c) = self.carry.get(&i) {
-                for r in &c.records {
-                    if seen.insert(r.round) {
-                        recs.push(*r);
-                    }
-                }
-            }
-            for r in n.records() {
-                if seen.insert(r.round) {
-                    recs.push(*r);
-                }
-            }
-            out.push(recs);
-        }
-        out
+        let slots: Vec<&Slot> = self.nodes.iter().collect();
+        harness::combined_records(&slots, &self.carry)
     }
 
     /// Aggregated stats for one round.
@@ -761,10 +350,7 @@ impl Simulation {
 
     /// Immutable access to an honest node.
     pub fn honest_node(&self, i: usize) -> &Node {
-        match &self.nodes[i] {
-            Slot::Honest(n) => n,
-            Slot::Malicious(m) => m.inner(),
-        }
+        self.nodes[i].node()
     }
 
     /// The network (bytes accounting).
@@ -785,74 +371,28 @@ impl Simulation {
     /// Aggregated staged-pipeline counters across honest nodes plus the
     /// process-wide cache, for the metrics report.
     pub fn pipeline_report(&self) -> PipelineReport {
-        let mut stages = PipelineStats::default();
-        for slot in &self.nodes {
-            let node = match slot {
-                Slot::Honest(n) => n.as_ref(),
-                Slot::Malicious(m) => m.inner(),
-            };
-            stages.merge(&node.pipeline_stats());
-        }
-        // Counters from nodes replaced by crash/restart, once per node id.
-        for c in self.carry.values() {
-            stages.merge(&c.pipeline);
-        }
-        PipelineReport {
-            stages,
-            cache_hits: self.verifier.cache_hits(),
-            cache_misses: self.verifier.cache_misses(),
-            unique_votes: self.verifier.unique_vote_verifications(),
-            unique_proposals: self.verifier.unique_proposal_verifications(),
-            pool_workers: self.pool.workers(),
-        }
+        let slots: Vec<&Slot> = self.nodes.iter().collect();
+        harness::pipeline_report(&slots, &self.carry, &self.verifier, &self.pool)
     }
 
     /// Fault-injection and recovery counters for this run.
     pub fn fault_report(&self) -> FaultReport {
-        let mut report = FaultReport {
-            partitions_activated: self.partitions_activated,
-            restarts: self.restarts,
-            dropped_by_filter: self.net.dropped_by_filter(),
-            dropped_by_partition: self.net.dropped_by_partition(),
-            dropped_by_loss: self.net.dropped_by_loss(),
-            timeout_escalations: 0,
-            watchdog_catchups: 0,
-            recoveries_completed: 0,
-            catchups_applied: 0,
-        };
-        for slot in &self.nodes {
-            let Slot::Honest(n) = slot else { continue };
-            report.timeout_escalations += n.timeout_escalations();
-            report.watchdog_catchups += n.watchdog_catchups();
-            report.recoveries_completed += n.recoveries_completed();
-            report.catchups_applied += n.catchups_applied();
-        }
-        // Counters from nodes replaced by crash/restart, once per node id.
-        for c in self.carry.values() {
-            report.timeout_escalations += c.timeout_escalations;
-            report.watchdog_catchups += c.watchdog_catchups;
-            report.recoveries_completed += c.recoveries_completed;
-            report.catchups_applied += c.catchups_applied;
-        }
-        report
+        let slots: Vec<&Slot> = self.nodes.iter().collect();
+        harness::fault_report(
+            &slots,
+            &self.carry,
+            &self.net,
+            self.partitions_activated,
+            self.restarts,
+        )
     }
 
     /// A digest of every honest node's canonical chain, for the
     /// determinism check: identical `(seed, schedule)` runs must produce
     /// identical digests.
     pub fn chain_digest(&self) -> [u8; 32] {
-        let mut acc: Vec<u8> = Vec::new();
-        for slot in &self.nodes {
-            let Slot::Honest(n) = slot else { continue };
-            let chain = n.chain();
-            for r in 1..=chain.tip().round {
-                if let Some(b) = chain.block_at(r) {
-                    acc.extend_from_slice(&b.hash());
-                }
-            }
-            acc.push(0xFF); // Node separator.
-        }
-        algorand_crypto::sha256_concat(&[b"chain-digest", &acc])
+        let slots: Vec<&Slot> = self.nodes.iter().collect();
+        harness::chain_digest(&slots)
     }
 
     /// The current virtual time.
@@ -866,7 +406,7 @@ impl Simulation {
     }
 
     /// The shared adversary state (tests inspect recorded equivocations).
-    pub fn adversary(&self) -> Rc<RefCell<AdversaryShared>> {
+    pub fn adversary(&self) -> Arc<Mutex<AdversaryShared>> {
         self.adversary.clone()
     }
 
@@ -876,66 +416,13 @@ impl Simulation {
     }
 
     /// End-to-end transaction metrics for the workload (if one ran).
-    ///
-    /// Commitment is judged against honest node 0's chain (all honest
-    /// chains agree on the common prefix — asserted elsewhere); latency is
-    /// submission at the sender to the *sender's* completion of the
-    /// committing round, falling back to any honest node's record when
-    /// the sender adopted that round via catch-up.
     pub fn tx_stats(&self) -> Option<TxStats> {
         let wl = self.workload.as_ref()?;
-        let chain = self.honest_node(0).chain();
-        let mut commit_round = std::collections::HashMap::new();
-        let mut duplicate_commits = 0usize;
-        for r in 1..=chain.tip().round {
-            let Some(block) = chain.block_at(r) else {
-                continue;
-            };
-            for tx in &block.txs {
-                if commit_round.insert(tx.id(), r).is_some() {
-                    duplicate_commits += 1;
-                }
-            }
-        }
-        let mut latencies = Vec::new();
-        let mut committed = 0usize;
-        let mut first_submit = Micros::MAX;
-        let mut last_commit: Micros = 0;
-        let combined = self.combined_records();
-        for rec in &wl.injected {
-            let Some(&round) = commit_round.get(&rec.id) else {
-                continue;
-            };
-            committed += 1;
-            let finished = combined
-                .get(rec.sender)
-                .and_then(|rs| rs.iter().find(|x| x.round == round))
-                .map(|x| x.finished)
-                .or_else(|| {
-                    combined
-                        .iter()
-                        .flat_map(|rs| rs.iter())
-                        .find(|x| x.round == round)
-                        .map(|x| x.finished)
-                });
-            if let Some(f) = finished {
-                latencies.push(f.saturating_sub(rec.submitted) as f64 / 1e6);
-                first_submit = first_submit.min(rec.submitted);
-                last_commit = last_commit.max(f);
-            }
-        }
-        let tx_per_sec = if last_commit > first_submit {
-            committed as f64 / ((last_commit - first_submit) as f64 / 1e6)
-        } else {
-            0.0
-        };
-        Some(TxStats {
-            injected: wl.injected.len(),
-            committed,
-            duplicate_commits,
-            tx_per_sec,
-            latency: (!latencies.is_empty()).then(|| Percentiles::of(&latencies)),
-        })
+        Some(harness::tx_stats(
+            &wl.injected,
+            self.honest_node(0).chain(),
+            &self.combined_records(),
+        ))
     }
 
     /// The process-wide metrics registry (gossip relay and mempool
@@ -1045,12 +532,6 @@ impl Simulation {
     // --- Internals -----------------------------------------------------------
 
     /// Injects the next workload payment and schedules the one after.
-    ///
-    /// Senders and recipients are random honest users; the amount (1–3
-    /// units) doubles as the pool priority. A sender is eligible only
-    /// while its conservatively tracked spendable stake covers the
-    /// amount, which keeps every injected transaction applicable at
-    /// whatever round it commits.
     fn inject_next_tx(&mut self, now: Micros) {
         let Some(mut wl) = self.workload.take() else {
             return;
@@ -1059,86 +540,50 @@ impl Simulation {
             self.workload = Some(wl);
             return;
         }
-        let n_honest = wl.spendable.len();
-        let richest = wl.spendable.iter().copied().max().unwrap_or(0);
-        if richest == 0 {
-            // Spendable stake exhausted: the source goes quiet early.
-            wl.remaining = 0;
-            self.workload = Some(wl);
-            return;
-        }
-        // Clamp so a large draw cannot end the workload while smaller
-        // payments are still affordable somewhere.
-        let amount = (1 + wl.rng.gen_range_u64(3)).min(richest);
-        let mut sender = None;
-        for _ in 0..8 {
-            let c = wl.rng.gen_range_usize(n_honest);
-            if !self.crashed[c] && wl.spendable[c] >= amount {
-                sender = Some(c);
-                break;
+        match wl.plan(&self.crashed) {
+            InjectStep::Quiet => {
+                self.workload = Some(wl);
             }
-        }
-        let sender = sender
-            .or_else(|| (0..n_honest).find(|&i| !self.crashed[i] && wl.spendable[i] >= amount));
-        let Some(s) = sender else {
-            if (0..n_honest).any(|i| wl.spendable[i] >= amount) {
-                // Eligible stake exists but its holders are down: skip
-                // this tick and try again after the crash window.
+            InjectStep::Retry => {
                 let interval = wl.interval;
                 self.workload = Some(wl);
                 self.queue.schedule(now + interval, Event::Inject);
-            } else {
-                // Spendable stake exhausted: the source goes quiet early.
-                wl.remaining = 0;
-                self.workload = Some(wl);
             }
-            return;
-        };
-        let mut to = wl.rng.gen_range_usize(n_honest);
-        if to == s {
-            to = (to + 1) % n_honest;
-        }
-        let tx = Transaction::payment(
-            &self.keypairs[s],
-            self.keypairs[to].pk,
-            amount,
-            wl.nonces[s] + 1,
-        );
-        let submitted = match &mut self.nodes[s] {
-            Slot::Honest(n) => n.submit_transaction(tx.clone()),
-            Slot::Malicious(m) => m.inner_mut().submit_transaction(tx.clone()),
-        };
-        if let Some(msg) = submitted {
-            wl.spendable[s] -= amount;
-            wl.nonces[s] += 1;
-            wl.remaining -= 1;
-            wl.injected.push(TxRecord {
-                id: tx.id(),
-                sender: s,
-                submitted: now,
-            });
-            let interval = wl.interval;
-            let again = wl.remaining > 0;
-            self.workload = Some(wl);
-            self.dispatch(s, vec![Outgoing::Broadcast(msg)]);
-            if again {
-                self.queue.schedule(now + interval, Event::Inject);
+            InjectStep::Pay { sender, to, amount } => {
+                let tx = wl.payment(&self.keypairs, sender, to, amount);
+                let submitted = self.nodes[sender].node_mut().submit_transaction(tx.clone());
+                if let Some(msg) = submitted {
+                    wl.commit(
+                        sender,
+                        amount,
+                        TxRecord {
+                            id: tx.id(),
+                            sender,
+                            submitted: now,
+                        },
+                    );
+                    let interval = wl.interval;
+                    let again = wl.remaining > 0;
+                    self.workload = Some(wl);
+                    self.dispatch(sender, vec![Outgoing::Broadcast(msg)]);
+                    if again {
+                        self.queue.schedule(now + interval, Event::Inject);
+                    }
+                } else {
+                    // The sender's pool refused (e.g. its unconfirmed
+                    // nonce run hit the per-sender cap): skip this tick,
+                    // try again next.
+                    let interval = wl.interval;
+                    self.workload = Some(wl);
+                    self.queue.schedule(now + interval, Event::Inject);
+                }
             }
-        } else {
-            // The sender's pool refused (e.g. its unconfirmed nonce run
-            // hit the per-sender cap): skip this tick, try again next.
-            let interval = wl.interval;
-            self.workload = Some(wl);
-            self.queue.schedule(now + interval, Event::Inject);
         }
     }
 
     /// Lets node `i`'s relay state rotate out messages two rounds old.
     fn prune_relay(&mut self, i: usize) {
-        let round = match &self.nodes[i] {
-            Slot::Honest(n) => n.current_round(),
-            Slot::Malicious(m) => m.inner().current_round(),
-        };
+        let round = self.nodes[i].node().current_round();
         self.relay[i].prune(round);
     }
 
@@ -1191,7 +636,9 @@ impl Simulation {
             if self.tracer.is_enabled() {
                 self.trace_hop(from, to, msg, size, now, arrival);
             }
-            self.enqueue_prewarm(msg);
+            let chain = self.nodes[0].node().chain();
+            self.prewarm
+                .enqueue(msg, chain, &self.cfg.params, &self.pool, &self.verifier);
             self.queue.schedule(
                 arrival,
                 Event::Deliver {
@@ -1256,88 +703,8 @@ impl Simulation {
         }
     }
 
-    /// Queues a message for cache pre-warming by the verify pool. Each
-    /// message is verified once process-wide no matter how many nodes it
-    /// is in flight to; delivery later hits the cache.
-    ///
-    /// Determinism: jobs only populate the `(message id, seed)`-keyed
-    /// cache, whose verdicts are pure functions of their key. Event order
-    /// is untouched, and a job built under a stale context lands on a key
-    /// no consumer asks for — wasted work, never a wrong answer.
-    fn enqueue_prewarm(&mut self, msg: &Arc<SimMsg>) {
-        if self.pool.workers() == 0 || !self.prewarmed.insert(msg.id) {
-            return;
-        }
-        if let Some(job) = self.prewarm_job(&msg.wire) {
-            self.pending_verify.push(job);
-            if self.pending_verify.len() >= PREWARM_BATCH {
-                let jobs = std::mem::take(&mut self.pending_verify);
-                self.pool.verify_batch(&self.verifier, jobs);
-            }
-        }
-    }
-
-    /// Builds the verification job for an in-flight message, using honest
-    /// node 0's chain as the context oracle. Messages whose context is not
-    /// yet derivable exactly (selection seed still in the future) are
-    /// skipped — the consuming node verifies those inline.
-    fn prewarm_job(&mut self, wire: &WireMessage) -> Option<VerifyJob> {
-        let chain = match &self.nodes[0] {
-            Slot::Honest(n) => n.chain(),
-            Slot::Malicious(m) => m.inner().chain(),
-        };
-        let tip = chain.tip().round;
-        let interval = self.cfg.params.chain.seed_refresh_interval;
-        let round = match wire {
-            WireMessage::Vote(v) => v.round,
-            WireMessage::Priority(p) => p.round,
-            WireMessage::Block(b) => b.block.round,
-            _ => return None,
-        };
-        if selection_seed_round(round, interval) > tip {
-            return None;
-        }
-        let seed = chain.selection_seed(round);
-        let weights = match self.prewarm_weights.get(&round) {
-            Some(w) => w.clone(),
-            None => {
-                let w = Arc::new(chain.weights_for_round(round));
-                self.prewarm_weights.insert(round, w.clone());
-                self.prewarm_weights.retain(|&r, _| r + 8 > round);
-                w
-            }
-        };
-        Some(match wire {
-            WireMessage::Vote(v) => VerifyJob::Vote {
-                msg: v.clone(),
-                ctx: VoteContext {
-                    round,
-                    seed,
-                    tau: self.cfg.params.ba.tau_for(v.step == StepKind::Final),
-                },
-                weights,
-            },
-            WireMessage::Priority(p) => VerifyJob::Priority {
-                msg: p.clone(),
-                seed,
-                weights,
-                tau: self.cfg.params.tau_proposer,
-            },
-            WireMessage::Block(b) => VerifyJob::Block {
-                msg: b.clone(),
-                seed,
-                weights,
-                tau: self.cfg.params.tau_proposer,
-            },
-            _ => unreachable!("round extraction above filtered the rest"),
-        })
-    }
-
     fn reschedule_wake(&mut self, node: usize) {
-        let deadline = match &self.nodes[node] {
-            Slot::Honest(n) => n.next_deadline(),
-            Slot::Malicious(m) => m.next_deadline(),
-        };
+        let deadline = self.nodes[node].next_deadline();
         if let Some(d) = deadline {
             // Node deadlines are on the node's (possibly skewed) local
             // clock; the queue runs on global time.
@@ -1424,13 +791,7 @@ impl Simulation {
         // is overwritten, so aggregated reports keep its pre-crash
         // history without ever double-counting it.
         if let Slot::Honest(old) = &self.nodes[i] {
-            let c = self.carry.entry(i).or_default();
-            c.pipeline.merge(&old.pipeline_stats());
-            c.records.extend_from_slice(old.records());
-            c.timeout_escalations += old.timeout_escalations();
-            c.watchdog_catchups += old.watchdog_catchups();
-            c.recoveries_completed += old.recoveries_completed();
-            c.catchups_applied += old.catchups_applied();
+            self.carry.entry(i).or_default().fold_from(old);
         }
         let alloc: Vec<_> = self
             .keypairs
@@ -1456,15 +817,8 @@ impl Simulation {
         self.relay[i] = RelayState::with_metrics(RelayMetrics::registered(&self.registry));
         self.crashed[i] = false;
         self.restarts += 1;
-        let outgoing = match &mut self.nodes[i] {
-            Slot::Honest(n) => wrap_broadcast(n.start(local)),
-            Slot::Malicious(_) => unreachable!("restored nodes are honest"),
-        };
+        let outgoing = self.nodes[i].start(local);
         self.dispatch(i, outgoing);
         self.reschedule_wake(i);
     }
-}
-
-fn wrap_broadcast(msgs: Vec<WireMessage>) -> Vec<Outgoing> {
-    msgs.into_iter().map(Outgoing::Broadcast).collect()
 }

@@ -74,7 +74,7 @@ fn adversary_actually_equivocated() {
     let mut sim = Simulation::new(cfg);
     sim.run_rounds(4, 30 * MINUTE);
     assert!(
-        !sim.adversary().borrow().equivocations.is_empty(),
+        !sim.adversary().lock().unwrap().equivocations.is_empty(),
         "no equivocation was ever mounted; attack coverage is vacuous"
     );
     assert_no_divergent_finality(&sim, 6);
@@ -241,7 +241,7 @@ fn withholding_proposer_costs_time_but_not_safety() {
     // Attack-coverage sanity: bodies were actually suppressed (otherwise
     // the assertions below prove nothing about withholding).
     assert!(
-        sim.adversary().borrow().withheld_blocks > 0,
+        sim.adversary().lock().unwrap().withheld_blocks > 0,
         "no block body was ever withheld; attack coverage is vacuous"
     );
     let mut empty_rounds = 0;

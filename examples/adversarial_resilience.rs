@@ -42,7 +42,7 @@ fn main() {
     sim.run_rounds(3, 30 * MINUTE);
     let n_honest = n - 6;
     let finals = check_no_divergence(&sim, n_honest);
-    let equivocations = sim.adversary().borrow().equivocations.len();
+    let equivocations = sim.adversary().lock().unwrap().equivocations.len();
     println!("  equivocation attacks mounted: {equivocations}");
     println!("  finalized rounds (all consistent): {finals}");
     for r in 1..=3u64 {

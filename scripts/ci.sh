@@ -30,7 +30,20 @@
 #      produces for the same seed, and a kill -9'd process must rejoin
 #      via WAL replay plus blocksync (see
 #      crates/bench/src/bin/localnet.rs),
-#   9. style gates: rustfmt and clippy with warnings denied.
+#   9. the parallel-engine determinism gate: every chaos scenario run
+#      on the discrete-event engine at 1, 2, and 4 workers must yield
+#      byte-identical chain digests, monitor verdicts, and trace JSONL
+#      (see crates/bench/src/bin/des_determinism.rs),
+#  10. the scale gate: 1,000 real protocol nodes must finalize >=5
+#      rounds in the CI wall-clock budget, with identical digests at
+#      1 and 4 workers and the parallel engine at least as fast as the
+#      legacy event loop; numbers land in results/scale.txt (see
+#      crates/bench/src/bin/scale_smoke.rs),
+#  11. the epidemic-validation gate: the analytic large-scale model must
+#      agree with the real engine at 100-1,000 users within a factor
+#      band; the table lands in results/epidemic_vs_des.txt (see
+#      crates/bench/src/bin/epidemic_vs_des.rs),
+#  12. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -72,5 +85,14 @@ cargo test --release -q -p algorand-sim --test monitor
 echo "== localnet: 5 real processes vs simulator digest, kill -9 rejoin =="
 cargo build --release -q -p algorand-node
 cargo run --release -p algorand-bench --bin localnet
+
+echo "== parallel engine: worker-count determinism gate =="
+cargo run --release -p algorand-bench --bin des_determinism
+
+echo "== parallel engine: 1000-node scale smoke =="
+cargo run --release -p algorand-bench --bin scale_smoke
+
+echo "== epidemic model vs real engine (100-1000 users) =="
+cargo run --release -p algorand-bench --bin epidemic_vs_des
 
 echo "== CI OK =="
