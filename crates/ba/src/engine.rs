@@ -399,6 +399,9 @@ impl BaStar {
     /// partition this stops nodes from spinning through committee-less
     /// steps; the first vote-concluded step resets it.
     pub fn effective_lambda_step(&self) -> Micros {
+        if self.params.disable_backoff {
+            return self.params.lambda_step;
+        }
         self.params.lambda_step << self.timeout_streak.min(Self::MAX_TIMEOUT_DOUBLINGS)
     }
 

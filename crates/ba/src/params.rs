@@ -26,6 +26,11 @@ pub struct BaParams {
     /// reduction step waits λ_block + λ_step because other users may still
     /// be waiting for block proposals (Algorithm 7).
     pub lambda_block: Micros,
+    /// Test-only: disable §8.2's consecutive-timeout doubling of λ_step
+    /// (and the node layer's λ_stepvar doubling). Production is always
+    /// `false`; the schedule-space fuzzer flips it to prove its oracle
+    /// catches the resulting liveness regressions.
+    pub disable_backoff: bool,
 }
 
 impl BaParams {
@@ -39,6 +44,7 @@ impl BaParams {
             max_steps: 150,
             lambda_step: 20 * SECOND,
             lambda_block: 60 * SECOND,
+            disable_backoff: false,
         }
     }
 

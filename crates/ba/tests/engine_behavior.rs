@@ -28,6 +28,7 @@ fn test_params(total_weight: u64) -> BaParams {
         max_steps: 30,
         lambda_step: 20 * SECOND,
         lambda_block: 60 * SECOND,
+        disable_backoff: false,
     }
 }
 
@@ -323,6 +324,7 @@ fn isolated_users_hang_at_max_steps() {
         max_steps: 7,
         lambda_step: SECOND,
         lambda_block: SECOND,
+        disable_backoff: false,
     };
     let mut cluster = Cluster::start_with_params(2, |_| [0xabu8; 32], params);
     cluster.run_to_completion();

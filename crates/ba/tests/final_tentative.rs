@@ -36,6 +36,7 @@ fn setup(n: usize) -> (Vec<BaStar>, Vec<VoteMessage>, BaParams) {
         max_steps: 15,
         lambda_step: SECOND,
         lambda_block: SECOND,
+        disable_backoff: false,
     };
     let verifier = Arc::new(CachedVerifier::new());
     let mut engines = Vec::new();

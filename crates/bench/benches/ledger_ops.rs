@@ -74,6 +74,7 @@ fn bench_certificate_validation() {
         max_steps: 10,
         lambda_step: SECOND,
         lambda_block: SECOND,
+        disable_backoff: false,
     };
     let seed = [9u8; 32];
     let prev = genesis.hash();

@@ -68,6 +68,7 @@ impl Attack {
             max_steps,
             lambda_step: SECOND,
             lambda_block: SECOND,
+            disable_backoff: false,
         };
         let verifier = Arc::new(CachedVerifier::new());
         let mut engines = Vec::new();

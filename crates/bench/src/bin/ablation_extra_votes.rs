@@ -44,6 +44,7 @@ fn run(disable_extra_votes: bool) -> Option<u32> {
         max_steps: 12,
         lambda_step: SECOND,
         lambda_block: SECOND,
+        disable_backoff: false,
     };
     let verifier = Arc::new(CachedVerifier::new());
     let mut engines = Vec::new();

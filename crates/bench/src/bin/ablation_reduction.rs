@@ -48,6 +48,7 @@ fn run(with_reduction: bool) -> (u32, f64, bool) {
         max_steps: 30,
         lambda_step: SECOND,
         lambda_block: SECOND,
+        disable_backoff: false,
     };
     let verifier = Arc::new(CachedVerifier::new());
     let mut engines = Vec::new();

@@ -121,7 +121,7 @@ fn run_once(s: &Scenario) -> ([u8; 32], Option<f64>, String) {
     cfg.seed = s.seed;
     let mut sim = Simulation::new(cfg);
     let schedule = (s.schedule)(s.n);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(clear);
     let n_honest = s.n - s.n_malicious;

@@ -116,6 +116,8 @@ pub struct Node {
     next_catchup_request: Micros,
     recoveries_completed: usize,
     catchups_applied: usize,
+    /// Tentative-fork reorgs performed by the catch-up protocol (§8.2).
+    catchup_reorgs: usize,
     /// Consecutive struggling rounds: each round that needed engine
     /// timeout escalations doubles the next proposal wait (§8.2's retry
     /// doubling applied at the round level), reset on a clean round.
@@ -180,6 +182,7 @@ impl Node {
             next_catchup_request: 0,
             recoveries_completed: 0,
             catchups_applied: 0,
+            catchup_reorgs: 0,
             stepvar_backoff: 0,
             timeout_escalations: 0,
             watchdog_catchups: 0,
@@ -203,6 +206,9 @@ impl Node {
     /// The current proposal-collection wait: λ_priority plus λ_stepvar
     /// doubled once per consecutive struggling round (§8.2).
     fn proposal_wait(&self) -> Micros {
+        if self.params.ba.disable_backoff {
+            return self.params.lambda_priority + self.params.lambda_stepvar;
+        }
         self.params.lambda_priority
             + (self.params.lambda_stepvar << self.stepvar_backoff.min(Self::MAX_STEPVAR_DOUBLINGS))
     }
@@ -217,6 +223,11 @@ impl Node {
     /// The node's view of the ledger.
     pub fn chain(&self) -> &Blockchain {
         &self.chain
+    }
+
+    /// The protocol parameters this node runs with.
+    pub fn params(&self) -> &AlgorandParams {
+        &self.params
     }
 
     /// The round currently being agreed on.
@@ -252,6 +263,12 @@ impl Node {
     /// How many rounds this node adopted via the catch-up protocol.
     pub fn catchups_applied(&self) -> usize {
         self.catchups_applied
+    }
+
+    /// How many times catch-up rolled back a tentative fork suffix to
+    /// adopt a longer certified chain (§8.2).
+    pub fn catchup_reorgs(&self) -> usize {
+        self.catchup_reorgs
     }
 
     /// Catch-up requests fired by the liveness watchdog (stall-driven,
@@ -380,7 +397,9 @@ impl Node {
             WireMessage::Vote(v) => self.on_vote(v, now, &mut out),
             WireMessage::ForkProposal(f) => self.on_fork_proposal(f, now, &mut out),
             WireMessage::Transaction(tx) => self.on_transaction(tx),
-            WireMessage::CatchupRequest { have } => self.on_catchup_request(*have, &mut out),
+            WireMessage::CatchupRequest { have, tip_hash } => {
+                self.on_catchup_request(*have, tip_hash, &mut out)
+            }
             WireMessage::CatchupResponse(batch) => self.on_catchup_response(batch, now, &mut out),
         }
         self.emit(out)
@@ -398,15 +417,27 @@ impl Node {
     /// Responses are bounded to a few rounds per message; a node far behind
     /// iterates. Identical responses from different peers deduplicate by
     /// content in the gossip layer.
-    fn on_catchup_request(&mut self, have: u64, out: &mut Outbox) {
+    ///
+    /// A requester whose tip hash differs from our canonical block at the
+    /// same round sits on the losing side of a §8.2 tentative fork; merely
+    /// serving `have + 1..` would strand it forever, because every served
+    /// certificate binds the majority's previous-block hash. Serving from
+    /// the disputed round itself gives the requester the competing
+    /// certificate it needs to reorg onto the majority chain.
+    fn on_catchup_request(&mut self, have: u64, tip_hash: &[u8; 32], out: &mut Outbox) {
         const MAX_ROUNDS_PER_RESPONSE: u64 = 4;
         let tip = self.chain.tip().round;
         if have >= tip {
             return;
         }
-        let upto = (have + MAX_ROUNDS_PER_RESPONSE).min(tip);
+        let on_canon = self
+            .chain
+            .block_at(have)
+            .is_some_and(|b| b.hash() == *tip_hash);
+        let start = if on_canon { have + 1 } else { have.max(1) };
+        let upto = (start + MAX_ROUNDS_PER_RESPONSE - 1).min(tip);
         let mut entries = Vec::new();
-        for r in have + 1..=upto {
+        for r in start..=upto {
             let (Some(block), Some(cert)) = (self.chain.block_at(r), self.chain.certificate_at(r))
             else {
                 break; // History incomplete (should not happen on canon).
@@ -420,7 +451,13 @@ impl Node {
 
     /// Applies a catch-up batch: validate each certificate against our own
     /// chain context, append, and restart the round loop at the new tip.
+    ///
+    /// A batch starting at or below our tip is a fork repair (see
+    /// [`Node::maybe_reorg_onto`]); when it justifies a reorg, the
+    /// tentative suffix is rolled back first and the batch then applies
+    /// through the ordinary sequential path.
     fn on_catchup_response(&mut self, batch: &CatchupBatch, now: Micros, out: &mut Outbox) {
+        self.maybe_reorg_onto(batch, now);
         let mut advanced = false;
         let mut applied = 0u64;
         for (block, cert) in &batch.entries {
@@ -477,6 +514,82 @@ impl Node {
         }
     }
 
+    /// Rolls back a tentatively-certified suffix when a catch-up batch
+    /// proves the network adopted a different, strictly longer chain.
+    ///
+    /// An asymmetric partition can split a round's vote flow so that both
+    /// sides tentatively certify *different* blocks (§8.2's fork). The
+    /// minority side then stalls forever on plain catch-up: every served
+    /// certificate binds the majority's previous-block hash, which never
+    /// matches the minority's tip. Repair requires displacing the
+    /// tentative suffix, under strict conditions:
+    ///
+    /// - the batch reaches strictly beyond our tip (a longer certified
+    ///   chain; equal length never flips, so two sides cannot ping-pong);
+    /// - no displaced round is finalized (final blocks never fork —
+    ///   §8.2's safety guarantee stays intact);
+    /// - the batch is contiguous, each certificate naming its block;
+    /// - the first block connects to our canonical chain at the round
+    ///   before the divergence; and
+    /// - the first certificate validates against that shared prefix
+    ///   (committee context only references rounds below the fork point).
+    ///
+    /// Transactions in the displaced blocks salvage back into the pool;
+    /// the remaining batch entries then apply via the ordinary sequential
+    /// catch-up path.
+    fn maybe_reorg_onto(&mut self, batch: &CatchupBatch, now: Micros) {
+        let (Some((first_block, first_cert)), Some((last_block, _))) =
+            (batch.entries.first(), batch.entries.last())
+        else {
+            return;
+        };
+        let fork = first_block.round;
+        let tip = self.chain.tip().round;
+        if fork == 0 || fork > tip || last_block.round <= tip {
+            return;
+        }
+        if (fork..=tip).any(|r| self.chain.is_finalized(r)) {
+            return;
+        }
+        let contiguous = batch.entries.iter().enumerate().all(|(i, (b, c))| {
+            b.round == fork + i as u64 && c.round == b.round && c.value == b.hash()
+        });
+        if !contiguous {
+            return;
+        }
+        let ours = self.chain.block_at(fork).expect("fork <= tip").hash();
+        if ours == first_block.hash() {
+            return; // Same chain; nothing to repair.
+        }
+        let prev_hash = self.chain.block_at(fork - 1).expect("below tip").hash();
+        if first_block.prev_hash != prev_hash {
+            return; // Does not connect to our prefix; fork is deeper.
+        }
+        let seed = self.chain.selection_seed(fork);
+        let weights = self.chain.weights_for_round(fork);
+        if first_cert
+            .validate(
+                &self.params.ba,
+                &seed,
+                &prev_hash,
+                &weights,
+                self.verifier.as_ref(),
+            )
+            .is_err()
+        {
+            return; // Unproven competing chain; keep ours.
+        }
+        let rolled_back = tip - fork + 1;
+        let salvaged = self.chain.rollback_to(fork - 1);
+        self.pool.reinsert(salvaged, self.chain.accounts());
+        self.catchup_reorgs += 1;
+        self.tracer
+            .span(SpanKind::Catchup, self.trace_node, fork, now)
+            .label("reorg")
+            .value(rolled_back)
+            .instant();
+    }
+
     /// Emits a rate-limited catch-up request when the network's votes show
     /// we are behind.
     fn maybe_request_catchup(&mut self, now: Micros, out: &mut Outbox) {
@@ -489,7 +602,10 @@ impl Node {
             .span(SpanKind::Catchup, self.trace_node, have, now)
             .label("request")
             .instant();
-        out.push(WireMessage::CatchupRequest { have });
+        out.push(WireMessage::CatchupRequest {
+            have,
+            tip_hash: self.chain.tip_hash(),
+        });
     }
 
     /// Liveness watchdog: a node stalled for half a recovery interval

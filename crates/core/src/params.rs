@@ -100,6 +100,19 @@ impl AlgorandParams {
     pub fn proposal_wait(&self) -> Micros {
         self.lambda_priority + self.lambda_stepvar
     }
+
+    /// How long the gossip relay's per-⟨key, round, step⟩ slots may sit
+    /// without round progress before rotating anyway (4λ_step).
+    ///
+    /// During a liveness stall the round stops advancing, so round-based
+    /// slot pruning alone would pin each sender's first vote per step
+    /// forever and drop every §8.2 recovery retry as an equivocation.
+    /// Several λ_step comfortably exceeds any healthy round's step
+    /// cadence, so in normal operation the round advances first and this
+    /// horizon never fires.
+    pub fn relay_stall_horizon(&self) -> Micros {
+        4 * self.ba.lambda_step
+    }
 }
 
 #[cfg(test)]

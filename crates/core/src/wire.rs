@@ -147,6 +147,11 @@ pub enum WireMessage {
     CatchupRequest {
         /// The requester's current tip round.
         have: u64,
+        /// The hash of the requester's tip block. A responder whose
+        /// canonical block at `have` differs knows the requester sits on a
+        /// tentative fork (§8.2) and serves from the disputed round so the
+        /// requester can reorg onto the certified majority chain.
+        tip_hash: [u8; 32],
     },
     /// Agreed rounds with certificates, answering a catch-up request.
     CatchupResponse(CatchupBatch),
@@ -161,7 +166,7 @@ impl WireMessage {
             WireMessage::Vote(_) => VoteMessage::WIRE_SIZE,
             WireMessage::ForkProposal(f) => f.wire_size(),
             WireMessage::Transaction(_) => Transaction::WIRE_SIZE,
-            WireMessage::CatchupRequest { .. } => 16,
+            WireMessage::CatchupRequest { .. } => 48,
             WireMessage::CatchupResponse(b) => b.wire_size(),
         }
     }
@@ -174,8 +179,8 @@ impl WireMessage {
             WireMessage::Vote(v) => v.message_id(),
             WireMessage::ForkProposal(f) => f.message_id(),
             WireMessage::Transaction(t) => sha256_concat(&[b"tx-id", &t.id()]),
-            WireMessage::CatchupRequest { have } => {
-                sha256_concat(&[b"catchup-req", &have.to_le_bytes()])
+            WireMessage::CatchupRequest { have, tip_hash } => {
+                sha256_concat(&[b"catchup-req", &have.to_le_bytes(), tip_hash])
             }
             WireMessage::CatchupResponse(b) => b.message_id(),
         }
@@ -234,9 +239,10 @@ impl WireMessage {
                 out.put_u8(5);
                 t.encode(out);
             }
-            WireMessage::CatchupRequest { have } => {
+            WireMessage::CatchupRequest { have, tip_hash } => {
                 out.put_u8(6);
                 out.put_u64(*have);
+                out.put_bytes(tip_hash);
             }
             WireMessage::CatchupResponse(batch) => {
                 out.put_u8(7);
@@ -270,7 +276,10 @@ impl WireMessage {
             3 => WireMessage::Vote(VoteMessage::decode(r)?),
             4 => WireMessage::ForkProposal(ForkProposalMessage::decode(r)?),
             5 => WireMessage::Transaction(Transaction::decode(r)?),
-            6 => WireMessage::CatchupRequest { have: r.u64()? },
+            6 => WireMessage::CatchupRequest {
+                have: r.u64()?,
+                tip_hash: r.bytes32()?,
+            },
             7 => {
                 let n = r.u32()? as usize;
                 if n > CatchupBatch::MAX_ENTRIES {
@@ -403,7 +412,11 @@ mod tests {
         let err = WireMessage::decode_frame(&[99u8]).expect_err("bad tag");
         assert_eq!(err.kind, None);
         // Trailing garbage after a valid message is an error too.
-        let mut bytes = WireMessage::CatchupRequest { have: 5 }.encoded();
+        let mut bytes = WireMessage::CatchupRequest {
+            have: 5,
+            tip_hash: [7u8; 32],
+        }
+        .encoded();
         bytes.push(0);
         let err = WireMessage::decode_frame(&bytes).expect_err("trailing");
         assert_eq!(err.err, DecodeError::TrailingBytes);

@@ -74,7 +74,10 @@ fn all_message_kinds() -> Vec<WireMessage> {
             &proposer, 2, 1, sorthash, sort_proof, fork_block,
         )),
         WireMessage::Transaction(Transaction::payment(&proposer, kp(5).pk, 9, 1)),
-        WireMessage::CatchupRequest { have: 17 },
+        WireMessage::CatchupRequest {
+            have: 17,
+            tip_hash: [0x6Bu8; 32],
+        },
         WireMessage::CatchupResponse(CatchupBatch {
             entries: vec![(block, cert)],
         }),
@@ -189,7 +192,7 @@ fn scaled_params_accept_decoded_traffic() {
     // buffers it and fires the gap-2 catch-up probe — nothing else.
     assert_eq!(out.len(), 1, "expected exactly the catch-up probe");
     assert!(
-        matches!(out[0], WireMessage::CatchupRequest { have: 0 }),
+        matches!(out[0], WireMessage::CatchupRequest { have: 0, .. }),
         "garbage round-3 vote may only elicit a catch-up request"
     );
 }

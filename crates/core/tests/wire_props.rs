@@ -131,6 +131,7 @@ fn rand_messages(rng: &mut Rng) -> Vec<WireMessage> {
         )),
         WireMessage::CatchupRequest {
             have: rng.next_u64(),
+            tip_hash: rand32(rng),
         },
         WireMessage::CatchupResponse(CatchupBatch { entries }),
     ]

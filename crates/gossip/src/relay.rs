@@ -6,12 +6,21 @@
 //! being overwhelmed by an adversary. Cryptographic validation happens
 //! before this policy is consulted (invalid messages are dropped outright).
 //!
-//! Memory is bounded by round-based generational pruning: the seen sets
-//! live in two generations, and [`RelayState::prune`] rotates them when
-//! the node's round advances. An entry therefore survives at least one
-//! full round after it was recorded — far longer than any in-flight
-//! duplicate — while a long-running node's relay state stays O(messages
-//! per round) instead of growing without bound.
+//! Memory is bounded by generational pruning: the seen sets live in two
+//! generations, and [`RelayState::prune`] rotates them when the node's
+//! round advances. An entry therefore survives at least one full round
+//! after it was recorded — far longer than any in-flight duplicate —
+//! while a long-running node's relay state stays O(messages per round)
+//! instead of growing without bound.
+//!
+//! Rotation also fires on wall-clock time when the round stops advancing
+//! (the `stall_horizon` argument). Without this, a liveness stall froze
+//! the one-message-per-key slots forever: recovery-vote retries for the
+//! same ⟨round, step⟩ classified as equivocations and were never
+//! forwarded, so §8.2 recovery could strangle itself. Re-admitting a
+//! sender's slot after a quiet horizon cannot break safety — BA⋆ vote
+//! tallies deduplicate by sender key — it only restores gossip flooding
+//! for retried messages.
 
 use algorand_obs::{Counter, Registry};
 use std::collections::HashSet;
@@ -61,6 +70,9 @@ pub struct RelayState {
     slots_old: HashSet<([u8; 32], u64, u32)>,
     /// The round [`RelayState::prune`] last rotated at.
     pruned_round: u64,
+    /// The timestamp of the last rotation (whatever clock the caller
+    /// passes to [`RelayState::prune`]; µs in the simulator).
+    last_rotation_at: u64,
     metrics: RelayMetrics,
 }
 
@@ -120,19 +132,31 @@ impl RelayState {
     }
 
     /// Rotates the generations when `round` has advanced past the last
-    /// rotation: entries recorded two rotations ago are dropped.
+    /// rotation — or, if `stall_horizon > 0`, when more than that much
+    /// time has passed since the last rotation with no round progress.
+    /// Entries recorded two rotations ago are dropped.
     ///
-    /// Call with the node's current round whenever convenient (every
-    /// message is fine — rotation only happens on a round change). Vote
-    /// and priority traffic is only valid near the current round, and
-    /// in-flight duplicates are milliseconds old, so anything older than a
-    /// full round is safe to forget: a re-delivered antique is simply
-    /// re-classified, and the node's own validation still rejects it.
-    pub fn prune(&mut self, round: u64) {
-        if round <= self.pruned_round {
+    /// Call with the node's current round and clock whenever convenient
+    /// (every message is fine — rotation only happens on a round change
+    /// or a stall-horizon expiry). Vote and priority traffic is only
+    /// valid near the current round, and in-flight duplicates are
+    /// milliseconds old, so anything older than a full round is safe to
+    /// forget: a re-delivered antique is simply re-classified, and the
+    /// node's own validation still rejects it.
+    ///
+    /// The stall horizon exists for §8.2: during a stall the round never
+    /// advances, so without it the per-⟨key, round, step⟩ slots pin the
+    /// *first* message forever and recovery-vote retries are dropped as
+    /// equivocations network-wide. Pick a horizon of several λ_step so
+    /// rotation never fires during healthy rounds. Pass `0` to disable.
+    pub fn prune(&mut self, round: u64, now: u64, stall_horizon: u64) {
+        let stalled =
+            stall_horizon > 0 && now.saturating_sub(self.last_rotation_at) > stall_horizon;
+        if round <= self.pruned_round && !stalled {
             return;
         }
-        self.pruned_round = round;
+        self.pruned_round = self.pruned_round.max(round);
+        self.last_rotation_at = now;
         self.seen_old = std::mem::take(&mut self.seen_cur);
         self.slots_old = std::mem::take(&mut self.slots_cur);
     }
@@ -216,18 +240,18 @@ mod tests {
     #[test]
     fn pruning_bounds_memory_but_keeps_recent_rounds() {
         let mut r = RelayState::new();
-        r.prune(1); // node enters round 1
-                    // Round 1 traffic.
+        r.prune(1, 0, 0); // node enters round 1
+                          // Round 1 traffic.
         r.classify([1u8; 32], Some(([9u8; 32], 1, 1)));
-        r.prune(1); // still round 1: no rotation
+        r.prune(1, 0, 0); // still round 1: no rotation
         assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
-        r.prune(2); // rotate: round-1 entries now old
-                    // Still deduplicated one round later (in-flight stragglers).
+        r.prune(2, 0, 0); // rotate: round-1 entries now old
+                          // Still deduplicated one round later (in-flight stragglers).
         assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
         assert!(r.has_seen(&[1u8; 32]));
         r.classify([2u8; 32], Some(([9u8; 32], 2, 1)));
         assert_eq!(r.seen_count(), 2);
-        r.prune(3); // second rotation: round-1 entries dropped
+        r.prune(3, 0, 0); // second rotation: round-1 entries dropped
         assert!(!r.has_seen(&[1u8; 32]), "two rounds old: forgotten");
         assert!(r.has_seen(&[2u8; 32]), "one round old: kept");
         assert_eq!(r.seen_count(), 1);
@@ -240,18 +264,51 @@ mod tests {
     fn prune_is_monotonic_and_idempotent_within_a_round() {
         let mut r = RelayState::new();
         r.classify([1u8; 32], None);
-        r.prune(5);
-        r.prune(5); // same round: must not rotate again
-        r.prune(4); // going backwards: ignored
+        r.prune(5, 0, 0);
+        r.prune(5, 0, 0); // same round: must not rotate again
+        r.prune(4, 0, 0); // going backwards: ignored
         assert!(r.has_seen(&[1u8; 32]));
         assert_eq!(r.classify([1u8; 32], None), RelayDecision::Duplicate);
+    }
+
+    #[test]
+    fn stall_horizon_reopens_slots_without_round_progress() {
+        let mut r = RelayState::new();
+        const H: u64 = 16_000_000; // 16 s horizon, µs clock
+        r.prune(3, 0, H);
+        r.classify([1u8; 32], Some(([9u8; 32], 3, 1)));
+        // Within the horizon, a retry in the same slot is still an
+        // equivocation and rotation never fires.
+        r.prune(3, H, H);
+        assert_eq!(
+            r.classify([2u8; 32], Some(([9u8; 32], 3, 1))),
+            RelayDecision::Equivocation
+        );
+        // One horizon past the last rotation the slot moves to the old
+        // generation (still guarded)…
+        r.prune(3, H + 1, H);
+        assert_eq!(
+            r.classify([3u8; 32], Some(([9u8; 32], 3, 1))),
+            RelayDecision::Equivocation
+        );
+        // …and after a second expiry it is forgotten: the stalled node
+        // relays the retried message again.
+        r.prune(3, 2 * H + 2, H);
+        assert_eq!(
+            r.classify([4u8; 32], Some(([9u8; 32], 3, 1))),
+            RelayDecision::Relay,
+            "stall rotation must re-admit retried slots"
+        );
+        // Round-based rotation still works afterwards.
+        r.prune(4, 2 * H + 3, H);
+        assert!(r.has_seen(&[4u8; 32]));
     }
 
     #[test]
     fn equivocation_detection_survives_one_rotation() {
         let mut r = RelayState::new();
         r.classify([1u8; 32], Some(([9u8; 32], 7, 1)));
-        r.prune(8);
+        r.prune(8, 0, 0);
         assert_eq!(
             r.classify([2u8; 32], Some(([9u8; 32], 7, 1))),
             RelayDecision::Equivocation,

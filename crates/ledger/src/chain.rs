@@ -10,6 +10,7 @@
 use crate::account::Accounts;
 use crate::block::{Block, BlockError, Micros};
 use crate::seed::selection_seed_round;
+use crate::transaction::Transaction;
 use algorand_ba::{BaParams, Certificate, RoundWeights, VoteVerifier};
 use algorand_crypto::PublicKey;
 use std::collections::HashMap;
@@ -295,6 +296,36 @@ impl Blockchain {
         }
     }
 
+    /// Discards the tentative canonical suffix above `round`, returning the
+    /// transactions of the dropped blocks so the caller can salvage them
+    /// back into its pool.
+    ///
+    /// A tentative prefix may sit on the losing side of a §8.2 fork: a
+    /// partition can leave a minority holding tentatively-certified blocks
+    /// the rest of the network never adopted. Catch-up resolves this by
+    /// rolling the tentative suffix back and re-appending the majority's
+    /// certified chain. Finalized rounds can never fork, so the caller must
+    /// keep `round` at or above the finalized prefix; rolled-back rounds
+    /// are asserted tentative. The dropped blocks stay in the fork store
+    /// for §8.2 bookkeeping.
+    pub fn rollback_to(&mut self, round: u64) -> Vec<Transaction> {
+        let tip = self.tip().round;
+        debug_assert!(round <= tip);
+        let mut dropped = Vec::new();
+        for r in round + 1..=tip {
+            let h = self.canonical[r as usize];
+            let stored = &self.all_blocks[&h];
+            assert!(!stored.finalized, "cannot roll back a finalized round");
+            for tx in &stored.block.txs {
+                self.tx_index.remove(&tx.id());
+                dropped.push(tx.clone());
+            }
+        }
+        self.canonical.truncate(round as usize + 1);
+        self.states.truncate(round as usize + 1);
+        dropped
+    }
+
     /// Drops non-canonical blocks at or below `round` from the fork store.
     ///
     /// Finalized rounds can never fork (§8.2), so side blocks there are
@@ -332,12 +363,21 @@ impl Blockchain {
         }
     }
 
-    /// The tip of the longest chain among all stored blocks whose ancestry
-    /// reaches genesis — the fork proposed during recovery (§8.2).
+    /// The tip of the longest *agreed* chain among all stored blocks
+    /// whose ancestry reaches genesis — the fork proposed during recovery
+    /// (§8.2).
+    ///
+    /// Only agreed blocks count (certified, or on the local canonical
+    /// chain): a merely observed block cannot have been tentatively
+    /// agreed by anyone (a BA⋆ decision implies a certificate), so
+    /// nothing is lost by never extending it — and observed
+    /// proposal-race bodies are *local* state that peers on the other
+    /// side of a partition may not hold, so a recovery proposal
+    /// extending one could never gather network-wide votes.
     pub fn longest_fork(&self) -> ([u8; 32], u64) {
         let mut best = (self.canonical[0], 0u64);
         for hash in self.all_blocks.keys() {
-            if let Some(len) = self.depth_of(hash) {
+            if let Some(len) = self.certified_depth_of(hash) {
                 if len > best.1 || (len == best.1 && *hash > best.0) {
                     best = (*hash, len);
                 }
@@ -351,10 +391,13 @@ impl Blockchain {
         self.all_blocks.get(hash).map(|s| &s.block)
     }
 
-    /// The chain length (number of non-genesis ancestors) of a stored
-    /// block, or `None` if its ancestry is incomplete.
+    /// The length (number of non-genesis ancestors) of the *agreed*
+    /// chain ending at `hash`, or `None` if any ancestor is missing or
+    /// was merely observed. This is the yardstick recovery proposals are
+    /// judged by, so it must match what [`Blockchain::longest_fork`]
+    /// measures.
     pub fn fork_length(&self, hash: &[u8; 32]) -> Option<u64> {
-        self.depth_of(hash)
+        self.certified_depth_of(hash)
     }
 
     /// The weight snapshot at a specific canonical round (clamped to the
@@ -381,14 +424,21 @@ impl Blockchain {
     }
 
     /// The number of ancestors of `hash` down to genesis, or `None` if the
-    /// ancestry is incomplete (missing blocks).
-    fn depth_of(&self, hash: &[u8; 32]) -> Option<u64> {
+    /// ancestry is incomplete (missing blocks) or contains a non-genesis
+    /// block that was merely observed, never agreed: a block counts only
+    /// when it carries a certificate or sits on this node's canonical
+    /// chain (which the node only extends through agreed rounds).
+    fn certified_depth_of(&self, hash: &[u8; 32]) -> Option<u64> {
         let mut depth = 0u64;
         let mut cur = *hash;
         loop {
             let stored = self.all_blocks.get(&cur)?;
             if stored.block.round == 0 {
                 return Some(depth);
+            }
+            let canonical = self.canonical.get(stored.block.round as usize) == Some(&cur);
+            if stored.certificate.is_none() && !canonical {
+                return None;
             }
             cur = stored.block.prev_hash;
             depth += 1;

@@ -107,6 +107,7 @@ fn ba_params(total_weight: u64) -> BaParams {
         max_steps: 30,
         lambda_step: SECOND,
         lambda_block: SECOND,
+        disable_backoff: false,
     }
 }
 
@@ -205,15 +206,20 @@ fn longest_fork_and_switch() {
     let c2 = make_block(&other, &keypairs[1], vec![]);
     other.append(c2.clone(), None, false, NOW + 2).unwrap();
 
-    // Our node observes the foreign fork blocks passively.
+    // Our node observes the foreign fork blocks passively. Observed
+    // blocks were never agreed by anyone (no certificate, not canonical
+    // here), so they must NOT win `longest_fork` — recovery only ever
+    // extends agreed chains.
     chain.observe_block(c1.clone());
     chain.observe_block(c2.clone());
     let (tip, len) = chain.longest_fork();
-    assert_eq!(len, 2);
-    assert_eq!(tip, c2.hash());
+    assert_eq!(len, 1);
+    assert_eq!(tip, b1.hash());
+    assert_eq!(chain.fork_length(&c2.hash()), None);
 
-    // Recovery adopts the longest fork.
-    chain.switch_to_fork(tip, NOW + 3).unwrap();
+    // A recovery certificate can still justify switching onto an
+    // observed fork: `switch_to_fork` adopts it by hash.
+    chain.switch_to_fork(c2.hash(), NOW + 3).unwrap();
     assert_eq!(chain.tip_hash(), c2.hash());
     assert_eq!(chain.next_round(), 3);
     assert_eq!(chain.block_at(1).unwrap().hash(), c1.hash());
@@ -422,4 +428,48 @@ fn min_balance_weights_remove_divested_stake() {
         chain2.append(block, None, false, NOW + r).unwrap();
     }
     assert_eq!(chain2.weights_for_round(7).weight_of(&keypairs[0].pk), 100);
+}
+
+#[test]
+fn rollback_discards_tentative_suffix_and_salvages_txs() {
+    let keypairs = users(3);
+    let mut chain = new_chain(&keypairs);
+    let b1 = make_block(&chain, &keypairs[0], vec![]);
+    chain.append(b1, None, false, NOW + 1).unwrap();
+    chain.finalize(1);
+    let tx = Transaction::payment(&keypairs[0], keypairs[1].pk, 10, 1);
+    let tx_id = tx.id();
+    let b2 = make_block(&chain, &keypairs[1], vec![tx]);
+    let b2_hash = b2.hash();
+    chain.append(b2, None, false, NOW + 2).unwrap();
+    assert_eq!(chain.confirmed_round(&tx_id), Some(2));
+
+    let salvaged = chain.rollback_to(1);
+    assert_eq!(chain.tip().round, 1);
+    assert_eq!(salvaged.len(), 1, "dropped block's txs come back");
+    assert_eq!(salvaged[0].id(), tx_id);
+    assert_eq!(chain.confirmed_round(&tx_id), None);
+    assert_eq!(
+        chain.accounts().balance(&keypairs[0].pk),
+        100,
+        "account state reverts to the rollback point"
+    );
+    // The displaced block stays in the fork store (§8.2 bookkeeping).
+    assert!(chain.block_by_hash(&b2_hash).is_some());
+    // A competing round-2 block can now take the canonical slot.
+    let b2b = make_block(&chain, &keypairs[2], vec![]);
+    assert_ne!(b2b.hash(), b2_hash);
+    chain.append(b2b, None, false, NOW + 3).unwrap();
+    assert_eq!(chain.tip().round, 2);
+}
+
+#[test]
+#[should_panic(expected = "finalized")]
+fn rollback_refuses_to_drop_finalized_rounds() {
+    let keypairs = users(3);
+    let mut chain = new_chain(&keypairs);
+    let b1 = make_block(&chain, &keypairs[0], vec![]);
+    chain.append(b1, None, false, NOW + 1).unwrap();
+    chain.finalize(1);
+    chain.rollback_to(0);
 }

@@ -53,7 +53,7 @@ impl Blocksync {
     }
 
     /// If we are behind and off cooldown, the peer to ask. The caller
-    /// sends `CatchupRequest { have: local_tip }` to it.
+    /// sends `CatchupRequest { have: local_tip, tip_hash }` to it.
     pub fn poll(&mut self, local_tip: u64, now: Instant) -> Option<PeerId> {
         let (&peer, &tip) = self.tips.iter().max_by_key(|(_, &tip)| tip)?;
         if tip <= local_tip {

@@ -213,7 +213,9 @@ impl Runtime {
             }
 
             self.persist_new_rounds()?;
-            self.relay.prune(self.node.current_round());
+            let horizon = self.node.params().relay_stall_horizon();
+            self.relay
+                .prune(self.node.current_round(), self.now(), horizon);
 
             let wall = Instant::now();
             if wall >= next_status {
@@ -225,6 +227,7 @@ impl Runtime {
             if let Some(peer) = self.sync.poll(self.node.chain().tip().round, wall) {
                 let req = WireMessage::CatchupRequest {
                     have: self.node.chain().tip().round,
+                    tip_hash: self.node.chain().tip_hash(),
                 };
                 self.transport.send_gossip_to(peer, &req.encoded());
             }

@@ -38,7 +38,7 @@ mod trace;
 
 pub use causal::{critical_paths, CausalGraph, CriticalPath, Edge, EdgeKind};
 pub use hist::{Histogram, Percentiles};
-pub use monitor::{InvariantMonitor, MonitorConfig, MonitorHandle, MonitorReport};
+pub use monitor::{Invariant, InvariantMonitor, MonitorConfig, MonitorHandle, MonitorReport};
 pub use registry::{Counter, Gauge, HistHandle, Registry};
 pub use trace::{
     parse_jsonl, span_id, stable_id, write_jsonl, write_jsonl_trimmed, Micros, Span, SpanKind,

@@ -411,6 +411,36 @@ impl MonitorReport {
     pub fn count(&self, invariant: Invariant) -> u64 {
         self.counts[invariant.index()].1
     }
+
+    /// The first invariant class (in [`Invariant::ALL`] order) with a
+    /// nonzero count, or `None` for a clean report. Automated oracles
+    /// (the schedule fuzzer) classify a failing run by this.
+    pub fn verdict_class(&self) -> Option<Invariant> {
+        self.counts
+            .iter()
+            .find(|(_, n)| *n > 0)
+            .map(|(inv, _)| *inv)
+    }
+
+    /// A machine-readable one-line summary with a fixed field order.
+    /// Byte-stable for identical reports, so campaign logs built from it
+    /// diff cleanly across reruns.
+    pub fn machine_line(&self) -> String {
+        let mut line = format!(
+            "monitor total={} certs={} tallies={} seeds={} parks={} max_committee={} tentative_conflicts={}",
+            self.total_violations(),
+            self.observed.certificates,
+            self.observed.tally_adds,
+            self.observed.seeds,
+            self.observed.future_parks,
+            self.observed.max_committee,
+            self.observed.tentative_conflicts,
+        );
+        for (inv, n) in self.counts {
+            line.push_str(&format!(" {}={}", inv.as_str(), n));
+        }
+        line
+    }
 }
 
 impl fmt::Display for MonitorReport {
@@ -733,5 +763,33 @@ mod tests {
     #[test]
     fn selftest_flags_every_injection() {
         violation_selftest().unwrap();
+    }
+
+    #[test]
+    fn verdict_class_and_machine_line() {
+        let mut m = InvariantMonitor::new(cfg());
+        assert_eq!(m.report().verdict_class(), None);
+        let t = Tracer::bounded(8);
+        t.span(SpanKind::Round, 0, 4, 0)
+            .label("final")
+            .id(0xaa)
+            .ok(true)
+            .end_at(5);
+        t.span(SpanKind::Round, 1, 4, 0)
+            .label("final")
+            .id(0xbb)
+            .ok(true)
+            .end_at(6);
+        for ev in t.events() {
+            m.observe(&ev);
+        }
+        let r = m.report();
+        assert_eq!(r.verdict_class(), Some(Invariant::ConflictingCertificates));
+        let line = r.machine_line();
+        assert!(line.starts_with("monitor total=1 certs=2 "), "{line}");
+        assert!(line.contains(" conflicting_certificates=1"), "{line}");
+        assert!(line.contains(" seed_chain=0"), "{line}");
+        // Byte-stable across repeated renders of the same report.
+        assert_eq!(line, r.machine_line());
     }
 }

@@ -164,7 +164,7 @@ struct NodeCell {
     /// The wake time currently enqueued in the shared queue (`MAX` if
     /// none) — avoids duplicate queue entries for an unchanged wake.
     enqueued_wake: Micros,
-    clock_skew: Micros,
+    clock_skew: i64,
     crashed: bool,
     snapshot: Option<Vec<u8>>,
     /// Window inbox, filled by the sequential extract phase.
@@ -221,7 +221,8 @@ impl ParallelSim {
     /// Builds the engine: same population, topology, network, and
     /// workload construction as [`crate::runner::Simulation`], but with
     /// per-node trace buffers and a sharded queue.
-    pub fn new(cfg: DesConfig) -> ParallelSim {
+    pub fn new(mut cfg: DesConfig) -> ParallelSim {
+        cfg.sim.apply_injected_bug();
         let sim = &cfg.sim;
         let keypairs = sim.build_keypairs();
         let verifier = Arc::new(PipelineVerifier::new());
@@ -494,6 +495,8 @@ impl ParallelSim {
         let ctx = UnitCtx {
             window_end,
             relay_all_blocks: self.cfg.sim.relay_all_blocks,
+            ignore_catchup: self.cfg.sim.injected_bug
+                == Some(crate::harness::InjectedBug::IgnoreCatchupResponses),
         };
         let cells = &self.cells;
         let workers = self.cfg.workers.max(1);
@@ -746,7 +749,7 @@ impl ParallelSim {
     fn reschedule_sequential(&mut self, i: usize) {
         let mut g = self.cells[i].lock().expect("cell");
         if let Some(d) = g.slot.next_deadline() {
-            let d = d.saturating_sub(g.clock_skew);
+            let d = harness::unskewed_global(d, g.clock_skew);
             if d < g.next_wake {
                 g.next_wake = d;
             }
@@ -896,7 +899,7 @@ impl ParallelSim {
                 .map(|k| (k.pk, self.cfg.sim.stake_per_user))
                 .collect();
             let genesis = Blockchain::new(self.cfg.sim.params.chain, alloc, GENESIS_SEED);
-            let local = now + g.clock_skew;
+            let local = harness::skewed_local(now, g.clock_skew);
             let mut node = Node::restore(
                 self.keypairs[i].clone(),
                 genesis,
@@ -1113,6 +1116,8 @@ fn pack_deliver_tiebreak(seq: u64, node: usize) -> u64 {
 struct UnitCtx {
     window_end: Micros,
     relay_all_blocks: bool,
+    /// Planted defect: honest ingest swallows catch-up responses.
+    ignore_catchup: bool,
 }
 
 /// Processes every inbox event of one work unit's cells in canonical
@@ -1177,13 +1182,16 @@ fn run_deliver(
     if g.crashed {
         return; // In-flight packets to a dead process.
     }
+    if ctx.ignore_catchup && matches!(msg.wire, WireMessage::CatchupResponse(_)) {
+        return; // Planted defect: ingest drops it.
+    }
     g.last_hint = hint;
     g.tracer.set_order_hint(hint);
     let decision = g.relay.classify(msg.id, msg.relay_slot);
     if decision == RelayDecision::Duplicate {
         return;
     }
-    let now_t = time + g.clock_skew;
+    let now_t = harness::skewed_local(time, g.clock_skew);
     let outgoing = g.slot.on_message(&msg.wire, now_t);
     // §6 discard rules, identical to the serial runner.
     let discard = g.slot.discards(&msg.wire, ctx.relay_all_blocks);
@@ -1205,7 +1213,8 @@ fn run_deliver(
     }
     buffer_outgoing(g, hint, time, outgoing);
     let round = g.slot.node().current_round();
-    g.relay.prune(round);
+    let horizon = g.slot.node().params().relay_stall_horizon();
+    g.relay.prune(round, time, horizon);
     reschedule_local(g);
 }
 
@@ -1221,11 +1230,12 @@ fn run_wake(g: &mut NodeCell, t: Micros, hint: u64, from_inbox: bool, _ctx: &Uni
     g.next_wake = Micros::MAX;
     g.last_hint = hint;
     g.tracer.set_order_hint(hint);
-    let local = t + g.clock_skew;
+    let local = harness::skewed_local(t, g.clock_skew);
     let outgoing = g.slot.on_tick(local);
     buffer_outgoing(g, hint, t, outgoing);
     let round = g.slot.node().current_round();
-    g.relay.prune(round);
+    let horizon = g.slot.node().params().relay_stall_horizon();
+    g.relay.prune(round, t, horizon);
     reschedule_local(g);
 }
 
@@ -1272,7 +1282,7 @@ fn buffer_outgoing(g: &mut NodeCell, hint: u64, global_time: Micros, outgoing: V
 /// phase: cell state only; the barrier arms the shared queue).
 fn reschedule_local(g: &mut NodeCell) {
     if let Some(d) = g.slot.next_deadline() {
-        let d = d.saturating_sub(g.clock_skew);
+        let d = harness::unskewed_global(d, g.clock_skew);
         if d < g.next_wake {
             g.next_wake = d;
         }

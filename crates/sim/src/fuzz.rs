@@ -1,0 +1,1245 @@
+//! Schedule-space fuzzer: seeded random fault/adversary schedules with
+//! the online invariant monitor as oracle, plus automatic shrinking to
+//! minimal reproducers.
+//!
+//! The chaos suite (`tests/chaos.rs`) pins a handful of hand-written
+//! schedules; this module explores the schedule *space* around them.
+//! A seeded [`generate`] composes well-formed [`FaultSchedule`]s —
+//! every onset paired with a later clearing action, every schedule
+//! passing [`FaultSchedule::validate`] — together with an adversary mix
+//! into [`FuzzCase`]s. [`run_case`] replays a case deterministically
+//! through the serial engine and classifies the outcome with two
+//! oracles:
+//!
+//! 1. **safety** — the [`algorand_obs::monitor`] invariant monitor
+//!    (checked continuously) plus a direct cross-node scan for
+//!    divergent *finalized* blocks, and
+//! 2. **liveness** — a stalled-finality watchdog: after the schedule's
+//!    last event, every honest node must advance ≥ 2 rounds onto a
+//!    common prefix within a recovery bound scaled by how much the
+//!    schedule disturbed (its "generosity").
+//!
+//! Because faults are data and all randomness flows from seeded RNGs,
+//! a failing `(seed, schedule)` pair replays byte-identically — which
+//! is what makes [`shrink`] sound: a delta-debugging loop removes
+//! paired fault events, shortens fault windows, shrinks partition node
+//! sets, and reduces the adversary count, re-running the case after
+//! each candidate edit and keeping only edits that preserve the
+//! original verdict class. The minimized case serializes to a textual
+//! reproducer ([`serialize_case`] / [`parse_case`]) that is archived
+//! under `tests/corpus/` and replayed forever after.
+
+use crate::adversary::AdversaryKind;
+use crate::event::Micros;
+use crate::faults::{FaultAction, FaultEvent, FaultSchedule};
+use crate::harness::{InjectedBug, SimConfig};
+use crate::network::PartitionSpec;
+use crate::runner::Simulation;
+use algorand_crypto::rng::Rng;
+use algorand_obs::Invariant;
+use std::fmt;
+
+const SEC: Micros = 1_000_000;
+
+/// Base recovery allowance after the schedule's last event.
+///
+/// Sized to cover §8.2's worst-case arming latency, not just a healthy
+/// round or two: recovery fires only at multiples of
+/// `recovery_interval` (120 s at sim scale) *and* only once progress
+/// has been quiet for half an interval, so a stall that begins just
+/// after one boundary is not attacked until up to two intervals later
+/// — plus `proposal_wait + λ_block + 6λ_step` (≈ 38 s) for the first
+/// attempt to decide. 2·120 + 38 s, rounded up with slack.
+const RECOVERY_BASE: Micros = 300 * SEC;
+/// Extra recovery allowance per scheduled fault event (a crash-heavy
+/// schedule legitimately takes longer to reconverge than a lone loss
+/// window — cf. the chaos suite's per-scenario horizons).
+const RECOVERY_PER_EVENT: Micros = 20 * SEC;
+/// Granularity at which [`run_case`] polls the oracles.
+const SLICE: Micros = 5 * SEC;
+
+/// One point in schedule space: a complete, self-describing run
+/// configuration. Everything the simulation consumes is in here, so a
+/// case replays identically wherever it is deserialized.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The generator draw that produced this case (provenance only;
+    /// a shrunk case keeps its origin's draw).
+    pub case_seed: u64,
+    /// Simulation seed (topology, keys, sortition).
+    pub seed: u64,
+    /// Network size.
+    pub n_users: usize,
+    /// Colluding malicious users (≤ 20% of stake, §2's assumption with
+    /// margin for small-committee variance).
+    pub n_malicious: usize,
+    /// The attack the malicious users mount.
+    pub adversary: AdversaryKind,
+    /// Test-only planted defect (`None` on honest builds).
+    pub bug: Option<InjectedBug>,
+    /// The fault script under test.
+    pub schedule: FaultSchedule,
+}
+
+/// How a fuzzed run ended, the oracle's classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictClass {
+    /// All oracles clean: recovered onto a common chain in bound.
+    Pass,
+    /// The invariant monitor flagged this class.
+    MonitorViolation(Invariant),
+    /// Two honest nodes finalized different blocks for one round
+    /// (chain-level safety scan, independent of the monitor).
+    ChainDivergence,
+    /// No common-prefix progress within the recovery bound after the
+    /// schedule's last event.
+    LivenessStall,
+}
+
+impl VerdictClass {
+    /// Stable machine name, used by reproducers and campaign reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictClass::Pass => "pass",
+            VerdictClass::MonitorViolation(Invariant::ConflictingCertificates) => {
+                "monitor_conflicting_certificates"
+            }
+            VerdictClass::MonitorViolation(Invariant::CommitteeBound) => "monitor_committee_bound",
+            VerdictClass::MonitorViolation(Invariant::SeedChain) => "monitor_seed_chain",
+            VerdictClass::MonitorViolation(Invariant::VoteDoubleCount) => {
+                "monitor_vote_double_count"
+            }
+            VerdictClass::MonitorViolation(Invariant::FutureStaleness) => {
+                "monitor_future_staleness"
+            }
+            VerdictClass::ChainDivergence => "chain_divergence",
+            VerdictClass::LivenessStall => "liveness_stall",
+        }
+    }
+
+    /// Parses [`VerdictClass::as_str`] output.
+    pub fn parse(s: &str) -> Option<VerdictClass> {
+        match s {
+            "pass" => Some(VerdictClass::Pass),
+            "chain_divergence" => Some(VerdictClass::ChainDivergence),
+            "liveness_stall" => Some(VerdictClass::LivenessStall),
+            _ => Invariant::ALL
+                .into_iter()
+                .map(VerdictClass::MonitorViolation)
+                .find(|v| v.as_str() == s),
+        }
+    }
+}
+
+impl fmt::Display for VerdictClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One oracle judgement with its measurements.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The classification.
+    pub class: VerdictClass,
+    /// Least-advanced honest tip when the run ended.
+    pub final_tip: u64,
+    /// Virtual time from the schedule's last event to recovery
+    /// (`Pass` only).
+    pub recovered_after: Option<Micros>,
+    /// Virtual instant the run stopped.
+    pub sim_end: Micros,
+}
+
+fn adversary_str(kind: AdversaryKind) -> &'static str {
+    match kind {
+        AdversaryKind::Equivocator => "equivocator",
+        AdversaryKind::Withholder => "withholder",
+    }
+}
+
+fn adversary_parse(s: &str) -> Option<AdversaryKind> {
+    match s {
+        "equivocator" => Some(AdversaryKind::Equivocator),
+        "withholder" => Some(AdversaryKind::Withholder),
+        _ => None,
+    }
+}
+
+// --- Generator -----------------------------------------------------------
+
+/// Draws one well-formed fuzz case from `case_seed`. The same draw with
+/// the same `bug` always yields the same case; the schedule always
+/// passes [`FaultSchedule::validate`], and every onset is paired with a
+/// later clearing action so full recovery is expected once the schedule
+/// drains (the liveness oracle's premise).
+///
+/// The grammar (see DESIGN.md §13): 8–10 users, 0–20% colluding
+/// adversaries of a random flavour, and 1–4 fault *segments*, each an
+/// onset/clear pair drawn from { symmetric partition, asymmetric
+/// partition, loss window, delay spike, crash+restart, clock skew }.
+/// Segments may overlap freely — overlapping windows compose to a
+/// clean post-schedule state because every category's clear action is
+/// absolute (heal, loss 0, normal latency, restart, skew 0). Crashes
+/// are constrained so validation holds and recovery stays expected:
+/// only honest nodes crash, each node at most once, and at most half
+/// the honest population.
+pub fn generate(case_seed: u64, bug: Option<InjectedBug>) -> FuzzCase {
+    let mut rng = Rng::seed_from_u64(case_seed ^ 0xF0CC_5EED);
+    let n_users = 8 + rng.gen_range_usize(3); // 8..=10
+    let n_malicious = rng.gen_range_usize(n_users / 5 + 1); // ≤ 20%
+    let adversary = if rng.gen_range_usize(2) == 0 {
+        AdversaryKind::Equivocator
+    } else {
+        AdversaryKind::Withholder
+    };
+    let n_honest = n_users - n_malicious;
+    let seed = rng.next_u64();
+
+    let mut schedule = FaultSchedule::new();
+    let mut crashed: Vec<usize> = Vec::new();
+    let mut skewed: Vec<usize> = Vec::new();
+    let segments = 1 + rng.gen_range_usize(4); // 1..=4
+    for _ in 0..segments {
+        let onset = 2 * SEC + rng.gen_range_u64(8 * SEC);
+        let clear = onset + 4 * SEC + rng.gen_range_u64(12 * SEC);
+        let mut kind = rng.gen_range_usize(6);
+        if kind == 4 && crashed.len() >= n_honest / 2 {
+            kind = 2; // crash budget exhausted: fall back to a loss window
+        }
+        if kind == 5 && skewed.len() >= n_users {
+            kind = 3; // every clock already skewed: fall back to a spike
+        }
+        schedule = match kind {
+            0 => {
+                let split = 1 + rng.gen_range_usize(n_users - 1);
+                schedule.bipartition(n_users, split, onset, clear)
+            }
+            1 => {
+                let split = 1 + rng.gen_range_usize(n_users - 1);
+                schedule.asymmetric_partition(n_users, split, onset, clear)
+            }
+            2 => {
+                let prob = 0.05 + 0.45 * rng.gen_f64();
+                schedule.loss_window(prob, onset, clear)
+            }
+            3 => {
+                let factor = 1.5 + 2.5 * rng.gen_f64();
+                let extra = rng.gen_range_u64(150_000);
+                schedule
+                    .at(onset, FaultAction::DelaySpike { factor, extra })
+                    .at(clear, FaultAction::DelayClear)
+            }
+            4 => {
+                // A not-yet-crashed honest node (the budget check above
+                // guarantees one exists).
+                let pick = rng.gen_range_usize(n_honest - crashed.len());
+                let node = (0..n_honest)
+                    .filter(|i| !crashed.contains(i))
+                    .nth(pick)
+                    .expect("crash budget leaves a candidate");
+                crashed.push(node);
+                schedule.crash_restart(node, onset, clear)
+            }
+            _ => {
+                // A node not already in a skew window: overlapping skew
+                // segments on one clock would shadow each other and
+                // break the onset/clear pairing the shrinker relies on.
+                let pick = rng.gen_range_usize(n_users - skewed.len());
+                let node = (0..n_users)
+                    .filter(|i| !skewed.contains(i))
+                    .nth(pick)
+                    .expect("skew budget leaves a candidate");
+                skewed.push(node);
+                let magnitude = (50_000 + rng.gen_range_u64(450_000)) as i64;
+                let skew = if rng.gen_range_usize(2) == 0 {
+                    magnitude
+                } else {
+                    -magnitude
+                };
+                schedule
+                    .at(onset, FaultAction::ClockSkew { node, skew })
+                    .at(clear, FaultAction::ClockSkew { node, skew: 0 })
+            }
+        };
+    }
+    debug_assert_eq!(schedule.validate(n_users), Ok(()));
+    FuzzCase {
+        case_seed,
+        seed,
+        n_users,
+        n_malicious,
+        adversary,
+        bug,
+        schedule,
+    }
+}
+
+// --- Oracle --------------------------------------------------------------
+
+/// Any two honest nodes with different finalized blocks at one round?
+fn divergent_finality(sim: &Simulation, n_honest: usize) -> bool {
+    use std::collections::HashMap;
+    let mut finalized: HashMap<u64, [u8; 32]> = HashMap::new();
+    for i in 0..n_honest {
+        let chain = sim.honest_node(i).chain();
+        for round in 1..=chain.tip().round {
+            if chain.is_finalized(round) {
+                let h = chain.block_at(round).expect("canonical").hash();
+                if let Some(prev) = finalized.get(&round) {
+                    if *prev != h {
+                        return true;
+                    }
+                } else {
+                    finalized.insert(round, h);
+                }
+            }
+        }
+    }
+    false
+}
+
+fn min_tip(sim: &Simulation, n_honest: usize) -> u64 {
+    (0..n_honest)
+        .map(|i| sim.honest_node(i).chain().tip().round)
+        .min()
+        .unwrap_or(0)
+}
+
+/// All honest nodes agree block-for-block up to the least tip?
+fn common_prefix(sim: &Simulation, n_honest: usize) -> bool {
+    let tip = min_tip(sim, n_honest);
+    for round in 1..=tip {
+        let h0 = match sim.honest_node(0).chain().block_at(round) {
+            Some(b) => b.hash(),
+            None => return false,
+        };
+        for i in 1..n_honest {
+            match sim.honest_node(i).chain().block_at(round) {
+                Some(b) if b.hash() == h0 => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+/// The recovery allowance this schedule earns: disruptive schedules get
+/// proportionally more virtual time to reconverge.
+pub fn recovery_bound(schedule: &FaultSchedule) -> Micros {
+    RECOVERY_BASE + RECOVERY_PER_EVENT * schedule.len() as Micros
+}
+
+/// Replays one case deterministically and classifies the outcome.
+///
+/// Drive: run to the schedule's last event, then advance in
+/// [`SLICE`]-sized steps. At every step the safety oracles are checked
+/// (monitor first — it names the violated invariant — then the direct
+/// finalized-divergence scan). The run passes once every honest node
+/// has advanced ≥ 2 rounds past its post-schedule baseline onto a
+/// common prefix; it is a [`VerdictClass::LivenessStall`] if that does
+/// not happen within [`recovery_bound`].
+///
+/// # Panics
+///
+/// If the schedule does not validate for the case's population —
+/// callers (generator, shrinker, corpus) only construct validated
+/// cases, so an invalid one here is a harness bug.
+pub fn run_case(case: &FuzzCase) -> Verdict {
+    case.schedule
+        .validate(case.n_users)
+        .expect("fuzz case schedule must validate");
+    let n_honest = case.n_users - case.n_malicious;
+    let mut cfg = SimConfig::new(case.n_users);
+    cfg.seed = case.seed;
+    cfg.n_malicious = case.n_malicious;
+    cfg.adversary_kind = case.adversary;
+    cfg.trace = true;
+    cfg.monitor = true;
+    cfg.injected_bug = case.bug;
+    let mut sim = Simulation::new(cfg);
+    let settle = case.schedule.last_event_at();
+    let bound = recovery_bound(&case.schedule);
+    sim.set_fault_schedule(case.schedule.clone());
+
+    let verdict = |sim: &Simulation, recovered: Option<Micros>| Verdict {
+        class: VerdictClass::Pass,
+        final_tip: min_tip(sim, n_honest),
+        recovered_after: recovered,
+        sim_end: sim.now(),
+    };
+    let safety = |sim: &Simulation| -> Option<VerdictClass> {
+        let report = sim.monitor_report().expect("monitor attached");
+        if let Some(inv) = report.verdict_class() {
+            return Some(VerdictClass::MonitorViolation(inv));
+        }
+        if divergent_finality(sim, n_honest) {
+            return Some(VerdictClass::ChainDivergence);
+        }
+        None
+    };
+
+    sim.run_until(settle);
+    if let Some(class) = safety(&sim) {
+        let mut v = verdict(&sim, None);
+        v.class = class;
+        return v;
+    }
+    let baseline = min_tip(&sim, n_honest);
+    let mut t = settle;
+    while t < settle + bound {
+        t += SLICE;
+        sim.run_until(t);
+        if let Some(class) = safety(&sim) {
+            let mut v = verdict(&sim, None);
+            v.class = class;
+            return v;
+        }
+        if min_tip(&sim, n_honest) >= baseline + 2 && common_prefix(&sim, n_honest) {
+            return verdict(&sim, Some(t - settle));
+        }
+    }
+    let mut v = verdict(&sim, None);
+    v.class = VerdictClass::LivenessStall;
+    v
+}
+
+// --- Shrinker ------------------------------------------------------------
+
+/// What [`shrink`] did and found.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized case (still reproducing the original verdict).
+    pub minimized: FuzzCase,
+    /// The verdict class every accepted shrink step preserved.
+    pub verdict: VerdictClass,
+    /// Total [`run_case`] invocations spent (including the initial
+    /// classification).
+    pub attempts: usize,
+    /// Every accepted intermediate case, in acceptance order, ending
+    /// with `minimized` — the shrinker property test walks these to
+    /// prove each step stayed well formed and kept the verdict.
+    pub accepted: Vec<FuzzCase>,
+}
+
+/// Groups a schedule's (time-ordered) events into removal units: each
+/// onset is bundled with the clearing action that ends it, so dropping
+/// a unit never strands a disturbance (which would turn a safety
+/// reproducer into a liveness artifact) and never breaks
+/// [`FaultSchedule::validate`]'s crash/restart ordering.
+fn removal_units(events: &[FaultEvent]) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+    let mut units: Vec<Vec<usize>> = Vec::new();
+    let mut open_partition: Vec<usize> = Vec::new();
+    let mut open_loss: Vec<usize> = Vec::new();
+    let mut open_delay: Vec<usize> = Vec::new();
+    let mut open_crash: HashMap<usize, usize> = HashMap::new();
+    let mut open_skew: HashMap<usize, usize> = HashMap::new();
+    let mut leftovers: Vec<usize> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match &e.action {
+            FaultAction::Partition(_) => open_partition.push(i),
+            // A heal clears the most recently installed partition.
+            FaultAction::Heal => match open_partition.pop() {
+                Some(j) => units.push(vec![j, i]),
+                None => units.push(vec![i]),
+            },
+            FaultAction::Loss(p) if *p > 0.0 => open_loss.push(i),
+            FaultAction::Loss(_) => match open_loss.pop() {
+                Some(j) => units.push(vec![j, i]),
+                None => units.push(vec![i]),
+            },
+            FaultAction::DelaySpike { .. } => open_delay.push(i),
+            FaultAction::DelayClear => match open_delay.pop() {
+                Some(j) => units.push(vec![j, i]),
+                None => units.push(vec![i]),
+            },
+            FaultAction::Crash(n) => {
+                if let Some(prev) = open_crash.insert(*n, i) {
+                    leftovers.push(prev);
+                }
+            }
+            FaultAction::Restart(n) => match open_crash.remove(n) {
+                Some(j) => units.push(vec![j, i]),
+                None => units.push(vec![i]),
+            },
+            FaultAction::ClockSkew { node, skew } if *skew != 0 => {
+                if let Some(prev) = open_skew.insert(*node, i) {
+                    leftovers.push(prev);
+                }
+            }
+            FaultAction::ClockSkew { node, .. } => match open_skew.remove(node) {
+                Some(j) => units.push(vec![j, i]),
+                None => units.push(vec![i]),
+            },
+        }
+    }
+    leftovers.extend(open_partition);
+    leftovers.extend(open_loss);
+    leftovers.extend(open_delay);
+    leftovers.extend(open_crash.into_values());
+    leftovers.extend(open_skew.into_values());
+    for i in leftovers {
+        units.push(vec![i]);
+    }
+    units.sort_by_key(|u| u[0]);
+    units
+}
+
+/// Minimizes a failing case by delta debugging, preserving the verdict
+/// class at every step.
+///
+/// Four reduction moves, repeated to a fixpoint (or until `max_attempts`
+/// [`run_case`] replays are spent):
+///
+/// 1. **unit removal** (ddmin): drop chunks of onset/clear pairs,
+///    halving the chunk size down to single units;
+/// 2. **window shortening**: halve the onset→clear gap of surviving
+///    pairs (floor 2 s);
+/// 3. **partition-set shrinking**: move half of a partition's smallest
+///    group into its largest, reducing how many nodes the fault cuts
+///    off;
+/// 4. **adversary reduction**: try zero malicious users, then halves.
+///
+/// Every candidate must pass [`FaultSchedule::validate`] before it is
+/// replayed, and is accepted only if [`run_case`] returns the original
+/// verdict class. Deterministic: same input ⇒ same minimized output.
+///
+/// # Panics
+///
+/// If the input case passes — there is nothing to shrink.
+pub fn shrink(case: &FuzzCase, max_attempts: usize) -> ShrinkOutcome {
+    let target = run_case(case).class;
+    assert!(
+        target != VerdictClass::Pass,
+        "shrink called on a passing case"
+    );
+    let mut current = case.clone();
+    let mut attempts = 1usize;
+    let mut accepted: Vec<FuzzCase> = Vec::new();
+
+    // Tries one candidate; accepts it into `current` iff it validates
+    // and reproduces `target`.
+    let try_case = |candidate: FuzzCase,
+                    current: &mut FuzzCase,
+                    attempts: &mut usize,
+                    accepted: &mut Vec<FuzzCase>|
+     -> bool {
+        if *attempts >= max_attempts {
+            return false;
+        }
+        if candidate.schedule.validate(candidate.n_users).is_err() {
+            return false;
+        }
+        *attempts += 1;
+        if run_case(&candidate).class == target {
+            *current = candidate;
+            accepted.push(current.clone());
+            true
+        } else {
+            false
+        }
+    };
+
+    let rebuild = |case: &FuzzCase, events: Vec<FaultEvent>| -> FuzzCase {
+        let mut c = case.clone();
+        c.schedule = FaultSchedule::from_events(events);
+        c
+    };
+
+    loop {
+        let before = attempts;
+        let mut changed = false;
+
+        // 1. ddmin over removal units.
+        let mut chunk = removal_units(current.schedule.events())
+            .len()
+            .div_ceil(2)
+            .max(1);
+        loop {
+            let events = current.schedule.clone().into_events();
+            let units = removal_units(&events);
+            if units.is_empty() || attempts >= max_attempts {
+                break;
+            }
+            chunk = chunk.min(units.len());
+            let mut any = false;
+            let mut start = 0;
+            while start < units.len() {
+                let drop: std::collections::HashSet<usize> = units
+                    [start..(start + chunk).min(units.len())]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                let kept: Vec<FaultEvent> = events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !drop.contains(i))
+                    .map(|(_, e)| e.clone())
+                    .collect();
+                if try_case(
+                    rebuild(&current, kept),
+                    &mut current,
+                    &mut attempts,
+                    &mut accepted,
+                ) {
+                    any = true;
+                    changed = true;
+                    break; // unit indices are stale; recompute
+                }
+                start += chunk;
+            }
+            if !any {
+                if chunk == 1 {
+                    break;
+                }
+                chunk = (chunk / 2).max(1);
+            }
+        }
+
+        // 2. Window shortening: halve each surviving pair's gap.
+        loop {
+            let events = current.schedule.clone().into_events();
+            let units = removal_units(&events);
+            let mut any = false;
+            for unit in &units {
+                let [onset, clear] = unit.as_slice() else {
+                    continue;
+                };
+                let gap = events[*clear].at.saturating_sub(events[*onset].at);
+                if gap <= 2 * SEC {
+                    continue;
+                }
+                let mut shortened = events.clone();
+                shortened[*clear].at = events[*onset].at + gap / 2;
+                if try_case(
+                    rebuild(&current, shortened),
+                    &mut current,
+                    &mut attempts,
+                    &mut accepted,
+                ) {
+                    any = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if !any || attempts >= max_attempts {
+                break;
+            }
+        }
+
+        // 3. Partition-set shrinking: halve the smallest group.
+        loop {
+            let events = current.schedule.clone().into_events();
+            let mut any = false;
+            for (i, e) in events.iter().enumerate() {
+                let FaultAction::Partition(spec) = &e.action else {
+                    continue;
+                };
+                let Some(shrunk) = shrink_partition(spec) else {
+                    continue;
+                };
+                let mut edited = events.clone();
+                edited[i].action = FaultAction::Partition(shrunk);
+                if try_case(
+                    rebuild(&current, edited),
+                    &mut current,
+                    &mut attempts,
+                    &mut accepted,
+                ) {
+                    any = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if !any || attempts >= max_attempts {
+                break;
+            }
+        }
+
+        // 4. Adversary reduction: zero first, then halves.
+        while current.n_malicious > 0 && attempts < max_attempts {
+            let mut c = current.clone();
+            c.n_malicious = 0;
+            if try_case(c, &mut current, &mut attempts, &mut accepted) {
+                changed = true;
+                continue;
+            }
+            let mut c = current.clone();
+            c.n_malicious = current.n_malicious / 2;
+            if c.n_malicious == current.n_malicious
+                || !try_case(c, &mut current, &mut attempts, &mut accepted)
+            {
+                break;
+            }
+            changed = true;
+        }
+
+        if !changed || attempts >= max_attempts || attempts == before {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        minimized: current,
+        verdict: target,
+        attempts,
+        accepted,
+    }
+}
+
+/// Moves half of a partition's smallest group into its largest,
+/// keeping at least one member in every group that `blocked` names.
+/// `None` when the spec cannot shrink further.
+fn shrink_partition(spec: &PartitionSpec) -> Option<PartitionSpec> {
+    use std::collections::HashMap;
+    let mut sizes: HashMap<u8, usize> = HashMap::new();
+    for &g in &spec.group_of {
+        *sizes.entry(g).or_insert(0) += 1;
+    }
+    if sizes.len() < 2 {
+        return None;
+    }
+    // Destination: the largest group (never shrunk — moving members
+    // out of the majority would *grow* the cut-off set). Source: the
+    // smallest other group with ≥ 2 members, so one stays behind and
+    // `blocked` pairs keep naming live groups. Ties break on group id
+    // so the move is deterministic.
+    let largest = sizes
+        .iter()
+        .max_by_key(|(&g, &n)| (n, std::cmp::Reverse(g)))
+        .map(|(&g, _)| g)?;
+    let smallest = sizes
+        .iter()
+        .filter(|(&g, &n)| g != largest && n >= 2)
+        .min_by_key(|(&g, &n)| (n, g))
+        .map(|(&g, _)| g)?;
+    let moving = sizes[&smallest] / 2;
+    let mut spec = spec.clone();
+    let mut moved = 0;
+    // Move the highest-indexed members first (deterministic pick).
+    for g in spec.group_of.iter_mut().rev() {
+        if moved == moving {
+            break;
+        }
+        if *g == smallest {
+            *g = largest;
+            moved += 1;
+        }
+    }
+    (moved > 0).then_some(spec)
+}
+
+// --- Reproducer serialization --------------------------------------------
+
+/// Header line every reproducer file starts with.
+pub const REPRO_HEADER: &str = "algorand-fuzz-repro v1";
+
+/// Serializes a case (plus its oracle verdict) as a line-oriented text
+/// reproducer. Exact: floats use Rust's shortest-roundtrip formatting,
+/// so [`parse_case`] reconstructs a bit-identical schedule and the
+/// replay is byte-identical to the original run.
+pub fn serialize_case(case: &FuzzCase, verdict: VerdictClass) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{REPRO_HEADER}");
+    let _ = writeln!(out, "case_seed={}", case.case_seed);
+    let _ = writeln!(out, "seed={}", case.seed);
+    let _ = writeln!(out, "n_users={}", case.n_users);
+    let _ = writeln!(out, "n_malicious={}", case.n_malicious);
+    let _ = writeln!(out, "adversary={}", adversary_str(case.adversary));
+    let _ = writeln!(out, "bug={}", case.bug.map_or("none", InjectedBug::as_str));
+    let _ = writeln!(out, "verdict={}", verdict.as_str());
+    for e in case.schedule.clone().into_events() {
+        let _ = write!(out, "event at={} ", e.at);
+        let _ = match &e.action {
+            FaultAction::Partition(spec) => {
+                let groups: Vec<String> = spec.group_of.iter().map(|g| g.to_string()).collect();
+                let blocked: Vec<String> = spec
+                    .blocked
+                    .iter()
+                    .map(|(a, b)| format!("{a}>{b}"))
+                    .collect();
+                writeln!(
+                    out,
+                    "partition groups={} blocked={}",
+                    groups.join(","),
+                    blocked.join(",")
+                )
+            }
+            FaultAction::Heal => writeln!(out, "heal"),
+            FaultAction::Loss(p) => writeln!(out, "loss p={p}"),
+            FaultAction::DelaySpike { factor, extra } => {
+                writeln!(out, "delay factor={factor} extra={extra}")
+            }
+            FaultAction::DelayClear => writeln!(out, "delay_clear"),
+            FaultAction::Crash(n) => writeln!(out, "crash node={n}"),
+            FaultAction::Restart(n) => writeln!(out, "restart node={n}"),
+            FaultAction::ClockSkew { node, skew } => {
+                writeln!(out, "skew node={node} skew={skew}")
+            }
+        };
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// Parses [`serialize_case`] output back into a runnable case.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed line.
+pub fn parse_case(text: &str) -> Result<(FuzzCase, VerdictClass), String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(REPRO_HEADER) {
+        return Err(format!("missing '{REPRO_HEADER}' header"));
+    }
+    let mut case = FuzzCase {
+        case_seed: 0,
+        seed: 0,
+        n_users: 0,
+        n_malicious: 0,
+        adversary: AdversaryKind::Equivocator,
+        bug: None,
+        schedule: FaultSchedule::new(),
+    };
+    let mut verdict = None;
+    let mut events: Vec<FaultEvent> = Vec::new();
+    let mut ended = false;
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "end" {
+            ended = true;
+            break;
+        }
+        let field =
+            |l: &str, key: &str| -> Option<String> { l.strip_prefix(key).map(|v| v.to_string()) };
+        if let Some(v) = field(line, "case_seed=") {
+            case.case_seed = v.parse().map_err(|_| format!("bad case_seed: {v}"))?;
+        } else if let Some(v) = field(line, "seed=") {
+            case.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+        } else if let Some(v) = field(line, "n_users=") {
+            case.n_users = v.parse().map_err(|_| format!("bad n_users: {v}"))?;
+        } else if let Some(v) = field(line, "n_malicious=") {
+            case.n_malicious = v.parse().map_err(|_| format!("bad n_malicious: {v}"))?;
+        } else if let Some(v) = field(line, "adversary=") {
+            case.adversary = adversary_parse(&v).ok_or(format!("bad adversary: {v}"))?;
+        } else if let Some(v) = field(line, "bug=") {
+            case.bug = match v.as_str() {
+                "none" => None,
+                s => Some(InjectedBug::parse(s).ok_or(format!("bad bug: {s}"))?),
+            };
+        } else if let Some(v) = field(line, "verdict=") {
+            verdict = Some(VerdictClass::parse(&v).ok_or(format!("bad verdict: {v}"))?);
+        } else if let Some(v) = field(line, "event at=") {
+            events.push(parse_event(&v)?);
+        } else {
+            return Err(format!("unrecognized line: {line}"));
+        }
+    }
+    if !ended {
+        return Err("missing 'end' terminator".into());
+    }
+    let verdict = verdict.ok_or("missing verdict= line")?;
+    case.schedule = FaultSchedule::from_events(events);
+    case.schedule
+        .validate(case.n_users)
+        .map_err(|e| format!("reproducer schedule invalid: {e}"))?;
+    Ok((case, verdict))
+}
+
+/// Parses the tail of an `event at=` line: `<time> <action> <args>`.
+fn parse_event(rest: &str) -> Result<FaultEvent, String> {
+    let mut parts = rest.split_whitespace();
+    let at: Micros = parts
+        .next()
+        .ok_or("event missing time")?
+        .parse()
+        .map_err(|_| format!("bad event time in: {rest}"))?;
+    let kind = parts
+        .next()
+        .ok_or(format!("event missing action: {rest}"))?;
+    // Remaining tokens as key=value pairs.
+    let mut kv = std::collections::HashMap::new();
+    for tok in parts {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or(format!("bad event field '{tok}' in: {rest}"))?;
+        kv.insert(k.to_string(), v.to_string());
+    }
+    let need = |key: &str| -> Result<String, String> {
+        kv.get(key)
+            .cloned()
+            .ok_or(format!("event missing {key}= in: {rest}"))
+    };
+    let action = match kind {
+        "partition" => {
+            let group_of: Vec<u8> = need("groups")?
+                .split(',')
+                .map(|s| s.parse().map_err(|_| format!("bad group '{s}'")))
+                .collect::<Result<_, _>>()?;
+            let blocked: Vec<(u8, u8)> = need("blocked")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    let (a, b) = s.split_once('>').ok_or(format!("bad blocked pair '{s}'"))?;
+                    Ok::<(u8, u8), String>((
+                        a.parse().map_err(|_| format!("bad group '{a}'"))?,
+                        b.parse().map_err(|_| format!("bad group '{b}'"))?,
+                    ))
+                })
+                .collect::<Result<_, _>>()?;
+            FaultAction::Partition(PartitionSpec { group_of, blocked })
+        }
+        "heal" => FaultAction::Heal,
+        "loss" => FaultAction::Loss(
+            need("p")?
+                .parse()
+                .map_err(|_| format!("bad loss p in: {rest}"))?,
+        ),
+        "delay" => FaultAction::DelaySpike {
+            factor: need("factor")?
+                .parse()
+                .map_err(|_| format!("bad delay factor in: {rest}"))?,
+            extra: need("extra")?
+                .parse()
+                .map_err(|_| format!("bad delay extra in: {rest}"))?,
+        },
+        "delay_clear" => FaultAction::DelayClear,
+        "crash" => FaultAction::Crash(
+            need("node")?
+                .parse()
+                .map_err(|_| format!("bad crash node in: {rest}"))?,
+        ),
+        "restart" => FaultAction::Restart(
+            need("node")?
+                .parse()
+                .map_err(|_| format!("bad restart node in: {rest}"))?,
+        ),
+        "skew" => FaultAction::ClockSkew {
+            node: need("node")?
+                .parse()
+                .map_err(|_| format!("bad skew node in: {rest}"))?,
+            skew: need("skew")?
+                .parse()
+                .map_err(|_| format!("bad skew offset in: {rest}"))?,
+        },
+        other => return Err(format!("unknown event action '{other}'")),
+    };
+    Ok(FaultEvent { at, action })
+}
+
+// --- Campaign ------------------------------------------------------------
+
+/// Parameters for one fuzzing campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Number of `(seed, schedule)` pairs to run.
+    pub budget: usize,
+    /// Master seed deriving every case's generator draw.
+    pub master_seed: u64,
+    /// Planted defect for the whole campaign (`None` = honest build).
+    pub bug: Option<InjectedBug>,
+}
+
+/// The outcome of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Cases run.
+    pub cases: usize,
+    /// Cases that passed every oracle.
+    pub passes: usize,
+    /// Failing cases with their verdicts, in discovery order.
+    pub failures: Vec<(FuzzCase, VerdictClass)>,
+    /// Byte-stable textual report: identical campaign config ⇒
+    /// byte-identical report (the CI determinism check).
+    pub report: String,
+}
+
+/// Runs `budget` generated cases and aggregates a deterministic
+/// report. Cases run on a small worker pool (each case is its own
+/// sealed simulation), but results are folded strictly in case order
+/// and all statistics are integers in virtual-time units, so the
+/// report is byte-identical across reruns of the same
+/// `(master_seed, budget, bug)` triple on any machine at any worker
+/// count.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    use std::fmt::Write;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let mut seeder = Rng::seed_from_u64(cfg.master_seed ^ 0xCAB1_F0CC);
+    let seeds: Vec<u64> = (0..cfg.budget).map(|_| seeder.next_u64()).collect();
+    let bug = cfg.bug;
+    let results: Vec<Mutex<Option<(FuzzCase, Verdict)>>> =
+        (0..cfg.budget).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(cfg.budget.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let case = generate(seeds[i], bug);
+                let verdict = run_case(&case);
+                *results[i].lock().expect("result slot") = Some((case, verdict));
+            });
+        }
+    });
+
+    let mut passes = 0usize;
+    let mut failures: Vec<(FuzzCase, VerdictClass)> = Vec::new();
+    let mut verdict_counts: Vec<(&'static str, u64)> = {
+        let mut v = vec![(VerdictClass::Pass.as_str(), 0)];
+        v.extend(
+            Invariant::ALL
+                .into_iter()
+                .map(|i| (VerdictClass::MonitorViolation(i).as_str(), 0)),
+        );
+        v.push((VerdictClass::ChainDivergence.as_str(), 0));
+        v.push((VerdictClass::LivenessStall.as_str(), 0));
+        v
+    };
+    let mut events_total = 0u64;
+    let mut events_min = u64::MAX;
+    let mut events_max = 0u64;
+    let mut recovery: Vec<Micros> = Vec::new();
+    for slot in results {
+        let (case, verdict) = slot
+            .into_inner()
+            .expect("result slot")
+            .expect("worker filled every slot");
+        let ev = case.schedule.len() as u64;
+        events_total += ev;
+        events_min = events_min.min(ev);
+        events_max = events_max.max(ev);
+        for (name, n) in verdict_counts.iter_mut() {
+            if *name == verdict.class.as_str() {
+                *n += 1;
+            }
+        }
+        if verdict.class == VerdictClass::Pass {
+            passes += 1;
+            recovery.push(verdict.recovered_after.unwrap_or(0));
+        } else {
+            failures.push((case, verdict.class));
+        }
+    }
+    recovery.sort_unstable();
+    let pick = |q_num: usize, q_den: usize| -> Micros {
+        if recovery.is_empty() {
+            0
+        } else {
+            recovery[(recovery.len() - 1) * q_num / q_den]
+        }
+    };
+    let mut report = String::new();
+    let _ = writeln!(report, "fuzz campaign v1");
+    let _ = writeln!(
+        report,
+        "master_seed={} budget={} bug={}",
+        cfg.master_seed,
+        cfg.budget,
+        cfg.bug.map_or("none", InjectedBug::as_str)
+    );
+    let _ = writeln!(
+        report,
+        "cases={} pass={} fail={}",
+        cfg.budget,
+        passes,
+        failures.len()
+    );
+    let mut verdicts = String::from("verdicts");
+    for (name, n) in &verdict_counts {
+        let _ = write!(verdicts, " {name}={n}");
+    }
+    let _ = writeln!(report, "{verdicts}");
+    let _ = writeln!(
+        report,
+        "schedule_events total={} min={} max={}",
+        events_total,
+        if events_min == u64::MAX {
+            0
+        } else {
+            events_min
+        },
+        events_max
+    );
+    let _ = writeln!(
+        report,
+        "recovery_virtual_us p50={} p90={} max={}",
+        pick(1, 2),
+        pick(9, 10),
+        pick(1, 1)
+    );
+    for (case, class) in &failures {
+        let _ = writeln!(
+            report,
+            "fail case_seed={} verdict={} events={}",
+            case.case_seed,
+            class.as_str(),
+            case.schedule.len()
+        );
+    }
+    let _ = writeln!(report, "end");
+    CampaignResult {
+        cases: cfg.budget,
+        passes,
+        failures,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schedules_validate_and_pair_every_onset() {
+        for s in 0..200u64 {
+            let case = generate(s, None);
+            assert!(case.n_users >= 8 && case.n_users <= 10);
+            assert!(case.n_malicious * 5 <= case.n_users);
+            assert_eq!(case.schedule.validate(case.n_users), Ok(()));
+            assert!(!case.schedule.is_empty());
+            // Every onset pairs with a later clear: grouping the events
+            // must leave no singleton units.
+            let events = case.schedule.clone().into_events();
+            for unit in removal_units(&events) {
+                assert_eq!(unit.len(), 2, "unpaired event in generated schedule");
+                assert!(events[unit[0]].at < events[unit[1]].at);
+                assert!(events[unit[0]].action.is_onset());
+                assert!(!events[unit[1]].action.is_onset());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, Some(InjectedBug::NoTimeoutBackoff));
+        let b = generate(42, Some(InjectedBug::NoTimeoutBackoff));
+        assert_eq!(
+            serialize_case(&a, VerdictClass::Pass),
+            serialize_case(&b, VerdictClass::Pass)
+        );
+        let c = generate(43, None);
+        assert_ne!(
+            serialize_case(&a, VerdictClass::Pass),
+            serialize_case(&c, VerdictClass::Pass)
+        );
+    }
+
+    #[test]
+    fn verdict_class_names_roundtrip() {
+        let all = [
+            VerdictClass::Pass,
+            VerdictClass::ChainDivergence,
+            VerdictClass::LivenessStall,
+        ]
+        .into_iter()
+        .chain(
+            Invariant::ALL
+                .into_iter()
+                .map(VerdictClass::MonitorViolation),
+        );
+        for v in all {
+            assert_eq!(VerdictClass::parse(v.as_str()), Some(v));
+        }
+        assert_eq!(VerdictClass::parse("bogus"), None);
+    }
+
+    #[test]
+    fn reproducer_roundtrips_every_action_kind() {
+        let schedule = FaultSchedule::new()
+            .bipartition(9, 4, 5 * SEC, 20 * SEC)
+            .asymmetric_partition(9, 7, 25 * SEC, 40 * SEC)
+            .loss_window(0.123456789012345, 6 * SEC, 18 * SEC)
+            .at(
+                7 * SEC,
+                FaultAction::DelaySpike {
+                    factor: 2.7182818284590455,
+                    extra: 99_999,
+                },
+            )
+            .at(19 * SEC, FaultAction::DelayClear)
+            .crash_restart(3, 8 * SEC, 30 * SEC)
+            .at(
+                9 * SEC,
+                FaultAction::ClockSkew {
+                    node: 1,
+                    skew: -123_456,
+                },
+            )
+            .at(33 * SEC, FaultAction::ClockSkew { node: 1, skew: 0 });
+        let case = FuzzCase {
+            case_seed: 7,
+            seed: 0xDEAD_BEEF,
+            n_users: 9,
+            n_malicious: 1,
+            adversary: AdversaryKind::Withholder,
+            bug: Some(InjectedBug::IgnoreCatchupResponses),
+            schedule,
+        };
+        let text = serialize_case(&case, VerdictClass::LivenessStall);
+        let (parsed, verdict) = parse_case(&text).unwrap();
+        assert_eq!(verdict, VerdictClass::LivenessStall);
+        // Bit-exact roundtrip: re-serializing reproduces the same bytes
+        // (floats use shortest-roundtrip formatting).
+        assert_eq!(serialize_case(&parsed, verdict), text);
+        assert_eq!(parsed.seed, case.seed);
+        assert_eq!(parsed.bug, case.bug);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_reproducers() {
+        assert!(parse_case("not a repro").is_err());
+        assert!(parse_case(&format!("{REPRO_HEADER}\nverdict=pass\n")).is_err()); // no end
+        assert!(parse_case(&format!(
+            "{REPRO_HEADER}\nn_users=4\nverdict=pass\nevent at=5 crash node=9\nend\n"
+        ))
+        .is_err()); // schedule fails validation
+        assert!(parse_case(&format!("{REPRO_HEADER}\nverdict=nonsense\nend\n")).is_err());
+    }
+
+    #[test]
+    fn partition_shrink_halves_the_smallest_group() {
+        let spec = PartitionSpec::bipartition(10, 6); // groups of 6 and 4
+        let shrunk = shrink_partition(&spec).unwrap();
+        let moved = shrunk.group_of.iter().filter(|&&g| g == 1).count();
+        assert_eq!(moved, 2); // 4 → 2
+        assert_eq!(shrunk.blocked, spec.blocked);
+        // Shrinks to 1 member, then refuses to empty the group.
+        let again = shrink_partition(&shrunk).unwrap();
+        assert_eq!(again.group_of.iter().filter(|&&g| g == 1).count(), 1);
+        assert!(shrink_partition(&again).is_none());
+    }
+
+    #[test]
+    fn removal_units_pair_onsets_with_their_clears() {
+        let events = FaultSchedule::new()
+            .bipartition(8, 4, 10, 40)
+            .crash_restart(2, 15, 35)
+            .crash_restart(2, 50, 60) // same node, later window
+            .at(20, FaultAction::Loss(0.4))
+            .into_events();
+        let units = removal_units(&events);
+        // 3 pairs + 1 unpaired loss onset.
+        assert_eq!(units.len(), 4);
+        let singletons: Vec<_> = units.iter().filter(|u| u.len() == 1).collect();
+        assert_eq!(singletons.len(), 1);
+        assert!(matches!(
+            events[singletons[0][0]].action,
+            FaultAction::Loss(_)
+        ));
+    }
+}

@@ -44,6 +44,23 @@ pub(crate) const TRACE_CAP: usize = 1 << 21;
 /// Bytes for a block announcement (hash + round + priority material).
 pub(crate) const ANNOUNCE_SIZE: usize = 300;
 
+/// Node `local` clock reading at global instant `now` under a signed
+/// skew (positive runs fast, negative slow). Saturates at zero so a
+/// slow clock near simulation start never underflows.
+pub(crate) fn skewed_local(now: Micros, skew: i64) -> Micros {
+    now.saturating_add_signed(skew)
+}
+
+/// Global instant at which a node's *local* deadline fires under a
+/// signed skew: the inverse of [`skewed_local`].
+pub(crate) fn unskewed_global(local_deadline: Micros, skew: i64) -> Micros {
+    if skew >= 0 {
+        local_deadline.saturating_sub(skew as u64)
+    } else {
+        local_deadline.saturating_add(skew.unsigned_abs())
+    }
+}
+
 /// Configuration for one simulation.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -94,6 +111,48 @@ pub struct SimConfig {
     /// (requires `trace`). The monitor observes events before the buffer
     /// cap, so a truncated trace still gets checked end to end.
     pub monitor: bool,
+    /// Test-only planted defect, used to prove the fuzzing oracle can
+    /// actually catch and shrink real failures (`None` in every
+    /// production configuration).
+    pub injected_bug: Option<InjectedBug>,
+}
+
+/// A deliberately planted implementation defect, switchable per run.
+///
+/// The schedule-space fuzzer's acceptance story needs a known-bad build:
+/// flip one of these on, fuzz, and the oracle must find and shrink a
+/// failing schedule. Each variant disables one recovery mechanism the
+/// paper's liveness argument relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Nodes drop every §8.3 catch-up response at ingest: a node that
+    /// falls behind (crash, long partition) can never resynchronize, so
+    /// network-wide finality stalls at its pre-fault tip.
+    IgnoreCatchupResponses,
+    /// Step-timeout escalation is disabled: nodes never stretch their
+    /// BA⋆ deadlines after repeated failed steps (§8.2's adaptive
+    /// backoff), so desynchronized step clocks after a long disruption
+    /// can keep missing each other's vote windows.
+    NoTimeoutBackoff,
+}
+
+impl InjectedBug {
+    /// Stable machine name, used by the reproducer serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectedBug::IgnoreCatchupResponses => "ignore_catchup_responses",
+            InjectedBug::NoTimeoutBackoff => "no_timeout_backoff",
+        }
+    }
+
+    /// Parses [`InjectedBug::as_str`] output.
+    pub fn parse(s: &str) -> Option<InjectedBug> {
+        match s {
+            "ignore_catchup_responses" => Some(InjectedBug::IgnoreCatchupResponses),
+            "no_timeout_backoff" => Some(InjectedBug::NoTimeoutBackoff),
+            _ => None,
+        }
+    }
 }
 
 impl SimConfig {
@@ -118,7 +177,25 @@ impl SimConfig {
             verify_pool_workers: 0,
             trace: false,
             monitor: false,
+            injected_bug: None,
         }
+    }
+
+    /// Folds declarative knobs that live in other layers into the
+    /// config: called by both engines at construction so the serial
+    /// runner and the parallel DES engine interpret [`InjectedBug`]
+    /// identically.
+    pub(crate) fn apply_injected_bug(&mut self) {
+        if self.injected_bug == Some(InjectedBug::NoTimeoutBackoff) {
+            self.params.ba.disable_backoff = true;
+        }
+    }
+
+    /// Whether the planted [`InjectedBug::IgnoreCatchupResponses`]
+    /// defect swallows this inbound message before ingest.
+    pub(crate) fn bug_swallows(&self, wire: &WireMessage) -> bool {
+        self.injected_bug == Some(InjectedBug::IgnoreCatchupResponses)
+            && matches!(wire, WireMessage::CatchupResponse(_))
     }
 
     /// The deterministic keypair of every user.
@@ -482,6 +559,7 @@ pub(crate) struct NodeCarry {
     pub watchdog_catchups: usize,
     pub recoveries_completed: usize,
     pub catchups_applied: usize,
+    pub catchup_reorgs: usize,
 }
 
 impl NodeCarry {
@@ -493,6 +571,7 @@ impl NodeCarry {
         self.watchdog_catchups += node.watchdog_catchups();
         self.recoveries_completed += node.recoveries_completed();
         self.catchups_applied += node.catchups_applied();
+        self.catchup_reorgs += node.catchup_reorgs();
     }
 }
 
@@ -563,6 +642,9 @@ pub struct FaultReport {
     pub recoveries_completed: usize,
     /// Rounds adopted via §8.3 catch-up, summed over honest nodes.
     pub catchups_applied: usize,
+    /// Tentative-fork suffixes rolled back by catch-up (§8.2), summed
+    /// over honest nodes.
+    pub catchup_reorgs: usize,
 }
 
 impl std::fmt::Display for FaultReport {
@@ -578,11 +660,12 @@ impl std::fmt::Display for FaultReport {
         )?;
         write!(
             f,
-            "recovery: timeout_escalations={} watchdog_catchups={} fork_recoveries={} catchups={}",
+            "recovery: timeout_escalations={} watchdog_catchups={} fork_recoveries={} catchups={} reorgs={}",
             self.timeout_escalations,
             self.watchdog_catchups,
             self.recoveries_completed,
             self.catchups_applied,
+            self.catchup_reorgs,
         )
     }
 }
@@ -685,6 +768,7 @@ pub(crate) fn fault_report(
         watchdog_catchups: 0,
         recoveries_completed: 0,
         catchups_applied: 0,
+        catchup_reorgs: 0,
     };
     for slot in slots {
         let Some(n) = slot.honest() else { continue };
@@ -692,6 +776,7 @@ pub(crate) fn fault_report(
         report.watchdog_catchups += n.watchdog_catchups();
         report.recoveries_completed += n.recoveries_completed();
         report.catchups_applied += n.catchups_applied();
+        report.catchup_reorgs += n.catchup_reorgs();
     }
     // Counters from nodes replaced by crash/restart, once per node id.
     for c in carry.values() {
@@ -699,6 +784,7 @@ pub(crate) fn fault_report(
         report.watchdog_catchups += c.watchdog_catchups;
         report.recoveries_completed += c.recoveries_completed;
         report.catchups_applied += c.catchups_applied;
+        report.catchup_reorgs += c.catchup_reorgs;
     }
     report
 }

@@ -14,6 +14,7 @@ pub mod des;
 pub mod epidemic;
 pub mod event;
 pub mod faults;
+pub mod fuzz;
 pub mod harness;
 pub mod latency;
 pub mod metrics;
@@ -24,8 +25,14 @@ pub use adversary::{AdversaryKind, AdversaryShared, MaliciousNode, Outgoing};
 pub use des::{DesConfig, ParallelSim};
 pub use epidemic::EpidemicConfig;
 pub use event::{Event, EventQueue, Micros};
-pub use faults::{FaultAction, FaultEvent, FaultSchedule};
-pub use harness::{FaultReport, PipelineReport, SimConfig, TxRecord, TxStats, GENESIS_SEED};
+pub use faults::{FaultAction, FaultEvent, FaultSchedule, ScheduleError};
+pub use fuzz::{
+    generate, parse_case, run_campaign, run_case, serialize_case, shrink, CampaignConfig,
+    CampaignResult, FuzzCase, ShrinkOutcome, Verdict, VerdictClass,
+};
+pub use harness::{
+    FaultReport, InjectedBug, PipelineReport, SimConfig, TxRecord, TxStats, GENESIS_SEED,
+};
 pub use metrics::{round_stats, Percentiles, RoundStats};
 pub use network::{NetConfig, Network, PartitionSpec};
 pub use runner::Simulation;

@@ -57,8 +57,9 @@ pub struct Simulation {
     crashed: Vec<bool>,
     /// Durable-state snapshots of crashed nodes, for restart.
     snapshots: Vec<Option<Vec<u8>>>,
-    /// Per-node clock skew: the node's local clock reads `now + skew`.
-    clock_skew: Vec<Micros>,
+    /// Per-node signed clock skew: the node's local clock reads
+    /// `now + skew` (positive runs fast, negative slow).
+    clock_skew: Vec<i64>,
     restarts: usize,
     partitions_activated: usize,
     /// The process-wide metrics registry every node publishes into.
@@ -78,7 +79,8 @@ pub struct Simulation {
 impl Simulation {
     /// Builds the simulation: deterministic keys, equal genesis stake, a
     /// weighted gossip topology, and one node per user.
-    pub fn new(cfg: SimConfig) -> Simulation {
+    pub fn new(mut cfg: SimConfig) -> Simulation {
+        cfg.apply_injected_bug();
         let keypairs = cfg.build_keypairs();
         let verifier = Arc::new(PipelineVerifier::new());
         let adversary = Arc::new(Mutex::new(AdversaryShared::default()));
@@ -266,6 +268,9 @@ impl Simulation {
                 Event::Deliver { to, from, msg } => {
                     if self.crashed[to] {
                         continue; // In-flight packets to a dead process.
+                    }
+                    if self.cfg.bug_swallows(&msg.wire) {
+                        continue; // Planted defect: ingest drops it.
                     }
                     let decision = self.relay[to].classify(msg.id, msg.relay_slot);
                     if decision == RelayDecision::Duplicate {
@@ -581,10 +586,12 @@ impl Simulation {
         }
     }
 
-    /// Lets node `i`'s relay state rotate out messages two rounds old.
+    /// Lets node `i`'s relay state rotate out messages two rounds old —
+    /// or, during a stall, older than the relay stall horizon.
     fn prune_relay(&mut self, i: usize) {
         let round = self.nodes[i].node().current_round();
-        self.relay[i].prune(round);
+        let horizon = self.cfg.params.relay_stall_horizon();
+        self.relay[i].prune(round, self.queue.now(), horizon);
     }
 
     /// Sends node-originated messages to all (or half) of its peers.
@@ -708,7 +715,7 @@ impl Simulation {
         if let Some(d) = deadline {
             // Node deadlines are on the node's (possibly skewed) local
             // clock; the queue runs on global time.
-            let d = d.saturating_sub(self.clock_skew[node]);
+            let d = harness::unskewed_global(d, self.clock_skew[node]);
             if d < self.next_wake[node] {
                 self.next_wake[node] = d;
                 self.queue.schedule(d, Event::Wake { node });
@@ -718,7 +725,7 @@ impl Simulation {
 
     /// The instant node `i`'s local clock shows at global time `now`.
     fn local_now(&self, node: usize, now: Micros) -> Micros {
-        now + self.clock_skew[node]
+        harness::skewed_local(now, self.clock_skew[node])
     }
 
     /// Applies one scripted fault.

@@ -113,7 +113,7 @@ fn clean_partition_heal_converges() {
     cfg.seed = 11;
     let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(30 * SEC);
     let tip_before = min_tip(&sim, n);
@@ -138,7 +138,7 @@ fn asymmetric_partition_heals() {
     cfg.seed = 12;
     let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().asymmetric_partition(n, 10, 30 * SEC, 90 * SEC);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(30 * SEC);
     let tip_before = min_tip(&sim, n);
@@ -159,7 +159,7 @@ fn thirty_percent_loss_keeps_liveness() {
     cfg.seed = 13;
     let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().loss_window(0.30, 20 * SEC, 80 * SEC);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(clear + 120 * SEC);
     assert_no_divergent_finality(&sim, n);
@@ -184,7 +184,7 @@ fn crash_majority_restart_converges() {
     for node in 0..9 {
         schedule = schedule.crash_restart(node, 40 * SEC, 100 * SEC);
     }
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(40 * SEC);
     let tip_before = min_tip(&sim, n);
@@ -211,7 +211,7 @@ fn partition_with_equivocators_cannot_fork() {
     cfg.seed = 15;
     let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().bipartition(n, n / 2, 30 * SEC, 90 * SEC);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     let n_honest = 16;
     sim.run_until(30 * SEC);
@@ -237,7 +237,7 @@ fn rolling_restarts_preserve_chain() {
         let down = (20 + 15 * node as u64) * SEC;
         schedule = schedule.crash_restart(node, down, down + 30 * SEC);
     }
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(clear + 180 * SEC);
     assert_no_divergent_finality(&sim, n);
@@ -257,7 +257,7 @@ fn crashed_node_rejoins_via_catchup() {
     cfg.seed = 17;
     let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().crash_restart(0, 30 * SEC, 90 * SEC);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(30 * SEC);
     let tip_at_crash = sim.honest_node(0).chain().tip().round;
@@ -284,8 +284,9 @@ fn crashed_node_rejoins_via_catchup() {
 #[test]
 fn clock_skew_and_delay_spike_tolerated() {
     // Loosely synchronized clocks (§8.2's assumption) plus a latency
-    // spike: two nodes run fast by up to half a λ_priority while all
-    // links triple their latency for 40 s. Liveness and safety hold.
+    // spike: two nodes run fast by up to half a λ_priority, one runs
+    // *slow* by 300 ms (skews are signed), while all links triple their
+    // latency for 40 s. Liveness and safety hold.
     let n = 12;
     let mut cfg = SimConfig::new(n);
     cfg.seed = 18;
@@ -306,6 +307,13 @@ fn clock_skew_and_delay_spike_tolerated() {
             },
         )
         .at(
+            5 * SEC,
+            FaultAction::ClockSkew {
+                node: 3,
+                skew: -300_000,
+            },
+        )
+        .at(
             20 * SEC,
             FaultAction::DelaySpike {
                 factor: 3.0,
@@ -313,7 +321,7 @@ fn clock_skew_and_delay_spike_tolerated() {
             },
         )
         .at(60 * SEC, FaultAction::DelayClear);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(clear + 120 * SEC);
     assert_no_divergent_finality(&sim, n);
@@ -356,7 +364,7 @@ fn restart_carries_precrash_counters_exactly_once() {
     cfg.seed = 17;
     let mut sim = Simulation::new(monitored(cfg));
     let schedule = FaultSchedule::new().crash_restart(0, 30 * SEC, 90 * SEC);
-    let clear = schedule.last_fault_clear();
+    let clear = schedule.last_event_at();
     sim.set_fault_schedule(schedule);
     sim.run_until(30 * SEC);
     let tip_at_crash = sim.honest_node(0).chain().tip().round;

@@ -43,7 +43,16 @@
 #      agree with the real engine at 100-1,000 users within a factor
 #      band; the table lands in results/epidemic_vs_des.txt (see
 #      crates/bench/src/bin/epidemic_vs_des.rs),
-#  12. style gates: rustfmt and clippy with warnings denied.
+#  12. the schedule-space fuzzing gate: 1,000 generated (seed, schedule)
+#      pairs must pass every oracle on the honest build, the whole
+#      campaign report must be byte-identical when re-run, and a planted
+#      catch-up defect must be caught and shrunk to a <=8-event
+#      reproducer that replays deterministically (see
+#      crates/bench/src/bin/fuzz_campaign.rs); the archived corpus under
+#      crates/sim/tests/corpus/ must replay with its recorded verdicts
+#      and the shrinker property test must hold (see
+#      crates/sim/tests/{corpus,fuzz}.rs),
+#  13. style gates: rustfmt and clippy with warnings denied.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -94,5 +103,11 @@ cargo run --release -p algorand-bench --bin scale_smoke
 
 echo "== epidemic model vs real engine (100-1000 users) =="
 cargo run --release -p algorand-bench --bin epidemic_vs_des
+
+echo "== schedule-space fuzzer: 1000-case campaign + determinism + bug-injection =="
+cargo run --release -p algorand-bench --bin fuzz_campaign -- --budget 1000 --seed 42 --check
+
+echo "== fuzz corpus replay + shrinker property test =="
+cargo test --release -q -p algorand-sim --test corpus --test fuzz -- --include-ignored
 
 echo "== CI OK =="

@@ -144,7 +144,8 @@ fn partial_application_resumes_on_next_request() {
     let mut exchanges = 0;
     while behind.chain().tip().round < tip {
         let have = behind.chain().tip().round;
-        let out = server.on_message(&WireMessage::CatchupRequest { have }, 2);
+        let tip_hash = behind.chain().tip_hash();
+        let out = server.on_message(&WireMessage::CatchupRequest { have, tip_hash }, 2);
         let response = out
             .iter()
             .find(|m| matches!(m, WireMessage::CatchupResponse(_)))
@@ -171,4 +172,97 @@ fn partial_application_resumes_on_next_request() {
         sim.honest_node(0).chain().tip_hash(),
         "caught-up chain converges with the network"
     );
+}
+
+#[test]
+fn tentative_fork_reorgs_onto_longer_certified_chain() {
+    // §8.2: a partition can leave a minority tentatively holding a round-2
+    // block the rest of the network never adopted. The minority's catch-up
+    // request advertises its tip hash; the server spots the mismatch,
+    // serves from the disputed round, and the minority rolls its tentative
+    // suffix back to adopt the longer certified chain.
+    let (sim, entries) = history(4);
+    assert!(entries.len() >= 4);
+
+    // Victim chain: the canonical round 1, then a *divergent* tentative
+    // round 2 (a competing proposal the majority never certified).
+    let cfg = SimConfig::new(16);
+    let alloc: Vec<_> = (0..16)
+        .map(|i| (sim.keypair(i).pk, cfg.stake_per_user))
+        .collect();
+    let mut chain = Blockchain::new(cfg.params.chain, alloc.iter().copied(), [0x47u8; 32]);
+    let canon_ts = entries[0].0.timestamp;
+    chain
+        .append(
+            entries[0].0.clone(),
+            Some(entries[0].1.clone()),
+            false,
+            canon_ts,
+        )
+        .unwrap();
+    let proposer = sim.keypair(3);
+    let prev = chain.tip().clone();
+    let (seed, proof) = algorand::ledger::seed::propose_seed(proposer, &prev.seed, 2);
+    let divergent = Block {
+        round: 2,
+        prev_hash: prev.hash(),
+        seed,
+        seed_proof: Some(proof),
+        proposer: Some(proposer.pk),
+        timestamp: entries[1].0.timestamp,
+        txs: Vec::new(),
+        payload: Vec::new(),
+    };
+    assert_ne!(divergent.hash(), entries[1].0.hash());
+    chain
+        .append(divergent, None, false, entries[1].0.timestamp)
+        .unwrap();
+    let mut victim = Node::new(
+        sim.keypair(0).clone(),
+        chain,
+        cfg.params,
+        Arc::new(PipelineVerifier::new()),
+    );
+    victim.start(0);
+    assert_eq!(victim.chain().tip().round, 2);
+
+    // A server on the canonical chain sees the hash mismatch and serves
+    // from the disputed round instead of round 3.
+    let mut server = fresh_node(&sim);
+    server.on_message(&respond(&entries), 1);
+    let out = server.on_message(
+        &WireMessage::CatchupRequest {
+            have: 2,
+            tip_hash: victim.chain().tip_hash(),
+        },
+        2,
+    );
+    let response = out
+        .iter()
+        .find(|m| matches!(m, WireMessage::CatchupResponse(_)))
+        .expect("a forked requester must get a repair batch");
+    if let WireMessage::CatchupResponse(b) = response {
+        assert_eq!(
+            b.entries[0].0.round, 2,
+            "repair batches start at the disputed round"
+        );
+    }
+
+    victim.on_message(response, 3);
+    assert_eq!(
+        victim.catchup_reorgs(),
+        1,
+        "the tentative fork was rolled back"
+    );
+    assert_eq!(victim.chain().tip().round, entries.len() as u64);
+    assert_eq!(
+        victim.chain().tip_hash(),
+        sim.honest_node(0).chain().tip_hash(),
+        "the victim converges onto the certified majority chain"
+    );
+
+    // An equal-length chain must never displace ours: re-serving only the
+    // already-held rounds cannot reorg again (no ping-pong between forks).
+    victim.on_message(&respond(&entries), 4);
+    assert_eq!(victim.catchup_reorgs(), 1);
 }
