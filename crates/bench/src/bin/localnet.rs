@@ -12,11 +12,18 @@
 //!    restarted rejoins: it replays its WAL from disk, fetches what it
 //!    missed via blocksync catch-up batches, and finalizes the same
 //!    chain as the survivors.
+//! 3. **Live telemetry** — mid-run, every process answers a TELEMETRY
+//!    scrape on its peer port: the merged cluster health report (written
+//!    to `results/cluster_health.txt`) must show five clean in-process
+//!    monitor verdicts and non-zero transport/WAL/pipeline counters.
+//!    And the asymmetry that makes `crash.jsonl` trustworthy: `kill -9`
+//!    leaves no dump (only a panic writes one).
 //!
 //! Exit code 0 only if every assertion holds, so `scripts/ci.sh` can
 //! gate on it. Configuration is compiled in (it *is* the test).
 
 use algorand_node::config::{derive_keypairs, workload_transactions};
+use algorand_node::telemetry::ClusterHealth;
 use algorand_node::NodeConfig;
 use algorand_sim::{SimConfig, Simulation};
 use std::collections::HashMap;
@@ -52,6 +59,54 @@ fn main() {
         cfg.start_at_ms = unix_ms() + 8_000;
     }
     let children = spawn_all(&root, &mut cfgs);
+
+    // --- Mid-run telemetry: scrape all N while they are consensing. ---
+    // Wait until every node has persisted a round, so the core counters
+    // the health report asserts on are necessarily non-zero.
+    for cfg in &cfgs {
+        let dir = cfg.wal_dir.clone();
+        wait_until(
+            || status_field(&dir, "walled").is_some_and(|w| w >= 1),
+            Duration::from_secs(120),
+            "every node to persist round 1",
+        );
+    }
+    let addrs: Vec<String> = cfgs
+        .iter()
+        .map(|c| read_trimmed(&c.wal_dir.join("addr")))
+        .collect();
+    let health = ClusterHealth::collect_with_rates(
+        &addrs,
+        Duration::from_secs(10),
+        Duration::from_millis(750),
+    );
+    let report = health.render();
+    println!("{report}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/cluster_health.txt", &report).expect("write cluster_health.txt");
+    assert!(
+        health.unreachable.is_empty(),
+        "every process must answer a TELEMETRY scrape: {:?}",
+        health.unreachable
+    );
+    assert_eq!(health.nodes.len(), N);
+    for n in &health.nodes {
+        assert_eq!(
+            n.verdict(),
+            "clean",
+            "{}: in-process monitor flagged violations mid-run",
+            n.addr
+        );
+        assert!(n.pipeline_ingested > 0, "{}: pipeline idle", n.addr);
+        assert!(n.frames_sent > 0, "{}: transport idle", n.addr);
+        assert!(n.wal_entries > 0, "{}: WAL idle", n.addr);
+    }
+    assert!(
+        health.digests_agree(),
+        "nodes at the same tip must agree on the tip hash"
+    );
+    println!("[localnet] telemetry ok: {N} clean scrapes mid-run");
+
     let summaries = wait_all(children, Duration::from_secs(180));
     for (i, ok) in summaries.iter().enumerate() {
         assert!(*ok, "phase A: node {i} exited unsuccessfully");
@@ -99,6 +154,12 @@ fn main() {
     let mut child = children[victim].take().expect("victim running");
     child.kill().expect("kill -9 victim"); // SIGKILL on unix.
     let _ = child.wait();
+    // SIGKILL gives the process no chance to run its panic hook, so no
+    // crash dump may exist — the dump's presence must mean "panicked".
+    assert!(
+        !victim_dir.join("crash.jsonl").exists(),
+        "kill -9 must not produce a crash.jsonl (only a panic does)"
+    );
     // Stay dead for several rounds: a short outage rejoins through
     // ordinary vote gossip, and only a real gap forces blocksync.
     println!("[localnet] killed node {victim}; restarting in 20s");
@@ -180,6 +241,9 @@ fn node_configs(root: &Path) -> Vec<NodeConfig> {
             linger_secs: 6,
             tx_count: TX_COUNT,
             min_peers: N - 1,
+            // Tracing feeds the in-process monitor and flight recorder
+            // the telemetry assertions below exercise.
+            trace: true,
             ..NodeConfig::default()
         })
         .collect()

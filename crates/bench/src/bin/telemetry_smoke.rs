@@ -1,0 +1,123 @@
+//! Telemetry determinism gate: scraping must not perturb what it reads.
+//!
+//! Boots ONE `algorand-node` process configured to be perfectly idle —
+//! no peers, `min_peers = 0`, and every λ timeout pushed out to two
+//! minutes, so after the initial round-1 proposal burst nothing happens
+//! — then asserts the two properties the exposition format promises:
+//!
+//! 1. **Byte stability** — two TELEMETRY scrapes of an idle node return
+//!    *byte-identical* text. This is what makes scrape diffs meaningful:
+//!    any changed byte is a changed counter, never formatting jitter or
+//!    the scrape's own footprint (TELEMETRY frames are unmetered, and a
+//!    scraper that never sends HELLO is not a peer).
+//! 2. **Flight dump validity** — the flight-recorder scrape parses with
+//!    the ordinary trace JSONL parser and carries the deployment seed.
+//!
+//! Exit code 0 only if both hold, so `scripts/ci.sh` can gate on it.
+
+use algorand_node::telemetry::{scrape_flight, scrape_metrics};
+use algorand_node::NodeConfig;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("algorand-telsmoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create scratch dir");
+
+    let cfg = NodeConfig {
+        index: 0,
+        seed: 42,
+        listen: "127.0.0.1:0".into(),
+        wal_dir: root.join("n0"),
+        target_round: 0,
+        deadline_secs: 90,
+        tx_count: 8,
+        // Idle by construction: no timer may fire during the gate.
+        lambda_priority_ms: 120_000,
+        lambda_stepvar_ms: 120_000,
+        lambda_step_ms: 120_000,
+        lambda_block_ms: 120_000,
+        trace: true,
+        ..NodeConfig::default()
+    };
+    std::fs::write(root.join("n0.conf"), cfg.render()).expect("write config");
+    let mut child = std::process::Command::new(node_binary())
+        .arg(root.join("n0.conf"))
+        .spawn()
+        .expect("spawn algorand-node");
+
+    let addr_file = cfg.wal_dir.join("addr");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !addr_file.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "node never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let addr = std::fs::read_to_string(&addr_file).expect("read addr");
+    let addr = addr.trim();
+    println!("[telemetry_smoke] node bound {addr}");
+    // Let the round-1 startup burst (proposal sortition, initial spans)
+    // finish before the first scrape.
+    std::thread::sleep(Duration::from_millis(1500));
+
+    let timeout = Duration::from_secs(10);
+    let first = scrape_metrics(addr, timeout).expect("first scrape");
+    std::thread::sleep(Duration::from_millis(400));
+    let second = scrape_metrics(addr, timeout).expect("second scrape");
+
+    assert!(!first.is_empty(), "exposition must not be empty");
+    for required in [
+        "node.tip_round",
+        "pipeline.ingested",
+        "wal.entries",
+        "transport.frames_sent",
+        "monitor.violations 0",
+        "trace.dropped 0",
+    ] {
+        assert!(
+            first.contains(required),
+            "exposition is missing `{required}`:\n{first}"
+        );
+    }
+    if first != second {
+        // Print the first differing line pair for diagnosis.
+        for (a, b) in first.lines().zip(second.lines()) {
+            if a != b {
+                eprintln!("[telemetry_smoke] differs:\n  scrape 1: {a}\n  scrape 2: {b}");
+            }
+        }
+        panic!("idle-node scrapes are not byte-identical");
+    }
+    println!(
+        "[telemetry_smoke] byte-stable: {} bytes, {} samples",
+        first.len(),
+        first.lines().count()
+    );
+
+    let flight = scrape_flight(addr, timeout).expect("flight scrape");
+    let parsed = algorand_obs::parse_jsonl(&flight).expect("flight dump parses as trace JSONL");
+    assert_eq!(parsed.seed, 42, "flight dump must carry the node's seed");
+    println!(
+        "[telemetry_smoke] flight dump ok: {} events",
+        parsed.events.len()
+    );
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&root);
+    println!("[telemetry_smoke] PASS");
+}
+
+/// The `algorand-node` binary: `$ALGORAND_NODE_BIN` if set, else the
+/// sibling of this harness in the same cargo target directory.
+fn node_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("ALGORAND_NODE_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("algorand-node");
+    p
+}

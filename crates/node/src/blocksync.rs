@@ -24,6 +24,7 @@ pub struct Blocksync {
     tips: HashMap<PeerId, u64>,
     last_request: Option<Instant>,
     requests_sent: u64,
+    cooldown_hits: u64,
 }
 
 impl Blocksync {
@@ -33,6 +34,7 @@ impl Blocksync {
             tips: HashMap::new(),
             last_request: None,
             requests_sent: 0,
+            cooldown_hits: 0,
         }
     }
 
@@ -61,6 +63,7 @@ impl Blocksync {
         }
         if let Some(last) = self.last_request {
             if now.duration_since(last) < REQUEST_COOLDOWN {
+                self.cooldown_hits += 1;
                 return None;
             }
         }
@@ -72,6 +75,12 @@ impl Blocksync {
     /// Catch-up requests issued so far.
     pub fn requests_sent(&self) -> u64 {
         self.requests_sent
+    }
+
+    /// Times a request was wanted but the cooldown suppressed it — a
+    /// measure of how much further behind we are than one batch.
+    pub fn cooldown_hits(&self) -> u64 {
+        self.cooldown_hits
     }
 }
 
@@ -104,5 +113,6 @@ mod tests {
         bs.forget(2);
         assert_eq!(bs.best_tip(), 3);
         assert_eq!(bs.requests_sent(), 2);
+        assert_eq!(bs.cooldown_hits(), 1);
     }
 }

@@ -28,6 +28,8 @@ use algorand_core::AlgorandParams;
 use algorand_crypto::rng::Rng;
 use algorand_crypto::Keypair;
 use algorand_ledger::{Blockchain, Transaction};
+use algorand_obs::MonitorConfig;
+use algorand_sortition::binomial::binomial_cdf;
 use std::io;
 use std::path::PathBuf;
 
@@ -236,6 +238,24 @@ impl NodeConfig {
         p
     }
 
+    /// The in-process invariant-monitor thresholds this deployment
+    /// implies — the same §7.5 binomial tail bounds `sim` computes, so
+    /// a live node holds its own trace stream to the exact standard the
+    /// simulator holds the fleet's.
+    pub fn monitor_config(&self) -> MonitorConfig {
+        let total_weight = self.n_users as u64 * self.stake_per_user;
+        let params = self.params();
+        MonitorConfig {
+            committee_hi_step: committee_upper_bound(total_weight, params.ba.tau_step),
+            committee_hi_final: committee_upper_bound(total_weight, params.ba.tau_final),
+            max_future_gap: algorand_core::ingest::FUTURE_ROUND_WINDOW as u32,
+            max_future_buffer: algorand_core::round::FutureVotes::MAX_TOTAL as u64,
+            // A deployment config has no adversary roster; all users
+            // count as honest, the strictest reading.
+            honest_nodes: self.n_users as u32,
+        }
+    }
+
     /// This node's keypair.
     pub fn keypair(&self) -> Keypair {
         derive_keypairs(self.seed, self.n_users).swap_remove(self.index)
@@ -255,6 +275,20 @@ impl NodeConfig {
         let keypairs = derive_keypairs(self.seed, self.n_users);
         workload_transactions(self.seed, &keypairs, self.stake_per_user, self.tx_count)
     }
+}
+
+/// Smallest `k` whose binomial upper tail `P[Binomial(W, τ/W) > k]`
+/// falls below ~1e-12 — the §7.5 bound the monitor enforces on the
+/// deduplicated committee weight of any (round, step). Mirrors
+/// `sim::harness::committee_upper_bound` exactly.
+fn committee_upper_bound(total_weight: u64, tau: f64) -> u64 {
+    let w = total_weight.max(1);
+    let p = (tau / w as f64).min(1.0);
+    let mut k = (tau as u64).min(w);
+    while k < w && 1.0 - binomial_cdf(k, w, p) >= 1e-12 {
+        k += 1;
+    }
+    k
 }
 
 /// Derives the deployment's keypairs — the same formula `sim::runner`
@@ -347,6 +381,20 @@ mod tests {
     fn unknown_keys_and_bad_index_rejected() {
         assert!(NodeConfig::parse("frobnicate = 3").is_err());
         assert!(NodeConfig::parse("index = 7\nn_users = 5").is_err());
+    }
+
+    #[test]
+    fn monitor_config_bounds_are_sane() {
+        let cfg = NodeConfig::default();
+        let mc = cfg.monitor_config();
+        let total = cfg.n_users as u64 * cfg.stake_per_user;
+        // The tail bound always admits the expected committee weight
+        // and never exceeds the whole population.
+        assert!(mc.committee_hi_step <= total);
+        assert!(mc.committee_hi_final <= total);
+        assert!(mc.committee_hi_step >= cfg.params().ba.tau_step.min(total as f64) as u64);
+        assert_eq!(mc.honest_nodes, cfg.n_users as u32);
+        assert!(mc.max_future_gap > 0);
     }
 
     #[test]

@@ -18,8 +18,18 @@
 //! * [`PEERS`] — payload is a list of listen addresses
 //!   (`u32 count`, then length-prefixed UTF-8 strings): gossip-learned
 //!   peer exchange, §4's relay discovery stand-in.
-//! * [`STATUS`] — payload is a `u64` tip round; feeds
-//!   [`crate::blocksync`]'s choice of catch-up server.
+//! * [`STATUS`] — payload is the sender's telemetry-bearing status (see
+//!   [`encode_status`]): tip round, trace-drop and monitor-violation
+//!   counts, and per-peer send-queue drop counters. A bare 8-byte `u64`
+//!   tip (the v1 format) still decodes, so mixed-version deployments
+//!   interoperate. Feeds [`crate::blocksync`]'s choice of catch-up
+//!   server.
+//! * [`TELEMETRY`] — an on-demand scrape channel. The payload's first
+//!   byte is an op code ([`TEL_METRICS_REQ`] … [`TEL_FLIGHT_RESP`]); the
+//!   rest is the body (empty for requests, the metrics exposition text
+//!   or flight-recorder JSONL for responses). Telemetry frames are
+//!   deliberately *excluded* from the transport's frame/byte counters so
+//!   that scraping a node never perturbs the numbers being scraped.
 //!
 //! The length bound is the transport's OOM defense: a malicious or
 //! corrupt peer can make us read at most [`MAX_FRAME`] bytes before the
@@ -36,9 +46,101 @@ pub const GOSSIP: u8 = 2;
 pub const PEERS: u8 = 3;
 /// Tip-round announcement for blocksync server selection.
 pub const STATUS: u8 = 4;
+/// On-demand telemetry scrape (op byte + body; see [`TEL_METRICS_REQ`]).
+pub const TELEMETRY: u8 = 5;
+
+/// [`TELEMETRY`] op: request the metrics exposition text.
+pub const TEL_METRICS_REQ: u8 = 1;
+/// [`TELEMETRY`] op: response body is the exposition text.
+pub const TEL_METRICS_RESP: u8 = 2;
+/// [`TELEMETRY`] op: request a flight-recorder dump.
+pub const TEL_FLIGHT_REQ: u8 = 3;
+/// [`TELEMETRY`] op: response body is the flight-recorder JSONL.
+pub const TEL_FLIGHT_RESP: u8 = 4;
 
 /// Largest frame a peer can make us buffer (includes the kind byte).
 pub const MAX_FRAME: usize = 32 << 20;
+
+/// One node's status announcement: the consensus tip plus the telemetry
+/// the operator-facing health report needs from every peer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// The sender's finalized tip round.
+    pub tip: u64,
+    /// Trace events the sender's tracer dropped (buffer cap).
+    pub trace_dropped: u64,
+    /// Invariant violations the sender's in-process monitor has counted.
+    pub monitor_violations: u64,
+    /// Per-peer send-queue drop counters `(advertised addr, drops)`.
+    pub peer_drops: Vec<(String, u64)>,
+}
+
+/// Encodes a [`STATUS`] payload (v2):
+///
+/// ```text
+/// u64 tip | u64 trace_dropped | u64 monitor_violations |
+/// u32 n | n × (u32 len, addr bytes, u64 drops)
+/// ```
+pub fn encode_status(info: &StatusInfo) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + info.peer_drops.len() * 32);
+    out.extend_from_slice(&info.tip.to_le_bytes());
+    out.extend_from_slice(&info.trace_dropped.to_le_bytes());
+    out.extend_from_slice(&info.monitor_violations.to_le_bytes());
+    out.extend_from_slice(&(info.peer_drops.len() as u32).to_le_bytes());
+    for (addr, drops) in &info.peer_drops {
+        let b = addr.as_bytes();
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        out.extend_from_slice(b);
+        out.extend_from_slice(&drops.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`STATUS`] payload; `None` on malformation. An 8-byte
+/// payload is the v1 bare-tip format and decodes with zeroed telemetry.
+pub fn decode_status(payload: &[u8]) -> Option<StatusInfo> {
+    if payload.len() == 8 {
+        return Some(StatusInfo {
+            tip: u64::from_le_bytes(payload.try_into().ok()?),
+            ..StatusInfo::default()
+        });
+    }
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = payload.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    let u64_at = |pos: &mut usize| -> Option<u64> {
+        Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+    };
+    let tip = u64_at(&mut pos)?;
+    let trace_dropped = u64_at(&mut pos)?;
+    let monitor_violations = u64_at(&mut pos)?;
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    if count > 64 {
+        return None; // A node holds nowhere near 64 live peers here.
+    }
+    let mut peer_drops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        if len > 256 {
+            return None;
+        }
+        let addr = std::str::from_utf8(take(&mut pos, len)?).ok()?.to_string();
+        let drops = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        peer_drops.push((addr, drops));
+    }
+    if pos != payload.len() {
+        return None;
+    }
+    Some(StatusInfo {
+        tip,
+        trace_dropped,
+        monitor_violations,
+        peer_drops,
+    })
+}
 
 /// Writes one frame.
 ///
@@ -159,6 +261,46 @@ mod tests {
         assert!(read_frame(&mut Cursor::new(huge.to_vec())).is_err());
         let zero = 0u32.to_le_bytes();
         assert!(read_frame(&mut Cursor::new(zero.to_vec())).is_err());
+    }
+
+    #[test]
+    fn status_v2_roundtrips() {
+        let info = StatusInfo {
+            tip: 17,
+            trace_dropped: 3,
+            monitor_violations: 1,
+            peer_drops: vec![
+                ("127.0.0.1:9001".to_string(), 5),
+                ("127.0.0.1:9002".to_string(), 0),
+            ],
+        };
+        let enc = encode_status(&info);
+        assert_eq!(decode_status(&enc).unwrap(), info);
+        // Truncation and trailing garbage are both rejected.
+        assert!(decode_status(&enc[..enc.len() - 1]).is_none());
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(decode_status(&padded).is_none());
+    }
+
+    #[test]
+    fn status_v1_bare_tip_still_decodes() {
+        let info = decode_status(&41u64.to_le_bytes()).unwrap();
+        assert_eq!(info.tip, 41);
+        assert_eq!(info.trace_dropped, 0);
+        assert_eq!(info.monitor_violations, 0);
+        assert!(info.peer_drops.is_empty());
+    }
+
+    #[test]
+    fn status_with_no_peers_roundtrips() {
+        let info = StatusInfo {
+            tip: 9,
+            trace_dropped: 0,
+            monitor_violations: 0,
+            peer_drops: Vec::new(),
+        };
+        assert_eq!(decode_status(&encode_status(&info)).unwrap(), info);
     }
 
     #[test]

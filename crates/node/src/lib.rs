@@ -36,7 +36,12 @@
 //!   simulator so a localhost deployment finalizes the *same chain
 //!   digest* as `sim::runner` under the same seed;
 //! * [`runtime`] — the single-threaded event loop tying it together, and
-//!   the `algorand-node` binary's whole substance.
+//!   the `algorand-node` binary's whole substance;
+//! * [`telemetry`] — the scrape client for the TELEMETRY frame (metrics
+//!   exposition + flight-recorder dump served on the peer port) and the
+//!   cluster-health merger behind the `cluster_health` report;
+//! * [`crash`] — a panic hook that dumps the flight recorder and last
+//!   WAL round to `<wal_dir>/crash.jsonl` on the way down.
 //!
 //! The split keeps the property the CADP formal-model line of work
 //! emphasizes: the consensus core never learns whether its driver is a
@@ -44,8 +49,10 @@
 
 pub mod blocksync;
 pub mod config;
+pub mod crash;
 pub mod frame;
 pub mod runtime;
+pub mod telemetry;
 pub mod transport;
 pub mod wal;
 

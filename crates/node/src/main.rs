@@ -34,7 +34,12 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    match runtime.run() {
+    // From here on a panic dumps the flight recorder to crash.jsonl;
+    // an orderly exit (either arm of the match) disarms first.
+    algorand_node::crash::arm(runtime.crash_context());
+    let outcome = runtime.run();
+    algorand_node::crash::disarm();
+    match outcome {
         Ok(summary) => {
             println!(
                 "[node {index}] round {}/{} replayed={} catchups={} sync_requests={} \

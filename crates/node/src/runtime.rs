@@ -15,6 +15,14 @@
 //! 4. answers blocksync (STATUS tracking, catch-up requests when
 //!    behind).
 //!
+//! The runtime is also the node's telemetry plane: one [`Registry`]
+//! threads through transport, WAL, and blocksync; the trace stream fans
+//! out to an in-process [`MonitorHandle`] (the same invariant checks the
+//! simulator runs offline) and a [`FlightHandle`] ring; and TELEMETRY
+//! frames are answered with the byte-stable metrics exposition or a
+//! flight-recorder dump — on the same port peers use, no second
+//! listener.
+//!
 //! Exit: once the chain reaches `target_round` the loop lingers a
 //! configured grace period — still serving votes and catch-up batches so
 //! stragglers can finish — then checkpoints, writes its digest/status/
@@ -22,20 +30,30 @@
 
 use crate::blocksync::Blocksync;
 use crate::config::NodeConfig;
+use crate::crash::CrashContext;
+use crate::frame;
 use crate::transport::{Transport, TransportEvent, TransportStats};
-use crate::wal::Wal;
+use crate::wal::{Wal, WalMetrics};
 use algorand_ba::Micros;
 use algorand_core::{Node, PipelineVerifier, WireMessage};
 use algorand_gossip::{RelayDecision, RelayState};
-use algorand_obs::{write_jsonl, Registry, Tracer};
+use algorand_obs::{
+    expose, fanout, write_jsonl, FlightHandle, Histogram, MonitorHandle, Registry, Tracer,
+};
 use std::io::{self, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Trace-buffer cap when `trace = 1` (matches the simulator's default
 /// order of magnitude; bounded so long runs cannot balloon).
 const TRACE_CAP: usize = 200_000;
+
+/// Flight-recorder ring size: the most recent events, kept even after
+/// the main trace buffer has filled, so a crash dump always shows what
+/// happened *last*.
+const FLIGHT_CAP: usize = 4096;
 
 /// How often we announce our tip and poll blocksync even when idle.
 const STATUS_TICK: Duration = Duration::from_millis(500);
@@ -61,6 +79,9 @@ pub struct RunSummary {
     pub sync_requests: u64,
     /// Frames that failed wire decoding (each logged with kind+offset).
     pub decode_failures: u64,
+    /// In-process invariant-monitor violations observed on the live
+    /// trace stream (0 on a healthy node).
+    pub monitor_violations: u64,
     /// True if the deadline expired before the target was reached.
     pub timed_out: bool,
     /// Transport counters at exit.
@@ -74,7 +95,7 @@ impl RunSummary {
     }
 }
 
-/// One node process: core, WAL, transport, blocksync.
+/// One node process: core, WAL, transport, blocksync, telemetry.
 pub struct Runtime {
     cfg: NodeConfig,
     node: Node,
@@ -84,9 +105,16 @@ pub struct Runtime {
     sync: Blocksync,
     registry: Registry,
     tracer: Tracer,
+    monitor: MonitorHandle,
+    flight: FlightHandle,
     /// Highest round already persisted to the WAL.
     walled_through: u64,
+    /// Mirror of `walled_through` the crash hook can read from any
+    /// thread mid-panic.
+    last_wal_round: Arc<AtomicU64>,
     wal_replayed_rounds: u64,
+    wal_truncated_bytes: u64,
+    wal_replay_us: u64,
     decode_failures: u64,
     started: Instant,
 }
@@ -101,7 +129,15 @@ impl Runtime {
     /// Propagates WAL/transport I/O failures.
     pub fn new(cfg: NodeConfig) -> io::Result<Runtime> {
         std::fs::create_dir_all(&cfg.wal_dir)?;
-        let (wal, replay) = Wal::open(&cfg.wal_dir.join("node.wal"))?;
+        let registry = Registry::new();
+
+        let replay_started = Instant::now();
+        let (mut wal, replay) = Wal::open(&cfg.wal_dir.join("node.wal"))?;
+        let wal_replay_us = replay_started.elapsed().as_micros() as u64;
+        wal.set_metrics(WalMetrics::new(&registry));
+        if replay.truncated_bytes > 0 {
+            registry.counter("wal.torn_truncations").inc();
+        }
 
         let params = cfg.params();
         let verifier = Arc::new(PipelineVerifier::new());
@@ -130,16 +166,24 @@ impl Runtime {
             let _ = node.pool.admit(tx, &accounts);
         }
 
+        // Monitor and flight recorder attach to the trace stream; both
+        // are created unconditionally (the crash hook needs a flight
+        // handle either way), but see no events unless tracing is on.
+        // The tracer attaches *after* restore, so WAL replay — a
+        // re-application of already-checked rounds — is not re-audited.
+        let monitor = MonitorHandle::new(cfg.monitor_config());
+        let flight = FlightHandle::new(FLIGHT_CAP);
         let tracer = if cfg.trace {
             Tracer::bounded(TRACE_CAP)
         } else {
             Tracer::disabled()
         };
         if tracer.is_enabled() {
+            tracer.set_observer(fanout(vec![monitor.observer(), flight.observer()]));
             node.set_tracer(tracer.clone(), cfg.index as u32);
         }
 
-        let transport = Transport::start(&cfg.listen, &cfg.peers)?;
+        let transport = Transport::start(&cfg.listen, &cfg.peers, registry.clone())?;
         // Publish the *resolved* listen address (meaningful when the
         // config asked for an ephemeral `:0` port) so a deployment
         // harness can read each process's real endpoint and hand it to
@@ -153,13 +197,35 @@ impl Runtime {
             transport,
             relay: RelayState::new(),
             sync: Blocksync::new(),
-            registry: Registry::new(),
+            registry,
             tracer,
+            monitor,
+            flight,
             walled_through: wal_replayed_rounds,
+            last_wal_round: Arc::new(AtomicU64::new(wal_replayed_rounds)),
             wal_replayed_rounds,
+            wal_truncated_bytes: replay.truncated_bytes,
+            wal_replay_us,
             decode_failures: 0,
             started: Instant::now(),
         })
+    }
+
+    /// What the panic hook needs: arm this with [`crate::crash::arm`]
+    /// and a panicking process dumps its flight recorder to
+    /// `<wal_dir>/crash.jsonl` before dying.
+    pub fn crash_context(&self) -> CrashContext {
+        CrashContext {
+            wal_dir: self.cfg.wal_dir.clone(),
+            seed: self.cfg.seed,
+            flight: self.flight.clone(),
+            last_wal_round: Arc::clone(&self.last_wal_round),
+        }
+    }
+
+    /// The node's live registry (tests and embedding harnesses).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Microseconds since this process started — the core's clock. WAL
@@ -201,7 +267,10 @@ impl Runtime {
             let wait = self.next_wait(wall, next_status, deadline);
             match self.transport.recv_timeout(wait) {
                 Some(TransportEvent::Gossip { from, bytes }) => self.on_gossip(from, &bytes),
-                Some(TransportEvent::Status { from, tip }) => self.sync.note_status(from, tip),
+                Some(TransportEvent::Status { from, info }) => {
+                    self.sync.note_status(from, info.tip);
+                }
+                Some(TransportEvent::Telemetry { from, op }) => self.on_telemetry(from, op),
                 None => {}
             }
 
@@ -220,8 +289,7 @@ impl Runtime {
             let wall = Instant::now();
             if wall >= next_status {
                 next_status = wall + STATUS_TICK;
-                self.transport
-                    .broadcast_status(self.node.chain().tip().round);
+                self.transport.broadcast_status(&self.status_info());
                 self.write_status_file()?;
             }
             if let Some(peer) = self.sync.poll(self.node.chain().tip().round, wall) {
@@ -284,6 +352,16 @@ impl Runtime {
         wait.max(Duration::from_millis(1))
     }
 
+    /// The STATUS v2 payload: tip plus the telemetry peers alert on.
+    fn status_info(&self) -> frame::StatusInfo {
+        frame::StatusInfo {
+            tip: self.node.chain().tip().round,
+            trace_dropped: self.tracer.dropped(),
+            monitor_violations: self.monitor.report().total_violations(),
+            peer_drops: self.transport.peer_drop_counts(),
+        }
+    }
+
     /// Handles one inbound gossip frame end to end.
     fn on_gossip(&mut self, from: crate::transport::PeerId, bytes: &[u8]) {
         let msg = match WireMessage::decode_frame(bytes) {
@@ -292,7 +370,7 @@ impl Runtime {
                 // The satellite payoff: a malformed frame names its
                 // message kind and byte offset, attributed to a peer.
                 self.decode_failures += 1;
-                self.registry.counter("node_decode_failures").inc();
+                self.registry.counter("node.decode_failures").inc();
                 eprintln!("[node {}] peer {from}: {e}", self.cfg.index);
                 return;
             }
@@ -318,6 +396,27 @@ impl Runtime {
             self.transport.broadcast_gossip(bytes, Some(from));
         }
         self.dispatch(outputs, Some(from));
+    }
+
+    /// Serves one telemetry request: refresh the registry, render, and
+    /// reply on the requester's own connection. TELEMETRY traffic is
+    /// unmetered, so serving a scrape perturbs none of the counters it
+    /// reports — two scrapes of an idle node are byte-identical.
+    fn on_telemetry(&mut self, from: crate::transport::PeerId, op: u8) {
+        match op {
+            frame::TEL_METRICS_REQ => {
+                self.publish_metrics();
+                let text = expose::render(&self.registry);
+                self.transport
+                    .send_telemetry(from, frame::TEL_METRICS_RESP, text.as_bytes());
+            }
+            frame::TEL_FLIGHT_REQ => {
+                let dump = self.flight.dump_jsonl(self.cfg.seed, "flight");
+                self.transport
+                    .send_telemetry(from, frame::TEL_FLIGHT_RESP, dump.as_bytes());
+            }
+            _ => {}
+        }
     }
 
     /// Routes core outputs: catch-up responses back to the requester,
@@ -351,25 +450,101 @@ impl Runtime {
             };
             self.wal.append_entry(r, block, cert)?;
             self.walled_through = r;
-            self.registry.counter("node_wal_entries").inc();
+            self.last_wal_round.store(r, Ordering::Relaxed);
             if self.cfg.checkpoint_interval > 0 && r.is_multiple_of(self.cfg.checkpoint_interval) {
                 self.wal.append_checkpoint(&self.node.snapshot())?;
-                self.registry.counter("node_wal_checkpoints").inc();
             }
         }
         Ok(())
     }
 
+    /// Refreshes every derived gauge on the registry. The names mirror
+    /// the simulator's exposition exactly (`pipeline.*`, `verify.*`,
+    /// `recovery.*`, `round.latency_us`, …) so the same dashboards and
+    /// assertions read both; transport and WAL counters are live and
+    /// need no refresh. Idempotent — gauges overwrite, the histogram is
+    /// replaced. Deliberately no wall-clock-derived values: an idle
+    /// node's exposition must not change between scrapes.
+    fn publish_metrics(&mut self) {
+        let reg = &self.registry;
+        let p = self.node.pipeline_stats();
+        reg.gauge("pipeline.ingested").set(p.ingested as i64);
+        reg.gauge("pipeline.verified").set(p.verified as i64);
+        reg.gauge("pipeline.rejected_verify")
+            .set(p.rejected_verify as i64);
+        reg.gauge("pipeline.emitted").set(p.emitted as i64);
+        let v = self.node.verifier();
+        reg.gauge("verify.cache_hits").set(v.cache_hits() as i64);
+        reg.gauge("verify.cache_misses")
+            .set(v.cache_misses() as i64);
+        reg.gauge("verify.unique_votes")
+            .set(v.unique_vote_verifications() as i64);
+        // No fault injection in a real process: partitions stay 0 and a
+        // restart is evidenced by a non-empty WAL replay.
+        reg.gauge("faults.partitions").set(0);
+        reg.gauge("faults.restarts")
+            .set(i64::from(self.wal_replayed_rounds > 0));
+        reg.gauge("recovery.timeout_escalations")
+            .set(self.node.timeout_escalations() as i64);
+        reg.gauge("recovery.watchdog_catchups")
+            .set(self.node.watchdog_catchups() as i64);
+        reg.gauge("recovery.fork_recoveries")
+            .set(self.node.recoveries_completed() as i64);
+        reg.gauge("recovery.catchups_applied")
+            .set(self.node.catchups_applied() as i64);
+        let t = self.transport.stats();
+        reg.gauge("net.total_bytes_sent").set(t.bytes_sent as i64);
+        reg.gauge("trace.dropped").set(self.tracer.dropped() as i64);
+        let mut lat = Histogram::new();
+        for r in self.node.records() {
+            lat.record(r.total());
+        }
+        reg.histogram("round.latency_us").replace(lat);
+        reg.gauge("workload.injected").set(self.cfg.tx_count as i64);
+        let tip = self.node.chain().tip().round;
+        let committed: usize = (1..=tip)
+            .filter_map(|r| self.node.chain().block_at(r))
+            .map(|b| b.txs.len())
+            .sum();
+        reg.gauge("workload.committed").set(committed as i64);
+
+        // Node-specific state the sim has no analogue for.
+        reg.gauge("node.tip_round").set(tip as i64);
+        reg.gauge("node.current_round")
+            .set(self.node.current_round() as i64);
+        let h = self.node.chain().tip_hash();
+        reg.gauge("node.tip_hash64")
+            .set(u64::from_le_bytes(h[..8].try_into().expect("8 bytes")) as i64);
+        reg.gauge("node.walled_round")
+            .set(self.walled_through as i64);
+        reg.gauge("wal.replayed_rounds")
+            .set(self.wal_replayed_rounds as i64);
+        reg.gauge("wal.truncated_bytes")
+            .set(self.wal_truncated_bytes as i64);
+        reg.gauge("wal.replay_us").set(self.wal_replay_us as i64);
+        reg.gauge("blocksync.requests")
+            .set(self.sync.requests_sent() as i64);
+        reg.gauge("blocksync.cooldown_hits")
+            .set(self.sync.cooldown_hits() as i64);
+        reg.gauge("monitor.violations")
+            .set(self.monitor.report().total_violations() as i64);
+        self.transport.publish();
+    }
+
     /// Rewrites `status` in the WAL dir: one line the harness can poll.
     fn write_status_file(&self) -> io::Result<()> {
         let line = format!(
-            "round={} walled={} replayed={} catchups={} peers={} decode_failures={}\n",
+            "round={} walled={} replayed={} catchups={} peers={} decode_failures={} \
+             drops={} trace_dropped={} monitor_violations={}\n",
             self.node.chain().tip().round,
             self.walled_through,
             self.wal_replayed_rounds,
             self.node.catchups_applied(),
             self.transport.peer_count(),
             self.decode_failures,
+            self.transport.stats().send_drops,
+            self.tracer.dropped(),
+            self.monitor.report().total_violations(),
         );
         write_atomic(&self.cfg.wal_dir.join("status"), line.as_bytes())
     }
@@ -396,21 +571,10 @@ impl Runtime {
         }
         self.write_status_file()?;
 
-        let t = self.transport.stats();
-        let g = |name: &str, v: u64| self.registry.gauge(name).set(v as i64);
-        g("node_frames_sent", t.frames_sent);
-        g("node_frames_received", t.frames_received);
-        g("node_bytes_sent", t.bytes_sent);
-        g("node_bytes_received", t.bytes_received);
-        g("node_send_drops", t.send_drops);
-        g("node_connections", t.connections);
-        g("node_tip_round", reached);
-        g("node_wal_replayed_rounds", self.wal_replayed_rounds);
-        g("node_catchups_applied", self.node.catchups_applied() as u64);
-        g("node_sync_requests", self.sync.requests_sent());
+        self.publish_metrics();
         write_atomic(
             &self.cfg.wal_dir.join("metrics.txt"),
-            self.registry.render().as_bytes(),
+            expose::render(&self.registry).as_bytes(),
         )?;
 
         if self.tracer.is_enabled() {
@@ -423,6 +587,16 @@ impl Runtime {
             write_atomic(&self.cfg.wal_dir.join("trace.jsonl"), jsonl.as_bytes())?;
         }
 
+        let violations = self.monitor.report().total_violations();
+        if violations > 0 {
+            eprintln!(
+                "[node {}] monitor: {}",
+                self.cfg.index,
+                self.monitor.report().machine_line()
+            );
+        }
+
+        let t = self.transport.stats();
         self.transport.shutdown();
         Ok(RunSummary {
             target_round: self.cfg.target_round,
@@ -432,6 +606,7 @@ impl Runtime {
             catchups_applied: self.node.catchups_applied(),
             sync_requests: self.sync.requests_sent(),
             decode_failures: self.decode_failures,
+            monitor_violations: violations,
             timed_out,
             transport: t,
         })

@@ -1,5 +1,5 @@
-//! Threaded TCP transport with static peers, peer exchange, and
-//! per-peer bounded send queues.
+//! Threaded TCP transport with static peers, peer exchange, per-peer
+//! bounded send queues, and first-class telemetry.
 //!
 //! Each connection gets a reader thread (parses [`crate::frame`] frames,
 //! forwards gossip and status to the runtime over a channel) and a
@@ -11,17 +11,31 @@
 //! network takes.
 //!
 //! Connectivity is static peers plus gossip-learned peer exchange: every
-//! connection starts with a HELLO advertising the sender's listen
-//! address, peers periodically swap their known-address sets, and a
-//! maintenance thread keeps dialing any known address that lacks a live
-//! connection. Start five processes each knowing only one other and the
-//! deployment converges to full connectivity.
+//! *outbound* connection starts with a HELLO advertising the sender's
+//! listen address; an *inbound* connection becomes a **protocol peer**
+//! only once that HELLO arrives (we reply with ours). Connections that
+//! never say HELLO — telemetry scrapers — are served [`frame::TELEMETRY`]
+//! responses but are excluded from peer counts, broadcasts, and peer
+//! exchange, so observing a node cannot change its gossip behavior.
+//! Peers periodically swap known-address sets, and a maintenance thread
+//! keeps dialing any known address that lacks a live connection: start
+//! five processes each knowing only one other and the deployment
+//! converges to full connectivity.
+//!
+//! Metrics live in the shared [`Registry`]: total and per-kind frame and
+//! byte counters each direction, lifetime connection count, and per-peer
+//! send-queue drops and depth (keyed by the peer's advertised address via
+//! [`obs::labeled`]). TELEMETRY frames are excluded from every counter in
+//! both directions — scraping must not perturb the numbers being
+//! scraped, and the `telemetry_smoke` CI gate holds exposition output
+//! byte-identical across two scrapes of an idle node.
 
 use crate::frame;
+use algorand_obs::{labeled, Counter, Registry};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
@@ -48,30 +62,112 @@ pub enum TransportEvent {
         /// failures are counted and attributed in one place.
         bytes: Vec<u8>,
     },
-    /// A peer announced its tip round.
+    /// A peer announced its status (tip round plus telemetry).
     Status {
         /// Connection it arrived on.
         from: PeerId,
-        /// The peer's finalized tip.
-        tip: u64,
+        /// The decoded announcement.
+        info: frame::StatusInfo,
+    },
+    /// A telemetry scrape request ([`frame::TEL_METRICS_REQ`] or
+    /// [`frame::TEL_FLIGHT_REQ`]); the runtime renders the body and
+    /// answers via [`Transport::send_telemetry`].
+    Telemetry {
+        /// Connection the request arrived on.
+        from: PeerId,
+        /// The request op code.
+        op: u8,
     },
 }
 
 /// Monotonic counters, snapshotted for metrics export.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TransportStats {
-    /// Frames written to sockets.
+    /// Frames written to sockets (telemetry excluded).
     pub frames_sent: u64,
-    /// Frames parsed off sockets.
+    /// Frames parsed off sockets (telemetry excluded).
     pub frames_received: u64,
-    /// Bytes written to sockets.
+    /// Bytes written to sockets (telemetry excluded).
     pub bytes_sent: u64,
-    /// Bytes parsed off sockets.
+    /// Bytes parsed off sockets (telemetry excluded).
     pub bytes_received: u64,
     /// Frames dropped because a peer's send queue was full.
     pub send_drops: u64,
-    /// Connections established (both directions, lifetime).
+    /// Protocol connections established (both directions, lifetime).
     pub connections: u64,
+}
+
+/// The wire name of a metered frame kind (`None` for TELEMETRY, which
+/// is deliberately unmetered, and for unknown kinds).
+fn kind_name(kind: u8) -> Option<&'static str> {
+    match kind {
+        frame::HELLO => Some("hello"),
+        frame::GOSSIP => Some("gossip"),
+        frame::PEERS => Some("peers"),
+        frame::STATUS => Some("status"),
+        _ => None,
+    }
+}
+
+/// Registry-backed transport counters. Totals and the per-kind splits
+/// are pre-registered at startup so the exposition line set is stable
+/// from the first scrape.
+struct Metrics {
+    frames_sent: Counter,
+    frames_received: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    send_drops: Counter,
+    connections: Counter,
+    /// Indexed by `kind - 1` for kinds HELLO..=STATUS.
+    frames_sent_kind: [Counter; 4],
+    bytes_sent_kind: [Counter; 4],
+    frames_received_kind: [Counter; 4],
+    bytes_received_kind: [Counter; 4],
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Metrics {
+        let by_kind = |base: &str| -> [Counter; 4] {
+            [frame::HELLO, frame::GOSSIP, frame::PEERS, frame::STATUS].map(|k| {
+                registry.counter(&labeled(base, &[("kind", kind_name(k).expect("metered"))]))
+            })
+        };
+        Metrics {
+            frames_sent: registry.counter("transport.frames_sent"),
+            frames_received: registry.counter("transport.frames_received"),
+            bytes_sent: registry.counter("transport.bytes_sent"),
+            bytes_received: registry.counter("transport.bytes_received"),
+            send_drops: registry.counter("transport.send_drops"),
+            connections: registry.counter("transport.connections"),
+            frames_sent_kind: by_kind("transport.frames_sent"),
+            bytes_sent_kind: by_kind("transport.bytes_sent"),
+            frames_received_kind: by_kind("transport.frames_received"),
+            bytes_received_kind: by_kind("transport.bytes_received"),
+        }
+    }
+
+    fn count_sent(&self, kind: u8, bytes: u64) {
+        let Some(i) = metered_index(kind) else { return };
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes);
+        self.frames_sent_kind[i].inc();
+        self.bytes_sent_kind[i].add(bytes);
+    }
+
+    fn count_received(&self, kind: u8, bytes: u64) {
+        let Some(i) = metered_index(kind) else { return };
+        self.frames_received.inc();
+        self.bytes_received.add(bytes);
+        self.frames_received_kind[i].inc();
+        self.bytes_received_kind[i].add(bytes);
+    }
+}
+
+/// Per-kind counter index for metered kinds; `None` leaves the frame
+/// uncounted (TELEMETRY, unknown).
+fn metered_index(kind: u8) -> Option<usize> {
+    (kind >= frame::HELLO && kind <= frame::STATUS).then(|| (kind - frame::HELLO) as usize)
 }
 
 struct Peer {
@@ -79,12 +175,24 @@ struct Peer {
     /// Clone of the socket so [`Transport::shutdown`] can unblock the
     /// reader thread.
     stream: TcpStream,
-    /// The peer's advertised listen address, once its HELLO arrives.
+    /// The peer's advertised listen address, once known (at dial time
+    /// for outbound, at HELLO for inbound).
     addr: Option<String>,
+    /// Whether this connection spoke the peer protocol (sent or will be
+    /// sent HELLO). Non-protocol connections — telemetry scrapers — get
+    /// no broadcasts and don't count as peers.
+    protocol: bool,
+    /// Frames enqueued but not yet written (send-queue occupancy).
+    depth: Arc<AtomicI64>,
+    /// Per-peer send-queue drop counter, registered once the advertised
+    /// address is known.
+    drops: Option<Counter>,
 }
 
 struct Shared {
     advertised: String,
+    registry: Registry,
+    metrics: Metrics,
     peers: Mutex<HashMap<PeerId, Peer>>,
     /// Dialable listen addresses learned from config or peer exchange.
     known: Mutex<HashSet<String>>,
@@ -95,12 +203,6 @@ struct Shared {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     events: SyncSender<TransportEvent>,
-    frames_sent: AtomicU64,
-    frames_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    send_drops: AtomicU64,
-    connections: AtomicU64,
 }
 
 /// The node's TCP fabric. Dropping it does *not* stop the threads; call
@@ -114,12 +216,16 @@ pub struct Transport {
 impl Transport {
     /// Binds `listen`, connects to `static_peers` (retrying forever —
     /// deployment processes start in arbitrary order), and starts the
-    /// maintenance thread.
+    /// maintenance thread. Counters register into `registry`.
     ///
     /// # Errors
     ///
     /// Fails only if the listen socket cannot be bound.
-    pub fn start(listen: &str, static_peers: &[String]) -> io::Result<Transport> {
+    pub fn start(
+        listen: &str,
+        static_peers: &[String],
+        registry: Registry,
+    ) -> io::Result<Transport> {
         let listener = TcpListener::bind(listen)?;
         let local_addr = listener.local_addr()?.to_string();
         // What peers should dial back: the configured string, unless it
@@ -130,8 +236,11 @@ impl Transport {
             listen.to_string()
         };
         let (events_tx, events_rx) = mpsc::sync_channel(EVENT_QUEUE);
+        let metrics = Metrics::new(&registry);
         let shared = Arc::new(Shared {
             advertised,
+            registry,
+            metrics,
             peers: Mutex::new(HashMap::new()),
             known: Mutex::new(static_peers.iter().cloned().collect()),
             dialing: Mutex::new(HashSet::new()),
@@ -139,12 +248,6 @@ impl Transport {
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             events: events_tx,
-            frames_sent: AtomicU64::new(0),
-            frames_received: AtomicU64::new(0),
-            bytes_sent: AtomicU64::new(0),
-            bytes_received: AtomicU64::new(0),
-            send_drops: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -174,8 +277,8 @@ impl Transport {
         self.events.recv_timeout(timeout).ok()
     }
 
-    /// Queues a gossip frame to every live peer except `except`.
-    /// Returns how many peers it was queued to.
+    /// Queues a gossip frame to every live protocol peer except
+    /// `except`. Returns how many peers it was queued to.
     pub fn broadcast_gossip(&self, wire_bytes: &[u8], except: Option<PeerId>) -> usize {
         self.broadcast_frame(frame::GOSSIP, wire_bytes, except)
     }
@@ -193,9 +296,31 @@ impl Transport {
             .is_some_and(|p| enqueue(&self.shared, p, &framed))
     }
 
-    /// Announces our finalized tip to every peer.
-    pub fn broadcast_status(&self, tip: u64) -> usize {
-        self.broadcast_frame(frame::STATUS, &tip.to_le_bytes(), None)
+    /// Queues a telemetry frame (`op` byte + `body`) to one connection —
+    /// protocol peer or scraper alike. Unmetered: drops are not counted
+    /// and no counter moves, so serving a scrape never perturbs metrics.
+    pub fn send_telemetry(&self, peer: PeerId, op: u8, body: &[u8]) -> bool {
+        let mut payload = Vec::with_capacity(1 + body.len());
+        payload.push(op);
+        payload.extend_from_slice(body);
+        let Ok(framed) = frame::encode_frame(frame::TELEMETRY, &payload) else {
+            return false;
+        };
+        let peers = self.shared.peers.lock().unwrap();
+        let Some(p) = peers.get(&peer) else {
+            return false;
+        };
+        if p.queue.try_send(Arc::new(framed)).is_ok() {
+            p.depth.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Announces our status (tip + telemetry) to every protocol peer.
+    pub fn broadcast_status(&self, info: &frame::StatusInfo) -> usize {
+        self.broadcast_frame(frame::STATUS, &frame::encode_status(info), None)
     }
 
     fn broadcast_frame(&self, kind: u8, payload: &[u8], except: Option<PeerId>) -> usize {
@@ -206,7 +331,7 @@ impl Transport {
         let peers = self.shared.peers.lock().unwrap();
         let mut queued = 0;
         for (&id, peer) in peers.iter() {
-            if Some(id) == except {
+            if Some(id) == except || !peer.protocol {
                 continue;
             }
             if enqueue(&self.shared, peer, &framed) {
@@ -216,21 +341,64 @@ impl Transport {
         queued
     }
 
-    /// Live connection count.
+    /// Live protocol-peer count (telemetry scrapers excluded).
     pub fn peer_count(&self) -> usize {
-        self.shared.peers.lock().unwrap().len()
+        self.shared
+            .peers
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|p| p.protocol)
+            .count()
+    }
+
+    /// The per-peer send-queue drop counts, by advertised address,
+    /// sorted — the STATUS frame's payload.
+    pub fn peer_drop_counts(&self) -> Vec<(String, u64)> {
+        let peers = self.shared.peers.lock().unwrap();
+        let mut out: Vec<(String, u64)> = peers
+            .values()
+            .filter(|p| p.protocol)
+            .filter_map(|p| {
+                let addr = p.addr.clone()?;
+                Some((addr, p.drops.as_ref().map_or(0, Counter::get)))
+            })
+            .collect();
+        out.sort();
+        out.dedup_by(|a, b| a.0 == b.0);
+        out
+    }
+
+    /// Publishes point-in-time transport gauges into the registry:
+    /// `transport.peers` and per-peer `transport.send_queue_depth`.
+    pub fn publish(&self) {
+        let peers = self.shared.peers.lock().unwrap();
+        let mut count = 0i64;
+        for p in peers.values() {
+            if !p.protocol {
+                continue;
+            }
+            count += 1;
+            if let Some(addr) = &p.addr {
+                self.shared
+                    .registry
+                    .gauge(&labeled("transport.send_queue_depth", &[("peer", addr)]))
+                    .set(p.depth.load(Ordering::Relaxed));
+            }
+        }
+        self.shared.registry.gauge("transport.peers").set(count);
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> TransportStats {
-        let s = &self.shared;
+        let m = &self.shared.metrics;
         TransportStats {
-            frames_sent: s.frames_sent.load(Ordering::Relaxed),
-            frames_received: s.frames_received.load(Ordering::Relaxed),
-            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: s.bytes_received.load(Ordering::Relaxed),
-            send_drops: s.send_drops.load(Ordering::Relaxed),
-            connections: s.connections.load(Ordering::Relaxed),
+            frames_sent: m.frames_sent.get(),
+            frames_received: m.frames_received.get(),
+            bytes_sent: m.bytes_sent.get(),
+            bytes_received: m.bytes_received.get(),
+            send_drops: m.send_drops.get(),
+            connections: m.connections.get(),
         }
     }
 
@@ -249,13 +417,26 @@ impl Transport {
 
 fn enqueue(shared: &Shared, peer: &Peer, framed: &Arc<Vec<u8>>) -> bool {
     match peer.queue.try_send(Arc::clone(framed)) {
-        Ok(()) => true,
+        Ok(()) => {
+            peer.depth.fetch_add(1, Ordering::Relaxed);
+            true
+        }
         Err(TrySendError::Full(_)) => {
-            shared.send_drops.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.send_drops.inc();
+            if let Some(drops) = &peer.drops {
+                drops.inc();
+            }
             false
         }
         Err(TrySendError::Disconnected(_)) => false,
     }
+}
+
+/// The per-peer drop counter for an advertised address.
+fn drop_counter(shared: &Shared, addr: &str) -> Counter {
+    shared
+        .registry
+        .counter(&labeled("transport.send_drops", &[("peer", addr)]))
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -315,7 +496,7 @@ fn maintenance_loop(shared: &Arc<Shared>) {
             if let Ok(framed) = frame::encode_frame(frame::PEERS, &payload) {
                 let framed = Arc::new(framed);
                 let peers = shared.peers.lock().unwrap();
-                for peer in peers.values() {
+                for peer in peers.values().filter(|p| p.protocol) {
                     enqueue(shared, peer, &framed);
                 }
             }
@@ -324,21 +505,39 @@ fn maintenance_loop(shared: &Arc<Shared>) {
 }
 
 /// Registers the connection and starts its reader and writer threads.
+/// Outbound connections (`remote_addr` known) are protocol peers from
+/// the start and lead with HELLO; inbound ones start non-protocol and
+/// are promoted when their HELLO arrives.
 fn spawn_connection(stream: TcpStream, shared: Arc<Shared>, remote_addr: Option<String>) {
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
-    shared.connections.fetch_add(1, Ordering::Relaxed);
+    let outbound = remote_addr.is_some();
     let (queue_tx, queue_rx) = mpsc::sync_channel::<Arc<Vec<u8>>>(SEND_QUEUE);
+    let depth = Arc::new(AtomicI64::new(0));
     if let Some(addr) = &remote_addr {
         shared.connected.lock().unwrap().insert(addr.clone());
     }
+
+    // Outbound leads with HELLO, queued *before* the peer is visible to
+    // broadcasts so it is guaranteed to be the first frame on the wire —
+    // the accepting side keys protocol promotion on it.
+    if outbound {
+        shared.metrics.connections.inc();
+        if let Ok(hello) = frame::encode_frame(frame::HELLO, shared.advertised.as_bytes()) {
+            if queue_tx.try_send(Arc::new(hello)).is_ok() {
+                depth.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     {
         let Ok(shutdown_half) = stream.try_clone() else {
             return;
         };
+        let drops = remote_addr.as_deref().map(|a| drop_counter(&shared, a));
         let mut peers = shared.peers.lock().unwrap();
         peers.insert(
             id,
@@ -346,19 +545,18 @@ fn spawn_connection(stream: TcpStream, shared: Arc<Shared>, remote_addr: Option<
                 queue: queue_tx.clone(),
                 stream: shutdown_half,
                 addr: remote_addr.clone(),
+                protocol: outbound,
+                depth: Arc::clone(&depth),
+                drops,
             },
         );
     }
 
-    // First frame on every connection: our dialable address.
-    if let Ok(hello) = frame::encode_frame(frame::HELLO, shared.advertised.as_bytes()) {
-        let _ = queue_tx.try_send(Arc::new(hello));
-    }
-
     let writer_shared = Arc::clone(&shared);
+    let writer_depth = Arc::clone(&depth);
     let _ = std::thread::Builder::new()
         .name(format!("writer-{id}"))
-        .spawn(move || writer_loop(write_half, &queue_rx, &writer_shared));
+        .spawn(move || writer_loop(write_half, &queue_rx, &writer_shared, &writer_depth));
 
     let reader_shared = Arc::clone(&shared);
     let _ = std::thread::Builder::new()
@@ -373,15 +571,19 @@ fn spawn_connection(stream: TcpStream, shared: Arc<Shared>, remote_addr: Option<
         });
 }
 
-fn writer_loop(mut stream: TcpStream, queue: &Receiver<Arc<Vec<u8>>>, shared: &Shared) {
+fn writer_loop(
+    mut stream: TcpStream,
+    queue: &Receiver<Arc<Vec<u8>>>,
+    shared: &Shared,
+    depth: &AtomicI64,
+) {
     while let Ok(framed) = queue.recv() {
         if stream.write_all(&framed).is_err() {
             return;
         }
-        shared.frames_sent.fetch_add(1, Ordering::Relaxed);
-        shared
-            .bytes_sent
-            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        depth.fetch_sub(1, Ordering::Relaxed);
+        // framed[4] is the kind byte; TELEMETRY stays uncounted.
+        shared.metrics.count_sent(framed[4], framed.len() as u64);
     }
 }
 
@@ -391,17 +593,49 @@ fn reader_loop(stream: TcpStream, id: PeerId, shared: &Arc<Shared>) {
         let Ok((kind, payload)) = frame::read_frame(&mut reader) else {
             return;
         };
-        shared.frames_received.fetch_add(1, Ordering::Relaxed);
         shared
-            .bytes_received
-            .fetch_add(5 + payload.len() as u64, Ordering::Relaxed);
+            .metrics
+            .count_received(kind, 5 + payload.len() as u64);
+        // Anything beyond HELLO and TELEMETRY requires the connection to
+        // have identified itself as a protocol peer. Outbound HELLO is
+        // always the first frame, so this only rejects strangers.
+        let is_protocol = shared
+            .peers
+            .lock()
+            .unwrap()
+            .get(&id)
+            .is_some_and(|p| p.protocol);
+        if !is_protocol && kind != frame::HELLO && kind != frame::TELEMETRY {
+            return;
+        }
         match kind {
             frame::HELLO => {
                 let Ok(addr) = String::from_utf8(payload) else {
                     return;
                 };
+                let mut promoted = false;
                 if let Some(peer) = shared.peers.lock().unwrap().get_mut(&id) {
                     peer.addr = Some(addr.clone());
+                    if peer.drops.is_none() {
+                        peer.drops = Some(drop_counter(shared, &addr));
+                    }
+                    if !peer.protocol {
+                        peer.protocol = true;
+                        promoted = true;
+                        // Reply with our HELLO so the dialer learns our
+                        // advertised address (and symmetric promotion
+                        // holds for simultaneous dials).
+                        if let Ok(hello) =
+                            frame::encode_frame(frame::HELLO, shared.advertised.as_bytes())
+                        {
+                            if peer.queue.try_send(Arc::new(hello)).is_ok() {
+                                peer.depth.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                if promoted {
+                    shared.metrics.connections.inc();
                 }
                 shared.connected.lock().unwrap().insert(addr.clone());
                 if addr != shared.advertised {
@@ -436,13 +670,27 @@ fn reader_loop(stream: TcpStream, id: PeerId, shared: &Arc<Shared>) {
                 }
             }
             frame::STATUS => {
-                let Ok(raw) = <[u8; 8]>::try_from(payload.as_slice()) else {
-                    return;
+                let Some(info) = frame::decode_status(&payload) else {
+                    return; // Malformed status: drop the peer.
                 };
-                let tip = u64::from_le_bytes(raw);
                 if shared
                     .events
-                    .send(TransportEvent::Status { from: id, tip })
+                    .send(TransportEvent::Status { from: id, info })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            frame::TELEMETRY => {
+                let Some(&op) = payload.first() else {
+                    return;
+                };
+                if op != frame::TEL_METRICS_REQ && op != frame::TEL_FLIGHT_REQ {
+                    return; // We serve scrapes; we never accept responses.
+                }
+                if shared
+                    .events
+                    .send(TransportEvent::Telemetry { from: id, op })
                     .is_err()
                 {
                     return;
@@ -456,6 +704,7 @@ fn reader_loop(stream: TcpStream, id: PeerId, shared: &Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write as _;
 
     fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
         for _ in 0..200 {
@@ -470,9 +719,19 @@ mod tests {
     #[test]
     fn gossip_status_and_peer_exchange_flow() {
         // a knows b; c knows only b. Peer exchange must connect a and c.
-        let a = Transport::start("127.0.0.1:0", &[]).unwrap();
-        let b = Transport::start("127.0.0.1:0", &[a.local_addr().to_string()]).unwrap();
-        let c = Transport::start("127.0.0.1:0", &[b.local_addr().to_string()]).unwrap();
+        let a = Transport::start("127.0.0.1:0", &[], Registry::new()).unwrap();
+        let b = Transport::start(
+            "127.0.0.1:0",
+            &[a.local_addr().to_string()],
+            Registry::new(),
+        )
+        .unwrap();
+        let c = Transport::start(
+            "127.0.0.1:0",
+            &[b.local_addr().to_string()],
+            Registry::new(),
+        )
+        .unwrap();
 
         wait_for(|| a.peer_count() >= 2 && c.peer_count() >= 2, "full mesh");
 
@@ -482,23 +741,29 @@ mod tests {
             let got = loop {
                 match t.recv_timeout(Duration::from_secs(5)) {
                     Some(TransportEvent::Gossip { bytes, .. }) => break bytes,
-                    Some(TransportEvent::Status { .. }) => continue,
+                    Some(_) => continue,
                     None => panic!("no gossip at {name}"),
                 }
             };
             assert_eq!(got, b"payload-one");
         }
 
-        // Status frames carry the tip.
-        assert!(b.broadcast_status(41) >= 2);
-        let tip = loop {
+        // Status frames carry the tip and telemetry.
+        let info = frame::StatusInfo {
+            tip: 41,
+            trace_dropped: 2,
+            monitor_violations: 0,
+            peer_drops: vec![("127.0.0.1:9009".to_string(), 3)],
+        };
+        assert!(b.broadcast_status(&info) >= 2);
+        let got = loop {
             match a.recv_timeout(Duration::from_secs(5)) {
-                Some(TransportEvent::Status { tip, .. }) => break tip,
-                Some(TransportEvent::Gossip { .. }) => continue,
+                Some(TransportEvent::Status { info, .. }) => break info,
+                Some(_) => continue,
                 None => panic!("no status at a"),
             }
         };
-        assert_eq!(tip, 41);
+        assert_eq!(got, info);
         assert!(a.stats().frames_received > 0);
 
         a.shutdown();
@@ -508,8 +773,13 @@ mod tests {
 
     #[test]
     fn reply_goes_only_to_sender() {
-        let a = Transport::start("127.0.0.1:0", &[]).unwrap();
-        let b = Transport::start("127.0.0.1:0", &[a.local_addr().to_string()]).unwrap();
+        let a = Transport::start("127.0.0.1:0", &[], Registry::new()).unwrap();
+        let b = Transport::start(
+            "127.0.0.1:0",
+            &[a.local_addr().to_string()],
+            Registry::new(),
+        )
+        .unwrap();
         wait_for(|| a.peer_count() >= 1 && b.peer_count() >= 1, "a-b link");
 
         b.broadcast_gossip(b"request", None);
@@ -519,7 +789,7 @@ mod tests {
                     assert_eq!(bytes, b"request");
                     break from;
                 }
-                Some(TransportEvent::Status { .. }) => continue,
+                Some(_) => continue,
                 None => panic!("request not delivered"),
             }
         };
@@ -527,11 +797,83 @@ mod tests {
         let got = loop {
             match b.recv_timeout(Duration::from_secs(5)) {
                 Some(TransportEvent::Gossip { bytes, .. }) => break bytes,
-                Some(TransportEvent::Status { .. }) => continue,
+                Some(_) => continue,
                 None => panic!("response not delivered"),
             }
         };
         assert_eq!(got, b"response");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn scraper_connection_is_served_but_is_not_a_peer() {
+        let registry = Registry::new();
+        let a = Transport::start("127.0.0.1:0", &[], registry.clone()).unwrap();
+
+        // A raw client that never says HELLO: a telemetry scraper.
+        let mut client = TcpStream::connect(a.local_addr()).unwrap();
+        client
+            .write_all(&frame::encode_frame(frame::TELEMETRY, &[frame::TEL_METRICS_REQ]).unwrap())
+            .unwrap();
+
+        // The runtime-side event arrives; answer it.
+        let (from, op) = loop {
+            match a.recv_timeout(Duration::from_secs(5)) {
+                Some(TransportEvent::Telemetry { from, op }) => break (from, op),
+                Some(_) => continue,
+                None => panic!("no telemetry request"),
+            }
+        };
+        assert_eq!(op, frame::TEL_METRICS_REQ);
+        assert!(a.send_telemetry(from, frame::TEL_METRICS_RESP, b"x 1\n"));
+
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let (kind, payload) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!(kind, frame::TELEMETRY);
+        assert_eq!(payload[0], frame::TEL_METRICS_RESP);
+        assert_eq!(&payload[1..], b"x 1\n");
+
+        // The scraper is not a protocol peer: no peer count, no
+        // broadcasts reach it, no counters moved.
+        assert_eq!(a.peer_count(), 0);
+        assert_eq!(
+            a.broadcast_status(&frame::StatusInfo {
+                tip: 1,
+                ..frame::StatusInfo::default()
+            }),
+            0
+        );
+        let stats = a.stats();
+        assert_eq!(stats.frames_sent, 0, "telemetry is unmetered");
+        assert_eq!(stats.frames_received, 0, "telemetry is unmetered");
+        assert_eq!(stats.connections, 0, "scraper is not a connection");
+
+        a.shutdown();
+    }
+
+    #[test]
+    fn per_peer_drop_counters_surface_by_address() {
+        let reg_a = Registry::new();
+        let a = Transport::start("127.0.0.1:0", &[], reg_a.clone()).unwrap();
+        let b = Transport::start(
+            "127.0.0.1:0",
+            &[a.local_addr().to_string()],
+            Registry::new(),
+        )
+        .unwrap();
+        wait_for(|| a.peer_count() >= 1 && b.peer_count() >= 1, "a-b link");
+
+        let drops = a.peer_drop_counts();
+        assert_eq!(drops.len(), 1, "one protocol peer with a known address");
+        assert_eq!(drops[0].1, 0);
+        a.publish();
+        let exposed = algorand_obs::expose::render(&reg_a);
+        assert!(exposed.contains("transport.peers 1"), "{exposed}");
+        assert!(
+            exposed.contains("transport.send_queue_depth{peer="),
+            "{exposed}"
+        );
         a.shutdown();
         b.shutdown();
     }

@@ -25,9 +25,11 @@
 use algorand_ba::Certificate;
 use algorand_crypto::codec::{Reader, WriteExt};
 use algorand_ledger::Block;
+use algorand_obs::{Counter, HistHandle, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 const KIND_ENTRY: u8 = 1;
 const KIND_CHECKPOINT: u8 = 2;
@@ -58,10 +60,35 @@ pub struct WalReplay {
     pub truncated_bytes: u64,
 }
 
+/// Registry-backed durability metrics: append/fsync/checkpoint timings
+/// and record counts. Attach with [`Wal::set_metrics`]; a bare [`Wal`]
+/// (tests, tools) records nothing.
+pub struct WalMetrics {
+    entries: Counter,
+    checkpoints: Counter,
+    append_us: HistHandle,
+    fsync_us: HistHandle,
+    checkpoint_us: HistHandle,
+}
+
+impl WalMetrics {
+    /// Registers the WAL's metric set into `registry`.
+    pub fn new(registry: &Registry) -> WalMetrics {
+        WalMetrics {
+            entries: registry.counter("wal.entries"),
+            checkpoints: registry.counter("wal.checkpoints"),
+            append_us: registry.histogram("wal.append_us"),
+            fsync_us: registry.histogram("wal.fsync_us"),
+            checkpoint_us: registry.histogram("wal.checkpoint_us"),
+        }
+    }
+}
+
 /// An open write-ahead log positioned for appending.
 pub struct Wal {
     file: File,
     path: PathBuf,
+    metrics: Option<WalMetrics>,
 }
 
 impl Wal {
@@ -154,9 +181,15 @@ impl Wal {
             Wal {
                 file,
                 path: path.to_path_buf(),
+                metrics: None,
             },
             replay,
         ))
+    }
+
+    /// Attaches durability metrics; subsequent appends are timed.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Appends one finalized round and syncs it to disk.
@@ -170,12 +203,18 @@ impl Wal {
         block: &Block,
         cert: &Certificate,
     ) -> io::Result<()> {
+        let started = Instant::now();
         let mut payload = Vec::new();
         payload.put_u8(KIND_ENTRY);
         payload.put_u64(round);
         block.encode(&mut payload);
         cert.encode(&mut payload);
-        self.append_record(&payload)
+        self.append_record(&payload)?;
+        if let Some(m) = &self.metrics {
+            m.entries.inc();
+            m.append_us.record(started.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
     /// Appends a [`algorand_core::Node::snapshot`] checkpoint and syncs
@@ -185,10 +224,16 @@ impl Wal {
     ///
     /// Propagates I/O failures.
     pub fn append_checkpoint(&mut self, snapshot: &[u8]) -> io::Result<()> {
+        let started = Instant::now();
         let mut payload = Vec::with_capacity(1 + snapshot.len());
         payload.put_u8(KIND_CHECKPOINT);
         payload.extend_from_slice(snapshot);
-        self.append_record(&payload)
+        self.append_record(&payload)?;
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+            m.checkpoint_us.record(started.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
     fn append_record(&mut self, payload: &[u8]) -> io::Result<()> {
@@ -197,7 +242,13 @@ impl Wal {
         rec.put_u32(crc32(payload));
         rec.extend_from_slice(payload);
         self.file.write_all(&rec)?;
-        self.file.sync_data()
+        let fsync_started = Instant::now();
+        self.file.sync_data()?;
+        if let Some(m) = &self.metrics {
+            m.fsync_us
+                .record(fsync_started.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
     /// The log's file path.

@@ -24,6 +24,15 @@
 //!   from the tracer's observer slot — conflicting certificates,
 //!   committee tail bounds, seed-chain validity, vote accounting, and
 //!   FutureVotes staleness.
+//! - **Exposition** ([`expose`]): a byte-stable plain-text metrics
+//!   format (`name{labels} value`, deterministic ordering, escaped
+//!   label values) with a hand-rolled round-trip parser — what the live
+//!   node serves over its TELEMETRY frame.
+//! - **Flight recorder** ([`flight`]): a bounded ring of the *most
+//!   recent* trace events (the tracer buffer keeps the first N; crash
+//!   forensics need the last N), dumpable as the same JSONL as a full
+//!   trace. [`fanout`] shares the tracer's single observer slot between
+//!   the monitor and the recorder.
 //!
 //! Everything here is write-only from the instrumented code's point of
 //! view and consumes no randomness, so enabling or disabling observability
@@ -31,18 +40,22 @@
 //! asserts exactly that.
 
 pub mod causal;
+pub mod expose;
+pub mod flight;
 mod hist;
 pub mod monitor;
 mod registry;
-mod trace;
+pub mod trace;
 
 pub use causal::{critical_paths, CausalGraph, CriticalPath, Edge, EdgeKind};
+pub use expose::{labeled, Sample};
+pub use flight::{FlightHandle, FlightRecorder};
 pub use hist::{Histogram, Percentiles};
 pub use monitor::{Invariant, InvariantMonitor, MonitorConfig, MonitorHandle, MonitorReport};
-pub use registry::{Counter, Gauge, HistHandle, Registry};
+pub use registry::{Counter, Gauge, HistHandle, MetricSnapshot, Registry};
 pub use trace::{
-    parse_jsonl, span_id, stable_id, write_jsonl, write_jsonl_trimmed, Micros, Span, SpanKind,
-    Trace, TraceEvent, TraceObserver, Tracer, NO_NODE,
+    fanout, parse_jsonl, span_id, stable_id, write_jsonl, write_jsonl_trimmed, Micros, Span,
+    SpanKind, Trace, TraceEvent, TraceObserver, Tracer, NO_NODE,
 };
 
 #[cfg(test)]

@@ -86,6 +86,17 @@ enum Metric {
     Histogram(HistHandle),
 }
 
+/// A point-in-time copy of one metric's value, for exposition.
+#[derive(Clone, Debug)]
+pub enum MetricSnapshot {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's full state.
+    Histogram(Histogram),
+}
+
 /// The process-wide registry mapping names to metrics.
 #[derive(Clone, Default)]
 pub struct Registry(Arc<Mutex<BTreeMap<String, Metric>>>);
@@ -152,6 +163,23 @@ impl Registry {
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name
+    /// (byte order). The exposition renderer and the node's telemetry
+    /// plane build on this.
+    pub fn snapshot_all(&self) -> Vec<(String, MetricSnapshot)> {
+        let map = self.0.lock().expect("registry lock");
+        map.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
     }
 
     /// Renders every metric, one line each, sorted by name — the textual

@@ -174,6 +174,23 @@ pub trait TraceObserver: Send {
     fn observe(&mut self, ev: &TraceEvent);
 }
 
+struct Fanout(Vec<Box<dyn TraceObserver>>);
+
+impl TraceObserver for Fanout {
+    fn observe(&mut self, ev: &TraceEvent) {
+        for obs in &mut self.0 {
+            obs.observe(ev);
+        }
+    }
+}
+
+/// Combines observers into one, feeding each every event in order — the
+/// tracer has a single observer slot, and the live node needs both the
+/// invariant monitor and the flight recorder on it.
+pub fn fanout(observers: Vec<Box<dyn TraceObserver>>) -> Box<dyn TraceObserver> {
+    Box::new(Fanout(observers))
+}
+
 struct Buffer {
     events: Vec<TraceEvent>,
     /// Canonical-order keys assigned by the parallel DES engine, one per

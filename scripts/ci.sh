@@ -28,8 +28,15 @@
 #   8. the localnet gate: five real `algorand-node` processes over
 #      loopback TCP must finalize the exact chain digest the simulator
 #      produces for the same seed, and a kill -9'd process must rejoin
-#      via WAL replay plus blocksync (see
-#      crates/bench/src/bin/localnet.rs),
+#      via WAL replay plus blocksync; mid-run, every process must answer
+#      a TELEMETRY scrape with a clean in-process monitor verdict and
+#      non-zero transport/WAL/pipeline counters (the merged report lands
+#      in results/cluster_health.txt), and the SIGKILL'd process must
+#      leave no crash.jsonl (see crates/bench/src/bin/localnet.rs),
+#   8b. the telemetry-smoke gate: two TELEMETRY scrapes of an idle node
+#      must return byte-identical exposition text, and its
+#      flight-recorder dump must parse as ordinary trace JSONL (see
+#      crates/bench/src/bin/telemetry_smoke.rs),
 #   9. the parallel-engine determinism gate: every chaos scenario run
 #      on the discrete-event engine at 1, 2, and 4 workers must yield
 #      byte-identical chain digests, monitor verdicts, and trace JSONL
@@ -91,9 +98,12 @@ cargo run --release -p algorand-bench --bin critical_path -- --check
 echo "== invariant monitor: baseline + violation-injection self-test =="
 cargo test --release -q -p algorand-sim --test monitor
 
-echo "== localnet: 5 real processes vs simulator digest, kill -9 rejoin =="
+echo "== localnet: 5 real processes vs simulator digest, kill -9 rejoin, live scrape =="
 cargo build --release -q -p algorand-node
 cargo run --release -p algorand-bench --bin localnet
+
+echo "== telemetry smoke: idle-node scrapes byte-identical, flight dump parses =="
+cargo run --release -p algorand-bench --bin telemetry_smoke
 
 echo "== parallel engine: worker-count determinism gate =="
 cargo run --release -p algorand-bench --bin des_determinism
