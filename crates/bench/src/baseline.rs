@@ -1,0 +1,215 @@
+//! Machine-readable perf baselines: `results/BENCH_<name>.json`.
+//!
+//! Every bench binary that prints a human-readable `results/*.txt`
+//! report also records its headline numbers — throughput, p50/p99
+//! latency, bytes per user, wall-clock — through this writer, so
+//! regression tooling can diff runs without scraping prose. The format
+//! is one flat JSON object with a fixed shape:
+//!
+//! ```json
+//! {"bench":"tput_throughput","schema":1,"metrics":{"p50_latency_s":..,"tx_per_s":..}}
+//! ```
+//!
+//! Canonicalization: metric keys are sorted, values are finite f64s
+//! rendered with Rust's shortest-roundtrip `Display`, and the object is
+//! a single newline-terminated line. The same metrics always serialize
+//! to the same bytes regardless of the order the caller added them.
+
+use std::io;
+use std::path::PathBuf;
+
+/// The baseline schema version stamped into every artifact.
+pub const SCHEMA: u64 = 1;
+
+/// Canonical metric key for transactions per second.
+pub const TX_PER_S: &str = "tx_per_s";
+/// Canonical metric key for median finalization latency, seconds.
+pub const P50_LATENCY_S: &str = "p50_latency_s";
+/// Canonical metric key for p99 finalization latency, seconds.
+pub const P99_LATENCY_S: &str = "p99_latency_s";
+/// Canonical metric key for wire bytes per user.
+pub const BYTES_PER_USER: &str = "bytes_per_user";
+/// Canonical metric key for harness wall-clock, seconds.
+pub const WALL_CLOCK_S: &str = "wall_clock_s";
+
+/// One bench run's headline numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// The bench's name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Metric key → value. Kept sorted by key.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Baseline {
+    /// An empty baseline for `name`.
+    pub fn new(name: &str) -> Baseline {
+        Baseline {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds (or overwrites) one metric. Non-finite values are refused —
+    /// a NaN in a baseline poisons every later comparison silently.
+    pub fn metric(mut self, key: &str, value: f64) -> Baseline {
+        assert!(value.is_finite(), "non-finite baseline metric {key:?}");
+        match self.metrics.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.metrics[i].1 = value,
+            Err(i) => self.metrics.insert(i, (key.to_string(), value)),
+        }
+        self
+    }
+
+    /// The canonical single-line JSON rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"bench\":\"{}\",\"schema\":{SCHEMA},\"metrics\":{{",
+            self.name
+        ));
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Writes `results/BENCH_<name>.json` (creating `results/` if
+    /// needed) and announces the path on stdout. Returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render())?;
+        println!("[baseline] wrote {}", path.display());
+        Ok(path)
+    }
+
+    /// Parses a rendered baseline.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let line = text.trim();
+        let name = scan_str(line, "bench")?;
+        let schema = scan_metrics_prefix(line)?;
+        let mut metrics = Vec::new();
+        for part in schema.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad metric {part:?}"))?;
+            let k = k
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted metric key {part:?}"))?;
+            let v: f64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad metric value {part:?}"))?;
+            metrics.push((k.to_string(), v));
+        }
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Baseline { name, metrics })
+    }
+}
+
+fn scan_str(line: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find('"')
+        .ok_or_else(|| format!("unterminated field {key:?}"))?;
+    Ok(rest[..end].to_string())
+}
+
+/// The body of the `"metrics":{...}` object.
+fn scan_metrics_prefix(line: &str) -> Result<&str, String> {
+    let pat = "\"metrics\":{";
+    let at = line.find(pat).ok_or("missing \"metrics\" object")? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find('}').ok_or("unterminated \"metrics\" object")?;
+    Ok(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_renders_canonically_and_roundtrips() {
+        let a = Baseline::new("tput_throughput")
+            .metric(TX_PER_S, 802.5)
+            .metric(WALL_CLOCK_S, 1.25)
+            .metric(P50_LATENCY_S, 6.0);
+        // Different insertion order, same bytes.
+        let b = Baseline::new("tput_throughput")
+            .metric(P50_LATENCY_S, 6.0)
+            .metric(WALL_CLOCK_S, 1.25)
+            .metric(TX_PER_S, 802.5);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().ends_with("}}\n"));
+        let parsed = Baseline::parse(&a.render()).unwrap();
+        assert_eq!(parsed, a);
+        assert_eq!(parsed.render(), a.render());
+    }
+
+    #[test]
+    fn overwriting_a_metric_keeps_one_entry() {
+        let b = Baseline::new("x").metric("m", 1.0).metric("m", 2.0);
+        assert_eq!(b.metrics, vec![("m".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn checked_in_baselines_parse_and_roundtrip() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("results/ exists") {
+            let path = entry.expect("read_dir entry").path();
+            let file = path.file_name().unwrap().to_string_lossy().into_owned();
+            let Some(name) = file
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            let text = std::fs::read_to_string(&path).expect("read baseline");
+            let parsed =
+                Baseline::parse(&text).unwrap_or_else(|e| panic!("{file} does not parse: {e}"));
+            assert_eq!(parsed.name, name, "{file}: name does not match filename");
+            assert_eq!(parsed.render(), text, "{file}: not in canonical form");
+            assert!(
+                parsed.metrics.iter().any(|(k, _)| k == WALL_CLOCK_S),
+                "{file}: missing {WALL_CLOCK_S}"
+            );
+            seen += 1;
+        }
+        assert!(seen >= 8, "expected the checked-in baselines, saw {seen}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_artifacts() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"bench\":\"x\"}").is_err());
+        assert!(
+            Baseline::parse("{\"bench\":\"x\",\"schema\":1,\"metrics\":{\"a\":oops}}").is_err()
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! 1 MB blocks), and proportional savings from sharding storage.
 
 use algorand_ba::VoteMessage;
+use algorand_bench::baseline::{self, Baseline};
 use algorand_bench::{header, run_experiment};
 use algorand_sim::SimConfig;
 use std::time::Instant;
@@ -90,4 +91,15 @@ fn main() {
     println!(
         "forgery check: per-step certificate-forgery probability <= 10^{log10:.0} (paper: < 2^-166 = 10^-50)"
     );
+    Baseline::new("costs")
+        .metric(baseline::BYTES_PER_USER, total_sent / n_users as f64)
+        .metric("per_user_mbit_per_s", per_user_mbps)
+        .metric("unique_verifications", uniques as f64)
+        .metric(
+            "certificate_overhead_pct",
+            cert_bytes as f64 / block_bytes.max(1) as f64 * 100.0,
+        )
+        .metric(baseline::WALL_CLOCK_S, wall.as_secs_f64())
+        .write()
+        .expect("write baseline");
 }

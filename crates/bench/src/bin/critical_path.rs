@@ -13,9 +13,21 @@
 //! byte-identical report twice, every chain must be contiguous in time,
 //! and for every *finalized* round the chain must account for ≥ 95% of
 //! the round's measured finalization latency.
+//!
+//! `--trace FILE` switches to **merged cluster mode**: instead of
+//! running the simulator, the profiler reads a merged multi-process
+//! trace produced by `trace_collect` (per-node clock offsets and skew
+//! bounds in the header, sender/receiver hop halves already fused) and
+//! renders per-round chains that cross process boundaries, each gossip
+//! hop attributed with frame kind, sender address, wire bytes, and
+//! queue depth at send. With `--check` the gate demands: byte-identical
+//! rendering across reruns, contiguous chains, ≥ 90% coverage of every
+//! finalized round's latency (real clocks leave alignment residue the
+//! simulator does not), and at least one chain crossing processes.
 
 use algorand_bench::T_CAP;
-use algorand_obs::{critical_paths, parse_jsonl, CriticalPath, EdgeKind};
+use algorand_obs::merge::{parse_merged, render_report};
+use algorand_obs::{critical_paths, parse_jsonl, CriticalPath, EdgeKind, NO_NODE};
 use algorand_sim::{SimConfig, Simulation};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -23,6 +35,11 @@ use std::process::ExitCode;
 /// Fraction of measured finalization latency the chain must explain for
 /// every finalized round (the acceptance bar for the causal walk).
 const MIN_COVERAGE: f64 = 0.95;
+
+/// The merged-cluster bar: per-node clock alignment is exact only at
+/// the anchor instants, so cross-process chains may carry skew-bound
+/// residue the single-clock simulator never sees.
+const MIN_COVERAGE_MERGED: f64 = 0.90;
 
 /// Edges printed per round before the listing is elided (the
 /// attribution sums always cover the full chain).
@@ -179,8 +196,8 @@ fn render_attribution(w: &mut String, paths: &[CriticalPath]) {
 
 /// Structural checks on the reconstructed chains: contiguity (each edge
 /// starts where the previous one ended), origin at a proposal-phase
-/// edge, and the ≥ 95% coverage bar for finalized rounds.
-fn check_paths(paths: &[CriticalPath], rounds_expected: u64) -> Vec<String> {
+/// edge, and the coverage bar for finalized rounds.
+fn check_paths(paths: &[CriticalPath], rounds_expected: u64, min_coverage: f64) -> Vec<String> {
     let mut problems = Vec::new();
     if (paths.len() as u64) < rounds_expected {
         problems.push(format!(
@@ -213,16 +230,102 @@ fn check_paths(paths: &[CriticalPath], rounds_expected: u64) -> Vec<String> {
                 p.round
             ));
         }
-        if p.final_consensus && p.coverage() < MIN_COVERAGE {
+        if p.final_consensus && p.coverage() < min_coverage {
             problems.push(format!(
                 "round {}: coverage {:.1}% below the {:.0}% bar",
                 p.round,
                 p.coverage() * 100.0,
-                MIN_COVERAGE * 100.0
+                min_coverage * 100.0
             ));
         }
     }
     problems
+}
+
+/// Merged cluster mode: render (and optionally gate) a multi-process
+/// trace collected by `trace_collect`.
+fn run_merged(path: &str, check: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("critical_path: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let merged = match parse_merged(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("critical_path: bad merged trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = render_report(&merged);
+    if !check {
+        print!("{report}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ok = true;
+    if merged.dropped > 0 {
+        println!(
+            "merged critical-path check: FAILED ({} events dropped at record time)",
+            merged.dropped
+        );
+        ok = false;
+    }
+    // Pure-function gate: rendering the same artifact again must be
+    // byte-identical (trace_collect already asserted the same for the
+    // merge itself).
+    if render_report(&parse_merged(&text).expect("parsed once already")) != report {
+        println!("merged critical-path check: FAILED (re-rendering the artifact differed)");
+        ok = false;
+    } else {
+        println!(
+            "merged critical-path check: identical report across reruns ({} bytes)",
+            report.len()
+        );
+    }
+    let paths = critical_paths(&merged.events);
+    let problems = check_paths(&paths, 1, MIN_COVERAGE_MERGED);
+    for p in &problems {
+        println!("merged critical-path check: FAILED ({p})");
+    }
+    ok &= problems.is_empty();
+    let cross = paths
+        .iter()
+        .filter(|p| {
+            let nodes: std::collections::BTreeSet<u32> = p
+                .edges
+                .iter()
+                .flat_map(|e| [e.from_node, e.to_node])
+                .filter(|n| *n != NO_NODE)
+                .collect();
+            nodes.len() > 1
+        })
+        .count();
+    if cross == 0 {
+        println!("merged critical-path check: FAILED (no chain crosses a process boundary)");
+        ok = false;
+    }
+    if ok {
+        let worst = paths
+            .iter()
+            .filter(|p| p.final_consensus)
+            .map(|p| p.coverage())
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "merged critical-path check: {} rounds from {} processes, {} cross-process chains, \
+             worst finalized coverage {:.1}%",
+            paths.len(),
+            merged.nodes.len(),
+            cross,
+            worst * 100.0
+        );
+        println!("merged critical-path check: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn check() -> ExitCode {
@@ -263,7 +366,7 @@ fn check() -> ExitCode {
     }
     let trace = parse_jsonl(&jsonl_a).expect("exporter emits parseable JSONL");
     let paths = critical_paths(&trace.events);
-    let problems = check_paths(&paths, 8);
+    let problems = check_paths(&paths, 8, MIN_COVERAGE);
     if problems.is_empty() {
         let worst = paths
             .iter()
@@ -290,7 +393,16 @@ fn check() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    if std::env::args().any(|a| a == "--check") {
+    let args: Vec<String> = std::env::args().collect();
+    let check_flag = args.iter().any(|a| a == "--check");
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(i + 1) else {
+            println!("critical_path: --trace needs a file path");
+            return ExitCode::FAILURE;
+        };
+        return run_merged(path, check_flag);
+    }
+    if check_flag {
         return check();
     }
     let sim = run_workload();

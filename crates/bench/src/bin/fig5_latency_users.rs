@@ -8,10 +8,13 @@
 //! committee sizes — and hence message counts per user — are independent
 //! of the population, and gossip depth grows only logarithmically.
 
+use algorand_bench::baseline::{self, Baseline};
 use algorand_bench::{fmt_percentiles, header, run_experiment};
 use algorand_sim::SimConfig;
+use std::time::Instant;
 
 fn main() {
+    let wall = Instant::now();
     header(
         "Figure 5 — round latency vs number of users",
         "5k→50k users at 1 MB blocks: ~12 s median, flat in user count",
@@ -23,6 +26,7 @@ fn main() {
         "users", "rounds", "min", "p25", "median", "p75", "max"
     );
     let mut medians = Vec::new();
+    let mut base = Baseline::new("fig5_latency_users");
     for &n in &user_counts {
         let mut cfg = SimConfig::new(n);
         cfg.payload_bytes = 64 * 1024;
@@ -42,6 +46,9 @@ fn main() {
             max: avg(|s| s.completion.max),
         };
         println!("{:>7} {:>8}   {}", n, measured, fmt_percentiles(&p));
+        base = base
+            .metric(&format!("p50_latency_s_users_{n}"), p.median)
+            .metric(&format!("p99_latency_s_users_{n}"), p.p99);
         medians.push(p.median);
     }
     println!();
@@ -57,4 +64,9 @@ fn main() {
         last / first
     );
     println!("paper: latency nearly constant from 5k to 50k users");
+    base.metric(baseline::P50_LATENCY_S, last)
+        .metric("latency_ratio_16x_users", last / first)
+        .metric(baseline::WALL_CLOCK_S, wall.elapsed().as_secs_f64())
+        .write()
+        .expect("write baseline");
 }

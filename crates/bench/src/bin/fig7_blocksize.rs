@@ -8,10 +8,13 @@
 //! waits) but must show the same structure: agreement time independent of
 //! block size, proposal time linear in it.
 
+use algorand_bench::baseline::{self, Baseline};
 use algorand_bench::{header, run_experiment};
 use algorand_sim::SimConfig;
+use std::time::Instant;
 
 fn main() {
+    let wall = Instant::now();
     header(
         "Figure 7 — latency breakdown vs block size",
         "proposal grows with block size; BA* (~12 s) and final step (~6 s) flat",
@@ -30,6 +33,7 @@ fn main() {
         "block", "proposal(s)", "BA*(s)", "final(s)", "total(s)"
     );
     let mut rows = Vec::new();
+    let mut base = Baseline::new("fig7_blocksize");
     for (bytes, label) in sizes {
         let mut cfg = SimConfig::new(n_users);
         // The paper's fixed 10 s proposal wait absorbs block transmission
@@ -54,6 +58,11 @@ fn main() {
             fin,
             proposal + ba + fin
         );
+        let key = label.to_ascii_lowercase();
+        base = base
+            .metric(&format!("proposal_s_{key}"), proposal)
+            .metric(&format!("ba_s_{key}"), ba)
+            .metric(&format!("total_s_{key}"), proposal + ba + fin);
         rows.push((bytes, proposal, ba));
     }
     println!();
@@ -70,4 +79,8 @@ fn main() {
     println!(
         "shape check: beyond the proposal window (2MB here, 10MB in the paper) the round          is dominated by block dissemination, not agreement"
     );
+    base.metric("ba_flatness_ratio_1mb_vs_1kb", one_mb_ba / small_ba)
+        .metric(baseline::WALL_CLOCK_S, wall.elapsed().as_secs_f64())
+        .write()
+        .expect("write baseline");
 }

@@ -18,15 +18,27 @@
 //!    monitor verdicts and non-zero transport/WAL/pipeline counters.
 //!    And the asymmetry that makes `crash.jsonl` trustworthy: `kill -9`
 //!    leaves no dump (only a panic writes one).
+//! 4. **Cluster trace plane** — mid-run, the sibling `trace_collect`
+//!    binary drains every process's bounded trace buffer over the
+//!    TELEMETRY `TRACE_DRAIN` op, merges the five per-process traces
+//!    onto one clock (finalized-round anchors), and the merged critical
+//!    path must cover ≥ 90% of every finalized round's latency with
+//!    contiguous chains crossing process boundaries. Artifacts land in
+//!    `results/cluster_trace.{jsonl,txt}`, a raw scraped exposition in
+//!    `results/cluster_metrics.txt`, and the headline numbers in
+//!    `results/BENCH_localnet.json`.
 //!
 //! Exit code 0 only if every assertion holds, so `scripts/ci.sh` can
 //! gate on it. Configuration is compiled in (it *is* the test).
 
+use algorand_bench::baseline::{self, Baseline};
 use algorand_node::config::{derive_keypairs, workload_transactions};
-use algorand_node::telemetry::ClusterHealth;
+use algorand_node::telemetry::{scrape_metrics, ClusterHealth};
 use algorand_node::NodeConfig;
+use algorand_obs::merge::parse_merged;
+use algorand_obs::{critical_paths, NO_NODE};
 use algorand_sim::{SimConfig, Simulation};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -106,6 +118,75 @@ fn main() {
         "nodes at the same tip must agree on the tip hash"
     );
     println!("[localnet] telemetry ok: {N} clean scrapes mid-run");
+
+    // --- Cluster trace plane: drain all N processes mid-run. ----------
+    // Archive one raw exposition alongside the health report — the
+    // checked-in copy pins the expose parser's exact round trip.
+    let exposition =
+        scrape_metrics(&addrs[0], Duration::from_secs(10)).expect("scrape node 0 exposition");
+    std::fs::write("results/cluster_metrics.txt", &exposition).expect("write cluster_metrics.txt");
+    let status = Command::new(collector_binary())
+        .arg("--dir")
+        .arg(&root)
+        .args(["--out", "results/cluster_trace.jsonl"])
+        .args(["--report", "results/cluster_trace.txt"])
+        .status()
+        .expect("spawn trace_collect");
+    assert!(status.success(), "trace_collect exited unsuccessfully");
+    let artifact =
+        std::fs::read_to_string("results/cluster_trace.jsonl").expect("read merged artifact");
+    let merged = parse_merged(&artifact).expect("merged artifact parses");
+    assert_eq!(
+        merged.nodes.len(),
+        N,
+        "trace_collect must drain all {N} processes"
+    );
+    assert_eq!(
+        merged.dropped, 0,
+        "no process may have dropped trace events"
+    );
+    let paths = critical_paths(&merged.events);
+    assert!(
+        !paths.is_empty(),
+        "merged trace must yield at least one finalized round's critical path"
+    );
+    let mut cross_chains = 0usize;
+    for p in &paths {
+        for pair in p.edges.windows(2) {
+            assert_eq!(
+                pair[1].start, pair[0].end,
+                "round {}: merged chain not contiguous at t={}us",
+                p.round, pair[0].end
+            );
+        }
+        if p.final_consensus {
+            assert!(
+                p.coverage() >= 0.90,
+                "round {}: merged critical path covers {:.1}% of finalization latency, \
+                 below the 90% bar",
+                p.round,
+                p.coverage() * 100.0
+            );
+        }
+        let processes: BTreeSet<u32> = p
+            .edges
+            .iter()
+            .flat_map(|e| [e.from_node, e.to_node])
+            .filter(|n| *n != NO_NODE)
+            .collect();
+        if processes.len() > 1 {
+            cross_chains += 1;
+        }
+    }
+    assert!(
+        cross_chains > 0,
+        "at least one merged chain must cross a process boundary"
+    );
+    println!(
+        "[localnet] cluster trace ok: {} rounds profiled across {N} processes, \
+         {cross_chains} cross-process chains",
+        paths.len()
+    );
 
     let summaries = wait_all(children, Duration::from_secs(180));
     for (i, ok) in summaries.iter().enumerate() {
@@ -199,7 +280,20 @@ fn main() {
     );
 
     let _ = std::fs::remove_dir_all(&root);
-    println!("[localnet] PASS in {:.1}s", t0.elapsed().as_secs_f64());
+    let wall = t0.elapsed().as_secs_f64();
+    let mean_rate = health
+        .round_rates
+        .as_ref()
+        .map_or(0.0, |r| r.iter().sum::<f64>() / r.len().max(1) as f64);
+    Baseline::new("localnet")
+        .metric(baseline::WALL_CLOCK_S, wall)
+        .metric("nodes", N as f64)
+        .metric("rounds_finalized", target_b as f64)
+        .metric("mid_run_round_rate_per_s", mean_rate)
+        .metric("cross_process_chains", cross_chains as f64)
+        .write()
+        .expect("write localnet baseline");
+    println!("[localnet] PASS in {wall:.1}s");
 }
 
 /// Runs the simulator with the deployment's exact parameters, keys and
@@ -290,6 +384,17 @@ fn node_binary() -> PathBuf {
     }
     let mut p = std::env::current_exe().expect("current_exe");
     p.set_file_name("algorand-node");
+    p
+}
+
+/// The `trace_collect` binary: `$ALGORAND_TRACE_COLLECT_BIN` if set,
+/// else the sibling of this harness in the same cargo target directory.
+fn collector_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("ALGORAND_TRACE_COLLECT_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("trace_collect");
     p
 }
 

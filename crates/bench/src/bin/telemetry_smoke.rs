@@ -12,11 +12,18 @@
 //!    scraper that never sends HELLO is not a peer).
 //! 2. **Flight dump validity** — the flight-recorder scrape parses with
 //!    the ordinary trace JSONL parser and carries the deployment seed.
+//! 3. **Scrape rate limiting** — a single connection hammering
+//!    `TEL_METRICS_REQ` past the configured burst gets `TEL_THROTTLED`
+//!    error frames (never silence, never disconnect), while a fresh
+//!    connection — its own token bucket — is still served.
 //!
-//! Exit code 0 only if both hold, so `scripts/ci.sh` can gate on it.
+//! Exit code 0 only if all three hold, so `scripts/ci.sh` can gate on it.
 
+use algorand_node::frame;
 use algorand_node::telemetry::{scrape_flight, scrape_metrics};
 use algorand_node::NodeConfig;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -39,6 +46,11 @@ fn main() {
         lambda_step_ms: 120_000,
         lambda_block_ms: 120_000,
         trace: true,
+        // A tight per-connection budget so the throttle leg trips it
+        // quickly; every scrape below uses a fresh connection (fresh
+        // bucket), so the byte-stability legs never feel this.
+        telemetry_burst: 4,
+        telemetry_rate_per_s: 1,
         ..NodeConfig::default()
     };
     std::fs::write(root.join("n0.conf"), cfg.render()).expect("write config");
@@ -76,6 +88,7 @@ fn main() {
         "transport.frames_sent",
         "monitor.violations 0",
         "trace.dropped 0",
+        "node.alerts 0",
     ] {
         assert!(
             first.contains(required),
@@ -104,6 +117,45 @@ fn main() {
         "[telemetry_smoke] flight dump ok: {} events",
         parsed.events.len()
     );
+
+    // Throttle leg: one connection burns through the 4-token burst.
+    // Over-budget requests must come back as TEL_THROTTLED error frames
+    // on the same (still-open) connection, and a *fresh* connection —
+    // with its own bucket — must still be served afterwards.
+    const HAMMER: usize = 12;
+    let mut raw = TcpStream::connect(addr).expect("connect for throttle leg");
+    raw.set_read_timeout(Some(timeout)).expect("read timeout");
+    for _ in 0..HAMMER {
+        raw.write_all(
+            &frame::encode_frame(frame::TELEMETRY, &[frame::TEL_METRICS_REQ])
+                .expect("encode metrics request"),
+        )
+        .expect("send metrics request");
+    }
+    raw.flush().expect("flush throttle burst");
+    let mut reader = BufReader::new(raw);
+    let mut served = 0usize;
+    let mut throttled = 0usize;
+    for _ in 0..HAMMER {
+        let (kind, payload) = frame::read_frame(&mut reader).expect("read throttle response");
+        assert_eq!(kind, frame::TELEMETRY, "only TELEMETRY frames expected");
+        match payload.first() {
+            Some(&frame::TEL_METRICS_RESP) => served += 1,
+            Some(&frame::TEL_THROTTLED) => throttled += 1,
+            other => panic!("unexpected telemetry op {other:?}"),
+        }
+    }
+    assert!(served >= 1, "the burst allowance must be served");
+    assert!(
+        throttled >= 1,
+        "{HAMMER} rapid requests with burst=4 must trip the limiter"
+    );
+    let after = scrape_metrics(addr, timeout).expect("fresh connection after throttling");
+    assert!(
+        !after.is_empty(),
+        "a fresh connection must be unaffected by another scraper's bucket"
+    );
+    println!("[telemetry_smoke] throttle ok: {served} served, {throttled} throttled");
 
     let _ = child.kill();
     let _ = child.wait();

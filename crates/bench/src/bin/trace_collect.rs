@@ -1,0 +1,125 @@
+//! Cluster trace collector: drains every node's bounded trace buffer
+//! over the TELEMETRY `TRACE_DRAIN` op and merges the per-process
+//! traces into one causal cluster trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_collect --dir <deployment-root> [--out F] [--report F]
+//! trace_collect <addr> [<addr>...]     [--out F] [--report F]
+//! ```
+//!
+//! `--dir` scans `<root>/n*/addr` — the address files a localnet
+//! deployment publishes — so the collector needs no port coordination.
+//! The drains are cursor-based and resumable: each node is read in
+//! chunks until a read comes back empty, and scrapes are unmetered on
+//! the node side, so collection never perturbs consensus counters.
+//!
+//! The same drains are merged **twice** and both the JSONL artifact and
+//! the rendered report must be byte-identical — the merge is a pure
+//! function of the collected traces, which is what lets CI diff
+//! artifacts across reruns. Defaults write `results/cluster_trace.jsonl`
+//! and `results/cluster_trace.txt`.
+
+use algorand_node::telemetry::drain_cluster;
+use algorand_obs::merge::{merge, render_report, write_merged};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn addrs_from_dir(dir: &str) -> Result<Vec<String>, String> {
+    let mut found: Vec<(String, String)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let addr_file = entry.path().join("addr");
+        if addr_file.is_file() {
+            let addr = std::fs::read_to_string(&addr_file)
+                .map_err(|e| format!("read {}: {e}", addr_file.display()))?;
+            found.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                addr.trim().to_string(),
+            ));
+        }
+    }
+    if found.is_empty() {
+        return Err(format!("no */addr files under {dir}"));
+    }
+    found.sort();
+    Ok(found.into_iter().map(|(_, a)| a).collect())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut addrs: Vec<String> = Vec::new();
+    let mut out = "results/cluster_trace.jsonl".to_string();
+    let mut report_path = "results/cluster_trace.txt".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                let dir = args.next().ok_or("--dir needs a path")?;
+                addrs.extend(addrs_from_dir(&dir)?);
+            }
+            "--out" => out = args.next().ok_or("--out needs a path")?,
+            "--report" => report_path = args.next().ok_or("--report needs a path")?,
+            addr => addrs.push(addr.to_string()),
+        }
+    }
+    if addrs.is_empty() {
+        return Err("no addresses: pass --dir <root> or explicit addrs".into());
+    }
+
+    println!("[trace_collect] draining {} nodes", addrs.len());
+    let (traces, failed) = drain_cluster(&addrs, SCRAPE_TIMEOUT);
+    for (addr, err) in &failed {
+        println!("[trace_collect] FAILED drain {addr}: {err}");
+    }
+    if !failed.is_empty() {
+        return Err(format!("{} of {} drains failed", failed.len(), addrs.len()));
+    }
+    for t in &traces {
+        println!(
+            "[trace_collect] node {} ({}): {} events, {} dropped",
+            t.node,
+            t.addr,
+            t.trace.events.len(),
+            t.trace.dropped
+        );
+    }
+
+    let merged = merge(&traces)?;
+    let artifact = write_merged(&merged);
+    let report = render_report(&merged);
+    // The merge must be a pure function of the drains: merging the same
+    // inputs again has to reproduce both artifacts byte for byte.
+    let again = merge(&traces)?;
+    if write_merged(&again) != artifact || render_report(&again) != report {
+        return Err("merge is not deterministic: re-merging the same drains differed".into());
+    }
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out, &artifact).map_err(|e| format!("write {out}: {e}"))?;
+    std::fs::write(&report_path, &report).map_err(|e| format!("write {report_path}: {e}"))?;
+    println!(
+        "[trace_collect] merged {} events from {} nodes (horizon {}us) -> {out}",
+        merged.events.len(),
+        merged.nodes.len(),
+        merged.horizon
+    );
+    println!("[trace_collect] report -> {report_path}");
+    print!("{report}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            println!("trace_collect: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

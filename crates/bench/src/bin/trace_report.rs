@@ -21,6 +21,7 @@
 //! is fine; silent truncation is not). Exit code is non-zero on any
 //! mismatch, so CI gates on it.
 
+use algorand_bench::baseline::{self, Baseline};
 use algorand_bench::T_CAP;
 use algorand_obs::{parse_jsonl, Percentiles, SpanKind, Trace, TraceEvent};
 use algorand_sim::{DesConfig, FaultSchedule, Micros, ParallelSim, SimConfig, Simulation};
@@ -294,6 +295,7 @@ fn print_recovery_timeline(trace: &Trace) {
 }
 
 fn report() -> ExitCode {
+    let wall = std::time::Instant::now();
     println!("== trace report: 50-user payment workload (seed 23) ==");
     let sim = run_workload(true);
     let jsonl = sim.export_trace("payment-50");
@@ -345,6 +347,23 @@ fn report() -> ExitCode {
     );
     print_recovery_timeline(&chaos_trace);
     println!("{}", chaos.fault_report());
+
+    // Headline numbers, machine-readable: round latency straight from
+    // the trace, committed throughput from the workload stats.
+    let round_secs = durations(&trace, SpanKind::Round, "");
+    let mut base = Baseline::new("trace_report").metric("trace_events", trace.events.len() as f64);
+    if !round_secs.is_empty() {
+        let p = Percentiles::of(&round_secs);
+        base = base
+            .metric(baseline::P50_LATENCY_S, p.median)
+            .metric(baseline::P99_LATENCY_S, p.p99);
+    }
+    if let Some(stats) = sim.tx_stats() {
+        base = base.metric(baseline::TX_PER_S, stats.tx_per_sec);
+    }
+    base.metric(baseline::WALL_CLOCK_S, wall.elapsed().as_secs_f64())
+        .write()
+        .expect("write baseline");
     ExitCode::SUCCESS
 }
 

@@ -18,6 +18,7 @@
 //! done
 //! ```
 
+pub mod baseline;
 pub mod timing;
 
 use algorand_sim::{Percentiles, RoundStats, SimConfig, Simulation};

@@ -57,6 +57,24 @@ pub const TEL_METRICS_RESP: u8 = 2;
 pub const TEL_FLIGHT_REQ: u8 = 3;
 /// [`TELEMETRY`] op: response body is the flight-recorder JSONL.
 pub const TEL_FLIGHT_RESP: u8 = 4;
+/// [`TELEMETRY`] op: drain the node's bounded trace buffer from a
+/// cursor. Body is a `u64` LE buffer index (see [`encode_trace_req`]);
+/// an empty body means cursor 0. The buffer keeps the *first* N events
+/// in stable order, so the cursor is resumable: re-requesting an old
+/// cursor returns the same events, and requesting `next_cursor` from the
+/// previous response continues the drain without gaps.
+pub const TEL_TRACE_REQ: u8 = 5;
+/// [`TELEMETRY`] op: trace-drain response. Body is
+/// `u64 next_cursor | u64 total | trace JSONL chunk` (see
+/// [`encode_trace_resp`]); the chunk is a complete, independently
+/// parseable trace document whose events are buffer indices
+/// `[cursor, next_cursor)`. `next_cursor == total` means the drain has
+/// caught up with everything recorded so far.
+pub const TEL_TRACE_RESP: u8 = 6;
+/// [`TELEMETRY`] op: error response when a connection exceeds its
+/// telemetry token bucket. Body is empty. Clients should back off;
+/// opening a new connection gets a fresh bucket.
+pub const TEL_THROTTLED: u8 = 7;
 
 /// Largest frame a peer can make us buffer (includes the kind byte).
 pub const MAX_FRAME: usize = 32 << 20;
@@ -140,6 +158,39 @@ pub fn decode_status(payload: &[u8]) -> Option<StatusInfo> {
         monitor_violations,
         peer_drops,
     })
+}
+
+/// Encodes a [`TEL_TRACE_REQ`] body: the drain cursor, LE.
+pub fn encode_trace_req(cursor: u64) -> Vec<u8> {
+    cursor.to_le_bytes().to_vec()
+}
+
+/// Decodes a [`TEL_TRACE_REQ`] body. Empty means cursor 0; anything
+/// other than exactly 8 bytes is malformed.
+pub fn decode_trace_req(body: &[u8]) -> Option<u64> {
+    if body.is_empty() {
+        return Some(0);
+    }
+    Some(u64::from_le_bytes(body.try_into().ok()?))
+}
+
+/// Encodes a [`TEL_TRACE_RESP`] body:
+/// `u64 next_cursor | u64 total | trace JSONL chunk`.
+pub fn encode_trace_resp(next_cursor: u64, total: u64, jsonl: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + jsonl.len());
+    out.extend_from_slice(&next_cursor.to_le_bytes());
+    out.extend_from_slice(&total.to_le_bytes());
+    out.extend_from_slice(jsonl.as_bytes());
+    out
+}
+
+/// Decodes a [`TEL_TRACE_RESP`] body into
+/// `(next_cursor, total, jsonl chunk)`; `None` on malformation.
+pub fn decode_trace_resp(body: &[u8]) -> Option<(u64, u64, &str)> {
+    let next_cursor = u64::from_le_bytes(body.get(..8)?.try_into().ok()?);
+    let total = u64::from_le_bytes(body.get(8..16)?.try_into().ok()?);
+    let jsonl = std::str::from_utf8(body.get(16..)?).ok()?;
+    Some((next_cursor, total, jsonl))
 }
 
 /// Writes one frame.
@@ -290,6 +341,55 @@ mod tests {
         assert_eq!(info.trace_dropped, 0);
         assert_eq!(info.monitor_violations, 0);
         assert!(info.peer_drops.is_empty());
+    }
+
+    #[test]
+    fn status_mixed_version_stream_decodes() {
+        // A v1 node and a v2 node announce on the same stream: both
+        // decode, and neither format is mistaken for the other.
+        let v2 = StatusInfo {
+            tip: 12,
+            trace_dropped: 1,
+            monitor_violations: 0,
+            peer_drops: vec![("127.0.0.1:9001".to_string(), 2)],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, STATUS, &41u64.to_le_bytes()).unwrap();
+        write_frame(&mut buf, STATUS, &encode_status(&v2)).unwrap();
+        write_frame(&mut buf, STATUS, &7u64.to_le_bytes()).unwrap();
+        let mut cur = Cursor::new(buf);
+        let mut decoded = Vec::new();
+        while let Ok((kind, payload)) = read_frame(&mut cur) {
+            assert_eq!(kind, STATUS);
+            decoded.push(decode_status(&payload).expect("status decodes"));
+        }
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].tip, 41);
+        assert!(decoded[0].peer_drops.is_empty());
+        assert_eq!(decoded[1], v2);
+        assert_eq!(decoded[2].tip, 7);
+        // A v2 payload with zero peers is 28 bytes, never 8: the v1
+        // sniff cannot swallow it, and truncating a v2 payload down to
+        // 8 bytes decodes as the (different) v1 tip rather than v2.
+        let enc = encode_status(&v2);
+        assert_eq!(decode_status(&enc[..8]).unwrap().tip, v2.tip);
+        assert!(decode_status(&enc[..9]).is_none());
+    }
+
+    #[test]
+    fn trace_drain_bodies_roundtrip() {
+        assert_eq!(decode_trace_req(&encode_trace_req(17)), Some(17));
+        assert_eq!(decode_trace_req(&[]), Some(0));
+        assert_eq!(decode_trace_req(&[1, 2, 3]), None);
+        let body = encode_trace_resp(9, 40, "{\"trace\":\"algorand\"}\n");
+        let (next, total, jsonl) = decode_trace_resp(&body).unwrap();
+        assert_eq!((next, total), (9, 40));
+        assert!(jsonl.starts_with("{\"trace\""));
+        assert!(decode_trace_resp(&body[..15]).is_none());
+        // Non-UTF-8 chunk bytes are malformed.
+        let mut bad = encode_trace_resp(0, 0, "");
+        bad.push(0xFF);
+        assert!(decode_trace_resp(&bad).is_none());
     }
 
     #[test]

@@ -38,8 +38,10 @@ use algorand_ba::Micros;
 use algorand_core::{Node, PipelineVerifier, WireMessage};
 use algorand_gossip::{RelayDecision, RelayState};
 use algorand_obs::{
-    expose, fanout, write_jsonl, FlightHandle, Histogram, MonitorHandle, Registry, Tracer,
+    expose, fanout, stable_id, write_jsonl, FlightHandle, Histogram, MonitorHandle, Registry,
+    SpanKind, Tracer,
 };
+use std::collections::HashSet;
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +56,11 @@ const TRACE_CAP: usize = 200_000;
 /// the main trace buffer has filled, so a crash dump always shows what
 /// happened *last*.
 const FLIGHT_CAP: usize = 4096;
+
+/// Events per TELEMETRY `TRACE_DRAIN` response chunk: large enough that
+/// a localnet-scale trace drains in one or two round trips, small enough
+/// that a chunk stays a few MB under [`frame::MAX_FRAME`].
+const TRACE_CHUNK: usize = 16_384;
 
 /// How often we announce our tip and poll blocksync even when idle.
 const STATUS_TICK: Duration = Duration::from_millis(500);
@@ -116,6 +123,14 @@ pub struct Runtime {
     wal_truncated_bytes: u64,
     wal_replay_us: u64,
     decode_failures: u64,
+    /// Whether the monitor-violation alert has already been appended
+    /// (the hook fires on the 0 → >0 flip, once).
+    violations_alerted: bool,
+    /// Peers whose drop counter already crossed the alert threshold.
+    alerted_peers: HashSet<String>,
+    /// Lines appended to `alerts.jsonl` this life (the `node.alerts`
+    /// gauge).
+    alerts_emitted: u64,
     started: Instant,
 }
 
@@ -183,7 +198,12 @@ impl Runtime {
             node.set_tracer(tracer.clone(), cfg.index as u32);
         }
 
-        let transport = Transport::start(&cfg.listen, &cfg.peers, registry.clone())?;
+        let transport = Transport::start_with_limit(
+            &cfg.listen,
+            &cfg.peers,
+            registry.clone(),
+            cfg.telemetry_limit(),
+        )?;
         // Publish the *resolved* listen address (meaningful when the
         // config asked for an ephemeral `:0` port) so a deployment
         // harness can read each process's real endpoint and hand it to
@@ -207,6 +227,9 @@ impl Runtime {
             wal_truncated_bytes: replay.truncated_bytes,
             wal_replay_us,
             decode_failures: 0,
+            violations_alerted: false,
+            alerted_peers: HashSet::new(),
+            alerts_emitted: 0,
             started: Instant::now(),
         })
     }
@@ -270,7 +293,9 @@ impl Runtime {
                 Some(TransportEvent::Status { from, info }) => {
                     self.sync.note_status(from, info.tip);
                 }
-                Some(TransportEvent::Telemetry { from, op }) => self.on_telemetry(from, op),
+                Some(TransportEvent::Telemetry { from, op, body }) => {
+                    self.on_telemetry(from, op, &body);
+                }
                 None => {}
             }
 
@@ -291,6 +316,7 @@ impl Runtime {
                 next_status = wall + STATUS_TICK;
                 self.transport.broadcast_status(&self.status_info());
                 self.write_status_file()?;
+                self.check_alerts()?;
             }
             if let Some(peer) = self.sync.poll(self.node.chain().tip().round, wall) {
                 let req = WireMessage::CatchupRequest {
@@ -379,6 +405,25 @@ impl Runtime {
         if decision == RelayDecision::Duplicate {
             return;
         }
+        // Arrival half of a cross-process gossip hop: an instant stamped
+        // with the message's content id. The sender's matching "send"
+        // instant lives in *its* trace; `obs::merge` fuses the two into
+        // the simulator-shaped hop span (peer = sender, start = send).
+        if self.tracer.is_enabled() {
+            if let Some((label, round)) = hop_label(&msg) {
+                self.tracer
+                    .span(
+                        SpanKind::GossipHop,
+                        self.cfg.index as u32,
+                        round,
+                        self.now(),
+                    )
+                    .label(label)
+                    .id(stable_id(&msg.message_id()))
+                    .value(bytes.len() as u64)
+                    .instant();
+            }
+        }
         let outputs = self.node.on_message(&msg, self.now());
 
         // §6 discard rules, mirrored from the simulator: losing block
@@ -393,16 +438,45 @@ impl Runtime {
             _ => false,
         };
         if decision == RelayDecision::Relay && !discard {
+            self.trace_send(&msg, bytes.len());
             self.transport.broadcast_gossip(bytes, Some(from));
         }
         self.dispatch(outputs, Some(from));
+    }
+
+    /// Send half of a cross-process gossip hop: an instant recorded at
+    /// broadcast time, labeled `"send"`, carrying the message's content
+    /// id, its wire size, and the deepest send-queue occupancy at that
+    /// moment (`step`) — the "queue depth at send" a merged critical
+    /// path attributes wire time with. Dropped by `obs::merge` once
+    /// fused into receiver-side hops.
+    fn trace_send(&self, msg: &WireMessage, wire_bytes: usize) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let Some((_, round)) = hop_label(msg) else {
+            return;
+        };
+        let depth = self.transport.max_send_queue_depth();
+        self.tracer
+            .span(
+                SpanKind::GossipHop,
+                self.cfg.index as u32,
+                round,
+                self.now(),
+            )
+            .label("send")
+            .step(depth.min(u64::from(u32::MAX)) as u32)
+            .id(stable_id(&msg.message_id()))
+            .value(wire_bytes as u64)
+            .instant();
     }
 
     /// Serves one telemetry request: refresh the registry, render, and
     /// reply on the requester's own connection. TELEMETRY traffic is
     /// unmetered, so serving a scrape perturbs none of the counters it
     /// reports — two scrapes of an idle node are byte-identical.
-    fn on_telemetry(&mut self, from: crate::transport::PeerId, op: u8) {
+    fn on_telemetry(&mut self, from: crate::transport::PeerId, op: u8, body: &[u8]) {
         match op {
             frame::TEL_METRICS_REQ => {
                 self.publish_metrics();
@@ -411,9 +485,23 @@ impl Runtime {
                     .send_telemetry(from, frame::TEL_METRICS_RESP, text.as_bytes());
             }
             frame::TEL_FLIGHT_REQ => {
-                let dump = self.flight.dump_jsonl(self.cfg.seed, "flight");
+                // Under the crash-dump lock: a scrape racing the panic
+                // hook must see a whole ring or wait, never interleave.
+                let dump = crate::crash::with_dump_lock(|| {
+                    self.flight.dump_jsonl(self.cfg.seed, "flight")
+                });
                 self.transport
                     .send_telemetry(from, frame::TEL_FLIGHT_RESP, dump.as_bytes());
+            }
+            frame::TEL_TRACE_REQ => {
+                let cursor = frame::decode_trace_req(body).unwrap_or(0) as usize;
+                let (events, total) = self.tracer.events_from(cursor, TRACE_CHUNK);
+                let next = (cursor.min(total) + events.len()) as u64;
+                let schedule = format!("drain node={} cursor={cursor}", self.cfg.index);
+                let jsonl = write_jsonl(self.cfg.seed, &schedule, self.tracer.dropped(), &events);
+                let resp = frame::encode_trace_resp(next, total as u64, &jsonl);
+                self.transport
+                    .send_telemetry(from, frame::TEL_TRACE_RESP, &resp);
             }
             _ => {}
         }
@@ -430,6 +518,7 @@ impl Runtime {
                 }
                 _ => {
                     self.relay.classify(out.message_id(), out.relay_slot());
+                    self.trace_send(&out, bytes.len());
                     self.transport.broadcast_gossip(&bytes, None);
                 }
             }
@@ -528,7 +617,52 @@ impl Runtime {
             .set(self.sync.cooldown_hits() as i64);
         reg.gauge("monitor.violations")
             .set(self.monitor.report().total_violations() as i64);
+        reg.gauge("node.alerts").set(self.alerts_emitted as i64);
         self.transport.publish();
+    }
+
+    /// The push-based alert hook, run on every status tick: appends a
+    /// line to `<wal_dir>/alerts.jsonl` when the in-process monitor
+    /// flips to violation, and when a peer's send-queue drop counter
+    /// first crosses the configured threshold. Each condition alerts
+    /// once per process life — a push channel, not a sampled gauge.
+    fn check_alerts(&mut self) -> io::Result<()> {
+        let violations = self.monitor.report().total_violations();
+        if violations > 0 && !self.violations_alerted {
+            self.violations_alerted = true;
+            let line = format!(
+                "{{\"alert\":\"monitor_violation\",\"violations\":{violations},\"round\":{}}}",
+                self.node.current_round()
+            );
+            self.append_alert(&line)?;
+        }
+        if self.cfg.alert_peer_drops > 0 {
+            for (addr, drops) in self.transport.peer_drop_counts() {
+                if drops >= self.cfg.alert_peer_drops && !self.alerted_peers.contains(&addr) {
+                    self.alerted_peers.insert(addr.clone());
+                    let line = format!(
+                        "{{\"alert\":\"peer_drops\",\"peer\":\"{addr}\",\"drops\":{drops},\
+                         \"threshold\":{}}}",
+                        self.cfg.alert_peer_drops
+                    );
+                    self.append_alert(&line)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn append_alert(&mut self, line: &str) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.cfg.wal_dir.join("alerts.jsonl"))?;
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_data()?;
+        self.alerts_emitted += 1;
+        eprintln!("[node {}] alert: {line}", self.cfg.index);
+        Ok(())
     }
 
     /// Rewrites `status` in the WAL dir: one line the harness can poll.
@@ -610,6 +744,20 @@ impl Runtime {
             timed_out,
             transport: t,
         })
+    }
+}
+
+/// The hop label and round for a wire message the trace plane follows —
+/// the same vocabulary the simulator's hop spans use (`"vote"`,
+/// `"priority"`, `"block_body"`, `"fork_body"`). Transactions and
+/// catch-up traffic are not hop-traced there either.
+fn hop_label(msg: &WireMessage) -> Option<(&'static str, u64)> {
+    match msg {
+        WireMessage::Priority(p) => Some(("priority", p.round)),
+        WireMessage::Block(b) => Some(("block_body", b.block.round)),
+        WireMessage::Vote(v) => Some(("vote", v.round)),
+        WireMessage::ForkProposal(f) => Some(("fork_body", f.epoch)),
+        _ => None,
     }
 }
 

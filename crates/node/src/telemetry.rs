@@ -15,22 +15,35 @@
 
 use crate::frame;
 use algorand_obs::expose::{self, Sample};
+use algorand_obs::merge::NodeTrace;
+use algorand_obs::{parse_jsonl, Trace};
 use std::io::{self, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// One request/response exchange: connect, send the `req_op` TELEMETRY
-/// frame, read frames until the matching response op arrives.
+/// frame with `body`, read frames until the matching response op
+/// arrives. Returns the response payload *after* the op byte.
 ///
 /// # Errors
 ///
-/// I/O failures, timeout, or a malformed/mismatched response.
-fn scrape(addr: &str, req_op: u8, resp_op: u8, timeout: Duration) -> io::Result<String> {
+/// I/O failures, timeout, a throttled-scrape error frame, or a
+/// malformed/mismatched response.
+fn scrape_raw(
+    addr: &str,
+    req_op: u8,
+    body: &[u8],
+    resp_op: u8,
+    timeout: Duration,
+) -> io::Result<Vec<u8>> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
-    writer.write_all(&frame::encode_frame(frame::TELEMETRY, &[req_op])?)?;
+    let mut req = Vec::with_capacity(1 + body.len());
+    req.push(req_op);
+    req.extend_from_slice(body);
+    writer.write_all(&frame::encode_frame(frame::TELEMETRY, &req)?)?;
     writer.flush()?;
     let mut reader = BufReader::new(stream);
     let deadline = Instant::now() + timeout;
@@ -39,14 +52,27 @@ fn scrape(addr: &str, req_op: u8, resp_op: u8, timeout: Duration) -> io::Result<
             return Err(io::Error::new(io::ErrorKind::TimedOut, "scrape timed out"));
         }
         let (kind, payload) = frame::read_frame(&mut reader)?;
-        // The node may push HELLO/PEERS/etc. before answering; skip
-        // anything that is not our response.
-        if kind != frame::TELEMETRY || payload.first() != Some(&resp_op) {
+        if kind != frame::TELEMETRY {
+            // The node may push HELLO/PEERS/etc. before answering; skip
+            // anything that is not a telemetry frame.
             continue;
         }
-        return String::from_utf8(payload[1..].to_vec())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        if payload.first() == Some(&frame::TEL_THROTTLED) {
+            // Waiting out a throttle would just hang until the timeout;
+            // surface it so the caller can back off deliberately.
+            return Err(io::Error::other("scrape throttled by node rate limit"));
+        }
+        if payload.first() != Some(&resp_op) {
+            continue;
+        }
+        return Ok(payload[1..].to_vec());
     }
+}
+
+/// Text-response exchange (metrics exposition, flight dump).
+fn scrape(addr: &str, req_op: u8, resp_op: u8, timeout: Duration) -> io::Result<String> {
+    let payload = scrape_raw(addr, req_op, &[], resp_op, timeout)?;
+    String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Scrapes a node's metrics exposition text.
@@ -72,6 +98,95 @@ pub fn scrape_flight(addr: &str, timeout: Duration) -> io::Result<String> {
     scrape(addr, frame::TEL_FLIGHT_REQ, frame::TEL_FLIGHT_RESP, timeout)
 }
 
+/// One trace-drain exchange: asks for the bounded trace buffer from
+/// `cursor` and returns `(next_cursor, total, chunk)` where `chunk` is
+/// the parsed trace JSONL the node answered with (its `schedule` names
+/// the node index and cursor).
+///
+/// # Errors
+///
+/// I/O failures, timeout, or a malformed response body.
+pub fn scrape_trace(addr: &str, cursor: u64, timeout: Duration) -> io::Result<(u64, u64, Trace)> {
+    let body = scrape_raw(
+        addr,
+        frame::TEL_TRACE_REQ,
+        &frame::encode_trace_req(cursor),
+        frame::TEL_TRACE_RESP,
+        timeout,
+    )?;
+    let (next, total, jsonl) = frame::decode_trace_resp(&body)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad TRACE_RESP body"))?;
+    let trace = parse_jsonl(jsonl).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((next, total, trace))
+}
+
+/// Drains a node's whole trace buffer, resuming from the returned
+/// cursor until a chunk comes back empty. A live node keeps appending
+/// while we drain, so this always issues at least two requests — the
+/// final empty read doubles as proof the cursor protocol resumes
+/// cleanly. Returns the drained trace (header from the first chunk,
+/// events concatenated in buffer order).
+///
+/// # Errors
+///
+/// Any exchange failing, or a node that moves the cursor backwards.
+pub fn drain_trace(addr: &str, timeout: Duration) -> io::Result<Trace> {
+    let mut cursor = 0u64;
+    let (mut next, _total, mut drained) = scrape_trace(addr, cursor, timeout)?;
+    loop {
+        if next < cursor {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace cursor moved backwards: {cursor} -> {next}"),
+            ));
+        }
+        if next == cursor {
+            return Ok(drained);
+        }
+        cursor = next;
+        let (n, _t, chunk) = scrape_trace(addr, cursor, timeout)?;
+        next = n;
+        drained.dropped = chunk.dropped;
+        drained.events.extend(chunk.events);
+    }
+}
+
+/// Drains every node of a cluster, pairing each drained trace with the
+/// node index its drain header names. Addresses that fail to drain are
+/// returned as errors alongside the successes, mirroring
+/// [`ClusterHealth::collect`]'s not-fatal stance.
+pub fn drain_cluster(
+    addrs: &[String],
+    timeout: Duration,
+) -> (Vec<NodeTrace>, Vec<(String, String)>) {
+    let mut traces = Vec::new();
+    let mut failed = Vec::new();
+    for addr in addrs {
+        match drain_trace(addr, timeout) {
+            Ok(trace) => {
+                let node = trace
+                    .schedule
+                    .strip_prefix("drain node=")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|n| n.parse::<u32>().ok());
+                match node {
+                    Some(node) => traces.push(NodeTrace {
+                        node,
+                        addr: addr.clone(),
+                        trace,
+                    }),
+                    None => failed.push((
+                        addr.clone(),
+                        format!("drain header names no node index: {:?}", trace.schedule),
+                    )),
+                }
+            }
+            Err(e) => failed.push((addr.clone(), e.to_string())),
+        }
+    }
+    (traces, failed)
+}
+
 /// One scraped node's digest of health-relevant samples.
 #[derive(Clone, Debug)]
 pub struct NodeHealth {
@@ -84,6 +199,9 @@ pub struct NodeHealth {
     pub tip_hash64: i64,
     /// `monitor.violations` (in-process invariant monitor).
     pub monitor_violations: i64,
+    /// `node.alerts` — lines the node has pushed to its `alerts.jsonl`
+    /// (monitor flips, peer-drop thresholds).
+    pub alerts: i64,
     /// `trace.dropped`.
     pub trace_dropped: i64,
     /// Total send-queue drops plus the deepest per-peer queue: the
@@ -125,6 +243,7 @@ impl NodeHealth {
             tip: get("node.tip_round"),
             tip_hash64: get("node.tip_hash64"),
             monitor_violations: get("monitor.violations"),
+            alerts: get("node.alerts"),
             trace_dropped: get("trace.dropped"),
             queue_pressure: drops_total + max_depth,
             pipeline_ingested: get("pipeline.ingested"),
@@ -236,6 +355,11 @@ impl ClusterHealth {
         self.nodes.iter().map(|n| n.monitor_violations).sum()
     }
 
+    /// Total pushed alerts across the cluster.
+    pub fn total_alerts(&self) -> i64 {
+        self.nodes.iter().map(|n| n.alerts).sum()
+    }
+
     /// The operator-facing report: one block per node, then the cluster
     /// roll-up. Deterministic for a given set of digests.
     pub fn render(&self) -> String {
@@ -245,7 +369,7 @@ impl ClusterHealth {
             out.push_str(&format!(
                 "node {addr}\n  tip={tip} hash64={hash:#018x} verdict={verdict}\n  \
                  pipeline.ingested={ing} transport.frames_sent={fs} wal.entries={we}\n  \
-                 queue_pressure={qp} trace.dropped={td}\n",
+                 queue_pressure={qp} trace.dropped={td} alerts={al}\n",
                 addr = n.addr,
                 tip = n.tip,
                 hash = n.tip_hash64 as u64,
@@ -255,6 +379,7 @@ impl ClusterHealth {
                 we = n.wal_entries,
                 qp = n.queue_pressure,
                 td = n.trace_dropped,
+                al = n.alerts,
             ));
             if let Some(rates) = &self.round_rates {
                 if let Some(rate) = rates.get(i) {
@@ -266,12 +391,13 @@ impl ClusterHealth {
             out.push_str(&format!("node {addr}\n  UNREACHABLE: {err}\n"));
         }
         out.push_str(&format!(
-            "cluster: nodes={} unreachable={} tip_spread={} digests_agree={} violations={}\n",
+            "cluster: nodes={} unreachable={} tip_spread={} digests_agree={} violations={} alerts={}\n",
             self.nodes.len(),
             self.unreachable.len(),
             self.tip_spread(),
             self.digests_agree(),
             self.total_violations(),
+            self.total_alerts(),
         ));
         out
     }

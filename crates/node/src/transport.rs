@@ -69,15 +69,78 @@ pub enum TransportEvent {
         /// The decoded announcement.
         info: frame::StatusInfo,
     },
-    /// A telemetry scrape request ([`frame::TEL_METRICS_REQ`] or
-    /// [`frame::TEL_FLIGHT_REQ`]); the runtime renders the body and
-    /// answers via [`Transport::send_telemetry`].
+    /// A telemetry scrape request ([`frame::TEL_METRICS_REQ`],
+    /// [`frame::TEL_FLIGHT_REQ`] or [`frame::TEL_TRACE_REQ`]); the
+    /// runtime renders the body and answers via
+    /// [`Transport::send_telemetry`].
     Telemetry {
         /// Connection the request arrived on.
         from: PeerId,
         /// The request op code.
         op: u8,
+        /// The request body after the op byte (the drain cursor for
+        /// [`frame::TEL_TRACE_REQ`]; empty otherwise).
+        body: Vec<u8>,
     },
+}
+
+/// Per-connection TELEMETRY request rate limit: a token bucket holding
+/// at most `burst` tokens, refilled at `per_sec` tokens per second.
+/// Each request consumes one token; an empty bucket gets a
+/// [`frame::TEL_THROTTLED`] error frame instead of service. `per_sec ==
+/// 0` disables limiting. Buckets are per connection, so a multi-chunk
+/// trace drain over fresh connections is never throttled by an earlier
+/// scraper's appetite.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryLimit {
+    /// Bucket capacity (requests an idle connection may burst).
+    pub burst: u32,
+    /// Sustained refill rate, tokens per second (0 = unlimited).
+    pub per_sec: u32,
+}
+
+impl Default for TelemetryLimit {
+    fn default() -> TelemetryLimit {
+        TelemetryLimit {
+            burst: 32,
+            per_sec: 16,
+        }
+    }
+}
+
+/// The reader-thread-local token bucket backing [`TelemetryLimit`].
+/// Tokens are tracked in millionths so refill math stays integral.
+struct TokenBucket {
+    limit: TelemetryLimit,
+    micro: u64,
+    last: std::time::Instant,
+}
+
+impl TokenBucket {
+    fn new(limit: TelemetryLimit) -> TokenBucket {
+        TokenBucket {
+            limit,
+            micro: u64::from(limit.burst) * 1_000_000,
+            last: std::time::Instant::now(),
+        }
+    }
+
+    fn try_take(&mut self) -> bool {
+        if self.limit.per_sec == 0 {
+            return true;
+        }
+        let now = std::time::Instant::now();
+        let refill =
+            now.duration_since(self.last).as_micros() as u64 * u64::from(self.limit.per_sec);
+        self.last = now;
+        self.micro = (self.micro + refill).min(u64::from(self.limit.burst) * 1_000_000);
+        if self.micro >= 1_000_000 {
+            self.micro -= 1_000_000;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Monotonic counters, snapshotted for metrics export.
@@ -167,7 +230,9 @@ impl Metrics {
 /// Per-kind counter index for metered kinds; `None` leaves the frame
 /// uncounted (TELEMETRY, unknown).
 fn metered_index(kind: u8) -> Option<usize> {
-    (kind >= frame::HELLO && kind <= frame::STATUS).then(|| (kind - frame::HELLO) as usize)
+    (frame::HELLO..=frame::STATUS)
+        .contains(&kind)
+        .then(|| (kind - frame::HELLO) as usize)
 }
 
 struct Peer {
@@ -203,6 +268,7 @@ struct Shared {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     events: SyncSender<TransportEvent>,
+    limit: TelemetryLimit,
 }
 
 /// The node's TCP fabric. Dropping it does *not* stop the threads; call
@@ -226,6 +292,21 @@ impl Transport {
         static_peers: &[String],
         registry: Registry,
     ) -> io::Result<Transport> {
+        Transport::start_with_limit(listen, static_peers, registry, TelemetryLimit::default())
+    }
+
+    /// Like [`Transport::start`] with an explicit per-connection
+    /// TELEMETRY rate limit.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the listen socket cannot be bound.
+    pub fn start_with_limit(
+        listen: &str,
+        static_peers: &[String],
+        registry: Registry,
+        limit: TelemetryLimit,
+    ) -> io::Result<Transport> {
         let listener = TcpListener::bind(listen)?;
         let local_addr = listener.local_addr()?.to_string();
         // What peers should dial back: the configured string, unless it
@@ -248,6 +329,7 @@ impl Transport {
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             events: events_tx,
+            limit,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -300,22 +382,7 @@ impl Transport {
     /// protocol peer or scraper alike. Unmetered: drops are not counted
     /// and no counter moves, so serving a scrape never perturbs metrics.
     pub fn send_telemetry(&self, peer: PeerId, op: u8, body: &[u8]) -> bool {
-        let mut payload = Vec::with_capacity(1 + body.len());
-        payload.push(op);
-        payload.extend_from_slice(body);
-        let Ok(framed) = frame::encode_frame(frame::TELEMETRY, &payload) else {
-            return false;
-        };
-        let peers = self.shared.peers.lock().unwrap();
-        let Some(p) = peers.get(&peer) else {
-            return false;
-        };
-        if p.queue.try_send(Arc::new(framed)).is_ok() {
-            p.depth.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
+        send_telemetry_frame(&self.shared, peer, op, body)
     }
 
     /// Announces our status (tip + telemetry) to every protocol peer.
@@ -389,6 +456,20 @@ impl Transport {
         self.shared.registry.gauge("transport.peers").set(count);
     }
 
+    /// The deepest current send-queue occupancy across protocol peers:
+    /// the "queue depth at send" the trace plane stamps onto outbound
+    /// hop events, so a merged critical path can show how backed up the
+    /// sender was when a frame was queued.
+    pub fn max_send_queue_depth(&self) -> u64 {
+        let peers = self.shared.peers.lock().unwrap();
+        peers
+            .values()
+            .filter(|p| p.protocol)
+            .map(|p| p.depth.load(Ordering::Relaxed).max(0) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> TransportStats {
         let m = &self.shared.metrics;
@@ -412,6 +493,28 @@ impl Transport {
         for peer in peers.values() {
             let _ = peer.stream.shutdown(std::net::Shutdown::Both);
         }
+    }
+}
+
+/// Queues a telemetry frame (`op` byte + `body`) to one connection —
+/// protocol peer or scraper alike. Unmetered: drops are not counted and
+/// no counter moves, so serving a scrape never perturbs metrics.
+fn send_telemetry_frame(shared: &Shared, peer: PeerId, op: u8, body: &[u8]) -> bool {
+    let mut payload = Vec::with_capacity(1 + body.len());
+    payload.push(op);
+    payload.extend_from_slice(body);
+    let Ok(framed) = frame::encode_frame(frame::TELEMETRY, &payload) else {
+        return false;
+    };
+    let peers = shared.peers.lock().unwrap();
+    let Some(p) = peers.get(&peer) else {
+        return false;
+    };
+    if p.queue.try_send(Arc::new(framed)).is_ok() {
+        p.depth.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        false
     }
 }
 
@@ -589,6 +692,7 @@ fn writer_loop(
 
 fn reader_loop(stream: TcpStream, id: PeerId, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(stream);
+    let mut bucket = TokenBucket::new(shared.limit);
     loop {
         let Ok((kind, payload)) = frame::read_frame(&mut reader) else {
             return;
@@ -685,12 +789,27 @@ fn reader_loop(stream: TcpStream, id: PeerId, shared: &Arc<Shared>) {
                 let Some(&op) = payload.first() else {
                     return;
                 };
-                if op != frame::TEL_METRICS_REQ && op != frame::TEL_FLIGHT_REQ {
+                if op != frame::TEL_METRICS_REQ
+                    && op != frame::TEL_FLIGHT_REQ
+                    && op != frame::TEL_TRACE_REQ
+                {
                     return; // We serve scrapes; we never accept responses.
+                }
+                // Rate limit per connection: an over-budget request is
+                // answered with a throttled error frame and *not*
+                // forwarded; the connection stays up and earns tokens
+                // back at the refill rate.
+                if !bucket.try_take() {
+                    send_telemetry_frame(shared, id, frame::TEL_THROTTLED, &[]);
+                    continue;
                 }
                 if shared
                     .events
-                    .send(TransportEvent::Telemetry { from: id, op })
+                    .send(TransportEvent::Telemetry {
+                        from: id,
+                        op,
+                        body: payload[1..].to_vec(),
+                    })
                     .is_err()
                 {
                     return;
@@ -820,7 +939,7 @@ mod tests {
         // The runtime-side event arrives; answer it.
         let (from, op) = loop {
             match a.recv_timeout(Duration::from_secs(5)) {
-                Some(TransportEvent::Telemetry { from, op }) => break (from, op),
+                Some(TransportEvent::Telemetry { from, op, .. }) => break (from, op),
                 Some(_) => continue,
                 None => panic!("no telemetry request"),
             }
@@ -849,6 +968,56 @@ mod tests {
         assert_eq!(stats.frames_received, 0, "telemetry is unmetered");
         assert_eq!(stats.connections, 0, "scraper is not a connection");
 
+        a.shutdown();
+    }
+
+    #[test]
+    fn over_limit_scrapes_get_throttled_error_frames() {
+        let limit = TelemetryLimit {
+            burst: 2,
+            per_sec: 1,
+        };
+        let a = Transport::start_with_limit("127.0.0.1:0", &[], Registry::new(), limit).unwrap();
+
+        // Answer every forwarded request so the client can count
+        // replies; the transport itself answers throttled ones.
+        let mut client = TcpStream::connect(a.local_addr()).unwrap();
+        const REQUESTS: usize = 5;
+        for _ in 0..REQUESTS {
+            client
+                .write_all(
+                    &frame::encode_frame(frame::TELEMETRY, &[frame::TEL_METRICS_REQ]).unwrap(),
+                )
+                .unwrap();
+        }
+        let mut forwarded = 0;
+        while let Some(ev) = a.recv_timeout(Duration::from_millis(800)) {
+            if let TransportEvent::Telemetry { from, .. } = ev {
+                assert!(a.send_telemetry(from, frame::TEL_METRICS_RESP, b"x 1\n"));
+                forwarded += 1;
+            }
+        }
+        assert!(
+            forwarded < REQUESTS,
+            "a burst of {REQUESTS} must not all pass a burst-2 bucket"
+        );
+        assert!(forwarded >= 2, "the burst allowance must be served");
+
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut throttled = 0;
+        let mut metrics = 0;
+        for _ in 0..REQUESTS {
+            let (kind, payload) = frame::read_frame(&mut reader).unwrap();
+            assert_eq!(kind, frame::TELEMETRY);
+            match payload[0] {
+                frame::TEL_THROTTLED => throttled += 1,
+                frame::TEL_METRICS_RESP => metrics += 1,
+                other => panic!("unexpected telemetry op {other}"),
+            }
+        }
+        assert_eq!(metrics, forwarded);
+        assert_eq!(throttled, REQUESTS - forwarded);
+        assert!(throttled >= 1);
         a.shutdown();
     }
 

@@ -85,6 +85,11 @@ pub struct Edge {
     pub start: Micros,
     /// Interval end, µs.
     pub end: Micros,
+    /// Wire bytes carried, for gossip hops (0 otherwise).
+    pub bytes: u64,
+    /// Sender's send-queue depth when the hop was enqueued, for gossip
+    /// hops on merged cluster traces (0 otherwise).
+    pub queue_depth: u32,
 }
 
 impl Edge {
@@ -157,6 +162,22 @@ struct Point {
     from: u32,
     kind: EdgeKind,
     label: String,
+    bytes: u64,
+    queue_depth: u32,
+}
+
+impl Point {
+    fn new(t: Micros, node: u32, from: u32, kind: EdgeKind, label: String) -> Point {
+        Point {
+            t,
+            node,
+            from,
+            kind,
+            label,
+            bytes: 0,
+            queue_depth: 0,
+        }
+    }
 }
 
 /// Index of a trace's causal events, ready for backward walks.
@@ -273,13 +294,13 @@ impl<'a> CausalGraph<'a> {
             let (idx, st) = cur;
             push(
                 &mut pts,
-                Point {
-                    t: st.end,
-                    node: st.node,
-                    from: st.node,
-                    kind: EdgeKind::BaStep,
-                    label: st.label.to_string(),
-                },
+                Point::new(
+                    st.end,
+                    st.node,
+                    st.node,
+                    EdgeKind::BaStep,
+                    st.label.to_string(),
+                ),
             );
             if st.cause == 0 {
                 // Timeout conclusion: the wait spans the whole step
@@ -298,13 +319,13 @@ impl<'a> CausalGraph<'a> {
                 // remainder to the step window and stop.
                 push(
                     &mut pts,
-                    Point {
-                        t: st.start,
-                        node: st.node,
-                        from: st.node,
-                        kind: EdgeKind::BaStep,
-                        label: "untraced".into(),
-                    },
+                    Point::new(
+                        st.start,
+                        st.node,
+                        st.node,
+                        EdgeKind::BaStep,
+                        "untraced".into(),
+                    ),
                 );
                 break;
             };
@@ -312,26 +333,20 @@ impl<'a> CausalGraph<'a> {
                 if let Some(v) = self.verifies.get(&(st.cause, st.node)) {
                     push(
                         &mut pts,
-                        Point {
-                            t: v.end,
-                            node: st.node,
-                            from: st.node,
-                            kind: EdgeKind::Verify,
-                            label: v.label.to_string(),
-                        },
+                        Point::new(
+                            v.end,
+                            st.node,
+                            st.node,
+                            EdgeKind::Verify,
+                            v.label.to_string(),
+                        ),
                     );
                 }
                 self.walk_hops(st.cause, st.node, em.node, &mut pts, &mut push);
             }
             push(
                 &mut pts,
-                Point {
-                    t: em.start,
-                    node: em.node,
-                    from: em.node,
-                    kind: EdgeKind::BaStep,
-                    label: "emit".into(),
-                },
+                Point::new(em.start, em.node, em.node, EdgeKind::BaStep, "emit".into()),
             );
             match self.prev_phase(em.node, round, eidx) {
                 Some(prev) => cur = prev,
@@ -352,6 +367,8 @@ impl<'a> CausalGraph<'a> {
                 to_node: w[1].node,
                 start: w[0].t,
                 end: w[1].t,
+                bytes: w[1].bytes,
+                queue_depth: w[1].queue_depth,
             })
             .collect();
         Some(CriticalPath {
@@ -397,22 +414,14 @@ impl<'a> CausalGraph<'a> {
             push(
                 pts,
                 Point {
-                    t: h.end,
-                    node: h.node,
-                    from: h.peer,
-                    kind: EdgeKind::Gossip,
-                    label: h.label.to_string(),
+                    bytes: h.value,
+                    queue_depth: h.step,
+                    ..Point::new(h.end, h.node, h.peer, EdgeKind::Gossip, h.label.to_string())
                 },
             );
             push(
                 pts,
-                Point {
-                    t: h.start,
-                    node: h.peer,
-                    from: h.peer,
-                    kind: EdgeKind::Gossip,
-                    label: "relay".into(),
-                },
+                Point::new(h.start, h.peer, h.peer, EdgeKind::Gossip, "relay".into()),
             );
             at = h.peer;
         }
@@ -433,13 +442,7 @@ impl<'a> CausalGraph<'a> {
         };
         push(
             pts,
-            Point {
-                t: p.end,
-                node,
-                from: node,
-                kind: EdgeKind::Proposal,
-                label: "adopt".into(),
-            },
+            Point::new(p.end, node, node, EdgeKind::Proposal, "adopt".into()),
         );
         if p.cause != 0 {
             self.walk_hops(p.cause, node, u32::MAX, pts, push);
@@ -449,25 +452,19 @@ impl<'a> CausalGraph<'a> {
             if let Some(pp) = self.proposals.get(&(origin_node, round)) {
                 push(
                     pts,
-                    Point {
-                        t: pp.start,
-                        node: origin_node,
-                        from: origin_node,
-                        kind: EdgeKind::Proposal,
-                        label: "origin".into(),
-                    },
+                    Point::new(
+                        pp.start,
+                        origin_node,
+                        origin_node,
+                        EdgeKind::Proposal,
+                        "origin".into(),
+                    ),
                 );
             }
         } else {
             push(
                 pts,
-                Point {
-                    t: p.start,
-                    node,
-                    from: node,
-                    kind: EdgeKind::Proposal,
-                    label: "origin".into(),
-                },
+                Point::new(p.start, node, node, EdgeKind::Proposal, "origin".into()),
             );
         }
     }

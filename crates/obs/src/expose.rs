@@ -211,6 +211,18 @@ pub fn render(registry: &Registry) -> String {
     out
 }
 
+/// Re-renders parsed samples into exposition text. For canonical text
+/// (anything [`render`] produced), `render_samples(&parse(text)?)`
+/// reproduces the input byte for byte — the exactness the scraped-
+/// artifact round-trip test pins down.
+pub fn render_samples(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        render_line(&mut out, &s.name, &s.labels, s.value);
+    }
+    out
+}
+
 /// Parses exposition text back into samples.
 ///
 /// # Errors
@@ -395,11 +407,6 @@ mod tests {
         let text = render(&reg);
         let samples = parse(&text).unwrap();
         // Re-render from parsed samples reproduces the bytes.
-        let mut out = String::new();
-        for s in &samples {
-            let labels: Vec<(String, String)> = s.labels.clone();
-            render_line(&mut out, &s.name, &labels, s.value);
-        }
-        assert_eq!(out, text);
+        assert_eq!(render_samples(&samples), text);
     }
 }

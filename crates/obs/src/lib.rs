@@ -20,6 +20,12 @@
 //!   stable `id` and a `cause` link; [`causal::critical_paths`] walks a
 //!   round's certificate backward across nodes to the proposal that
 //!   seeded it, with per-edge latency attribution.
+//! - **Cluster merge** ([`merge`]): fuses per-process trace drains into
+//!   one causal graph — clocks aligned via finalized-round anchor spans
+//!   (content-hashed ids match across processes), per-node skew bounds
+//!   recorded, sender/receiver hop halves fused into sim-shaped hops —
+//!   so [`causal::critical_paths`] walks a live cluster's rounds across
+//!   process boundaries.
 //! - **Invariant monitor** ([`monitor`]): an online checker fed live
 //!   from the tracer's observer slot — conflicting certificates,
 //!   committee tail bounds, seed-chain validity, vote accounting, and
@@ -43,6 +49,7 @@ pub mod causal;
 pub mod expose;
 pub mod flight;
 mod hist;
+pub mod merge;
 pub mod monitor;
 mod registry;
 pub mod trace;
@@ -51,6 +58,7 @@ pub use causal::{critical_paths, CausalGraph, CriticalPath, Edge, EdgeKind};
 pub use expose::{labeled, Sample};
 pub use flight::{FlightHandle, FlightRecorder};
 pub use hist::{Histogram, Percentiles};
+pub use merge::{Merged, NodeMeta, NodeTrace};
 pub use monitor::{Invariant, InvariantMonitor, MonitorConfig, MonitorHandle, MonitorReport};
 pub use registry::{Counter, Gauge, HistHandle, MetricSnapshot, Registry};
 pub use trace::{

@@ -332,6 +332,25 @@ impl Tracer {
             .map_or_else(Vec::new, |b| b.lock().expect("trace lock").events.clone())
     }
 
+    /// A snapshot of at most `max` buffered events starting at buffer
+    /// index `cursor`, plus the current buffer length. The buffer keeps
+    /// the *first* `cap` events in stable order and is append-only, so
+    /// `(cursor, returned.len())` form a resumable drain position: a
+    /// later call with `cursor + returned.len()` continues exactly where
+    /// this one stopped, and re-reading an old cursor returns the same
+    /// prefix bytes. This is what the node's TELEMETRY `TRACE_DRAIN` op
+    /// serves.
+    pub fn events_from(&self, cursor: usize, max: usize) -> (Vec<TraceEvent>, usize) {
+        let Some(buf) = &self.0 else {
+            return (Vec::new(), 0);
+        };
+        let buf = buf.lock().expect("trace lock");
+        let total = buf.events.len();
+        let lo = cursor.min(total);
+        let hi = lo.saturating_add(max).min(total);
+        (buf.events[lo..hi].to_vec(), total)
+    }
+
     /// Exports the buffer as JSONL keyed by `(seed, schedule)`; see
     /// [`write_jsonl`].
     pub fn export_jsonl(&self, seed: u64, schedule: &str) -> String {
@@ -406,7 +425,7 @@ impl Span {
 
 // --- JSONL export / import ----------------------------------------------------
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -490,7 +509,7 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
 }
 
-fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let at = line.find(&pat)? + pat.len();
     let rest = &line[at..];
@@ -516,7 +535,7 @@ fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
-fn field_u64(line: &str, key: &str) -> Result<u64, String> {
+pub(crate) fn field_u64(line: &str, key: &str) -> Result<u64, String> {
     field_raw(line, key)
         .and_then(|s| s.trim().parse().ok())
         .ok_or_else(|| format!("missing or bad field {key:?} in {line:?}"))
@@ -534,7 +553,7 @@ fn field_u64_or(line: &str, key: &str, default: u64) -> Result<u64, String> {
     }
 }
 
-fn field_str(line: &str, key: &str) -> Result<String, String> {
+pub(crate) fn field_str(line: &str, key: &str) -> Result<String, String> {
     let raw = field_raw(line, key).ok_or_else(|| format!("missing field {key:?} in {line:?}"))?;
     let raw = raw.trim();
     let inner = raw
@@ -768,6 +787,31 @@ mod tests {
         let without = write_jsonl_trimmed(1, "s", 0, 0, &events);
         assert_eq!(without, write_jsonl(1, "s", 0, &events));
         assert_eq!(parse_jsonl(&without).unwrap().trimmed, 0);
+    }
+
+    #[test]
+    fn cursor_reads_are_resumable_and_stable() {
+        let t = Tracer::bounded(16);
+        for i in 0..10u64 {
+            t.span(SpanKind::Verify, 0, i, i).instant();
+        }
+        let (chunk1, total1) = t.events_from(0, 4);
+        assert_eq!((chunk1.len(), total1), (4, 10));
+        // More events arrive between reads; the old range re-reads
+        // identically (append-only, first-N retention).
+        for i in 10..13u64 {
+            t.span(SpanKind::Verify, 0, i, i).instant();
+        }
+        let (again, total2) = t.events_from(0, 4);
+        assert_eq!(again, chunk1);
+        assert_eq!(total2, 13);
+        // Resuming from the previous position drains the rest.
+        let (rest, _) = t.events_from(4, usize::MAX);
+        assert_eq!(rest.len(), 9);
+        assert_eq!(rest[0].round, 4);
+        // Past-the-end and disabled tracers return empty.
+        assert_eq!(t.events_from(99, 4).0.len(), 0);
+        assert_eq!(Tracer::disabled().events_from(0, 4), (Vec::new(), 0));
     }
 
     #[test]

@@ -32,11 +32,22 @@
 #      a TELEMETRY scrape with a clean in-process monitor verdict and
 #      non-zero transport/WAL/pipeline counters (the merged report lands
 #      in results/cluster_health.txt), and the SIGKILL'd process must
-#      leave no crash.jsonl (see crates/bench/src/bin/localnet.rs),
+#      leave no crash.jsonl; the same run drains every process's trace
+#      buffer over TRACE_DRAIN, merges them into one causal cluster
+#      trace (results/cluster_trace.{jsonl,txt}), and requires the
+#      merged critical path to explain >=90% of each finalized round
+#      with at least one cross-process chain (see
+#      crates/bench/src/bin/{localnet,trace_collect}.rs),
 #   8b. the telemetry-smoke gate: two TELEMETRY scrapes of an idle node
-#      must return byte-identical exposition text, and its
-#      flight-recorder dump must parse as ordinary trace JSONL (see
+#      must return byte-identical exposition text, its flight-recorder
+#      dump must parse as ordinary trace JSONL, and a connection
+#      hammering past the configured burst must get TEL_THROTTLED
+#      error frames while fresh connections stay served (see
 #      crates/bench/src/bin/telemetry_smoke.rs),
+#   8c. the cluster-trace gate: the merged artifact the localnet run
+#      archived must re-parse, re-render byte-identically, and pass the
+#      merged critical-path checks offline (see
+#      crates/bench/src/bin/critical_path.rs, --trace mode),
 #   9. the parallel-engine determinism gate: every chaos scenario run
 #      on the discrete-event engine at 1, 2, and 4 workers must yield
 #      byte-identical chain digests, monitor verdicts, and trace JSONL
@@ -98,12 +109,16 @@ cargo run --release -p algorand-bench --bin critical_path -- --check
 echo "== invariant monitor: baseline + violation-injection self-test =="
 cargo test --release -q -p algorand-sim --test monitor
 
-echo "== localnet: 5 real processes vs simulator digest, kill -9 rejoin, live scrape =="
+echo "== localnet: 5 real processes vs simulator digest, kill -9 rejoin, live scrape + trace drain =="
 cargo build --release -q -p algorand-node
+cargo build --release -q -p algorand-bench --bin trace_collect
 cargo run --release -p algorand-bench --bin localnet
 
-echo "== telemetry smoke: idle-node scrapes byte-identical, flight dump parses =="
+echo "== telemetry smoke: idle-node scrapes byte-identical, flight dump parses, throttle trips =="
 cargo run --release -p algorand-bench --bin telemetry_smoke
+
+echo "== cluster trace: merged artifact re-checks offline =="
+cargo run --release -p algorand-bench --bin critical_path -- --trace results/cluster_trace.jsonl --check
 
 echo "== parallel engine: worker-count determinism gate =="
 cargo run --release -p algorand-bench --bin des_determinism
